@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleFigure(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	// Figure 3 at minuscule scale finishes in a couple of seconds.
+	if err := run([]string{"-fig", "3", "-scale", "0.001", "-depth", "3"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"fig3", "average error", "maximum error", "l2-S/R"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-fig", "3", "-scale", "0.001", "-depth", "3", "-csv"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	first := strings.SplitN(out.String(), "\n", 2)[0]
+	if !strings.HasPrefix(first, "figure,metric,s,") {
+		t.Errorf("bad CSV header %q", first)
+	}
+}
+
+func TestRunVerboseProgress(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-fig", "3", "-scale", "0.001", "-depth", "3", "-v"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errBuf.String(), "fig3") {
+		t.Error("verbose mode produced no progress lines")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-fig", "99"}, &out, &errBuf); err == nil {
+		t.Error("unknown figure should fail")
+	}
+	if err := run([]string{"-bogusflag"}, &out, &errBuf); err == nil {
+		t.Error("bad flag should fail")
+	}
+}

@@ -1,0 +1,94 @@
+// Command datagen materializes the synthetic datasets of §5.1 to disk,
+// one coordinate value per line, for use with cmd/sketchtool or
+// external tools.
+//
+// Usage:
+//
+//	datagen -dataset gaussian|gaussian2|worldcup|wiki|higgs|meme|hudong \
+//	        [-n N] [-seed S] [-out FILE]
+//
+// For hudong the output is the edge stream (one source article id per
+// line) rather than the final vector; every other dataset emits the
+// frequency vector.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strconv"
+
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("datagen", flag.ContinueOnError)
+	dataset := fs.String("dataset", "gaussian", "dataset name (gaussian, gaussian2, worldcup, wiki, higgs, meme, hudong)")
+	n := fs.Int("n", 1_000_000, "vector dimension (article count for hudong)")
+	seed := fs.Int64("seed", 1, "random seed")
+	out := fs.String("out", "", "output file (default stdout)")
+	bias := fs.Float64("bias", 100, "gaussian bias b")
+	sigma := fs.Float64("sigma", 15, "gaussian sigma")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *n <= 0 {
+		return fmt.Errorf("n must be positive, got %d", *n)
+	}
+
+	var w *bufio.Writer
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = bufio.NewWriter(f)
+	} else {
+		w = bufio.NewWriter(stdout)
+	}
+	defer w.Flush()
+
+	r := rand.New(rand.NewSource(*seed))
+
+	if *dataset == "hudong" {
+		for _, src := range (workload.HudongLike{}).EdgeStream(*n, r) {
+			w.WriteString(strconv.Itoa(src))
+			w.WriteByte('\n')
+		}
+		return nil
+	}
+
+	var gen workload.Generator
+	switch *dataset {
+	case "gaussian":
+		gen = workload.Gaussian{Bias: *bias, Sigma: *sigma}
+	case "gaussian2":
+		gen = workload.GaussianShifted{Bias: *bias, Sigma: *sigma, ShiftCount: *n / 10_000, ShiftBy: 100_000}
+	case "worldcup":
+		gen = workload.WorldCupLike{}
+	case "wiki":
+		gen = workload.WikiLike{}
+	case "higgs":
+		gen = workload.HiggsLike{}
+	case "meme":
+		gen = workload.MemeLike{}
+	default:
+		return fmt.Errorf("unknown dataset %q", *dataset)
+	}
+	for _, v := range gen.Vector(*n, r) {
+		w.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+		w.WriteByte('\n')
+	}
+	return nil
+}

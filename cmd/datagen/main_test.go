@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestRunEmitsVectorToStdout(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-dataset", "gaussian", "-n", "50", "-seed", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 50 {
+		t.Fatalf("emitted %d lines, want 50", len(lines))
+	}
+	x, err := workload.ReadVector(strings.NewReader(out.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(x) != 50 {
+		t.Fatalf("parsed %d values", len(x))
+	}
+}
+
+func TestRunWritesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v.txt")
+	if err := run([]string{"-dataset", "wiki", "-n", "30", "-out", path}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	x, err := workload.ReadVectorFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(x) != 30 {
+		t.Fatalf("file has %d values", len(x))
+	}
+}
+
+func TestRunHudongEmitsEdgeStream(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-dataset", "hudong", "-n", "100", "-seed", "4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	// 7.7 edges per article on average.
+	if len(lines) != 770 {
+		t.Fatalf("edge stream length %d, want 770", len(lines))
+	}
+}
+
+func TestRunAllDatasets(t *testing.T) {
+	for _, ds := range []string{"gaussian", "gaussian2", "worldcup", "wiki", "higgs", "meme"} {
+		var out bytes.Buffer
+		if err := run([]string{"-dataset", ds, "-n", "20"}, &out); err != nil {
+			t.Errorf("%s: %v", ds, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-dataset", "nope"}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown dataset should fail")
+	}
+	if err := run([]string{"-n", "-5"}, &bytes.Buffer{}); err == nil {
+		t.Error("negative n should fail")
+	}
+	if err := run([]string{"-out", filepath.Join("no", "such", "dir", "f.txt"), "-n", "5"}, &bytes.Buffer{}); err == nil {
+		t.Error("uncreatable output file should fail")
+	}
+	if _, err := os.Stat("f.txt"); err == nil {
+		t.Error("stray output file created")
+	}
+}

@@ -1,0 +1,109 @@
+// Command sketchtool builds a sketch over a frequency vector read from
+// a file (one value per line, as written by cmd/datagen) and either
+// answers point queries or reports recovery quality against the exact
+// vector.
+//
+// Usage:
+//
+//	sketchtool -in data.txt -algo l2sr [-s 4096] [-d 9] [-seed 1] \
+//	           [-query 3,17,99] [-stats] [-save sketch.bin]
+//
+// Algorithms: l1sr, l2sr, l1mean, l2mean, cm (Count-Median), cs
+// (Count-Sketch), cmcu, cmlcu, countmin, dengrafiei. -save writes the
+// sketch in the sketchio wire format (linear sketches only).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/sketch"
+	"repro/internal/sketchio"
+	"repro/internal/vecmath"
+	"repro/internal/workload"
+)
+
+var algoNames = map[string]string{
+	"l1sr":       bench.AlgoL1SR,
+	"l2sr":       bench.AlgoL2SR,
+	"l1mean":     bench.AlgoL1Mean,
+	"l2mean":     bench.AlgoL2Mean,
+	"cm":         bench.AlgoCM,
+	"cs":         bench.AlgoCS,
+	"cmcu":       bench.AlgoCMCU,
+	"cmlcu":      bench.AlgoCMLCU,
+	"countmin":   bench.AlgoCntMin,
+	"dengrafiei": bench.AlgoDeng,
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "sketchtool: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("sketchtool", flag.ContinueOnError)
+	in := fs.String("in", "", "input vector file (one value per line)")
+	algo := fs.String("algo", "l2sr", "algorithm")
+	s := fs.Int("s", 4096, "buckets per row")
+	d := fs.Int("d", 9, "depth")
+	seed := fs.Int64("seed", 1, "random seed")
+	query := fs.String("query", "", "comma-separated coordinate indexes to query")
+	stats := fs.Bool("stats", false, "report avg/max recovery error and compression")
+	save := fs.String("save", "", "write the sketch to this file (sketchio format)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	name, ok := algoNames[*algo]
+	if !ok {
+		return fmt.Errorf("unknown algorithm %q", *algo)
+	}
+	if *in == "" {
+		return fmt.Errorf("-in is required")
+	}
+	x, err := workload.ReadVectorFile(*in)
+	if err != nil {
+		return err
+	}
+
+	sk := bench.Make(name, len(x), *s, *d, *seed)
+	sketch.SketchVector(sk, x)
+	fmt.Fprintf(out, "sketched %s: n=%d words=%d (%.1fx compression)\n",
+		name, len(x), sk.Words(), float64(len(x))/float64(sk.Words()))
+
+	if *query != "" {
+		for _, tok := range strings.Split(*query, ",") {
+			i, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil || i < 0 || i >= len(x) {
+				return fmt.Errorf("bad index %q", tok)
+			}
+			fmt.Fprintf(out, "x[%d]: exact=%g estimate=%g\n", i, x[i], sk.Query(i))
+		}
+	}
+	if *stats {
+		xhat := sketch.Recover(sk)
+		fmt.Fprintf(out, "avg error = %g\nmax error = %g\n",
+			vecmath.AvgAbsErr(x, xhat), vecmath.MaxAbsErr(x, xhat))
+	}
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		desc := sketchio.Desc{Algo: name, N: len(x), S: *s, D: *d, Seed: *seed}
+		if err := sketchio.Save(f, desc, sk); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "saved sketch to %s\n", *save)
+	}
+	return nil
+}

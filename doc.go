@@ -1,0 +1,21 @@
+// Package repro is a from-scratch Go reproduction of "Bias-Aware
+// Sketches" (Jiecao Chen and Qin Zhang, PVLDB 10(9), VLDB 2017).
+//
+// The paper's contribution — the ℓ1-S/R and ℓ2-S/R bias-aware linear
+// sketches with the guarantee
+//
+//	‖x̂ − x‖∞ = O(k^{-1/p}) · min_β Err_p^k(x − β),  p ∈ {1, 2},
+//
+// — lives in internal/core. Every baseline the paper evaluates against
+// (Count-Min, Count-Median, Count-Sketch, CM-CU, CML-CU) and every
+// related system it discusses (Deng–Rafiei, BOMP, Counter Braids) is
+// implemented alongside, with the streaming and distributed execution
+// substrates, synthetic equivalents of the seven evaluation datasets,
+// and a benchmark harness (internal/bench, cmd/biasrepro) that
+// regenerates every figure of the paper's §5.
+//
+// Start with README.md for usage, DESIGN.md for the system inventory
+// and dataset substitutions, and EXPERIMENTS.md for paper-versus-
+// measured results. The runnable entry points are the examples/
+// programs and the three commands under cmd/.
+package repro

@@ -1,0 +1,76 @@
+// Analytics example: the statistical queries §1 lists beyond point
+// query — range sums and quantiles — answered from a dyadic stack of
+// bias-aware sketches over a day of WorldCup-like traffic, plus top-k
+// deviation outliers. One pass over the data, one sketch, many query
+// types.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/heavyhitter"
+	"repro/internal/rangequery"
+	"repro/internal/sketch"
+	"repro/internal/stream"
+	"repro/internal/workload"
+)
+
+func main() {
+	const n = 86_400 // one day at second resolution
+
+	r := rand.New(rand.NewSource(1))
+	x := workload.WorldCupLike{}.Vector(n, r)
+
+	// Hybrid dyadic stack: the coarse levels are small (tens to a few
+	// thousand block sums carrying most of the mass), so they are kept
+	// exactly; the fine levels are large and get an ℓ2-S/R each, with
+	// every level discovering its own block-scaled bias. This is the
+	// standard engineering of dyadic sketches — spend words where the
+	// dimension is, not where the mass is.
+	factory := func(_, size int, rr *rand.Rand) rangequery.PointSketch {
+		if size <= 4096 {
+			return stream.NewExact(size)
+		}
+		return core.NewL2SR(core.L2Config{N: size, K: 512, UseBiasHeap: true}, rr)
+	}
+	rq := rangequery.New(n, factory, rand.New(rand.NewSource(2)))
+	for i, v := range x {
+		rq.Update(i, v)
+	}
+	fmt.Printf("dyadic sketch: %d levels, %d words for n=%d\n\n", rq.Levels(), rq.Words(), n)
+
+	// Range queries: hourly traffic.
+	fmt.Println("requests per hour (first 6 hours):")
+	for h := 0; h < 6; h++ {
+		lo, hi := h*3600, (h+1)*3600
+		var exact float64
+		for _, v := range x[lo:hi] {
+			exact += v
+		}
+		got := rq.RangeSum(lo, hi)
+		fmt.Printf("  hour %d: estimate %9.0f   exact %9.0f   (%+.2f%%)\n",
+			h, got, exact, 100*(got-exact)/exact)
+	}
+
+	// Quantiles of the traffic distribution over the day.
+	fmt.Println("\ntraffic mass quantiles (second of day by cumulative requests):")
+	for _, q := range []float64{0.25, 0.5, 0.75} {
+		sec := rq.Quantile(q)
+		fmt.Printf("  %2.0f%% of requests arrived by second %6d (%.1fh)\n",
+			q*100, sec, float64(sec)/3600)
+	}
+
+	// Deviation heavy hitters from a flat (non-dyadic) sketch: the
+	// burst seconds.
+	l2 := core.NewL2SR(core.L2Config{N: n, K: 1024, UseBiasHeap: true},
+		rand.New(rand.NewSource(3)))
+	sketch.SketchVector(l2, x)
+	fmt.Printf("\nbase traffic level (bias): %.1f req/s\n", l2.Bias())
+	fmt.Println("top burst seconds (deviation heavy hitters):")
+	for _, d := range heavyhitter.TopK(l2, 5) {
+		fmt.Printf("  second %6d: estimated %6.0f req/s (exact %6.0f)\n",
+			d.Index, d.Estimate, x[d.Index])
+	}
+}

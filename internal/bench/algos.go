@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/sketch"
+)
+
+// Algorithm names as used in the paper's legends.
+const (
+	AlgoL1SR   = "l1-S/R"
+	AlgoL2SR   = "l2-S/R"
+	AlgoCM     = "CM"     // Count-Median
+	AlgoCS     = "CS"     // Count-Sketch
+	AlgoCMCU   = "CM-CU"  // Count-Min, conservative update
+	AlgoCMLCU  = "CML-CU" // Count-Min-Log, conservative update
+	AlgoL1Mean = "l1-mean"
+	AlgoL2Mean = "l2-mean"
+	AlgoCntMin = "Count-Min" // extra baseline (paper omits it: CM-CU dominates)
+	AlgoDeng   = "Deng-Rafiei"
+)
+
+// SixMain is the algorithm set of Figures 1–7.
+var SixMain = []string{AlgoL1SR, AlgoL2SR, AlgoCM, AlgoCS, AlgoCMCU, AlgoCMLCU}
+
+// MeanComparison is the algorithm set of Figures 8–9 (§5.4).
+var MeanComparison = []string{AlgoL1SR, AlgoL2SR, AlgoL1Mean, AlgoL2Mean}
+
+// All lists every constructible algorithm.
+var All = []string{
+	AlgoL1SR, AlgoL2SR, AlgoCM, AlgoCS, AlgoCMCU, AlgoCMLCU,
+	AlgoL1Mean, AlgoL2Mean, AlgoCntMin, AlgoDeng,
+}
+
+// Make constructs an algorithm following the paper's sizing protocol
+// (§5.1): the bias-aware sketches use depth d with s extra words for
+// bias estimation; the baselines use depth d+1, so every algorithm
+// consumes (d+1)·s words. k is s/4 (the minimal c_s = 4). Streaming
+// variants of the bias-aware sketches (Bias-Heap / BST-maintained
+// samples) are always used, so the same constructor serves the vector
+// and the stream experiments.
+func Make(algo string, n, s, d int, seed int64) sketch.Sketch {
+	r := rand.New(rand.NewSource(seed))
+	k := s / 4
+	if k < 1 {
+		k = 1
+	}
+	scfg := sketch.Config{N: n, Rows: s, Depth: d + 1}
+	switch algo {
+	case AlgoL1SR:
+		return core.NewL1SR(core.L1Config{
+			N: n, K: k, Cs: 4, Depth: d, SampleCount: s,
+		}, r)
+	case AlgoL2SR:
+		return core.NewL2SR(core.L2Config{
+			N: n, K: k, Cs: 4, Depth: d, UseBiasHeap: true,
+		}, r)
+	case AlgoL1Mean:
+		return core.NewL1SR(core.L1Config{
+			N: n, K: k, Cs: 4, Depth: d, SampleCount: 1, Estimator: core.EstimatorMean,
+		}, r)
+	case AlgoL2Mean:
+		return core.NewL2SR(core.L2Config{
+			N: n, K: k, Cs: 4, Depth: d, Estimator: core.EstimatorMean,
+		}, r)
+	case AlgoCM:
+		return sketch.NewCountMedian(scfg, r)
+	case AlgoCS:
+		return sketch.NewCountSketch(scfg, r)
+	case AlgoCMCU:
+		return sketch.NewCMCU(scfg, r)
+	case AlgoCMLCU:
+		return sketch.NewCMLCU(scfg, sketch.DefaultCMLBase, r)
+	case AlgoCntMin:
+		return sketch.NewCountMin(scfg, r)
+	case AlgoDeng:
+		return sketch.NewDengRafiei(scfg, r)
+	default:
+		panic(fmt.Sprintf("bench: unknown algorithm %q", algo))
+	}
+}

@@ -1,0 +1,201 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tiny returns a configuration small enough for unit tests.
+func tiny() Config { return Config{Scale: 0.002, Seed: 42, Depth: 5} }
+
+func TestMakeAllAlgorithms(t *testing.T) {
+	for _, algo := range All {
+		sk := Make(algo, 10000, 256, 5, 1)
+		if sk.Dim() != 10000 {
+			t.Errorf("%s: Dim = %d", algo, sk.Dim())
+		}
+		sk.Update(3, 5)
+		_ = sk.Query(3)
+		if sk.Words() <= 0 {
+			t.Errorf("%s: non-positive Words", algo)
+		}
+	}
+}
+
+func TestMakeUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Make("nope", 100, 16, 3, 1)
+}
+
+// Equal-words protocol: at the same (s, d) every algorithm must use
+// (d+1)·s words within a ±s slack (the paper's sizing, §5.1).
+func TestEqualWordsProtocol(t *testing.T) {
+	const n, s, d = 50000, 1024, 9
+	want := (d + 1) * s
+	for _, algo := range SixMain {
+		w := Make(algo, n, s, d, 1).Words()
+		if w < want-s || w > want+s {
+			t.Errorf("%s: %d words, want %d±%d", algo, w, want, s)
+		}
+	}
+}
+
+func TestSweepClampsAndDeduplicates(t *testing.T) {
+	cfg := Config{Scale: 0.0001}
+	sv := cfg.sweep([]int{1000, 2000, 5000}, 400)
+	for i, s := range sv {
+		if s < 64 || s > 100 {
+			t.Errorf("sweep[%d] = %d out of clamp range", i, s)
+		}
+		if i > 0 && sv[i] == sv[i-1] {
+			t.Error("duplicates not removed")
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	var cfg Config
+	if cfg.scale() != 1 || cfg.depth() != 9 {
+		t.Error("zero config should default to scale 1, depth 9")
+	}
+	if cfg.dim(500) != 1000 {
+		t.Error("dim should clamp up to 1000")
+	}
+}
+
+func TestSeedForDeterministic(t *testing.T) {
+	cfg := Config{Seed: 7}
+	if cfg.seedFor(1, 2) != cfg.seedFor(1, 2) {
+		t.Error("seedFor not deterministic")
+	}
+	if cfg.seedFor(1, 2) == cfg.seedFor(2, 1) {
+		t.Error("seedFor should depend on order")
+	}
+	if cfg.seedFor(1) < 0 {
+		t.Error("seedFor must be non-negative for rand.NewSource")
+	}
+}
+
+// Smoke-run every figure at tiny scale and validate table structure
+// plus the paper's qualitative ordering where it is robust at small n.
+func TestAllFiguresSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure smoke runs take a few seconds")
+	}
+	cfg := tiny()
+	for fig, run := range Figures {
+		tables := run(cfg)
+		if len(tables) == 0 {
+			t.Fatalf("fig %d returned no tables", fig)
+		}
+		for _, tb := range tables {
+			if tb.ID == "" || len(tb.X) == 0 || len(tb.Algos) == 0 {
+				t.Fatalf("fig %d: malformed table %+v", fig, tb)
+			}
+			if len(tb.Avg) != len(tb.X) || len(tb.Max) != len(tb.X) {
+				t.Fatalf("fig %d (%s): row count mismatch", fig, tb.ID)
+			}
+			for xi := range tb.X {
+				for ai, a := range tb.Algos {
+					if tb.Avg[xi][ai] < 0 || tb.Max[xi][ai] < tb.Avg[xi][ai] {
+						t.Errorf("fig %d (%s) %s: avg %f max %f inconsistent",
+							fig, tb.ID, a, tb.Avg[xi][ai], tb.Max[xi][ai])
+					}
+				}
+			}
+		}
+	}
+}
+
+// Figure 1's headline shape must hold even at tiny scale: the
+// bias-aware sketches beat CM and CS on biased Gaussian data at every
+// sweep point.
+func TestFig1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test runs the fig1 harness")
+	}
+	cfg := tiny()
+	cfg.Depth = 9
+	tables := Fig1(cfg)
+	for _, tb := range tables {
+		l1, l2 := tb.Col(AlgoL1SR), tb.Col(AlgoL2SR)
+		cm, cs := tb.Col(AlgoCM), tb.Col(AlgoCS)
+		for xi := range tb.X {
+			if tb.Avg[xi][l1] >= tb.Avg[xi][cm] {
+				t.Errorf("%s s=%d: l1-S/R avg %f not below CM %f",
+					tb.ID, tb.X[xi], tb.Avg[xi][l1], tb.Avg[xi][cm])
+			}
+			if tb.Avg[xi][l2] >= tb.Avg[xi][cs] {
+				t.Errorf("%s s=%d: l2-S/R avg %f not below CS %f",
+					tb.ID, tb.X[xi], tb.Avg[xi][l2], tb.Avg[xi][cs])
+			}
+		}
+	}
+}
+
+// Figure 8's shape: with shifted outliers, the mean heuristics must be
+// much worse than the bias-aware estimators.
+func TestFig8Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test runs the fig8 harness")
+	}
+	// Depth 9 (the paper's d): at depth 5 an outlier coordinate can
+	// lose its row-median majority at the smallest s and leak a ~1e5
+	// error into the average, which is exactly the small-d failure
+	// mode Theorem 4's d = Θ(log n) exists to exclude.
+	cfg := tiny()
+	cfg.Depth = 9
+	tables := Fig8(cfg)
+	shifted := tables[1]
+	l1, l2 := shifted.Col(AlgoL1SR), shifted.Col(AlgoL2SR)
+	m1, m2 := shifted.Col(AlgoL1Mean), shifted.Col(AlgoL2Mean)
+	for xi := range shifted.X {
+		if shifted.Avg[xi][m1] < 2*shifted.Avg[xi][l1] {
+			t.Errorf("s=%d: l1-mean %f should blow up vs l1-S/R %f",
+				shifted.X[xi], shifted.Avg[xi][m1], shifted.Avg[xi][l1])
+		}
+		if shifted.Avg[xi][m2] < 2*shifted.Avg[xi][l2] {
+			t.Errorf("s=%d: l2-mean %f should blow up vs l2-S/R %f",
+				shifted.X[xi], shifted.Avg[xi][m2], shifted.Avg[xi][l2])
+		}
+	}
+}
+
+func TestTablePrintAndCSV(t *testing.T) {
+	tb := &Table{
+		ID: "figX", Title: "demo", XLabel: "s",
+		X: []int{10, 20}, Algos: []string{"a", "b"},
+		Avg: [][]float64{{1, 2}, {3, 4}},
+		Max: [][]float64{{5, 6}, {7, 8}},
+	}
+	var buf bytes.Buffer
+	tb.Print(&buf)
+	out := buf.String()
+	for _, want := range []string{"figX", "average error", "maximum error", "a", "b"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Print output missing %q", want)
+		}
+	}
+	buf.Reset()
+	tb.CSV(&buf)
+	if !strings.Contains(buf.String(), "figX,avg,10,1,2") {
+		t.Errorf("CSV output malformed:\n%s", buf.String())
+	}
+	if tb.Col("b") != 1 || tb.Col("zz") != -1 {
+		t.Error("Col lookup broken")
+	}
+}
+
+func TestProgressWriter(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := Config{Scale: 0.001, Seed: 1, Depth: 3, Progress: &buf}
+	Fig3(cfg)
+	if buf.Len() == 0 {
+		t.Error("no progress lines emitted")
+	}
+}

@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/counterbraids"
+	"repro/internal/sketch"
+	"repro/internal/vecmath"
+	"repro/internal/workload"
+)
+
+// ExtraCounterBraids checks §2's prose on Counter Braids [24]: "it
+// requires a larger amount of space to execute; and its
+// encoding/decoding procedures are recursive, layer by layer, and thus
+// it cannot answer point query without decoding the whole input
+// vector". We give CB a braid sized for exact decoding of a biased
+// Gaussian vector and ℓ2-S/R a quarter of those bits, and report
+// space, recovery error (CB exact, ℓ2 approximate), and the cost of a
+// single point query (CB: a full layered decode; ℓ2: d bucket reads).
+func ExtraCounterBraids(cfg Config) []*Table {
+	sizes := []int{20_000, 50_000, 100_000}
+	algos := []string{"CB bits/coord", "l2 bits/coord", "CB avgerr", "l2 avgerr",
+		"CB point-query ns", "l2 point-query ns"}
+	t := &Table{
+		ID:     "cbraids",
+		Title:  "Counter Braids vs l2-S/R, Gaussian(100,15) traffic",
+		XLabel: "n",
+		X:      sizes,
+		Algos:  algos,
+	}
+	for xi, n := range sizes {
+		r := rand.New(rand.NewSource(cfg.seedFor(xi, 51)))
+		x := workload.Gaussian{Bias: 100, Sigma: 15}.Vector(n, r)
+		for i := range x {
+			if x[i] < 0 {
+				x[i] = 0 // CB is insert-only/non-negative
+			}
+		}
+
+		cb := counterbraids.New(counterbraids.Config{N: n},
+			rand.New(rand.NewSource(cfg.seedFor(xi, 52))))
+		for i, v := range x {
+			if v > 0 {
+				cb.Update(i, v)
+			}
+		}
+		start := time.Now()
+		dec, err := cb.Decode(64)
+		cbQueryNs := float64(time.Since(start).Nanoseconds()) // one point query = full decode
+		cbErr := -1.0
+		if err == nil {
+			cbErr = vecmath.AvgAbsErr(x, dec)
+		}
+
+		// ℓ2-S/R at a quarter of CB's bit budget.
+		words := cb.Bits() / 64 / 4
+		s := words / 10
+		l2 := Make(AlgoL2SR, n, s, cfg.depth(), cfg.seedFor(xi, 53))
+		sketch.SketchVector(l2, x)
+		l2.Query(0) // warm the ψ column-sum caches outside the timer
+		start = time.Now()
+		const probes = 1000
+		for q := 0; q < probes; q++ {
+			l2.Query(q % n)
+		}
+		l2QueryNs := float64(time.Since(start).Nanoseconds()) / probes
+		l2Err := vecmath.AvgAbsErr(x, sketch.Recover(l2))
+
+		row := []float64{
+			float64(cb.Bits()) / float64(n),
+			float64(l2.Words()*64) / float64(n),
+			cbErr,
+			l2Err,
+			cbQueryNs,
+			l2QueryNs,
+		}
+		t.Avg = append(t.Avg, row)
+		t.Max = append(t.Max, row)
+		cfg.progress("cbraids n=%d: CB %d bits (err %.2f), l2 %d bits (err %.2f)",
+			n, cb.Bits(), cbErr, l2.Words()*64, l2Err)
+	}
+	return []*Table{t}
+}

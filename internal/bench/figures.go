@@ -1,0 +1,316 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/sketch"
+	"repro/internal/stream"
+	"repro/internal/vecmath"
+	"repro/internal/workload"
+)
+
+// Config controls an experiment run.
+type Config struct {
+	// Scale multiplies each figure's default vector dimension (and the
+	// Hudong article count). The defaults below are laptop-scale
+	// reductions of the paper's sizes; Scale restores or shrinks them
+	// (e.g. 0.01 for the smoke tests in bench_test.go). Zero means 1.
+	Scale float64
+	// Seed drives all randomness; equal seeds reproduce runs exactly.
+	Seed int64
+	// Depth is the bias-aware sketches' d (baselines get d+1, §5.1).
+	// Zero means the paper's 9.
+	Depth int
+	// Progress, when non-nil, receives one line per completed sweep
+	// point.
+	Progress io.Writer
+}
+
+func (c Config) scale() float64 {
+	if c.Scale <= 0 {
+		return 1
+	}
+	return c.Scale
+}
+
+func (c Config) depth() int {
+	if c.Depth <= 0 {
+		return 9
+	}
+	return c.Depth
+}
+
+func (c Config) dim(base int) int {
+	n := int(float64(base) * c.scale())
+	if n < 1000 {
+		n = 1000
+	}
+	return n
+}
+
+// scaleSweep shrinks the s sweep alongside n so that s stays well
+// below n (a sketch wider than the vector is pointless).
+func (c Config) sweep(base []int, n int) []int {
+	out := make([]int, 0, len(base))
+	for _, s := range base {
+		v := int(float64(s) * math.Sqrt(c.scale()))
+		if v < 64 {
+			v = 64
+		}
+		if v > n/4 {
+			v = n / 4
+		}
+		out = append(out, v)
+	}
+	// Deduplicate after clamping.
+	sort.Ints(out)
+	ded := out[:0]
+	for i, v := range out {
+		if i == 0 || v != ded[len(ded)-1] {
+			ded = append(ded, v)
+		}
+	}
+	return ded
+}
+
+func (c Config) progress(format string, args ...interface{}) {
+	if c.Progress != nil {
+		fmt.Fprintf(c.Progress, format+"\n", args...)
+	}
+}
+
+// seedFor derives a deterministic per-cell seed.
+func (c Config) seedFor(parts ...int) int64 {
+	h := uint64(c.Seed)*0x9e3779b97f4a7c15 + 0x12345
+	for _, p := range parts {
+		h ^= uint64(p) + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
+	}
+	return int64(h & 0x7fffffffffffffff)
+}
+
+// sweepVector runs the standard protocol: for each s in svals and each
+// algorithm, sketch the vector x, recover, and record avg/max error.
+func (c Config) sweepVector(id, title string, x []float64, algos []string, svals []int) *Table {
+	t := &Table{ID: id, Title: title, XLabel: "s", X: svals, Algos: algos}
+	n := len(x)
+	d := c.depth()
+	for xi, s := range svals {
+		avg := make([]float64, len(algos))
+		mx := make([]float64, len(algos))
+		for ai, algo := range algos {
+			sk := Make(algo, n, s, d, c.seedFor(xi, ai))
+			sketch.SketchVector(sk, x)
+			xhat := sketch.Recover(sk)
+			avg[ai] = vecmath.AvgAbsErr(x, xhat)
+			mx[ai] = vecmath.MaxAbsErr(x, xhat)
+			c.progress("%s s=%d %s: avg=%.4f max=%.4f", id, s, algo, avg[ai], mx[ai])
+		}
+		t.Avg = append(t.Avg, avg)
+		t.Max = append(t.Max, mx)
+	}
+	return t
+}
+
+// sweepDepth fixes s and varies d (Figure 7's protocol).
+func (c Config) sweepDepth(id, title string, x []float64, algos []string, s int, dvals []int) *Table {
+	t := &Table{ID: id, Title: title, XLabel: "d", X: dvals, Algos: algos}
+	n := len(x)
+	for xi, d := range dvals {
+		avg := make([]float64, len(algos))
+		mx := make([]float64, len(algos))
+		for ai, algo := range algos {
+			sk := Make(algo, n, s, d, c.seedFor(xi, ai))
+			sketch.SketchVector(sk, x)
+			xhat := sketch.Recover(sk)
+			avg[ai] = vecmath.AvgAbsErr(x, xhat)
+			mx[ai] = vecmath.MaxAbsErr(x, xhat)
+			c.progress("%s d=%d %s: avg=%.4f max=%.4f", id, d, algo, avg[ai], mx[ai])
+		}
+		t.Avg = append(t.Avg, avg)
+		t.Max = append(t.Max, mx)
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// Figure runners
+
+// Fig1 is the Gaussian experiment (Figure 1a–1d): n i.i.d. N(b, 15²)
+// coordinates, b ∈ {100, 500}; the bias-aware sketches' errors must be
+// far below all baselines and independent of b. Paper n = 5·10⁸; the
+// default here is 2·10⁶ (Scale restores larger sizes).
+func Fig1(cfg Config) []*Table {
+	n := cfg.dim(2_000_000)
+	svals := cfg.sweep([]int{1000, 2000, 5000, 10000, 20000}, n)
+	var out []*Table
+	for _, b := range []float64{100, 500} {
+		r := rand.New(rand.NewSource(cfg.seedFor(int(b))))
+		x := workload.Gaussian{Bias: b, Sigma: 15}.Vector(n, r)
+		sub := "ab"
+		if b == 500 {
+			sub = "cd"
+		}
+		out = append(out, cfg.sweepVector(
+			"fig1"+sub,
+			fmt.Sprintf("Gaussian n=%d sigma=15 b=%g", n, b),
+			x, SixMain, svals))
+	}
+	return out
+}
+
+// Fig2 is the Wiki experiment (Figure 2): pageviews-per-second-like
+// vector at the paper's exact dimension n = 3,513,600.
+func Fig2(cfg Config) []*Table {
+	n := cfg.dim(3_513_600)
+	svals := cfg.sweep([]int{2000, 5000, 10000, 20000, 50000}, n)
+	r := rand.New(rand.NewSource(cfg.seedFor(2)))
+	x := workload.WikiLike{}.Vector(n, r)
+	return []*Table{cfg.sweepVector("fig2", fmt.Sprintf("Wiki-like n=%d", n), x, SixMain, svals)}
+}
+
+// Fig3 is the WorldCup experiment (Figure 3): requests-per-second over
+// one day, n = 86,400 (paper-exact dimension; not scaled down, but
+// Scale > 1 still grows it).
+func Fig3(cfg Config) []*Table {
+	n := 86_400
+	if cfg.scale() > 1 {
+		n = cfg.dim(n)
+	}
+	svals := cfg.sweep([]int{500, 1000, 2000, 5000, 10000}, n)
+	r := rand.New(rand.NewSource(cfg.seedFor(3)))
+	x := workload.WorldCupLike{}.Vector(n, r)
+	return []*Table{cfg.sweepVector("fig3", fmt.Sprintf("WorldCup-like n=%d", n), x, SixMain, svals)}
+}
+
+// Fig4 is the Higgs experiment (Figure 4): Gamma-shaped kinematic
+// feature values. Paper n = 1.1·10⁷; default 2·10⁶.
+func Fig4(cfg Config) []*Table {
+	n := cfg.dim(2_000_000)
+	svals := cfg.sweep([]int{2000, 5000, 10000, 20000, 50000}, n)
+	r := rand.New(rand.NewSource(cfg.seedFor(4)))
+	x := workload.HiggsLike{}.Vector(n, r)
+	return []*Table{cfg.sweepVector("fig4", fmt.Sprintf("Higgs-like n=%d", n), x, SixMain, svals)}
+}
+
+// Fig5 is the Meme experiment (Figure 5): long-tailed meme lengths.
+// Paper n = 2.11·10⁸; default 2·10⁶.
+func Fig5(cfg Config) []*Table {
+	n := cfg.dim(2_000_000)
+	svals := cfg.sweep([]int{2000, 5000, 10000, 20000, 50000}, n)
+	r := rand.New(rand.NewSource(cfg.seedFor(5)))
+	x := workload.MemeLike{}.Vector(n, r)
+	return []*Table{cfg.sweepVector("fig5", fmt.Sprintf("Meme-like n=%d", n), x, SixMain, svals)}
+}
+
+// Fig6 is the Hudong streaming experiment (Figure 6a–6d): edges arrive
+// one at a time, sketches are updated online, and we report recovery
+// errors plus per-update and per-query times. Paper: 2.23M articles,
+// 18.9M edges; default 300k articles (~2.3M edges).
+func Fig6(cfg Config) []*Table {
+	n := cfg.dim(300_000)
+	svals := cfg.sweep([]int{1000, 2000, 5000, 10000}, n)
+	d := cfg.depth()
+	r := rand.New(rand.NewSource(cfg.seedFor(6)))
+	edges := workload.HudongLike{}.EdgeStream(n, r)
+	src := stream.NewUnitSource(edges)
+	exact := stream.NewExact(n)
+	stream.Drive(exact, src)
+	x := exact.Vector()
+
+	// Query cost is measured over a fixed random index sample so all
+	// algorithms answer the identical queries.
+	qidx := make([]int, 200_000)
+	for i := range qidx {
+		qidx[i] = r.Intn(n)
+	}
+
+	t := &Table{
+		ID: "fig6", Title: fmt.Sprintf("Hudong-like stream n=%d edges=%d", n, len(edges)),
+		XLabel: "s", X: svals, Algos: SixMain,
+	}
+	for xi, s := range svals {
+		avg := make([]float64, len(SixMain))
+		mx := make([]float64, len(SixMain))
+		upd := make([]float64, len(SixMain))
+		qry := make([]float64, len(SixMain))
+		for ai, algo := range SixMain {
+			sk := Make(algo, n, s, d, cfg.seedFor(xi, ai))
+			ds := stream.Drive(sk, src)
+			qs := stream.MeasureQueries(sk, qidx)
+			xhat := sketch.Recover(sk)
+			avg[ai] = vecmath.AvgAbsErr(x, xhat)
+			mx[ai] = vecmath.MaxAbsErr(x, xhat)
+			upd[ai] = ds.NsPerUpdate
+			qry[ai] = qs.NsPerQuery
+			cfg.progress("fig6 s=%d %s: avg=%.4f max=%.4f upd=%.0fns qry=%.0fns",
+				s, algo, avg[ai], mx[ai], upd[ai], qry[ai])
+		}
+		t.Avg = append(t.Avg, avg)
+		t.Max = append(t.Max, mx)
+		t.UpdateNs = append(t.UpdateNs, upd)
+		t.QueryNs = append(t.QueryNs, qry)
+	}
+	return []*Table{t}
+}
+
+// Fig7 is the depth experiment (Figure 7): Higgs-like data, fixed
+// s = 50,000 (scaled), d swept. The paper's d axis is for the
+// bias-aware sketches; baselines use d+1 (handled by Make).
+func Fig7(cfg Config) []*Table {
+	n := cfg.dim(2_000_000)
+	s := cfg.sweep([]int{50000}, n)[0]
+	dvals := []int{3, 5, 7, 9, 11}
+	r := rand.New(rand.NewSource(cfg.seedFor(7)))
+	x := workload.HiggsLike{}.Vector(n, r)
+	return []*Table{cfg.sweepDepth("fig7",
+		fmt.Sprintf("Higgs-like n=%d fixed s=%d, varying depth", n, s),
+		x, SixMain, s, dvals)}
+}
+
+// Fig8 is the mean-heuristic comparison (Figure 8a–8d) on Gaussian-2:
+// without shifted entries all four algorithms are comparable; with 500
+// entries shifted by 100,000 the mean heuristics blow up. Paper
+// n = 5·10⁶; default 1·10⁶ with the shift count scaled to keep the
+// same outlier fraction.
+func Fig8(cfg Config) []*Table {
+	n := cfg.dim(1_000_000)
+	shift := n / 10_000 // paper: 500 of 5M = 1 per 10k
+	if shift < 3 {
+		shift = 3
+	}
+	svals := cfg.sweep([]int{1000, 2000, 5000, 10000, 20000}, n)
+	var out []*Table
+	r := rand.New(rand.NewSource(cfg.seedFor(8)))
+	plain := workload.Gaussian{Bias: 100, Sigma: 15}.Vector(n, r)
+	out = append(out, cfg.sweepVector("fig8ab",
+		fmt.Sprintf("Gaussian-2 n=%d (no shift)", n), plain, MeanComparison, svals))
+	r2 := rand.New(rand.NewSource(cfg.seedFor(88)))
+	shifted := workload.GaussianShifted{Bias: 100, Sigma: 15, ShiftCount: shift, ShiftBy: 100_000}.Vector(n, r2)
+	out = append(out, cfg.sweepVector("fig8cd",
+		fmt.Sprintf("Gaussian-2 n=%d (%d entries shifted by 1e5)", n, shift), shifted, MeanComparison, svals))
+	return out
+}
+
+// Fig9 is the mean-heuristic comparison on the Wiki-like dataset
+// (Figure 9): few extremes, so the mean heuristics are competitive.
+func Fig9(cfg Config) []*Table {
+	n := cfg.dim(3_513_600)
+	svals := cfg.sweep([]int{2000, 5000, 10000, 20000, 50000}, n)
+	r := rand.New(rand.NewSource(cfg.seedFor(9)))
+	x := workload.WikiLike{}.Vector(n, r)
+	return []*Table{cfg.sweepVector("fig9",
+		fmt.Sprintf("Wiki-like n=%d, mean heuristics", n), x, MeanComparison, svals)}
+}
+
+// Figures maps figure numbers to runners, for cmd/biasrepro. Entries
+// 10–13 are extra experiments the paper argues in prose but does not
+// plot: the BOMP comparison (§2), the Remark 1 multi-bias gap, the
+// Counter Braids comparison (§2), and the Deng–Rafiei comparison (§2).
+var Figures = map[int]func(Config) []*Table{
+	1: Fig1, 2: Fig2, 3: Fig3, 4: Fig4, 5: Fig5, 6: Fig6, 7: Fig7, 8: Fig8, 9: Fig9,
+	10: ExtraBOMP, 11: ExtraRemark1, 12: ExtraCounterBraids, 13: ExtraDengRafiei,
+}

@@ -1,0 +1,97 @@
+// Package bench is the experiment harness for §5 of the paper: one
+// runner per figure, each sweeping sketch size (or depth) over the
+// figure's workload, scoring every algorithm by the paper's two point
+// query measurements — average error (1/n)·‖x−x̂‖₁ and maximum error
+// ‖x−x̂‖∞ — and, for the streaming experiment, per-update and
+// per-query times. Runners emit Tables that print as aligned text or
+// CSV; cmd/biasrepro is the CLI front end and bench_test.go wires each
+// figure into `go test -bench`.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table holds one figure's (or sub-figure's) results: a sweep variable
+// on the x axis and one column per algorithm for each metric.
+type Table struct {
+	ID     string // e.g. "fig1a"
+	Title  string
+	XLabel string // "s" or "d"
+	X      []int
+	Algos  []string
+
+	// Avg[xi][ai] and Max[xi][ai] are the two §5.1 measurements.
+	Avg [][]float64
+	Max [][]float64
+
+	// UpdateNs and QueryNs are set only by the streaming experiment
+	// (Figure 6c–6d).
+	UpdateNs [][]float64
+	QueryNs  [][]float64
+}
+
+// Print renders the table as aligned text, one block per metric.
+func (t *Table) Print(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	t.printMetric(w, "average error", t.Avg)
+	t.printMetric(w, "maximum error", t.Max)
+	if t.UpdateNs != nil {
+		t.printMetric(w, "update ns/op", t.UpdateNs)
+	}
+	if t.QueryNs != nil {
+		t.printMetric(w, "query ns/op", t.QueryNs)
+	}
+}
+
+func (t *Table) printMetric(w io.Writer, name string, data [][]float64) {
+	if data == nil {
+		return
+	}
+	fmt.Fprintf(w, "-- %s --\n", name)
+	fmt.Fprintf(w, "%10s", t.XLabel)
+	for _, a := range t.Algos {
+		fmt.Fprintf(w, " %14s", a)
+	}
+	fmt.Fprintln(w)
+	for xi, x := range t.X {
+		fmt.Fprintf(w, "%10d", x)
+		for ai := range t.Algos {
+			fmt.Fprintf(w, " %14.4f", data[xi][ai])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// CSV renders the table as comma-separated rows with a metric column.
+func (t *Table) CSV(w io.Writer) {
+	fmt.Fprintf(w, "figure,metric,%s,%s\n", t.XLabel, strings.Join(t.Algos, ","))
+	emit := func(metric string, data [][]float64) {
+		if data == nil {
+			return
+		}
+		for xi, x := range t.X {
+			fmt.Fprintf(w, "%s,%s,%d", t.ID, metric, x)
+			for ai := range t.Algos {
+				fmt.Fprintf(w, ",%g", data[xi][ai])
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	emit("avg", t.Avg)
+	emit("max", t.Max)
+	emit("update_ns", t.UpdateNs)
+	emit("query_ns", t.QueryNs)
+}
+
+// Col returns the column index of an algorithm, -1 if absent.
+func (t *Table) Col(algo string) int {
+	for i, a := range t.Algos {
+		if a == algo {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,38 @@
+package biasheap
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzHeapAgainstReference drives the Bias-Heap with an arbitrary
+// byte-encoded update schedule and checks the maintained middle sums
+// against the sort-based reference after every step.
+func FuzzHeapAgainstReference(f *testing.F) {
+	f.Add(uint8(8), uint8(4), []byte{0, 10, 1, 200, 2, 30})
+	f.Add(uint8(5), uint8(1), []byte{4, 128, 4, 127, 0, 0})
+	f.Fuzz(func(t *testing.T, sRaw, midRaw uint8, ops []byte) {
+		s := 2 + int(sRaw)%30
+		mid := 1 + int(midRaw)%s
+		pi := make([]float64, s)
+		for i := range pi {
+			pi[i] = float64(1 + (i*7)%5)
+		}
+		h := New(pi, mid)
+		w := make([]float64, s)
+		topSize := (s - mid) / 2
+		botSize := (s - mid) - topSize
+		for i := 0; i+1 < len(ops) && i < 200; i += 2 {
+			id := int(ops[i]) % s
+			delta := float64(int(ops[i+1]) - 128)
+			h.Update(id, delta)
+			w[id] += delta
+			gotW, gotPi := h.MiddleSums()
+			wantW, wantPi := refMiddle(w, pi, topSize, botSize)
+			if math.Abs(gotW-wantW) > 1e-6 || math.Abs(gotPi-wantPi) > 1e-6 {
+				t.Fatalf("s=%d mid=%d step=%d: middle (%g,%g) want (%g,%g)",
+					s, mid, i/2, gotW, gotPi, wantW, wantPi)
+			}
+		}
+	})
+}

@@ -1,0 +1,169 @@
+// Package bomp implements BOMP, the compressive-sensing bias-recovery
+// baseline of Yan et al. [31] as described in §2 of the paper: sketch
+// with a dense Gaussian matrix Φ ∈ R^{t×n} (entries N(0, 1/t)), then
+// recover by running Orthogonal Matching Pursuit for k+1 iterations on
+// the augmented dictionary Φ' = [(1/√n)Σφ_i, Φ] whose prepended column
+// absorbs a constant bias.
+//
+// The paper's criticisms — OMP is expensive and cannot answer a point
+// query without decoding the whole vector — are directly visible in
+// this implementation's API: there is no Query method, only Recover.
+package bomp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/linalg"
+)
+
+// BOMP holds the Gaussian sketching state. It is linear (y adds), so
+// it composes in the distributed model like other linear sketches.
+type BOMP struct {
+	n, t int
+	phi  *linalg.Matrix // t×n Gaussian sketching matrix
+	ones []float64      // the prepended column (1/√n)·Σ_i φ_i
+	y    []float64      // the sketch Φx
+}
+
+// New creates a BOMP sketcher for n-dimensional vectors with a t-row
+// Gaussian matrix drawn from r. Memory is Θ(t·n): dense Gaussian
+// sketches do not scale like hash sketches, which is part of why the
+// paper dismisses this baseline for large data.
+func New(n, t int, r *rand.Rand) *BOMP {
+	if n <= 0 || t <= 0 {
+		panic(fmt.Sprintf("bomp: invalid shape n=%d t=%d", n, t))
+	}
+	b := &BOMP{
+		n:    n,
+		t:    t,
+		phi:  linalg.NewMatrix(t, n),
+		ones: make([]float64, t),
+		y:    make([]float64, t),
+	}
+	sd := 1 / math.Sqrt(float64(t))
+	for i := 0; i < t; i++ {
+		for j := 0; j < n; j++ {
+			b.phi.Set(i, j, r.NormFloat64()*sd)
+		}
+	}
+	inv := 1 / math.Sqrt(float64(n))
+	for i := 0; i < t; i++ {
+		var s float64
+		for j := 0; j < n; j++ {
+			s += b.phi.At(i, j)
+		}
+		b.ones[i] = s * inv
+	}
+	return b
+}
+
+// Update applies x[i] += delta to the sketch: y += delta·φ_i.
+func (b *BOMP) Update(i int, delta float64) {
+	if i < 0 || i >= b.n {
+		panic(fmt.Sprintf("bomp: index %d out of range [0,%d)", i, b.n))
+	}
+	for row := 0; row < b.t; row++ {
+		b.y[row] += delta * b.phi.At(row, i)
+	}
+}
+
+// Dim returns n.
+func (b *BOMP) Dim() int { return b.n }
+
+// Words returns the sketch size in 64-bit words (the sketch vector y;
+// Φ itself is shared randomness).
+func (b *BOMP) Words() int { return b.t }
+
+// MergeFrom adds another BOMP sharing the same matrix (by seed).
+func (b *BOMP) MergeFrom(o *BOMP) error {
+	if o.n != b.n || o.t != b.t {
+		return fmt.Errorf("bomp: incompatible shapes")
+	}
+	for i := range b.y {
+		b.y[i] += o.y[i]
+	}
+	return nil
+}
+
+// Recover runs OMP for k+1 iterations on the augmented dictionary and
+// returns the reconstructed vector x̃ (biased k-sparse model: a
+// constant β plus at most k outliers).
+func (b *BOMP) Recover(k int) ([]float64, error) {
+	iters := k + 1
+	if iters > b.t {
+		return nil, fmt.Errorf("bomp: k+1 = %d exceeds sketch rows %d", iters, b.t)
+	}
+	type column struct {
+		idx  int // -1 for the bias column
+		data []float64
+	}
+	residual := append([]float64(nil), b.y...)
+	chosen := make([]column, 0, iters)
+	used := map[int]bool{}
+	colBuf := make([]float64, b.t)
+
+	for it := 0; it < iters; it++ {
+		// Greedy: column with the largest |⟨residual, column⟩|.
+		bestIdx, bestScore := -2, -1.0
+		if !used[-1] {
+			if s := math.Abs(linalg.Dot(residual, b.ones)); s > bestScore {
+				bestScore, bestIdx = s, -1
+			}
+		}
+		for j := 0; j < b.n; j++ {
+			if used[j] {
+				continue
+			}
+			b.phi.Col(j, colBuf)
+			if s := math.Abs(linalg.Dot(residual, colBuf)); s > bestScore {
+				bestScore, bestIdx = s, j
+			}
+		}
+		if bestIdx == -2 {
+			break
+		}
+		used[bestIdx] = true
+		var data []float64
+		if bestIdx == -1 {
+			data = b.ones
+		} else {
+			data = b.phi.Col(bestIdx, nil)
+		}
+		chosen = append(chosen, column{idx: bestIdx, data: data})
+
+		// Re-fit all chosen columns (the "orthogonal" in OMP) and
+		// recompute the residual.
+		a := linalg.NewMatrix(b.t, len(chosen))
+		for c, col := range chosen {
+			for row := 0; row < b.t; row++ {
+				a.Set(row, c, col.data[row])
+			}
+		}
+		coef, err := linalg.LeastSquares(a, b.y)
+		if err != nil {
+			return nil, fmt.Errorf("bomp: iteration %d: %w", it, err)
+		}
+		fit := a.MulVec(coef)
+		for row := 0; row < b.t; row++ {
+			residual[row] = b.y[row] - fit[row]
+		}
+		if it == iters-1 {
+			// Assemble x̃ from the final coefficients.
+			x := make([]float64, b.n)
+			for c, col := range chosen {
+				if col.idx == -1 {
+					beta := coef[c] / math.Sqrt(float64(b.n))
+					for j := range x {
+						x[j] += beta
+					}
+				} else {
+					x[col.idx] += coef[c]
+				}
+			}
+			return x, nil
+		}
+	}
+	return nil, fmt.Errorf("bomp: recovery did not complete")
+}

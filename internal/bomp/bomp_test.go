@@ -1,0 +1,155 @@
+package bomp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/vecmath"
+)
+
+// The model BOMP targets ([31]): x = β·1 + at most k outliers.
+func biasedSparse(n int, beta float64, outliers map[int]float64) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = beta
+	}
+	for i, v := range outliers {
+		x[i] += v
+	}
+	return x
+}
+
+func TestNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(0, 10, rand.New(rand.NewSource(1)))
+}
+
+func TestUpdateOutOfRangePanics(t *testing.T) {
+	b := New(10, 5, rand.New(rand.NewSource(1)))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	b.Update(10, 1)
+}
+
+func TestRecoverBiasedSparse(t *testing.T) {
+	const n, tRows, k = 400, 120, 3
+	r := rand.New(rand.NewSource(2))
+	b := New(n, tRows, r)
+	outliers := map[int]float64{17: 900, 230: -500, 399: 1200}
+	x := biasedSparse(n, 100, outliers)
+	for i, v := range x {
+		b.Update(i, v)
+	}
+	xt, err := b.Recover(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := vecmath.MaxAbsErr(x, xt); got > 1 {
+		t.Errorf("max recovery error %f, want < 1 on exactly-biased-sparse input", got)
+	}
+}
+
+func TestRecoverPureBias(t *testing.T) {
+	const n, tRows = 300, 60
+	b := New(n, tRows, rand.New(rand.NewSource(3)))
+	x := biasedSparse(n, 42, nil)
+	for i, v := range x {
+		b.Update(i, v)
+	}
+	xt, err := b.Recover(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := vecmath.MaxAbsErr(x, xt); got > 1 {
+		t.Errorf("max error %f on pure-bias input", got)
+	}
+}
+
+func TestRecoverTooManyIterations(t *testing.T) {
+	b := New(50, 4, rand.New(rand.NewSource(4)))
+	if _, err := b.Recover(10); err == nil {
+		t.Error("k+1 > t should fail")
+	}
+}
+
+func TestLinearity(t *testing.T) {
+	const n, tRows = 200, 50
+	mk := func() *BOMP { return New(n, tRows, rand.New(rand.NewSource(5))) }
+	whole, left, right := mk(), mk(), mk()
+	r := rand.New(rand.NewSource(6))
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64() * 10
+		whole.Update(i, v)
+		if i%2 == 0 {
+			left.Update(i, v)
+		} else {
+			right.Update(i, v)
+		}
+	}
+	if err := left.MergeFrom(right); err != nil {
+		t.Fatal(err)
+	}
+	for row := range whole.y {
+		if math.Abs(whole.y[row]-left.y[row]) > 1e-9 {
+			t.Fatalf("sketch row %d: whole %f merged %f", row, whole.y[row], left.y[row])
+		}
+	}
+	other := New(n, tRows+1, rand.New(rand.NewSource(5)))
+	if err := whole.MergeFrom(other); err == nil {
+		t.Error("shape mismatch should fail")
+	}
+}
+
+func TestWordsAndDim(t *testing.T) {
+	b := New(128, 40, rand.New(rand.NewSource(7)))
+	if b.Dim() != 128 || b.Words() != 40 {
+		t.Errorf("Dim=%d Words=%d", b.Dim(), b.Words())
+	}
+}
+
+// BOMP degrades when the data is biased-noisy rather than exactly
+// biased-sparse (§2's criticism: no solid analysis beyond the sparse
+// model). The bias-aware sketches handle this case; BOMP's recovery
+// error should be clearly nonzero here.
+func TestRecoverNoisyBiasDegrades(t *testing.T) {
+	const n, tRows, k = 300, 90, 3
+	r := rand.New(rand.NewSource(8))
+	b := New(n, tRows, r)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 100 + r.NormFloat64()*15
+	}
+	for i, v := range x {
+		b.Update(i, v)
+	}
+	xt, err := b.Recover(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := vecmath.AvgAbsErr(x, xt); got < 1 {
+		t.Logf("surprisingly good noisy recovery: %f", got)
+	}
+}
+
+func BenchmarkRecover(b *testing.B) {
+	const n, tRows, k = 400, 100, 3
+	bp := New(n, tRows, rand.New(rand.NewSource(9)))
+	x := biasedSparse(n, 100, map[int]float64{7: 500, 99: -300, 250: 800})
+	for i, v := range x {
+		bp.Update(i, v)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bp.Recover(k); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

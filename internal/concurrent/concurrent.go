@@ -1,0 +1,112 @@
+// Package concurrent makes any linear sketch safe for multi-goroutine
+// ingestion by sharding: P writers each own a private replica built
+// with the same configuration and seeds, so updates are contention
+// free; linearity (the same property that powers the distributed model
+// of §1) means the replicas simply sum, and a reader merges them into
+// a consistent snapshot on demand.
+//
+// This is the idiomatic way to parallelize sketch ingestion — a single
+// mutex serializes the hot path, while striped locks break the
+// sketch's cross-bucket invariants (the bias-aware sketches update a
+// bucket row *and* an estimator per call, which must stay atomic
+// relative to each other for mid-stream queries).
+package concurrent
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Mergeable is the sketch surface sharding needs: streaming updates,
+// point queries, and linear merge. core.L1SR and core.L2SR satisfy it
+// via small adapters (see MergeFunc), as do the linear baselines.
+type Mergeable interface {
+	Update(i int, delta float64)
+	Query(i int) float64
+	Dim() int
+	Words() int
+}
+
+// Sharded is a set of P replicas of one sketch plus a merge rule.
+type Sharded[S Mergeable] struct {
+	shards []shard[S]
+	mk     func() S
+	merge  func(dst, src S) error
+}
+
+type shard[S Mergeable] struct {
+	mu sync.Mutex
+	sk S
+	_  [40]byte // pad to keep shard locks off one cache line
+}
+
+// New creates a sharded sketch with p shards. mk must build replicas
+// with identical configuration and seeds (so they merge); merge adds
+// src into dst.
+func New[S Mergeable](p int, mk func() S, merge func(dst, src S) error) *Sharded[S] {
+	if p <= 0 {
+		panic(fmt.Sprintf("concurrent: shard count %d must be positive", p))
+	}
+	s := &Sharded[S]{
+		shards: make([]shard[S], p),
+		mk:     mk,
+		merge:  merge,
+	}
+	for i := range s.shards {
+		s.shards[i].sk = mk()
+	}
+	return s
+}
+
+// Update applies x[i] += delta on the shard owning the caller's slot.
+// slot is any caller-chosen integer (e.g. a worker id); updates with
+// the same slot serialize, different slots proceed in parallel.
+func (s *Sharded[S]) Update(slot, i int, delta float64) {
+	sh := &s.shards[uint(slot)%uint(len(s.shards))]
+	sh.mu.Lock()
+	sh.sk.Update(i, delta)
+	sh.mu.Unlock()
+}
+
+// Snapshot merges all shards into a fresh sketch that the caller owns
+// exclusively. The merge locks shards one at a time, so concurrent
+// writers stall only briefly; the snapshot is a consistent sum of some
+// interleaving of the updates (exactly the semantics of the
+// distributed model).
+func (s *Sharded[S]) Snapshot() (S, error) {
+	out := s.mk()
+	for idx := range s.shards {
+		sh := &s.shards[idx]
+		sh.mu.Lock()
+		err := s.merge(out, sh.sk)
+		sh.mu.Unlock()
+		if err != nil {
+			var zero S
+			return zero, fmt.Errorf("concurrent: merging shard %d: %w", idx, err)
+		}
+	}
+	return out, nil
+}
+
+// Query answers a point query against a merged snapshot. For query
+// bursts, take one Snapshot and query it directly instead.
+func (s *Sharded[S]) Query(i int) (float64, error) {
+	snap, err := s.Snapshot()
+	if err != nil {
+		return 0, err
+	}
+	return snap.Query(i), nil
+}
+
+// Shards returns the shard count.
+func (s *Sharded[S]) Shards() int { return len(s.shards) }
+
+// Words returns the total memory across shards (P× the single-sketch
+// cost — the price of contention-free writes).
+func (s *Sharded[S]) Words() int {
+	var w int
+	for idx := range s.shards {
+		w += s.shards[idx].sk.Words()
+	}
+	return w
+}

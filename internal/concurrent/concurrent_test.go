@@ -1,0 +1,205 @@
+package concurrent
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sketch"
+)
+
+func mkL2(seed int64) func() *core.L2SR {
+	return func() *core.L2SR {
+		return core.NewL2SR(core.L2Config{N: 10000, K: 64, UseBiasHeap: true},
+			rand.New(rand.NewSource(seed)))
+	}
+}
+
+func mergeL2(dst, src *core.L2SR) error { return dst.MergeFrom(src) }
+
+func TestNewPanicsOnBadShards(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(0, mkL2(1), mergeL2)
+}
+
+func TestSequentialMatchesPlain(t *testing.T) {
+	sh := New(4, mkL2(2), mergeL2)
+	plain := mkL2(2)()
+	r := rand.New(rand.NewSource(3))
+	for u := 0; u < 20000; u++ {
+		i, d := r.Intn(10000), float64(r.Intn(7))
+		sh.Update(u, i, d)
+		plain.Update(i, d)
+	}
+	snap, err := sh.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i += 111 {
+		if a, b := plain.Query(i), snap.Query(i); math.Abs(a-b) > 1e-9 {
+			t.Fatalf("query %d: plain %f sharded %f", i, a, b)
+		}
+	}
+	if math.Abs(plain.Bias()-snap.Bias()) > 1e-9 {
+		t.Fatalf("bias mismatch: %f vs %f", plain.Bias(), snap.Bias())
+	}
+}
+
+// Concurrent writers from many goroutines; final snapshot must equal
+// the deterministic total regardless of interleaving. Run with -race.
+func TestConcurrentWritersExactTotal(t *testing.T) {
+	const workers, perWorker, n = 8, 5000, 10000
+	sh := New(workers, mkL2(4), mergeL2)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(100 + w)))
+			for u := 0; u < perWorker; u++ {
+				sh.Update(w, r.Intn(n), 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Replay the same updates sequentially for the reference.
+	ref := mkL2(4)()
+	for w := 0; w < workers; w++ {
+		r := rand.New(rand.NewSource(int64(100 + w)))
+		for u := 0; u < perWorker; u++ {
+			ref.Update(r.Intn(n), 1)
+		}
+	}
+	snap, err := sh.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i += 97 {
+		if a, b := ref.Query(i), snap.Query(i); math.Abs(a-b) > 1e-9 {
+			t.Fatalf("query %d: ref %f sharded %f", i, a, b)
+		}
+	}
+}
+
+// Snapshots taken while writers are running must be internally
+// consistent (no panics, no torn reads) — exercised under -race.
+func TestSnapshotDuringWrites(t *testing.T) {
+	const n = 10000
+	sh := New(4, mkL2(5), mergeL2)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(w)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					sh.Update(w, r.Intn(n), 1)
+				}
+			}
+		}(w)
+	}
+	for q := 0; q < 50; q++ {
+		if _, err := sh.Query(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestQueryAndAccessors(t *testing.T) {
+	sh := New(3, mkL2(6), mergeL2)
+	sh.Update(0, 42, 10)
+	got, err := sh.Query(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-10) > 5 {
+		t.Errorf("Query(42) = %f, want ≈10", got)
+	}
+	if sh.Shards() != 3 {
+		t.Errorf("Shards = %d", sh.Shards())
+	}
+	single := mkL2(6)().Words()
+	if sh.Words() != 3*single {
+		t.Errorf("Words = %d, want %d", sh.Words(), 3*single)
+	}
+}
+
+// Sharding also works for the plain linear baselines.
+func TestShardedCountSketch(t *testing.T) {
+	cfg := sketch.Config{N: 5000, Rows: 128, Depth: 7}
+	mk := func() *sketch.CountSketch {
+		return sketch.NewCountSketch(cfg, rand.New(rand.NewSource(7)))
+	}
+	sh := New(2, mk, func(d, s *sketch.CountSketch) error { return d.MergeFrom(s) })
+	plain := mk()
+	r := rand.New(rand.NewSource(8))
+	for u := 0; u < 10000; u++ {
+		i, d := r.Intn(cfg.N), float64(r.Intn(5)-1)
+		sh.Update(u, i, d)
+		plain.Update(i, d)
+	}
+	snap, err := sh.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cfg.N; i += 53 {
+		if a, b := plain.Query(i), snap.Query(i); math.Abs(a-b) > 1e-9 {
+			t.Fatalf("query %d mismatch", i)
+		}
+	}
+}
+
+// A bad factory (mismatched seeds) must surface as a merge error, not
+// silent corruption.
+func TestMergeErrorSurfaces(t *testing.T) {
+	seed := int64(0)
+	mk := func() *core.L2SR {
+		seed++
+		return core.NewL2SR(core.L2Config{N: 100, K: 4}, rand.New(rand.NewSource(seed)))
+	}
+	sh := New(2, mk, mergeL2)
+	sh.Update(0, 1, 1)
+	if _, err := sh.Snapshot(); err == nil {
+		t.Error("mismatched shard seeds should fail to merge")
+	}
+}
+
+func BenchmarkShardedUpdateParallel(b *testing.B) {
+	sh := New(8, mkL2(9), mergeL2)
+	b.RunParallel(func(pb *testing.PB) {
+		r := rand.New(rand.NewSource(10))
+		slot := r.Int()
+		i := 0
+		for pb.Next() {
+			sh.Update(slot, i%10000, 1)
+			i++
+		}
+	})
+}
+
+func BenchmarkSnapshot(b *testing.B) {
+	sh := New(8, mkL2(11), mergeL2)
+	for u := 0; u < 100000; u++ {
+		sh.Update(u, u%10000, 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sh.Snapshot(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

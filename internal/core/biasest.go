@@ -1,0 +1,369 @@
+// Package core implements the paper's contribution: the bias-aware
+// sketching and recovery schemes ℓ1-S/R (Algorithms 1–2, Theorem 3)
+// and ℓ2-S/R (Algorithms 3–4, Theorem 4), their streaming
+// implementations (§4.4, Algorithms 5–6), and the mean-heuristic
+// variants ℓ1-mean and ℓ2-mean used as comparison points in §5.4.
+//
+// Both schemes factor into (a) a classical linear sketch of the input
+// vector and (b) a bias estimator that watches the same update stream;
+// recovery de-biases the sketch by the estimate β̂ before the usual
+// Count-Median/Count-Sketch reconstruction and adds β̂ back at the end.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/biasheap"
+	"repro/internal/hashing"
+	"repro/internal/ost"
+)
+
+// Estimator maintains a running estimate of the bias β of the input
+// vector under streaming updates.
+type Estimator interface {
+	// Observe is called for every stream update x[i] += delta.
+	Observe(i int, delta float64)
+	// Bias returns the current estimate β̂.
+	Bias() float64
+	// Words returns the extra sketch size in 64-bit words.
+	Words() int
+	// Merge adds another estimator's state (for the distributed
+	// model); it fails unless the other estimator has the same type
+	// and randomness.
+	Merge(other Estimator) error
+	// State returns the estimator's data-dependent state as a flat
+	// float64 slice (hash functions and sampled positions are shared
+	// randomness, not state). SetState restores it; the two round-trip.
+	State() []float64
+	// SetState restores state captured by State; it fails if the
+	// length does not match this estimator's shape.
+	SetState(v []float64) error
+}
+
+// ErrIncompatibleEstimator is returned by Merge on type/seed mismatch.
+var ErrIncompatibleEstimator = errors.New("core: incompatible estimators")
+
+// EstimatorKind selects the bias estimator of a bias-aware sketch.
+type EstimatorKind int
+
+const (
+	// EstimatorDefault picks the paper's estimator for the scheme:
+	// sampled median for ℓ1-S/R, median buckets for ℓ2-S/R.
+	EstimatorDefault EstimatorKind = iota
+	// EstimatorSampledMedian is the ℓ1-S/R estimator (§4.2): the
+	// median of Θ(log n) coordinates sampled with replacement.
+	EstimatorSampledMedian
+	// EstimatorMedianBucket is the ℓ2-S/R estimator (§4.3): average
+	// of the coordinates hashed into the middle 2k buckets of a
+	// CM-matrix row, in bucket-average order.
+	EstimatorMedianBucket
+	// EstimatorMean is the §5.4 heuristic: the plain mean of all
+	// coordinates. No theoretical guarantee (§4.1), often fine in
+	// practice on outlier-free data.
+	EstimatorMean
+)
+
+// String returns the estimator name as used in the paper.
+func (k EstimatorKind) String() string {
+	switch k {
+	case EstimatorDefault:
+		return "default"
+	case EstimatorSampledMedian:
+		return "sampled-median"
+	case EstimatorMedianBucket:
+		return "median-bucket"
+	case EstimatorMean:
+		return "mean"
+	default:
+		return fmt.Sprintf("EstimatorKind(%d)", int(k))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Mean estimator (§4.1 / §5.4)
+
+// meanEstimator tracks the running mean of the vector: total mass over
+// dimension. It is trivially linear.
+type meanEstimator struct {
+	sum float64
+	n   float64
+}
+
+func newMeanEstimator(n int) *meanEstimator {
+	return &meanEstimator{n: float64(n)}
+}
+
+func (m *meanEstimator) Observe(_ int, delta float64) { m.sum += delta }
+
+func (m *meanEstimator) Bias() float64 {
+	if m.n == 0 {
+		return 0
+	}
+	return m.sum / m.n
+}
+
+func (m *meanEstimator) Words() int { return 1 }
+
+func (m *meanEstimator) Merge(other Estimator) error {
+	o, ok := other.(*meanEstimator)
+	if !ok || o.n != m.n {
+		return ErrIncompatibleEstimator
+	}
+	m.sum += o.sum
+	return nil
+}
+
+func (m *meanEstimator) State() []float64 { return []float64{m.sum} }
+
+func (m *meanEstimator) SetState(v []float64) error {
+	if len(v) != 1 {
+		return fmt.Errorf("core: mean estimator state length %d, want 1", len(v))
+	}
+	m.sum = v[0]
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Sampled-median estimator (ℓ1-S/R, Algorithm 1 line 1 + Algorithm 2
+// line 1, maintained in a balanced BST per §4.4)
+
+// sampleMedianEstimator realizes the sampling matrix Υ of Definition 3:
+// t rows each pick one uniformly random coordinate (with replacement);
+// the bias estimate is the median of the sampled values. An
+// order-statistic tree keeps the values sorted so streaming updates
+// cost O(log t) and the median O(log t).
+type sampleMedianEstimator struct {
+	slots    []int         // sampled coordinate per sample slot
+	vals     []float64     // current value of each slot
+	bySource map[int][]int // coordinate -> slots sampling it
+	tree     *ost.Tree
+}
+
+func newSampleMedianEstimator(n, t int, r *rand.Rand) *sampleMedianEstimator {
+	if t <= 0 {
+		panic("core: sample count must be positive")
+	}
+	e := &sampleMedianEstimator{
+		slots:    make([]int, t),
+		vals:     make([]float64, t),
+		bySource: make(map[int][]int),
+		tree:     ost.New(r.Int63()),
+	}
+	for s := 0; s < t; s++ {
+		i := r.Intn(n)
+		e.slots[s] = i
+		e.bySource[i] = append(e.bySource[i], s)
+		e.tree.Insert(0)
+	}
+	return e
+}
+
+func (e *sampleMedianEstimator) Observe(i int, delta float64) {
+	for _, s := range e.bySource[i] {
+		e.tree.Delete(e.vals[s])
+		e.vals[s] += delta
+		e.tree.Insert(e.vals[s])
+	}
+}
+
+func (e *sampleMedianEstimator) Bias() float64 { return e.tree.Median() }
+
+func (e *sampleMedianEstimator) Words() int { return len(e.slots) }
+
+func (e *sampleMedianEstimator) Merge(other Estimator) error {
+	o, ok := other.(*sampleMedianEstimator)
+	if !ok || len(o.slots) != len(e.slots) {
+		return ErrIncompatibleEstimator
+	}
+	for s := range e.slots {
+		if e.slots[s] != o.slots[s] {
+			return ErrIncompatibleEstimator
+		}
+	}
+	// Sampled values are coordinates of x, hence linear: add and
+	// rebuild the order statistics.
+	for s := range e.vals {
+		e.tree.Delete(e.vals[s])
+		e.vals[s] += o.vals[s]
+		e.tree.Insert(e.vals[s])
+	}
+	return nil
+}
+
+func (e *sampleMedianEstimator) State() []float64 {
+	return append([]float64(nil), e.vals...)
+}
+
+func (e *sampleMedianEstimator) SetState(v []float64) error {
+	if len(v) != len(e.vals) {
+		return fmt.Errorf("core: sample state length %d, want %d", len(v), len(e.vals))
+	}
+	for s := range e.vals {
+		e.tree.Delete(e.vals[s])
+		e.vals[s] = v[s]
+		e.tree.Insert(e.vals[s])
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Median-bucket estimator (ℓ2-S/R, Algorithm 3 line 1 + Algorithm 4
+// lines 1–2; streaming variant via the Bias-Heap of Algorithm 5)
+
+// medianBucketEstimator maintains w = Π(g)x for a single CM row of s
+// buckets plus the column counts π, and estimates the bias as the
+// average coordinate value inside the middle 2k buckets when buckets
+// are ordered by w_i/π_i. With useHeap it maintains the order
+// incrementally (Algorithm 5); otherwise it sorts lazily at query
+// time (Algorithm 4), caching until the next update.
+type medianBucketEstimator struct {
+	g  hashing.Pairwise
+	w  []float64
+	pi []float64
+	k  int
+
+	useHeap bool
+	heap    *biasheap.Heap
+
+	dirty  bool
+	cached float64
+}
+
+func newMedianBucketEstimator(n, s, k int, useHeap bool, r *rand.Rand) *medianBucketEstimator {
+	if s < 2*k {
+		panic(fmt.Sprintf("core: bucket count s=%d must be at least 2k=%d", s, 2*k))
+	}
+	e := &medianBucketEstimator{
+		g:       hashing.NewPairwise(r, s),
+		w:       make([]float64, s),
+		pi:      make([]float64, s),
+		k:       k,
+		useHeap: useHeap,
+		dirty:   true,
+	}
+	for j := 0; j < n; j++ {
+		e.pi[e.g.Hash(uint64(j))]++
+	}
+	if useHeap {
+		e.heap = biasheap.New(e.pi, 2*k)
+	}
+	return e
+}
+
+func (e *medianBucketEstimator) Observe(i int, delta float64) {
+	b := e.g.Hash(uint64(i))
+	e.w[b] += delta
+	if e.useHeap {
+		e.heap.Update(b, delta)
+	} else {
+		e.dirty = true
+	}
+}
+
+func (e *medianBucketEstimator) Bias() float64 {
+	if e.useHeap {
+		return e.heap.Bias()
+	}
+	if e.dirty {
+		e.cached = e.sortBias()
+		e.dirty = false
+	}
+	return e.cached
+}
+
+// sortBias implements Algorithm 4 line 2 directly: order buckets by
+// w_i/π_i (ties by id, matching the Bias-Heap's total order), exclude
+// the top and bottom (s−2k)/2, and average the rest.
+func (e *medianBucketEstimator) sortBias() float64 {
+	s := len(e.w)
+	ids := make([]int, s)
+	for i := range ids {
+		ids[i] = i
+	}
+	key := func(i int) float64 {
+		if e.pi[i] == 0 {
+			return 0
+		}
+		return e.w[i] / e.pi[i]
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		ka, kb := key(ids[a]), key(ids[b])
+		if ka != kb {
+			return ka < kb
+		}
+		return ids[a] < ids[b]
+	})
+	mid := 2 * e.k
+	topSize := (s - mid) / 2
+	botSize := (s - mid) - topSize
+	var wSum, piSum float64
+	for _, id := range ids[botSize : s-topSize] {
+		wSum += e.w[id]
+		piSum += e.pi[id]
+	}
+	if piSum > 0 {
+		return wSum / piSum
+	}
+	// Degenerate middle: fall back to the global average.
+	var wTot, piTot float64
+	for i := range e.w {
+		wTot += e.w[i]
+		piTot += e.pi[i]
+	}
+	if piTot > 0 {
+		return wTot / piTot
+	}
+	return 0
+}
+
+func (e *medianBucketEstimator) Words() int { return len(e.w) }
+
+func (e *medianBucketEstimator) State() []float64 {
+	return append([]float64(nil), e.w...)
+}
+
+func (e *medianBucketEstimator) SetState(v []float64) error {
+	if len(v) != len(e.w) {
+		return fmt.Errorf("core: bucket state length %d, want %d", len(v), len(e.w))
+	}
+	for b := range e.w {
+		if e.useHeap && v[b] != e.w[b] {
+			e.heap.Update(b, v[b]-e.w[b])
+		}
+		e.w[b] = v[b]
+	}
+	e.dirty = true
+	return nil
+}
+
+func (e *medianBucketEstimator) Merge(other Estimator) error {
+	o, ok := other.(*medianBucketEstimator)
+	if !ok || o.g != e.g || o.k != e.k || len(o.w) != len(e.w) {
+		return ErrIncompatibleEstimator
+	}
+	for b := range e.w {
+		if o.w[b] == 0 {
+			continue
+		}
+		e.w[b] += o.w[b]
+		if e.useHeap {
+			e.heap.Update(b, o.w[b])
+		}
+	}
+	e.dirty = true
+	return nil
+}
+
+// defaultSampleCount is the paper's Θ(log n) sample size (Algorithm 1
+// uses 20·log n rows in the sampling matrix).
+func defaultSampleCount(n int) int {
+	t := int(20 * math.Ceil(math.Log2(float64(n)+1)))
+	if t < 1 {
+		t = 1
+	}
+	return t
+}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/sketch"
+)
+
+// L1Config parameterizes the ℓ1-S/R scheme (Algorithms 1–2).
+type L1Config struct {
+	N int // dimension of the input vector
+	K int // sparsity/accuracy trade-off parameter of Theorem 3
+
+	// Cs is the row-width constant c_s: each CM row has s = Cs·K
+	// buckets. The paper requires c_s >= 4; defaults to 4.
+	Cs int
+
+	// Depth is d, the number of CM rows (Θ(log n) in Theorem 3; the
+	// paper's experiments use 9). Defaults to 9.
+	Depth int
+
+	// SampleCount is the number of rows of the sampling matrix Υ.
+	// Algorithm 1 uses 20·log n; the paper's implementation uses s
+	// extra words instead for a more stable estimate (§5.1). Defaults
+	// to 20·⌈log₂ n⌉; set explicitly to mirror the paper's plots.
+	SampleCount int
+
+	// Estimator selects the bias estimator; EstimatorDefault and
+	// EstimatorSampledMedian give the paper's ℓ1-S/R, EstimatorMean
+	// gives the ℓ1-mean heuristic of §5.4.
+	Estimator EstimatorKind
+}
+
+func (c L1Config) withDefaults() L1Config {
+	if c.Cs == 0 {
+		c.Cs = 4
+	}
+	if c.Depth == 0 {
+		c.Depth = 9
+	}
+	if c.SampleCount == 0 {
+		c.SampleCount = defaultSampleCount(c.N)
+	}
+	if c.Estimator == EstimatorDefault {
+		c.Estimator = EstimatorSampledMedian
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c L1Config) Validate() error {
+	if c.N <= 0 {
+		return fmt.Errorf("core: N must be positive, got %d", c.N)
+	}
+	if c.K <= 0 {
+		return fmt.Errorf("core: K must be positive, got %d", c.K)
+	}
+	if c.Cs < 4 {
+		return fmt.Errorf("core: Cs must be at least 4 (paper requirement), got %d", c.Cs)
+	}
+	if c.Depth <= 0 {
+		return fmt.Errorf("core: Depth must be positive, got %d", c.Depth)
+	}
+	if c.SampleCount <= 0 {
+		return fmt.Errorf("core: SampleCount must be positive, got %d", c.SampleCount)
+	}
+	switch c.Estimator {
+	case EstimatorSampledMedian, EstimatorMean:
+		return nil
+	default:
+		return fmt.Errorf("core: ℓ1-S/R supports sampled-median or mean estimators, got %v", c.Estimator)
+	}
+}
+
+// L1SR is the bias-aware sketch with ℓ∞/ℓ1 guarantee (Theorem 3):
+//
+//	Pr[ ‖x̂−x‖∞ ≤ C1/k · min_β Err_1^k(x−β) ] ≥ 1 − C2/n.
+//
+// It combines d CM-matrix rows (a Count-Median sketch of x) with a
+// sampling matrix Υ whose sampled values feed a running median — the
+// bias estimate β̂. Recovery subtracts β̂·π from each row, runs the
+// Count-Median reconstruction, and adds β̂ back (Algorithm 2).
+//
+// The whole sketch is linear, so L1SR supports MergeFrom and works in
+// the distributed model unchanged. Updates keep the sampled values in
+// an order-statistic tree, so the structure is also the streaming
+// implementation of §4.4: point queries are answered in O(d + log t)
+// without any post-processing pass.
+type L1SR struct {
+	cfg L1Config
+	cm  *sketch.CountMedian
+	est Estimator
+	buf []float64
+}
+
+// NewL1SR creates an ℓ1-S/R sketch, drawing all randomness from r.
+func NewL1SR(cfg L1Config, r *rand.Rand) *L1SR {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	scfg := sketch.Config{N: cfg.N, Rows: cfg.Cs * cfg.K, Depth: cfg.Depth}
+	l := &L1SR{
+		cfg: cfg,
+		cm:  sketch.NewCountMedian(scfg, r),
+		buf: make([]float64, cfg.Depth),
+	}
+	switch cfg.Estimator {
+	case EstimatorSampledMedian:
+		l.est = newSampleMedianEstimator(cfg.N, cfg.SampleCount, r)
+	case EstimatorMean:
+		l.est = newMeanEstimator(cfg.N)
+	}
+	return l
+}
+
+// Update applies x[i] += delta to the CM rows and the sampled
+// coordinates (Algorithm 1 lines 2–3, streaming form).
+func (l *L1SR) Update(i int, delta float64) {
+	l.cm.Update(i, delta)
+	l.est.Observe(i, delta)
+}
+
+// Bias returns the current bias estimate β̂ (Algorithm 2 line 1).
+func (l *L1SR) Bias() float64 { return l.est.Bias() }
+
+// Query estimates x[i] by de-biased Count-Median recovery
+// (Algorithm 2 lines 2–5, restricted to coordinate i):
+//
+//	x̂_i = median_t( y_t[h_t(i)] − β̂·π_t[h_t(i)] ) + β̂.
+func (l *L1SR) Query(i int) float64 {
+	beta := l.est.Bias()
+	for t := 0; t < l.cfg.Depth; t++ {
+		b := l.cm.BucketIndex(t, i)
+		l.buf[t] = l.cm.Bucket(t, b) - beta*l.cm.ColumnCounts(t)[b]
+	}
+	return median(l.buf) + beta
+}
+
+// Dim returns n.
+func (l *L1SR) Dim() int { return l.cfg.N }
+
+// Words returns the sketch size in 64-bit words: the d·s counters plus
+// the sampled values. (π is hash-derived common knowledge, like the
+// hash seeds themselves.)
+func (l *L1SR) Words() int { return l.cm.Words() + l.est.Words() }
+
+// Config returns the (defaulted) configuration in use.
+func (l *L1SR) Config() L1Config { return l.cfg }
+
+// MergeFrom adds another L1SR built with the same configuration and
+// random seed, exploiting linearity of both the CM rows and the
+// sampled coordinates (the distributed model of §1).
+func (l *L1SR) MergeFrom(other *L1SR) error {
+	if other.cfg != l.cfg {
+		return sketch.ErrIncompatible
+	}
+	if err := l.cm.MergeFrom(other.cm); err != nil {
+		return err
+	}
+	return l.est.Merge(other.est)
+}
+
+// median returns the Table 1 median of buf, reordering it in place.
+func median(buf []float64) float64 {
+	n := len(buf)
+	if n == 0 {
+		return 0
+	}
+	for i := 1; i < n; i++ {
+		v := buf[i]
+		j := i - 1
+		for j >= 0 && buf[j] > v {
+			buf[j+1] = buf[j]
+			j--
+		}
+		buf[j+1] = v
+	}
+	if n%2 == 1 {
+		return buf[n/2]
+	}
+	return (buf[n/2-1] + buf[n/2]) / 2
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/sketch"
+)
+
+// L2Config parameterizes the ℓ2-S/R scheme (Algorithms 3–4).
+type L2Config struct {
+	N int // dimension of the input vector
+	K int // sparsity/accuracy trade-off parameter of Theorem 4
+
+	// Cs is the row-width constant c_s: rows have s = Cs·K buckets.
+	// The paper requires c_s >= 4; defaults to 4.
+	Cs int
+
+	// Depth is d, the number of CS rows (Θ(log n) in Theorem 4; the
+	// paper's experiments use 9). Defaults to 9.
+	Depth int
+
+	// Estimator selects the bias estimator; EstimatorDefault and
+	// EstimatorMedianBucket give the paper's ℓ2-S/R, EstimatorMean
+	// gives the ℓ2-mean heuristic of §5.4, and
+	// EstimatorSampledMedian is available for the ablation study.
+	Estimator EstimatorKind
+
+	// UseBiasHeap selects the streaming implementation of the
+	// median-bucket estimator (Algorithms 5–6, O(log s) maintenance
+	// per update, O(1) per bias query) instead of the sort-at-query
+	// recovery of Algorithm 4. Both produce identical estimates; see
+	// TestBiasHeapMatchesSort.
+	UseBiasHeap bool
+
+	// SampleCount is used only with EstimatorSampledMedian.
+	SampleCount int
+}
+
+func (c L2Config) withDefaults() L2Config {
+	if c.Cs == 0 {
+		c.Cs = 4
+	}
+	if c.Depth == 0 {
+		c.Depth = 9
+	}
+	if c.Estimator == EstimatorDefault {
+		c.Estimator = EstimatorMedianBucket
+	}
+	if c.SampleCount == 0 {
+		c.SampleCount = defaultSampleCount(c.N)
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c L2Config) Validate() error {
+	if c.N <= 0 {
+		return fmt.Errorf("core: N must be positive, got %d", c.N)
+	}
+	if c.K <= 0 {
+		return fmt.Errorf("core: K must be positive, got %d", c.K)
+	}
+	if c.Cs < 4 {
+		return fmt.Errorf("core: Cs must be at least 4 (paper requirement), got %d", c.Cs)
+	}
+	if c.Depth <= 0 {
+		return fmt.Errorf("core: Depth must be positive, got %d", c.Depth)
+	}
+	switch c.Estimator {
+	case EstimatorMedianBucket, EstimatorMean, EstimatorSampledMedian:
+		return nil
+	default:
+		return fmt.Errorf("core: unsupported ℓ2 estimator %v", c.Estimator)
+	}
+}
+
+// L2SR is the bias-aware sketch with ℓ∞/ℓ2 guarantee (Theorem 4):
+//
+//	Pr[ ‖x̂−x‖∞ ≤ C1/√k · min_β Err_2^k(x−β) ] ≥ 1 − C2/n.
+//
+// The sketch (Algorithm 3) is a CM-matrix row w = Π(g)x used only for
+// bias estimation, stacked on d CS-matrix rows (a Count-Sketch of x).
+// Recovery (Algorithm 4) sorts the CM buckets by average coordinate
+// value w_i/π_i, averages the middle 2k buckets to get β̂ — outliers
+// contaminate at most k of them, which Lemma 6 shows is harmless —
+// then de-biases the CS rows by β̂·ψ and runs the Count-Sketch
+// reconstruction, adding β̂ back.
+//
+// With UseBiasHeap the bucket ordering is maintained incrementally by
+// the Bias-Heap (Algorithms 5–6), making every point query O(d) after
+// O(log s) per update — the paper's real-time streaming mode.
+type L2SR struct {
+	cfg L2Config
+	cs  *sketch.CountSketch
+	est Estimator
+	buf []float64
+}
+
+// NewL2SR creates an ℓ2-S/R sketch, drawing all randomness from r.
+func NewL2SR(cfg L2Config, r *rand.Rand) *L2SR {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	scfg := sketch.Config{N: cfg.N, Rows: cfg.Cs * cfg.K, Depth: cfg.Depth}
+	l := &L2SR{
+		cfg: cfg,
+		cs:  sketch.NewCountSketch(scfg, r),
+		buf: make([]float64, cfg.Depth),
+	}
+	switch cfg.Estimator {
+	case EstimatorMedianBucket:
+		l.est = newMedianBucketEstimator(cfg.N, cfg.Cs*cfg.K, cfg.K, cfg.UseBiasHeap, r)
+	case EstimatorMean:
+		l.est = newMeanEstimator(cfg.N)
+	case EstimatorSampledMedian:
+		l.est = newSampleMedianEstimator(cfg.N, cfg.SampleCount, r)
+	}
+	return l
+}
+
+// Update applies x[i] += delta to the CS rows and the bias row
+// (Algorithm 6 lines 4–6).
+func (l *L2SR) Update(i int, delta float64) {
+	l.cs.Update(i, delta)
+	l.est.Observe(i, delta)
+}
+
+// Bias returns the current bias estimate β̂ (Algorithm 4 line 2 /
+// Algorithm 5 line 19).
+func (l *L2SR) Bias() float64 { return l.est.Bias() }
+
+// Query estimates x[i] by de-biased Count-Sketch recovery
+// (Algorithm 4 lines 3–6 / Algorithm 6 lines 7–10):
+//
+//	x̂_i = median_t( r_t(i)·(y_t[h_t(i)] − β̂·ψ_t[h_t(i)]) ) + β̂.
+func (l *L2SR) Query(i int) float64 {
+	beta := l.est.Bias()
+	for t := 0; t < l.cfg.Depth; t++ {
+		b := l.cs.BucketIndex(t, i)
+		l.buf[t] = l.cs.SignOf(t, i) * (l.cs.Bucket(t, b) - beta*l.cs.SignedColumnSums(t)[b])
+	}
+	return median(l.buf) + beta
+}
+
+// Dim returns n.
+func (l *L2SR) Dim() int { return l.cfg.N }
+
+// Words returns the sketch size in 64-bit words: d·s CS counters plus
+// the s-bucket bias row (ψ and π are hash-derived common knowledge).
+func (l *L2SR) Words() int { return l.cs.Words() + l.est.Words() }
+
+// Config returns the (defaulted) configuration in use.
+func (l *L2SR) Config() L2Config { return l.cfg }
+
+// MergeFrom adds another L2SR built with the same configuration and
+// random seed (the distributed model of §1). Both the CS rows and the
+// bias row are linear.
+func (l *L2SR) MergeFrom(other *L2SR) error {
+	if other.cfg != l.cfg {
+		return sketch.ErrIncompatible
+	}
+	if err := l.cs.MergeFrom(other.cs); err != nil {
+		return err
+	}
+	return l.est.Merge(other.est)
+}

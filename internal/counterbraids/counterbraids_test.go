@@ -1,0 +1,197 @@
+package counterbraids
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/vecmath"
+)
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{N: 0},
+		{N: 10, Layer1: -1, Layer2: 4, Layer1Bits: 8, D: 3},
+		{N: 10, Layer1: 16, Layer2: 4, Layer1Bits: 0, D: 3},
+		{N: 10, Layer1: 16, Layer2: 4, Layer1Bits: 63, D: 3},
+		{N: 10, Layer1: 16, Layer2: 4, Layer1Bits: 8, D: 1},
+		{N: 10, Layer1: 16, Layer2: 4, Layer1Bits: 8, D: 9},
+	}
+	for _, c := range bad {
+		if c.Validate() == nil {
+			t.Errorf("Validate(%+v) should fail", c)
+		}
+	}
+	good := Config{N: 10}.withDefaults()
+	if err := good.Validate(); err != nil {
+		t.Errorf("defaulted config invalid: %v", err)
+	}
+}
+
+func TestUpdatePanics(t *testing.T) {
+	b := New(Config{N: 10}, rand.New(rand.NewSource(1)))
+	for name, fn := range map[string]func(){
+		"out of range": func() { b.Update(10, 1) },
+		"negative":     func() { b.Update(0, -1) },
+		"fractional":   func() { b.Update(0, 1.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s should panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Below threshold the decoding must be EXACT — the defining property
+// of Counter Braids (and why the paper can't fault its accuracy, only
+// its cost and rigidity).
+func TestExactDecodeModerateLoad(t *testing.T) {
+	const n = 2000
+	r := rand.New(rand.NewSource(2))
+	// ~40 elephants → ≈120 overflowing layer-1 counters; layer 2 needs
+	// enough empty counters to prove the other ~2900 overflows zero.
+	b := New(Config{N: n, Layer2: 1600}, rand.New(rand.NewSource(3)))
+	x := make([]float64, n)
+	for i := range x {
+		// Mostly small flows with an elephant tail: a minority of
+		// layer-1 counters overflow the 12-bit default and exercise
+		// the braided layer 2.
+		x[i] = float64(r.Intn(1000))
+		if r.Intn(50) == 0 {
+			x[i] += float64(5000 + r.Intn(20000))
+		}
+		if x[i] > 0 {
+			b.Update(i, x[i])
+		}
+	}
+	got, err := b.Decode(64)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if e := vecmath.MaxAbsErr(x, got); e != 0 {
+		t.Fatalf("decode not exact: max err %f", e)
+	}
+}
+
+// Incremental streams (unit updates) must braid overflow correctly.
+func TestExactDecodeUnitStream(t *testing.T) {
+	const n = 500
+	r := rand.New(rand.NewSource(4))
+	// 4-bit layer-1 counters overflow constantly, so layer 2 carries
+	// nearly all the mass and must itself be above the min-sum
+	// threshold for ~all of layer 1 (dense unknowns): 1.6× Layer1.
+	b := New(Config{N: n, Layer1: 1000, Layer1Bits: 4, Layer2: 2500}, rand.New(rand.NewSource(5)))
+	x := make([]float64, n)
+	for step := 0; step < 30000; step++ {
+		i := r.Intn(n)
+		x[i]++
+		b.Update(i, 1)
+	}
+	got, err := b.Decode(64)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if e := vecmath.MaxAbsErr(x, got); e != 0 {
+		t.Fatalf("decode not exact: max err %f", e)
+	}
+}
+
+// Overloading the braid (far fewer counters than flows) must be
+// reported, not silently mis-decoded.
+func TestOverloadReported(t *testing.T) {
+	const n = 2000
+	r := rand.New(rand.NewSource(6))
+	b := New(Config{N: n, Layer1: n / 4, Layer2: n / 32}, rand.New(rand.NewSource(7)))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = float64(1 + r.Intn(100))
+		b.Update(i, x[i])
+	}
+	if got, err := b.Decode(32); err == nil {
+		// A lucky exact fixed point is acceptable; anything else is a
+		// silent mis-decode.
+		if e := vecmath.MaxAbsErr(x, got); e != 0 {
+			t.Fatalf("overloaded braid returned wrong answer (max err %f) without error", e)
+		}
+	}
+}
+
+// The bit budget must be far below exact 64-bit counters.
+func TestBitsBudget(t *testing.T) {
+	const n = 10000
+	b := New(Config{N: n}, rand.New(rand.NewSource(8)))
+	exact := 64 * n
+	if b.Bits() >= exact*2/3 {
+		t.Errorf("braid uses %d bits, want below 2/3 of exact %d", b.Bits(), exact)
+	}
+	if b.Dim() != n {
+		t.Errorf("Dim = %d", b.Dim())
+	}
+}
+
+// Zero traffic decodes to the zero vector.
+func TestDecodeEmpty(t *testing.T) {
+	b := New(Config{N: 100}, rand.New(rand.NewSource(9)))
+	got, err := b.Decode(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != 0 {
+			t.Fatalf("flow %d decoded to %f on empty braid", i, v)
+		}
+	}
+}
+
+// Sparse traffic (most flows zero) is the easiest regime; must be
+// exact even with a small braid.
+func TestSparseTrafficSmallBraid(t *testing.T) {
+	const n = 5000
+	r := rand.New(rand.NewSource(10))
+	// 100 elephants → ≈300 overflowing layer-1 counters; both layers
+	// need headroom above their min-sum thresholds.
+	b := New(Config{N: n, Layer1: 1000, Layer2: 700}, rand.New(rand.NewSource(11)))
+	x := make([]float64, n)
+	for j := 0; j < 100; j++ {
+		i := r.Intn(n)
+		x[i] = float64(1 + r.Intn(10000))
+	}
+	for i, v := range x {
+		if v > 0 {
+			b.Update(i, v)
+		}
+	}
+	got, err := b.Decode(64)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if e := vecmath.MaxAbsErr(x, got); e != 0 {
+		t.Fatalf("sparse decode not exact: max err %f", e)
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	const n = 5000
+	r := rand.New(rand.NewSource(12))
+	br := New(Config{N: n}, rand.New(rand.NewSource(13)))
+	for i := 0; i < n; i++ {
+		br.Update(i, float64(r.Intn(500)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := br.Decode(64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUpdate(b *testing.B) {
+	br := New(Config{N: 1 << 16}, rand.New(rand.NewSource(14)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		br.Update(i&(1<<16-1), 1)
+	}
+}

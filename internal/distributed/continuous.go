@@ -1,0 +1,110 @@
+package distributed
+
+import (
+	"fmt"
+
+	"repro/internal/sketch"
+	"repro/internal/stream"
+)
+
+// This file simulates the *continuous* distributed monitoring setting
+// (§1 combined with §5.5): sites ingest their local update streams in
+// real time and periodically ship their current sketch to the
+// coordinator, which — again by linearity — replaces each site's
+// contribution and answers queries over the up-to-date global vector.
+// Communication is counted per round, reproducing the paper's
+// observation that total communication is (#sites × sketch size) per
+// synchronization.
+
+// MonitorConfig shapes a continuous monitoring run.
+type MonitorConfig struct {
+	Sites     int // number of sites
+	SyncEvery int // updates per site between synchronizations
+}
+
+// Validate checks the configuration.
+func (c MonitorConfig) Validate() error {
+	if c.Sites <= 0 {
+		return fmt.Errorf("distributed: Sites must be positive, got %d", c.Sites)
+	}
+	if c.SyncEvery <= 0 {
+		return fmt.Errorf("distributed: SyncEvery must be positive, got %d", c.SyncEvery)
+	}
+	return nil
+}
+
+// MonitorStats accumulates the cost of a monitoring run.
+type MonitorStats struct {
+	Rounds         int
+	UpdatesApplied int
+	CommWords      int // total words shipped site→coordinator
+}
+
+// Monitor runs the simulation: streams[p] is site p's update sequence,
+// consumed round-robin in SyncEvery-sized batches; after each site's
+// batch the site ships its full sketch (Words() words) and the
+// coordinator rebuilds the global sketch from scratch by merging all
+// site sketches. onSync, if non-nil, is invoked with the coordinator's
+// merged sketch after every full round, so callers can track query
+// error over time.
+//
+// mk must build identically-seeded sketches; merge adds src into dst.
+func Monitor[S sketch.Sketch](
+	cfg MonitorConfig,
+	mk func() S,
+	merge func(dst, src S) error,
+	streams [][]stream.Update,
+	onSync func(round int, coordinator S),
+) (S, MonitorStats, error) {
+	var zero S
+	if err := cfg.Validate(); err != nil {
+		return zero, MonitorStats{}, err
+	}
+	if len(streams) != cfg.Sites {
+		return zero, MonitorStats{}, fmt.Errorf("distributed: %d streams for %d sites", len(streams), cfg.Sites)
+	}
+
+	sites := make([]S, cfg.Sites)
+	pos := make([]int, cfg.Sites)
+	for p := range sites {
+		sites[p] = mk()
+	}
+
+	var st MonitorStats
+	var coordinator S
+	for {
+		progressed := false
+		for p := 0; p < cfg.Sites; p++ {
+			end := pos[p] + cfg.SyncEvery
+			if end > len(streams[p]) {
+				end = len(streams[p])
+			}
+			for ; pos[p] < end; pos[p]++ {
+				u := streams[p][pos[p]]
+				sites[p].Update(u.I, u.Delta)
+				st.UpdatesApplied++
+				progressed = true
+			}
+		}
+		if !progressed {
+			break
+		}
+		// Synchronization: every site ships its sketch; the
+		// coordinator merges them fresh.
+		coordinator = mk()
+		for p := 0; p < cfg.Sites; p++ {
+			st.CommWords += sites[p].Words()
+			if err := merge(coordinator, sites[p]); err != nil {
+				return zero, st, fmt.Errorf("distributed: round %d site %d: %w", st.Rounds, p, err)
+			}
+		}
+		st.Rounds++
+		if onSync != nil {
+			onSync(st.Rounds, coordinator)
+		}
+	}
+	if st.Rounds == 0 {
+		coordinator = mk()
+	}
+	return coordinator, st, nil
+}

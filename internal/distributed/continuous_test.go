@@ -1,0 +1,191 @@
+package distributed
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/stream"
+)
+
+func TestMonitorConfigValidate(t *testing.T) {
+	if (MonitorConfig{Sites: 0, SyncEvery: 1}).Validate() == nil {
+		t.Error("zero sites should fail")
+	}
+	if (MonitorConfig{Sites: 1, SyncEvery: 0}).Validate() == nil {
+		t.Error("zero sync interval should fail")
+	}
+	if (MonitorConfig{Sites: 2, SyncEvery: 10}).Validate() != nil {
+		t.Error("valid config rejected")
+	}
+}
+
+func mkStreams(sites, perSite, n int, seed int64) ([][]stream.Update, []float64) {
+	r := rand.New(rand.NewSource(seed))
+	streams := make([][]stream.Update, sites)
+	global := make([]float64, n)
+	for p := range streams {
+		us := make([]stream.Update, perSite)
+		for u := range us {
+			us[u] = stream.Update{I: r.Intn(n), Delta: float64(1 + r.Intn(4))}
+			global[us[u].I] += us[u].Delta
+		}
+		streams[p] = us
+	}
+	return streams, global
+}
+
+func TestMonitorMatchesCentralized(t *testing.T) {
+	const n, sites, perSite = 4000, 4, 6000
+	streams, global := mkStreams(sites, perSite, n, 1)
+	cfg := core.L2Config{N: n, K: 32, UseBiasHeap: true}
+	mk := func() *core.L2SR { return core.NewL2SR(cfg, rand.New(rand.NewSource(2))) }
+	merge := func(d, s *core.L2SR) error { return d.MergeFrom(s) }
+
+	rounds := 0
+	final, st, err := Monitor(MonitorConfig{Sites: sites, SyncEvery: 1000},
+		mk, merge, streams, func(round int, _ *core.L2SR) { rounds = round })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.UpdatesApplied != sites*perSite {
+		t.Errorf("applied %d updates, want %d", st.UpdatesApplied, sites*perSite)
+	}
+	if rounds != st.Rounds || st.Rounds != 6 {
+		t.Errorf("rounds = %d (callback %d), want 6", st.Rounds, rounds)
+	}
+	if st.CommWords != st.Rounds*sites*mk().Words() {
+		t.Errorf("CommWords = %d, want %d", st.CommWords, st.Rounds*sites*mk().Words())
+	}
+
+	central := mk()
+	for i, v := range global {
+		if v != 0 {
+			central.Update(i, v)
+		}
+	}
+	for i := 0; i < n; i += 61 {
+		if a, b := central.Query(i), final.Query(i); math.Abs(a-b) > 1e-9 {
+			t.Fatalf("query %d: central %f monitored %f", i, a, b)
+		}
+	}
+}
+
+// Mid-run coordinator states must track the global prefix: error
+// against the running exact vector should stay bounded at every round.
+func TestMonitorIntermediateRounds(t *testing.T) {
+	const n, sites, perSite = 2000, 3, 3000
+	streams, _ := mkStreams(sites, perSite, n, 3)
+	cfg := core.L2Config{N: n, K: 64, UseBiasHeap: true}
+	mk := func() *core.L2SR { return core.NewL2SR(cfg, rand.New(rand.NewSource(4))) }
+
+	// Track the exact prefix as rounds complete.
+	exactAt := func(round int) []float64 {
+		x := make([]float64, n)
+		for p := 0; p < sites; p++ {
+			upTo := round * 1000
+			if upTo > len(streams[p]) {
+				upTo = len(streams[p])
+			}
+			for _, u := range streams[p][:upTo] {
+				x[u.I] += u.Delta
+			}
+		}
+		return x
+	}
+
+	_, _, err := Monitor(MonitorConfig{Sites: sites, SyncEvery: 1000},
+		mk, func(d, s *core.L2SR) error { return d.MergeFrom(s) }, streams,
+		func(round int, coord *core.L2SR) {
+			x := exactAt(round)
+			var worst float64
+			for i := 0; i < n; i += 37 {
+				if e := math.Abs(coord.Query(i) - x[i]); e > worst {
+					worst = e
+				}
+			}
+			// Bucket noise at k=64, s=256: sqrt(2000/256)·σ ≈ small;
+			// generous cap to keep the test robust.
+			if worst > 50 {
+				t.Errorf("round %d: worst tracked error %f", round, worst)
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMonitorErrors(t *testing.T) {
+	cfg := core.L2Config{N: 100, K: 4}
+	mk := func() *core.L2SR { return core.NewL2SR(cfg, rand.New(rand.NewSource(5))) }
+	merge := func(d, s *core.L2SR) error { return d.MergeFrom(s) }
+	if _, _, err := Monitor(MonitorConfig{Sites: 0, SyncEvery: 1}, mk, merge, nil, nil); err == nil {
+		t.Error("bad config should fail")
+	}
+	if _, _, err := Monitor(MonitorConfig{Sites: 2, SyncEvery: 1}, mk, merge,
+		make([][]stream.Update, 3), nil); err == nil {
+		t.Error("stream/site mismatch should fail")
+	}
+	// Incompatible site sketches (factory with changing seeds).
+	seed := int64(0)
+	badMk := func() *core.L2SR {
+		seed++
+		return core.NewL2SR(cfg, rand.New(rand.NewSource(seed)))
+	}
+	streams := [][]stream.Update{{{I: 1, Delta: 1}}, {{I: 2, Delta: 1}}}
+	if _, _, err := Monitor(MonitorConfig{Sites: 2, SyncEvery: 1}, badMk, merge, streams, nil); err == nil {
+		t.Error("incompatible sites should fail")
+	}
+}
+
+func TestMonitorEmptyStreams(t *testing.T) {
+	cfg := core.L2Config{N: 100, K: 4}
+	mk := func() *core.L2SR { return core.NewL2SR(cfg, rand.New(rand.NewSource(6))) }
+	final, st, err := Monitor(MonitorConfig{Sites: 2, SyncEvery: 10}, mk,
+		func(d, s *core.L2SR) error { return d.MergeFrom(s) },
+		[][]stream.Update{{}, {}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rounds != 0 || st.UpdatesApplied != 0 {
+		t.Errorf("empty run stats %+v", st)
+	}
+	if final.Query(0) != 0 {
+		t.Error("empty coordinator should answer 0")
+	}
+}
+
+func TestMonitorUnevenStreams(t *testing.T) {
+	// One site has far more data; rounds continue until all drained.
+	const n = 500
+	cfg := core.L2Config{N: n, K: 8}
+	mk := func() *core.L2SR { return core.NewL2SR(cfg, rand.New(rand.NewSource(7))) }
+	streams := [][]stream.Update{
+		make([]stream.Update, 2500),
+		make([]stream.Update, 100),
+	}
+	for p := range streams {
+		for u := range streams[p] {
+			streams[p][u] = stream.Update{I: (p*7 + u) % n, Delta: 1}
+		}
+	}
+	final, st, err := Monitor(MonitorConfig{Sites: 2, SyncEvery: 1000}, mk,
+		func(d, s *core.L2SR) error { return d.MergeFrom(s) }, streams, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.UpdatesApplied != 2600 {
+		t.Errorf("applied %d, want 2600", st.UpdatesApplied)
+	}
+	if st.Rounds != 3 {
+		t.Errorf("rounds = %d, want 3", st.Rounds)
+	}
+	var total float64
+	for i := 0; i < n; i++ {
+		total += final.Query(i)
+	}
+	if math.Abs(total-2600) > 50 {
+		t.Errorf("total recovered mass %f, want ≈2600", total)
+	}
+}

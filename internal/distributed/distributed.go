@@ -1,0 +1,97 @@
+// Package distributed simulates the distributed computation model of
+// §1: t sites each hold a local frequency vector x^i; every site
+// sketches its vector with shared randomness and ships the sketch to a
+// coordinator, which sums them (linearity: Φx = Φx¹ + … + Φxᵗ) and
+// recovers the global vector. The simulation accounts communication in
+// words, matching §5.5's observation that total communication is
+// (number of sites) × (sketch size).
+package distributed
+
+import (
+	"fmt"
+
+	"repro/internal/sketch"
+)
+
+// Stats summarizes one distributed run.
+type Stats struct {
+	Sites             int
+	WordsPerSite      int
+	TotalCommWords    int // Sites × WordsPerSite
+	NaiveCommWords    int // Sites × n: the cost of shipping raw vectors
+	CompressionFactor float64
+}
+
+// Run simulates the model for any mergeable sketch type S. mk must
+// construct structurally identical sketches (same shape and random
+// seeds — the coordinator distributes hash functions up front, §5.5
+// footnote 4); merge adds src into dst; locals are the per-site
+// vectors. It returns the coordinator's merged sketch and the
+// communication accounting.
+func Run[S sketch.Sketch](
+	mk func() S,
+	merge func(dst, src S) error,
+	locals [][]float64,
+) (S, Stats, error) {
+	var zero S
+	if len(locals) == 0 {
+		return zero, Stats{}, fmt.Errorf("distributed: no sites")
+	}
+	n := len(locals[0])
+	for i, l := range locals {
+		if len(l) != n {
+			return zero, Stats{}, fmt.Errorf("distributed: site %d has dimension %d, want %d", i, len(l), n)
+		}
+	}
+
+	coordinator := mk()
+	if coordinator.Dim() != n {
+		return zero, Stats{}, fmt.Errorf("distributed: sketch dim %d != vector dim %d", coordinator.Dim(), n)
+	}
+	// Site 0's sketch becomes the accumulator; remaining sites are
+	// merged in one at a time.
+	sketch.SketchVector(coordinator, locals[0])
+	for _, local := range locals[1:] {
+		site := mk()
+		sketch.SketchVector(site, local)
+		if err := merge(coordinator, site); err != nil {
+			return zero, Stats{}, fmt.Errorf("distributed: merge: %w", err)
+		}
+	}
+
+	st := Stats{
+		Sites:          len(locals),
+		WordsPerSite:   coordinator.Words(),
+		TotalCommWords: len(locals) * coordinator.Words(),
+		NaiveCommWords: len(locals) * n,
+	}
+	if st.TotalCommWords > 0 {
+		st.CompressionFactor = float64(st.NaiveCommWords) / float64(st.TotalCommWords)
+	}
+	return coordinator, st, nil
+}
+
+// Split partitions a global vector into `sites` local vectors whose
+// sum is the original, deterministically spreading each coordinate's
+// mass. It is a convenience for experiments and examples.
+func Split(global []float64, sites int) [][]float64 {
+	if sites <= 0 {
+		panic("distributed: sites must be positive")
+	}
+	parts := make([][]float64, sites)
+	for p := range parts {
+		parts[p] = make([]float64, len(global))
+	}
+	for i, v := range global {
+		// Deterministic uneven split: site (i mod sites) gets the
+		// remainder so mass distribution varies across sites.
+		share := v / float64(sites)
+		var assigned float64
+		for p := 0; p < sites-1; p++ {
+			parts[p][i] = share
+			assigned += share
+		}
+		parts[sites-1][i] = v - assigned
+	}
+	return parts
+}

@@ -1,0 +1,137 @@
+package distributed
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sketch"
+)
+
+func TestSplitConservesMass(t *testing.T) {
+	global := []float64{10, 0, -4, 7.5, 3}
+	parts := Split(global, 3)
+	if len(parts) != 3 {
+		t.Fatalf("parts = %d", len(parts))
+	}
+	for i := range global {
+		var sum float64
+		for _, p := range parts {
+			sum += p[i]
+		}
+		if math.Abs(sum-global[i]) > 1e-12 {
+			t.Errorf("coordinate %d: split sum %f != %f", i, sum, global[i])
+		}
+	}
+}
+
+func TestSplitPanicsOnBadSites(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Split([]float64{1}, 0)
+}
+
+func TestRunErrors(t *testing.T) {
+	mk := func() *sketch.CountMedian {
+		return sketch.NewCountMedian(sketch.Config{N: 10, Rows: 8, Depth: 3}, rand.New(rand.NewSource(1)))
+	}
+	merge := func(d, s *sketch.CountMedian) error { return d.MergeFrom(s) }
+	if _, _, err := Run(mk, merge, nil); err == nil {
+		t.Error("no sites should error")
+	}
+	if _, _, err := Run(mk, merge, [][]float64{make([]float64, 10), make([]float64, 5)}); err == nil {
+		t.Error("dimension mismatch should error")
+	}
+	if _, _, err := Run(mk, merge, [][]float64{make([]float64, 7)}); err == nil {
+		t.Error("sketch/vector dim mismatch should error")
+	}
+}
+
+// Distributed recovery must equal centralized sketching of the global
+// vector, for the classical and the bias-aware sketches.
+func TestDistributedEqualsCentralized(t *testing.T) {
+	const n, sites = 3000, 5
+	r := rand.New(rand.NewSource(2))
+	global := make([]float64, n)
+	for i := range global {
+		global[i] = math.Round(r.NormFloat64()*10 + 80)
+	}
+	parts := Split(global, sites)
+
+	t.Run("countsketch", func(t *testing.T) {
+		cfg := sketch.Config{N: n, Rows: 128, Depth: 9}
+		mk := func() *sketch.CountSketch {
+			return sketch.NewCountSketch(cfg, rand.New(rand.NewSource(3)))
+		}
+		merged, st, err := Run(mk, func(d, s *sketch.CountSketch) error { return d.MergeFrom(s) }, parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		central := mk()
+		sketch.SketchVector(central, global)
+		for i := 0; i < n; i += 61 {
+			if a, b := central.Query(i), merged.Query(i); math.Abs(a-b) > 1e-6 {
+				t.Fatalf("query %d: centralized %f distributed %f", i, a, b)
+			}
+		}
+		if st.Sites != sites || st.TotalCommWords != sites*central.Words() {
+			t.Errorf("bad stats %+v", st)
+		}
+		if st.CompressionFactor <= 1 {
+			t.Errorf("sketching should compress: factor %f", st.CompressionFactor)
+		}
+	})
+
+	t.Run("l2sr", func(t *testing.T) {
+		cfg := core.L2Config{N: n, K: 16}
+		mk := func() *core.L2SR { return core.NewL2SR(cfg, rand.New(rand.NewSource(4))) }
+		merged, _, err := Run(mk, func(d, s *core.L2SR) error { return d.MergeFrom(s) }, parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		central := mk()
+		sketch.SketchVector(central, global)
+		if math.Abs(central.Bias()-merged.Bias()) > 1e-9 {
+			t.Fatalf("bias: centralized %f distributed %f", central.Bias(), merged.Bias())
+		}
+		for i := 0; i < n; i += 61 {
+			if a, b := central.Query(i), merged.Query(i); math.Abs(a-b) > 1e-6 {
+				t.Fatalf("query %d: centralized %f distributed %f", i, a, b)
+			}
+		}
+	})
+
+	t.Run("l1sr", func(t *testing.T) {
+		cfg := core.L1Config{N: n, K: 16, SampleCount: 128}
+		mk := func() *core.L1SR { return core.NewL1SR(cfg, rand.New(rand.NewSource(5))) }
+		merged, _, err := Run(mk, func(d, s *core.L1SR) error { return d.MergeFrom(s) }, parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		central := mk()
+		sketch.SketchVector(central, global)
+		for i := 0; i < n; i += 61 {
+			if a, b := central.Query(i), merged.Query(i); math.Abs(a-b) > 1e-6 {
+				t.Fatalf("query %d: centralized %f distributed %f", i, a, b)
+			}
+		}
+	})
+}
+
+func TestMergeFailurePropagates(t *testing.T) {
+	// Sites with different seeds produce incompatible sketches.
+	seed := int64(0)
+	mk := func() *sketch.CountMedian {
+		seed++
+		return sketch.NewCountMedian(sketch.Config{N: 10, Rows: 8, Depth: 3}, rand.New(rand.NewSource(seed)))
+	}
+	parts := [][]float64{make([]float64, 10), make([]float64, 10)}
+	_, _, err := Run(mk, func(d, s *sketch.CountMedian) error { return d.MergeFrom(s) }, parts)
+	if err == nil {
+		t.Error("incompatible sites should propagate a merge error")
+	}
+}

@@ -1,0 +1,164 @@
+// Package hashing provides the k-wise independent hash families used by
+// every sketch in this repository.
+//
+// Section 4.4 of the paper observes that all analyses only use second
+// moments of the bucket contents, so 2-wise independent hash functions
+// suffice and each costs O(1) words to store. We implement the classic
+// Carter–Wegman construction over the Mersenne prime p = 2^61 - 1, which
+// gives exact pairwise independence over [p], plus a degree-3 polynomial
+// variant (4-wise) used by the hashing ablation benchmark.
+package hashing
+
+import (
+	"math/bits"
+	"math/rand"
+)
+
+// MersennePrime is 2^61 - 1, the field size for all polynomial hash
+// families in this package. Universe elements must be < MersennePrime.
+const MersennePrime uint64 = (1 << 61) - 1
+
+// mulModP returns (a*b) mod (2^61-1) using a 128-bit intermediate
+// product and Mersenne reduction.
+func mulModP(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	// a*b = hi*2^64 + lo = hi*8*2^61 + lo. Since 2^61 ≡ 1 (mod p):
+	// result ≡ hi*8 + lo (mod p), but hi*8 may overflow; split lo too.
+	r := (lo & MersennePrime) + (lo >> 61) + hi*8
+	r = (r & MersennePrime) + (r >> 61)
+	if r >= MersennePrime {
+		r -= MersennePrime
+	}
+	return r
+}
+
+// addModP returns (a+b) mod (2^61-1) assuming a,b < 2^61-1.
+func addModP(a, b uint64) uint64 {
+	r := a + b
+	if r >= MersennePrime {
+		r -= MersennePrime
+	}
+	return r
+}
+
+// Pairwise is a 2-wise independent hash function from [2^61-1] into
+// [Range). The zero value is unusable; construct with NewPairwise.
+type Pairwise struct {
+	A, B  uint64 // random coefficients, A != 0
+	Range uint64 // codomain size
+}
+
+// NewPairwise draws a random pairwise hash with codomain [0, rng).
+func NewPairwise(r *rand.Rand, rang int) Pairwise {
+	if rang <= 0 {
+		panic("hashing: NewPairwise range must be positive")
+	}
+	a := uint64(r.Int63n(int64(MersennePrime-1))) + 1 // a in [1, p)
+	b := uint64(r.Int63n(int64(MersennePrime)))       // b in [0, p)
+	return Pairwise{A: a, B: b, Range: uint64(rang)}
+}
+
+// Hash maps x into [0, Range).
+func (h Pairwise) Hash(x uint64) int {
+	return int(addModP(mulModP(h.A, x), h.B) % h.Range)
+}
+
+// Sign is a 2-wise independent random sign function r: [n] -> {-1,+1}
+// (Definition 2 of the paper uses these in the CS-matrix).
+type Sign struct {
+	A, B uint64
+}
+
+// NewSign draws a random pairwise sign function.
+func NewSign(r *rand.Rand) Sign {
+	a := uint64(r.Int63n(int64(MersennePrime-1))) + 1
+	b := uint64(r.Int63n(int64(MersennePrime)))
+	return Sign{A: a, B: b}
+}
+
+// Sign returns +1 or -1 for x.
+func (s Sign) Sign(x uint64) int {
+	v := addModP(mulModP(s.A, x), s.B)
+	if v&1 == 0 {
+		return 1
+	}
+	return -1
+}
+
+// SignFloat returns Sign(x) as a float64, avoiding a conversion at
+// call sites on the sketch hot path.
+func (s Sign) SignFloat(x uint64) float64 {
+	v := addModP(mulModP(s.A, x), s.B)
+	if v&1 == 0 {
+		return 1
+	}
+	return -1
+}
+
+// FourWise is a 4-wise independent hash function (degree-3 polynomial
+// over GF(2^61-1)) into [Range). It is used only by the hashing
+// ablation; the paper's algorithms need just pairwise independence.
+type FourWise struct {
+	C     [4]uint64 // polynomial coefficients, C[3] != 0
+	Range uint64
+}
+
+// NewFourWise draws a random 4-wise independent hash with codomain
+// [0, rng).
+func NewFourWise(r *rand.Rand, rang int) FourWise {
+	if rang <= 0 {
+		panic("hashing: NewFourWise range must be positive")
+	}
+	var c [4]uint64
+	for i := 0; i < 3; i++ {
+		c[i] = uint64(r.Int63n(int64(MersennePrime)))
+	}
+	c[3] = uint64(r.Int63n(int64(MersennePrime-1))) + 1
+	return FourWise{C: c, Range: uint64(rang)}
+}
+
+// Hash maps x into [0, Range) by Horner evaluation of the polynomial.
+func (h FourWise) Hash(x uint64) int {
+	v := h.C[3]
+	for i := 2; i >= 0; i-- {
+		v = addModP(mulModP(v, x), h.C[i])
+	}
+	return int(v % h.Range)
+}
+
+// Family bundles d independent pairwise hash functions with a common
+// codomain, as used for the d rows of every sketch (h_1..h_d in
+// Theorems 1 and 2).
+type Family struct {
+	H []Pairwise
+}
+
+// NewFamily draws d independent pairwise hashes into [0, rng).
+func NewFamily(r *rand.Rand, d, rang int) Family {
+	hs := make([]Pairwise, d)
+	for i := range hs {
+		hs[i] = NewPairwise(r, rang)
+	}
+	return Family{H: hs}
+}
+
+// Depth returns the number of hash functions in the family.
+func (f Family) Depth() int { return len(f.H) }
+
+// SignFamily bundles d independent pairwise sign functions
+// (r_1..r_d in Theorem 2).
+type SignFamily struct {
+	S []Sign
+}
+
+// NewSignFamily draws d independent pairwise sign functions.
+func NewSignFamily(r *rand.Rand, d int) SignFamily {
+	ss := make([]Sign, d)
+	for i := range ss {
+		ss[i] = NewSign(r)
+	}
+	return SignFamily{S: ss}
+}
+
+// Depth returns the number of sign functions in the family.
+func (f SignFamily) Depth() int { return len(f.S) }

@@ -1,0 +1,342 @@
+package hashing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMulModPSmall(t *testing.T) {
+	cases := []struct{ a, b, want uint64 }{
+		{0, 0, 0},
+		{1, 1, 1},
+		{2, 3, 6},
+		{MersennePrime - 1, 1, MersennePrime - 1},
+		{MersennePrime - 1, 2, MersennePrime - 2},
+	}
+	for _, c := range cases {
+		if got := mulModP(c.a, c.b); got != c.want {
+			t.Errorf("mulModP(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestMulModPAgainstBigArithmetic(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		a := uint64(r.Int63n(int64(MersennePrime)))
+		b := uint64(r.Int63n(int64(MersennePrime)))
+		// Reference via 128-bit math using math/bits through repeated
+		// shift-add (slow but obviously correct for the test).
+		want := slowMulMod(a, b)
+		if got := mulModP(a, b); got != want {
+			t.Fatalf("mulModP(%d,%d) = %d, want %d", a, b, got, want)
+		}
+	}
+}
+
+// slowMulMod computes (a*b) mod p by binary decomposition of b.
+func slowMulMod(a, b uint64) uint64 {
+	var res uint64
+	a %= MersennePrime
+	for b > 0 {
+		if b&1 == 1 {
+			res = addModP(res, a)
+		}
+		a = addModP(a, a)
+		b >>= 1
+	}
+	return res
+}
+
+func TestPairwiseRange(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for _, rang := range []int{1, 2, 7, 100, 1 << 20} {
+		h := NewPairwise(r, rang)
+		for x := uint64(0); x < 1000; x++ {
+			v := h.Hash(x)
+			if v < 0 || v >= rang {
+				t.Fatalf("Hash(%d) = %d out of range [0,%d)", x, v, rang)
+			}
+		}
+	}
+}
+
+func TestPairwisePanicsOnBadRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive range")
+		}
+	}()
+	NewPairwise(rand.New(rand.NewSource(3)), 0)
+}
+
+func TestFourWisePanicsOnBadRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive range")
+		}
+	}()
+	NewFourWise(rand.New(rand.NewSource(3)), -1)
+}
+
+// TestPairwiseUniformity checks that bucket loads are near-uniform:
+// hashing n items into s buckets should give each bucket close to n/s.
+func TestPairwiseUniformity(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	const n, s = 200000, 64
+	counts := make([]int, s)
+	h := NewPairwise(r, s)
+	for x := 0; x < n; x++ {
+		counts[h.Hash(uint64(x))]++
+	}
+	want := float64(n) / s
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 0.25*want {
+			t.Errorf("bucket %d load %d deviates more than 25%% from %f", i, c, want)
+		}
+	}
+}
+
+// TestPairwiseCollisionProbability estimates Pr[h(x)=h(y)] over random
+// draws of h for fixed x != y; pairwise independence implies it is
+// ~1/s (within sampling noise).
+func TestPairwiseCollisionProbability(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	const trials, s = 40000, 16
+	coll := 0
+	for i := 0; i < trials; i++ {
+		h := NewPairwise(r, s)
+		if h.Hash(12345) == h.Hash(67890) {
+			coll++
+		}
+	}
+	p := float64(coll) / trials
+	if math.Abs(p-1.0/s) > 0.015 {
+		t.Errorf("collision probability %f, want ~%f", p, 1.0/s)
+	}
+}
+
+// TestSignBalance checks that a pairwise sign function is balanced and
+// that products of signs at distinct points are uncorrelated.
+func TestSignBalance(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	const trials = 40000
+	sum := 0
+	prodSum := 0
+	for i := 0; i < trials; i++ {
+		sg := NewSign(r)
+		sum += sg.Sign(42)
+		prodSum += sg.Sign(42) * sg.Sign(43)
+	}
+	if math.Abs(float64(sum)/trials) > 0.02 {
+		t.Errorf("E[sign] = %f, want ~0", float64(sum)/trials)
+	}
+	if math.Abs(float64(prodSum)/trials) > 0.02 {
+		t.Errorf("E[sign(x)sign(y)] = %f, want ~0", float64(prodSum)/trials)
+	}
+}
+
+func TestSignFloatMatchesSign(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	sg := NewSign(r)
+	for x := uint64(0); x < 10000; x++ {
+		if float64(sg.Sign(x)) != sg.SignFloat(x) {
+			t.Fatalf("SignFloat mismatch at %d", x)
+		}
+	}
+}
+
+func TestFourWiseRange(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	h := NewFourWise(r, 97)
+	for x := uint64(0); x < 5000; x++ {
+		v := h.Hash(x)
+		if v < 0 || v >= 97 {
+			t.Fatalf("FourWise.Hash(%d) = %d out of range", x, v)
+		}
+	}
+}
+
+func TestFourWiseUniformity(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	const n, s = 200000, 64
+	counts := make([]int, s)
+	h := NewFourWise(r, s)
+	for x := 0; x < n; x++ {
+		counts[h.Hash(uint64(x))]++
+	}
+	want := float64(n) / s
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 0.25*want {
+			t.Errorf("bucket %d load %d deviates more than 25%% from %f", i, c, want)
+		}
+	}
+}
+
+func TestFamilyDepth(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	f := NewFamily(r, 9, 128)
+	if f.Depth() != 9 {
+		t.Fatalf("Depth = %d, want 9", f.Depth())
+	}
+	sf := NewSignFamily(r, 9)
+	if sf.Depth() != 9 {
+		t.Fatalf("SignFamily.Depth = %d, want 9", sf.Depth())
+	}
+}
+
+// TestFamilyIndependentMembers verifies members of a family are
+// distinct functions (no accidental seed reuse).
+func TestFamilyIndependentMembers(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	f := NewFamily(r, 8, 1<<20)
+	for i := 0; i < f.Depth(); i++ {
+		for j := i + 1; j < f.Depth(); j++ {
+			if f.H[i] == f.H[j] {
+				t.Fatalf("family members %d and %d identical", i, j)
+			}
+		}
+	}
+}
+
+// Property: Hash is deterministic — the same function applied twice to
+// the same input yields the same value.
+func TestHashDeterministicProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	h := NewPairwise(r, 1000)
+	f := func(x uint64) bool {
+		x %= MersennePrime
+		return h.Hash(x) == h.Hash(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: mulModP is commutative.
+func TestMulModPCommutativeProperty(t *testing.T) {
+	f := func(a, b uint64) bool {
+		a %= MersennePrime
+		b %= MersennePrime
+		return mulModP(a, b) == mulModP(b, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: mulModP distributes over addModP.
+func TestMulModPDistributiveProperty(t *testing.T) {
+	f := func(a, b, c uint64) bool {
+		a %= MersennePrime
+		b %= MersennePrime
+		c %= MersennePrime
+		return mulModP(a, addModP(b, c)) == addModP(mulModP(a, b), mulModP(a, c))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPairwiseHash(b *testing.B) {
+	h := NewPairwise(rand.New(rand.NewSource(1)), 1<<16)
+	b.ReportAllocs()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink = h.Hash(uint64(i))
+	}
+	_ = sink
+}
+
+func BenchmarkFourWiseHash(b *testing.B) {
+	h := NewFourWise(rand.New(rand.NewSource(1)), 1<<16)
+	b.ReportAllocs()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink = h.Hash(uint64(i))
+	}
+	_ = sink
+}
+
+func BenchmarkSign(b *testing.B) {
+	s := NewSign(rand.New(rand.NewSource(1)))
+	b.ReportAllocs()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink = s.Sign(uint64(i))
+	}
+	_ = sink
+}
+
+func TestTabulationRangeAndUniformity(t *testing.T) {
+	r := rand.New(rand.NewSource(30))
+	const n, s = 200000, 64
+	h := NewTabulation(r, s)
+	counts := make([]int, s)
+	for x := 0; x < n; x++ {
+		v := h.Hash(uint64(x))
+		if v < 0 || v >= s {
+			t.Fatalf("Hash(%d) = %d out of range", x, v)
+		}
+		counts[v]++
+	}
+	want := float64(n) / s
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 0.25*want {
+			t.Errorf("bucket %d load %d deviates from %f", i, c, want)
+		}
+	}
+}
+
+func TestTabulationPanicsOnBadRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewTabulation(rand.New(rand.NewSource(31)), 0)
+}
+
+func TestTabulationCollisionRate(t *testing.T) {
+	r := rand.New(rand.NewSource(32))
+	const trials, s = 40000, 16
+	coll := 0
+	for i := 0; i < trials; i++ {
+		h := NewTabulation(r, s)
+		if h.Hash(12345) == h.Hash(67890) {
+			coll++
+		}
+	}
+	p := float64(coll) / trials
+	if math.Abs(p-1.0/s) > 0.015 {
+		t.Errorf("collision probability %f, want ~%f", p, 1.0/s)
+	}
+}
+
+func TestTabulationSignBalance(t *testing.T) {
+	r := rand.New(rand.NewSource(33))
+	h := NewTabulation(r, 2)
+	sum := 0.0
+	for x := 0; x < 100000; x++ {
+		s := h.Sign(uint64(x))
+		if s != 1 && s != -1 {
+			t.Fatalf("Sign(%d) = %f", x, s)
+		}
+		sum += s
+	}
+	if math.Abs(sum)/100000 > 0.02 {
+		t.Errorf("sign imbalance %f", sum/100000)
+	}
+}
+
+func BenchmarkTabulationHash(b *testing.B) {
+	h := NewTabulation(rand.New(rand.NewSource(1)), 1<<16)
+	b.ReportAllocs()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink = h.Hash(uint64(i))
+	}
+	_ = sink
+}

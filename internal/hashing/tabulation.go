@@ -1,0 +1,52 @@
+package hashing
+
+import "math/rand"
+
+// Tabulation is simple tabulation hashing (Zobrist; analyzed by
+// Pǎtraşcu–Thorup): the key is split into 8 bytes, each indexes a
+// table of random 64-bit words, and the results are XORed. It is
+// 3-wise independent and behaves like full randomness for most
+// hashing-based data structures, at the cost of 16 KiB of tables per
+// function. It is the third arm of the hashing ablation
+// (BenchmarkAblationHash): stronger than the paper's pairwise choice,
+// cheaper to evaluate than polynomial 4-wise.
+type Tabulation struct {
+	T     [8][256]uint64
+	Range uint64
+}
+
+// NewTabulation draws a tabulation hash with codomain [0, rng).
+func NewTabulation(r *rand.Rand, rng int) *Tabulation {
+	if rng <= 0 {
+		panic("hashing: NewTabulation range must be positive")
+	}
+	t := &Tabulation{Range: uint64(rng)}
+	for b := 0; b < 8; b++ {
+		for v := 0; v < 256; v++ {
+			t.T[b][v] = r.Uint64()
+		}
+	}
+	return t
+}
+
+// Hash maps x into [0, Range).
+func (t *Tabulation) Hash(x uint64) int {
+	h := t.T[0][byte(x)] ^
+		t.T[1][byte(x>>8)] ^
+		t.T[2][byte(x>>16)] ^
+		t.T[3][byte(x>>24)] ^
+		t.T[4][byte(x>>32)] ^
+		t.T[5][byte(x>>40)] ^
+		t.T[6][byte(x>>48)] ^
+		t.T[7][byte(x>>56)]
+	return int(h % t.Range)
+}
+
+// Sign maps x to ±1 using one bit of the tabulated value.
+func (t *Tabulation) Sign(x uint64) float64 {
+	h := t.T[0][byte(x)] ^ t.T[7][byte(x>>56)]
+	if h&(1<<63) == 0 {
+		return 1
+	}
+	return -1
+}

@@ -1,0 +1,97 @@
+package heavyhitter
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/rangequery"
+	"repro/internal/sketch"
+)
+
+// This file implements the classical hierarchical heavy hitters query
+// (the "frequent elements" application of §1 in its textbook form):
+// find every coordinate with x_i ≥ φ·‖x‖₁ in O(HH·log n) point
+// queries by descending a dyadic tree of sketches, instead of the O(n)
+// scan. It pairs naturally with the deviation-based detection in this
+// package: Hierarchical finds mass concentration, Scan/TopK find
+// departures from the crowd. On biased data the classical query is
+// uninformative (every dyadic block carries bias mass — the paper's
+// core observation), which TestHierarchicalBiasBlindness demonstrates.
+type Hierarchical struct {
+	rq   *rangequery.Sketch
+	mass float64 // running ‖x‖₁ for non-negative streams
+}
+
+// NewHierarchical builds a dyadic stack of Count-Min sketches (rows s,
+// depth d per level) over dimension n. Count-Min's one-sided error is
+// what makes the tree descent sound: a block estimate below the
+// threshold can never hide a heavy descendant.
+func NewHierarchical(n, s, d int, r *rand.Rand) *Hierarchical {
+	factory := func(_, size int, rr *rand.Rand) rangequery.PointSketch {
+		return sketch.NewCountMin(sketch.Config{N: size, Rows: s, Depth: d}, rr)
+	}
+	return &Hierarchical{rq: rangequery.New(n, factory, r)}
+}
+
+// Update applies x[i] += delta. Deltas must be non-negative for the
+// descent to be sound (Count-Min semantics).
+func (h *Hierarchical) Update(i int, delta float64) {
+	if delta < 0 {
+		panic("heavyhitter: hierarchical heavy hitters require non-negative updates")
+	}
+	h.rq.Update(i, delta)
+	h.mass += delta
+}
+
+// Mass returns the running ‖x‖₁.
+func (h *Hierarchical) Mass() float64 { return h.mass }
+
+// Heavy returns every coordinate whose estimated count is at least
+// phi·‖x‖₁ (0 < phi ≤ 1), sorted by decreasing estimate. Count-Min
+// overestimates, so the result may include false positives slightly
+// below the threshold, but never misses a true heavy hitter.
+func (h *Hierarchical) Heavy(phi float64) []Deviator {
+	if phi <= 0 || phi > 1 {
+		panic("heavyhitter: phi must be in (0,1]")
+	}
+	threshold := phi * h.mass
+	if threshold <= 0 {
+		return nil
+	}
+	var out []Deviator
+	// Descend from the top level: a dyadic block whose estimated sum
+	// is below the threshold cannot contain a heavy coordinate.
+	var walk func(level, idx int)
+	walk = func(level, idx int) {
+		lo := idx << uint(level)
+		hi := (idx + 1) << uint(level)
+		if lo >= h.rq.Dim() {
+			return
+		}
+		if hi > h.rq.Dim() {
+			hi = h.rq.Dim()
+		}
+		est := h.rq.RangeSum(lo, hi)
+		if est < threshold {
+			return
+		}
+		if level == 0 {
+			out = append(out, Deviator{Index: lo, Estimate: est, Deviation: est})
+			return
+		}
+		walk(level-1, 2*idx)
+		walk(level-1, 2*idx+1)
+	}
+	top := h.rq.Levels() - 1
+	walk(top, 0)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Estimate != out[j].Estimate {
+			return out[i].Estimate > out[j].Estimate
+		}
+		return out[i].Index < out[j].Index
+	})
+	return out
+}
+
+// Words returns the total sketch size.
+func (h *Hierarchical) Words() int { return h.rq.Words() + 1 }

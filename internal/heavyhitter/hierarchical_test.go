@@ -1,0 +1,129 @@
+package heavyhitter
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestHierarchicalFindsHeavy(t *testing.T) {
+	const n = 1 << 14
+	hh := NewHierarchical(n, 512, 5, rand.New(rand.NewSource(1)))
+	r := rand.New(rand.NewSource(2))
+	// Background: 50k scattered unit updates. Heavy: three hot keys.
+	for u := 0; u < 50_000; u++ {
+		hh.Update(r.Intn(n), 1)
+	}
+	hot := map[int]float64{100: 20_000, 9999: 12_000, 16000: 8_000}
+	for i, v := range hot {
+		hh.Update(i, v)
+	}
+	got := hh.Heavy(0.05) // threshold 0.05·90k = 4500
+	found := map[int]bool{}
+	for _, d := range got {
+		found[d.Index] = true
+	}
+	for i := range hot {
+		if !found[i] {
+			t.Errorf("heavy key %d missed", i)
+		}
+	}
+	// Sorted by decreasing estimate; index 100 is heaviest.
+	if len(got) == 0 || got[0].Index != 100 {
+		t.Errorf("heaviest first expected, got %+v", got)
+	}
+	// No wild false positives: every reported estimate near threshold+.
+	for _, d := range got {
+		if d.Estimate < 0.04*hh.Mass() {
+			t.Errorf("false positive far below threshold: %+v", d)
+		}
+	}
+}
+
+func TestHierarchicalNoHeavy(t *testing.T) {
+	const n = 4096
+	hh := NewHierarchical(n, 256, 5, rand.New(rand.NewSource(3)))
+	r := rand.New(rand.NewSource(4))
+	for u := 0; u < 20_000; u++ {
+		hh.Update(r.Intn(n), 1) // perfectly flat
+	}
+	if got := hh.Heavy(0.05); len(got) != 0 {
+		t.Errorf("flat stream produced %d heavy hitters", len(got))
+	}
+}
+
+func TestHierarchicalPanics(t *testing.T) {
+	hh := NewHierarchical(16, 8, 2, rand.New(rand.NewSource(5)))
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative update should panic")
+			}
+		}()
+		hh.Update(0, -1)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("phi out of range should panic")
+			}
+		}()
+		hh.Heavy(0)
+	}()
+}
+
+func TestHierarchicalEmpty(t *testing.T) {
+	hh := NewHierarchical(16, 8, 2, rand.New(rand.NewSource(6)))
+	if got := hh.Heavy(0.5); got != nil {
+		t.Errorf("empty structure returned %v", got)
+	}
+	if hh.Mass() != 0 {
+		t.Error("empty mass should be 0")
+	}
+	if hh.Words() <= 0 {
+		t.Error("Words should be positive")
+	}
+}
+
+// The paper's core observation, in heavy-hitter form: on biased data
+// the classical φ·‖x‖₁ query is blind — either everything or nothing
+// crosses the threshold — while deviation detection pinpoints the
+// anomalies.
+func TestHierarchicalBiasBlindness(t *testing.T) {
+	const n = 1 << 12
+	r := rand.New(rand.NewSource(7))
+	x := workload.Gaussian{Bias: 100, Sigma: 5}.Vector(n, r)
+	anomaly := 777
+	x[anomaly] = 450 // 4.5× the crowd — a glaring outlier
+
+	hh := NewHierarchical(n, 512, 5, rand.New(rand.NewSource(8)))
+	for i, v := range x {
+		hh.Update(i, v)
+	}
+	// Total mass ≈ 100n; the anomaly is 450/(100n) ≈ 0.1% of mass:
+	// any φ small enough to catch it catches everything.
+	atAnomaly := hh.Heavy(400.0 / hh.Mass())
+	if len(atAnomaly) < n/2 {
+		t.Errorf("expected the classical query to drown: got %d results", len(atAnomaly))
+	}
+	// A φ above the crowd level returns nothing (the anomaly is below
+	// any such threshold too).
+	if got := hh.Heavy(0.01); len(got) != 0 {
+		t.Errorf("high threshold should return nothing, got %d", len(got))
+	}
+}
+
+func BenchmarkHierarchicalHeavy(b *testing.B) {
+	const n = 1 << 16
+	hh := NewHierarchical(n, 1024, 5, rand.New(rand.NewSource(9)))
+	r := rand.New(rand.NewSource(10))
+	zipf := rand.NewZipf(r, 1.2, 1, n-1)
+	for u := 0; u < 200_000; u++ {
+		hh.Update(int(zipf.Uint64()), 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hh.Heavy(0.01)
+	}
+}

@@ -1,0 +1,137 @@
+// Package rangequery answers range-sum and quantile queries over a
+// sketched frequency vector — one of the §1 applications ("range
+// query") of point-query sketches. It uses the classical dyadic
+// decomposition: level ℓ sketches the 2^ℓ-block-aggregated vector
+// x^(ℓ), so any interval [lo, hi) splits into at most 2·log₂ n dyadic
+// blocks, each answered by one point query at its level.
+//
+// The level sketches are pluggable. With bias-aware sketches the
+// per-level bias is handled automatically: if x has bias β, the
+// level-ℓ aggregate has bias 2^ℓ·β, which each level's estimator
+// discovers independently — no coordination needed.
+package rangequery
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// PointSketch is the per-level requirement: streaming point updates
+// and point queries. Both the classical and the bias-aware sketches in
+// this repository satisfy it.
+type PointSketch interface {
+	Update(i int, delta float64)
+	Query(i int) float64
+	Words() int
+}
+
+// Factory builds the sketch for one dyadic level; size is the level's
+// vector dimension (≈ n/2^level). All randomness must come from r so
+// sketches are reproducible and mergeable across sites.
+type Factory func(level, size int, r *rand.Rand) PointSketch
+
+// Sketch is a dyadic stack of point sketches.
+type Sketch struct {
+	n      int
+	levels []level
+}
+
+type level struct {
+	size int
+	sk   PointSketch
+}
+
+// New creates a range-query sketch over vectors of dimension n.
+func New(n int, f Factory, r *rand.Rand) *Sketch {
+	if n <= 0 {
+		panic(fmt.Sprintf("rangequery: dimension %d must be positive", n))
+	}
+	s := &Sketch{n: n}
+	size := n
+	for lv := 0; ; lv++ {
+		s.levels = append(s.levels, level{size: size, sk: f(lv, size, r)})
+		if size == 1 {
+			break
+		}
+		size = (size + 1) / 2
+	}
+	return s
+}
+
+// Update applies x[i] += delta, propagating to every level.
+func (s *Sketch) Update(i int, delta float64) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("rangequery: index %d out of range [0,%d)", i, s.n))
+	}
+	for lv := range s.levels {
+		s.levels[lv].sk.Update(i>>uint(lv), delta)
+	}
+}
+
+// RangeSum estimates Σ_{i ∈ [lo, hi)} x[i].
+func (s *Sketch) RangeSum(lo, hi int) float64 {
+	if lo < 0 || hi > s.n || lo > hi {
+		panic(fmt.Sprintf("rangequery: bad range [%d,%d) over [0,%d)", lo, hi, s.n))
+	}
+	var sum float64
+	for lo < hi {
+		// Largest dyadic block starting at lo that fits in [lo, hi).
+		lv := 0
+		for lv+1 < len(s.levels) &&
+			lo&((1<<uint(lv+1))-1) == 0 &&
+			lo+(1<<uint(lv+1)) <= hi {
+			lv++
+		}
+		sum += s.levels[lv].sk.Query(lo >> uint(lv))
+		lo += 1 << uint(lv)
+	}
+	return sum
+}
+
+// PrefixSum estimates Σ_{i < hi} x[i].
+func (s *Sketch) PrefixSum(hi int) float64 { return s.RangeSum(0, hi) }
+
+// Total estimates the full vector mass from the top level.
+func (s *Sketch) Total() float64 {
+	top := s.levels[len(s.levels)-1]
+	var sum float64
+	for j := 0; j < top.size; j++ {
+		sum += top.sk.Query(j)
+	}
+	return sum
+}
+
+// Quantile returns the smallest index i such that the estimated prefix
+// mass through i reaches q·Total(), for q in [0, 1]. It assumes a
+// non-negative vector (quantiles of signed vectors are undefined).
+func (s *Sketch) Quantile(q float64) int {
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("rangequery: quantile %f out of [0,1]", q))
+	}
+	target := q * s.Total()
+	lo, hi := 0, s.n // invariant: PrefixSum(lo) < target <= PrefixSum(hi)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.PrefixSum(mid+1) >= target {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Words returns the total sketch size across levels.
+func (s *Sketch) Words() int {
+	var w int
+	for _, lv := range s.levels {
+		w += lv.sk.Words()
+	}
+	return w
+}
+
+// Levels returns the number of dyadic levels (≈ log₂ n + 1).
+func (s *Sketch) Levels() int { return len(s.levels) }
+
+// Dim returns the vector dimension n.
+func (s *Sketch) Dim() int { return s.n }

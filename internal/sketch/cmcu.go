@@ -1,0 +1,65 @@
+package sketch
+
+import "math/rand"
+
+// CMCU is Count-Min with conservative update (Estan–Varghese [17],
+// Goyal et al. [21]): on an increment, only the buckets that would
+// otherwise fall below the new lower bound are raised. CM-CU strictly
+// improves the accuracy of Count-Min on insert-only streams but loses
+// linearity — it cannot be merged, which is exactly the drawback §2 of
+// the paper points out for the distributed setting.
+//
+// Update supports arbitrary positive deltas using the standard
+// weighted conservative rule: every bucket of i is raised to
+// max(bucket, min_t bucket_t(i) + delta).
+type CMCU struct {
+	tb table
+}
+
+// NewCMCU creates a conservative-update Count-Min sketch.
+func NewCMCU(cfg Config, r *rand.Rand) *CMCU {
+	return &CMCU{tb: newTable(cfg, r)}
+}
+
+// Update applies a conservative increment of delta to coordinate i.
+// Negative deltas are not representable under conservative update
+// (the structure is insert-only); they panic.
+func (c *CMCU) Update(i int, delta float64) {
+	c.tb.checkIndex(i)
+	if delta < 0 {
+		panic("sketch: CMCU does not support negative updates (insert-only)")
+	}
+	u := uint64(i)
+	min := c.tb.cells[0][c.tb.hash.H[0].Hash(u)]
+	for t := 1; t < len(c.tb.cells); t++ {
+		if v := c.tb.cells[t][c.tb.hash.H[t].Hash(u)]; v < min {
+			min = v
+		}
+	}
+	target := min + delta
+	for t := range c.tb.cells {
+		b := c.tb.hash.H[t].Hash(u)
+		if c.tb.cells[t][b] < target {
+			c.tb.cells[t][b] = target
+		}
+	}
+}
+
+// Query estimates x[i] as the minimum bucket over rows.
+func (c *CMCU) Query(i int) float64 {
+	c.tb.checkIndex(i)
+	u := uint64(i)
+	min := c.tb.cells[0][c.tb.hash.H[0].Hash(u)]
+	for t := 1; t < len(c.tb.cells); t++ {
+		if v := c.tb.cells[t][c.tb.hash.H[t].Hash(u)]; v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// Dim returns the vector dimension n.
+func (c *CMCU) Dim() int { return c.tb.dim() }
+
+// Words returns the sketch size in 64-bit words.
+func (c *CMCU) Words() int { return c.tb.words() }

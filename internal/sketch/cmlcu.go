@@ -1,0 +1,107 @@
+package sketch
+
+import (
+	"math"
+	"math/rand"
+)
+
+// DefaultCMLBase is the log base used in §5.1 of the paper for
+// Count-Min-Log with conservative update.
+const DefaultCMLBase = 1.00025
+
+// CMLCU is Count-Min-Log with conservative update (Pitel–Fouquier
+// [29]): the buckets hold logarithmic counters instead of linear
+// counts. A counter value c encodes the estimate
+//
+//	value(c) = (base^c − 1) / (base − 1),
+//
+// so each unit increment advances the counter with probability
+// base^(−c), and conservative update only advances the counters that
+// are at the row-wise minimum. Like CM-CU it is not linear.
+//
+// Weighted updates convert the target count to the log domain and
+// round probabilistically, which coincides with repeated unit
+// increments in expectation and is indistinguishable at the paper's
+// base of 1.00025 (the counters are nearly linear).
+type CMLCU struct {
+	tb   table
+	base float64
+	lnB  float64
+	rng  *rand.Rand
+}
+
+// NewCMLCU creates a Count-Min-Log sketch with the given shape and
+// base. Pass DefaultCMLBase to mirror the paper's configuration.
+func NewCMLCU(cfg Config, base float64, r *rand.Rand) *CMLCU {
+	if base <= 1 {
+		panic("sketch: CMLCU base must exceed 1")
+	}
+	return &CMLCU{
+		tb:   newTable(cfg, r),
+		base: base,
+		lnB:  math.Log(base),
+		rng:  rand.New(rand.NewSource(r.Int63())),
+	}
+}
+
+// value decodes a log counter into a linear-scale estimate.
+func (c *CMLCU) value(counter float64) float64 {
+	return (math.Exp(counter*c.lnB) - 1) / (c.base - 1)
+}
+
+// counter encodes a linear-scale count into the log domain.
+func (c *CMLCU) counter(value float64) float64 {
+	return math.Log1p(value*(c.base-1)) / c.lnB
+}
+
+// Update applies a conservative log-domain increment of delta to
+// coordinate i. Negative deltas panic (insert-only structure).
+func (c *CMLCU) Update(i int, delta float64) {
+	c.tb.checkIndex(i)
+	if delta < 0 {
+		panic("sketch: CMLCU does not support negative updates (insert-only)")
+	}
+	u := uint64(i)
+	min := c.tb.cells[0][c.tb.hash.H[0].Hash(u)]
+	for t := 1; t < len(c.tb.cells); t++ {
+		if v := c.tb.cells[t][c.tb.hash.H[t].Hash(u)]; v < min {
+			min = v
+		}
+	}
+	// Target counter after adding delta to the current estimate, with
+	// probabilistic rounding of the fractional part so that repeated
+	// small updates are unbiased.
+	exact := c.counter(c.value(min) + delta)
+	target := math.Floor(exact)
+	if c.rng.Float64() < exact-target {
+		target++
+	}
+	for t := range c.tb.cells {
+		b := c.tb.hash.H[t].Hash(u)
+		if c.tb.cells[t][b] < target {
+			c.tb.cells[t][b] = target
+		}
+	}
+}
+
+// Query estimates x[i] by decoding the minimum log counter.
+func (c *CMLCU) Query(i int) float64 {
+	c.tb.checkIndex(i)
+	u := uint64(i)
+	min := c.tb.cells[0][c.tb.hash.H[0].Hash(u)]
+	for t := 1; t < len(c.tb.cells); t++ {
+		if v := c.tb.cells[t][c.tb.hash.H[t].Hash(u)]; v < min {
+			min = v
+		}
+	}
+	return c.value(min)
+}
+
+// Dim returns the vector dimension n.
+func (c *CMLCU) Dim() int { return c.tb.dim() }
+
+// Words returns the sketch size in 64-bit words. (A production CML
+// would use narrow integer counters; we count cells to keep the
+// size-versus-accuracy axes comparable across algorithms, matching how
+// the paper plots all algorithms at equal word budgets.)
+func (c *CMLCU) Words() int { return c.tb.words() }

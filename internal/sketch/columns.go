@@ -1,0 +1,65 @@
+package sketch
+
+// This file exposes the per-row structure the bias-aware recovery
+// algorithms need: Algorithm 2 subtracts β̂·π_t from row t of the
+// Count-Median sketch, where π_t is the coordinate-wise sum of the
+// columns of Π(h_t) (bucket occupancy counts); Algorithm 4 subtracts
+// β̂·ψ_t from row t of the Count-Sketch, where ψ_t is the signed
+// column sum of Ψ(h_t, r_t). Both depend only on the hash functions,
+// never on the data, so they are computed once and cached — in the
+// distributed model they are "common knowledge" shared alongside the
+// hash seeds (§5.5, footnote 4).
+
+// ColumnCounts returns π for row t: π[b] = |{j : h_t(j) = b}|. The
+// result is cached; callers must not modify it.
+func (c *CountMedian) ColumnCounts(t int) []float64 {
+	if c.pis == nil {
+		c.pis = make([][]float64, c.tb.cfg.Depth)
+	}
+	if c.pis[t] == nil {
+		pi := make([]float64, c.tb.cfg.Rows)
+		for j := 0; j < c.tb.cfg.N; j++ {
+			pi[c.tb.hash.H[t].Hash(uint64(j))]++
+		}
+		c.pis[t] = pi
+	}
+	return c.pis[t]
+}
+
+// BucketIndex returns h_t(i), the bucket coordinate i occupies in row t.
+func (c *CountMedian) BucketIndex(t, i int) int {
+	return c.tb.hash.H[t].Hash(uint64(i))
+}
+
+// Bucket returns the raw value of bucket b in row t.
+func (c *CountMedian) Bucket(t, b int) float64 { return c.tb.cells[t][b] }
+
+// SignedColumnSums returns ψ for row t: ψ[b] = Σ_{j: h_t(j)=b} r_t(j).
+// The result is cached; callers must not modify it.
+func (c *CountSketch) SignedColumnSums(t int) []float64 {
+	if c.psis == nil {
+		c.psis = make([][]float64, c.tb.cfg.Depth)
+	}
+	if c.psis[t] == nil {
+		psi := make([]float64, c.tb.cfg.Rows)
+		for j := 0; j < c.tb.cfg.N; j++ {
+			u := uint64(j)
+			psi[c.tb.hash.H[t].Hash(u)] += c.signs.S[t].SignFloat(u)
+		}
+		c.psis[t] = psi
+	}
+	return c.psis[t]
+}
+
+// BucketIndex returns h_t(i) for the Count-Sketch row t.
+func (c *CountSketch) BucketIndex(t, i int) int {
+	return c.tb.hash.H[t].Hash(uint64(i))
+}
+
+// Bucket returns the raw (signed-sum) value of bucket b in row t.
+func (c *CountSketch) Bucket(t, b int) float64 { return c.tb.cells[t][b] }
+
+// SignOf returns r_t(i) as a float64.
+func (c *CountSketch) SignOf(t, i int) float64 {
+	return c.signs.S[t].SignFloat(uint64(i))
+}

@@ -1,0 +1,155 @@
+package sketch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// π must count every coordinate exactly once per row (columns of a
+// CM-matrix each have exactly one 1).
+func TestColumnCountsSumToN(t *testing.T) {
+	cfg := Config{N: 5000, Rows: 64, Depth: 4}
+	cm := NewCountMedian(cfg, rand.New(rand.NewSource(1)))
+	for tr := 0; tr < cfg.Depth; tr++ {
+		pi := cm.ColumnCounts(tr)
+		if len(pi) != cfg.Rows {
+			t.Fatalf("row %d: len(pi) = %d", tr, len(pi))
+		}
+		var sum float64
+		for _, v := range pi {
+			sum += v
+		}
+		if sum != float64(cfg.N) {
+			t.Errorf("row %d: sum(pi) = %f, want %d", tr, sum, cfg.N)
+		}
+	}
+	// Cached: same slice on second call.
+	if &cm.ColumnCounts(0)[0] != &cm.ColumnCounts(0)[0] {
+		t.Error("ColumnCounts not cached")
+	}
+}
+
+// π must agree with the bucket assignment: updating coordinate i by 1
+// lands in bucket BucketIndex(t, i), and that bucket's π counts i.
+func TestColumnCountsMatchBucketIndex(t *testing.T) {
+	cfg := Config{N: 300, Rows: 16, Depth: 3}
+	cm := NewCountMedian(cfg, rand.New(rand.NewSource(2)))
+	for tr := 0; tr < cfg.Depth; tr++ {
+		counts := make([]float64, cfg.Rows)
+		for i := 0; i < cfg.N; i++ {
+			counts[cm.BucketIndex(tr, i)]++
+		}
+		pi := cm.ColumnCounts(tr)
+		for b := range counts {
+			if counts[b] != pi[b] {
+				t.Fatalf("row %d bucket %d: recount %f != pi %f", tr, b, counts[b], pi[b])
+			}
+		}
+	}
+}
+
+// Sketching the all-ones vector must produce exactly π in every row:
+// Π(h)·1 = π by definition.
+func TestColumnCountsViaAllOnes(t *testing.T) {
+	cfg := Config{N: 1000, Rows: 32, Depth: 5}
+	cm := NewCountMedian(cfg, rand.New(rand.NewSource(3)))
+	for i := 0; i < cfg.N; i++ {
+		cm.Update(i, 1)
+	}
+	for tr := 0; tr < cfg.Depth; tr++ {
+		pi := cm.ColumnCounts(tr)
+		for b := 0; b < cfg.Rows; b++ {
+			if got := cm.Bucket(tr, b); got != pi[b] {
+				t.Fatalf("row %d bucket %d: Π·1 = %f != π = %f", tr, b, got, pi[b])
+			}
+		}
+	}
+}
+
+// Likewise Ψ(h,r)·1 = ψ for the Count-Sketch.
+func TestSignedColumnSumsViaAllOnes(t *testing.T) {
+	cfg := Config{N: 1000, Rows: 32, Depth: 5}
+	cs := NewCountSketch(cfg, rand.New(rand.NewSource(4)))
+	for i := 0; i < cfg.N; i++ {
+		cs.Update(i, 1)
+	}
+	for tr := 0; tr < cfg.Depth; tr++ {
+		psi := cs.SignedColumnSums(tr)
+		if len(psi) != cfg.Rows {
+			t.Fatalf("row %d: len(psi) = %d", tr, len(psi))
+		}
+		for b := 0; b < cfg.Rows; b++ {
+			if got := cs.Bucket(tr, b); math.Abs(got-psi[b]) > 1e-12 {
+				t.Fatalf("row %d bucket %d: Ψ·1 = %f != ψ = %f", tr, b, got, psi[b])
+			}
+		}
+	}
+}
+
+// ψ must be consistent with SignOf and BucketIndex.
+func TestSignedColumnSumsMatchSigns(t *testing.T) {
+	cfg := Config{N: 500, Rows: 16, Depth: 3}
+	cs := NewCountSketch(cfg, rand.New(rand.NewSource(5)))
+	for tr := 0; tr < cfg.Depth; tr++ {
+		sums := make([]float64, cfg.Rows)
+		for i := 0; i < cfg.N; i++ {
+			sums[cs.BucketIndex(tr, i)] += cs.SignOf(tr, i)
+			if s := cs.SignOf(tr, i); s != 1 && s != -1 {
+				t.Fatalf("SignOf(%d,%d) = %f", tr, i, s)
+			}
+		}
+		psi := cs.SignedColumnSums(tr)
+		for b := range sums {
+			if sums[b] != psi[b] {
+				t.Fatalf("row %d bucket %d: recomputed %f != psi %f", tr, b, sums[b], psi[b])
+			}
+		}
+	}
+}
+
+func TestCountMinMarshalRoundTrip(t *testing.T) {
+	cfg := Config{N: 200, Rows: 16, Depth: 3}
+	a := NewCountMin(cfg, rand.New(rand.NewSource(6)))
+	for i := 0; i < 500; i++ {
+		a.Update(i%cfg.N, 2)
+	}
+	b := NewCountMin(cfg, rand.New(rand.NewSource(6)))
+	if err := b.Unmarshal(a.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cfg.N; i++ {
+		if a.Query(i) != b.Query(i) {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+	if a.Words() != cfg.Rows*cfg.Depth {
+		t.Errorf("Words = %d", a.Words())
+	}
+}
+
+func TestDimAccessors(t *testing.T) {
+	cfg := Config{N: 77, Rows: 8, Depth: 2}
+	r := rand.New(rand.NewSource(7))
+	for name, s := range map[string]Sketch{
+		"cmcu":  NewCMCU(cfg, r),
+		"cmlcu": NewCMLCU(cfg, DefaultCMLBase, r),
+		"cs":    NewCountSketch(cfg, r),
+	} {
+		if s.Dim() != 77 {
+			t.Errorf("%s: Dim = %d", name, s.Dim())
+		}
+		if s.Words() < cfg.Rows*cfg.Depth {
+			t.Errorf("%s: Words = %d", name, s.Words())
+		}
+	}
+}
+
+func TestDengRafieiPanicsOnOneRow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDengRafiei(Config{N: 10, Rows: 1, Depth: 2}, rand.New(rand.NewSource(8)))
+}

@@ -1,0 +1,62 @@
+package sketch
+
+import "math/rand"
+
+// CountMedian is the Count-Median sketch of Cormode and Muthukrishnan
+// (Definition 1 / Theorem 1 of the paper): d independent CM-matrix
+// rows; a point query returns the median over rows of the bucket the
+// queried coordinate hashes into. It achieves the ℓ∞/ℓ1 guarantee
+// ‖x̂−x‖∞ = O(1/k)·Err_1^k(x) with s = Θ(k), d = Θ(log n).
+type CountMedian struct {
+	tb  table
+	buf []float64 // scratch for the per-query median
+
+	pis [][]float64 // cached per-row column counts π (see columns.go)
+}
+
+// NewCountMedian creates a Count-Median sketch with the given shape,
+// drawing hash functions from r.
+func NewCountMedian(cfg Config, r *rand.Rand) *CountMedian {
+	return &CountMedian{tb: newTable(cfg, r), buf: make([]float64, cfg.Depth)}
+}
+
+// Update applies x[i] += delta.
+func (c *CountMedian) Update(i int, delta float64) {
+	c.tb.checkIndex(i)
+	for t := range c.tb.cells {
+		c.tb.cells[t][c.tb.hash.H[t].Hash(uint64(i))] += delta
+	}
+}
+
+// Query estimates x[i] as the median over rows of the hashed bucket.
+func (c *CountMedian) Query(i int) float64 {
+	c.tb.checkIndex(i)
+	for t := range c.tb.cells {
+		c.buf[t] = c.tb.cells[t][c.tb.hash.H[t].Hash(uint64(i))]
+	}
+	return medianOf(c.buf)
+}
+
+// Dim returns the vector dimension n.
+func (c *CountMedian) Dim() int { return c.tb.dim() }
+
+// Words returns the sketch size in 64-bit words.
+func (c *CountMedian) Words() int { return c.tb.words() }
+
+// MergeFrom adds another CountMedian with identical shape and seeds.
+func (c *CountMedian) MergeFrom(other Linear) error {
+	o, ok := other.(*CountMedian)
+	if !ok || !c.tb.sameShape(&o.tb) {
+		return ErrIncompatible
+	}
+	c.tb.mergeFrom(&o.tb)
+	return nil
+}
+
+// Marshal serializes the counter state (not the hash seeds; in the
+// distributed model hash functions are shared up front by the
+// coordinator, §5.5 footnote 4).
+func (c *CountMedian) Marshal() []byte { return c.tb.marshalCells() }
+
+// Unmarshal restores counter state written by Marshal.
+func (c *CountMedian) Unmarshal(b []byte) error { return c.tb.unmarshalCells(b) }

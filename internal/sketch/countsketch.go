@@ -1,0 +1,76 @@
+package sketch
+
+import (
+	"math/rand"
+
+	"repro/internal/hashing"
+)
+
+// CountSketch is the Count-Sketch of Charikar, Chen and Farach-Colton
+// (Definition 2 / Theorem 2 of the paper): each row pairs a bucket
+// hash h_t with a pairwise random sign r_t; updates add r_t(i)·delta
+// and queries take the median over rows of r_t(i)·bucket. It achieves
+// the ℓ∞/ℓ2 guarantee ‖x̂−x‖∞ = O(1/√k)·Err_2^k(x).
+type CountSketch struct {
+	tb    table
+	signs hashing.SignFamily
+	buf   []float64
+
+	psis [][]float64 // cached per-row signed column sums ψ (see columns.go)
+}
+
+// NewCountSketch creates a Count-Sketch with the given shape.
+func NewCountSketch(cfg Config, r *rand.Rand) *CountSketch {
+	tb := newTable(cfg, r)
+	return &CountSketch{
+		tb:    tb,
+		signs: hashing.NewSignFamily(r, cfg.Depth),
+		buf:   make([]float64, cfg.Depth),
+	}
+}
+
+// Update applies x[i] += delta.
+func (c *CountSketch) Update(i int, delta float64) {
+	c.tb.checkIndex(i)
+	u := uint64(i)
+	for t := range c.tb.cells {
+		c.tb.cells[t][c.tb.hash.H[t].Hash(u)] += c.signs.S[t].SignFloat(u) * delta
+	}
+}
+
+// Query estimates x[i] as the median over rows of the signed bucket.
+func (c *CountSketch) Query(i int) float64 {
+	c.tb.checkIndex(i)
+	u := uint64(i)
+	for t := range c.tb.cells {
+		c.buf[t] = c.signs.S[t].SignFloat(u) * c.tb.cells[t][c.tb.hash.H[t].Hash(u)]
+	}
+	return medianOf(c.buf)
+}
+
+// Dim returns the vector dimension n.
+func (c *CountSketch) Dim() int { return c.tb.dim() }
+
+// Words returns the sketch size in 64-bit words.
+func (c *CountSketch) Words() int { return c.tb.words() }
+
+// MergeFrom adds another CountSketch with identical shape and seeds.
+func (c *CountSketch) MergeFrom(other Linear) error {
+	o, ok := other.(*CountSketch)
+	if !ok || !c.tb.sameShape(&o.tb) {
+		return ErrIncompatible
+	}
+	for t := range c.signs.S {
+		if c.signs.S[t] != o.signs.S[t] {
+			return ErrIncompatible
+		}
+	}
+	c.tb.mergeFrom(&o.tb)
+	return nil
+}
+
+// Marshal serializes the counter state.
+func (c *CountSketch) Marshal() []byte { return c.tb.marshalCells() }
+
+// Unmarshal restores counter state written by Marshal.
+func (c *CountSketch) Unmarshal(b []byte) error { return c.tb.unmarshalCells(b) }

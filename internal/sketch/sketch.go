@@ -1,0 +1,117 @@
+// Package sketch implements the classical point-query sketches the
+// paper builds on and compares against: Count-Min, Count-Median
+// (Definition 1, Theorem 1), Count-Sketch (Definition 2, Theorem 2),
+// Count-Min with conservative update (CM-CU), Count-Min-Log with
+// conservative update (CML-CU), and the Deng–Rafiei bias-corrected
+// Count-Min estimator.
+//
+// All sketches consume a stream of (index, delta) updates against an
+// implicit frequency vector x ∈ R^n and answer point queries for
+// individual coordinates. The linear ones (Count-Min, Count-Median,
+// Count-Sketch) additionally support MergeFrom, which makes them
+// directly usable in the distributed model of §1: sites sketch their
+// local vectors and the coordinator sums the sketches.
+package sketch
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sketch is the common interface: a summary of a frequency vector
+// x ∈ R^n supporting point updates and point queries.
+type Sketch interface {
+	// Update applies x[i] += delta. i must be in [0, Dim()).
+	Update(i int, delta float64)
+	// Query returns an estimate of x[i].
+	Query(i int) float64
+	// Dim returns n, the dimension of the summarized vector.
+	Dim() int
+	// Words returns the sketch size in 64-bit words, the x-axis of
+	// every size-versus-accuracy plot in §5.
+	Words() int
+}
+
+// Linear is a sketch with the linearity property Φ(x+y) = Φx + Φy,
+// hence mergeable across distributed sites.
+type Linear interface {
+	Sketch
+	// MergeFrom adds other's sketch state into the receiver. It fails
+	// unless other has the same concrete type, shape, and hash seeds.
+	MergeFrom(other Linear) error
+}
+
+// ErrIncompatible is returned by MergeFrom when the two sketches do
+// not share type, shape, or hash functions.
+var ErrIncompatible = errors.New("sketch: incompatible sketches")
+
+// Recover reconstructs the full estimate vector x̂ by querying every
+// coordinate — the recovery phase R(Φx) of §1.
+func Recover(s Sketch) []float64 {
+	out := make([]float64, s.Dim())
+	for i := range out {
+		out[i] = s.Query(i)
+	}
+	return out
+}
+
+// SketchVector feeds a dense frequency vector into s, one update per
+// non-zero coordinate.
+func SketchVector(s Sketch, x []float64) {
+	if len(x) != s.Dim() {
+		panic(fmt.Sprintf("sketch: vector length %d != sketch dim %d", len(x), s.Dim()))
+	}
+	for i, v := range x {
+		if v != 0 {
+			s.Update(i, v)
+		}
+	}
+}
+
+// Config carries the shared shape parameters of every sketch in this
+// package: the vector dimension n, the row width s (number of buckets
+// per hash function; s = c_s·k in the paper), and the depth d (number
+// of independent rows; Θ(log n) in the theorems, 9–10 in §5.1).
+type Config struct {
+	N     int // dimension of the input vector
+	Rows  int // s, buckets per row
+	Depth int // d, number of rows
+}
+
+// Validate checks the configuration is usable.
+func (c Config) Validate() error {
+	if c.N <= 0 {
+		return fmt.Errorf("sketch: N must be positive, got %d", c.N)
+	}
+	if c.Rows <= 0 {
+		return fmt.Errorf("sketch: Rows must be positive, got %d", c.Rows)
+	}
+	if c.Depth <= 0 {
+		return fmt.Errorf("sketch: Depth must be positive, got %d", c.Depth)
+	}
+	return nil
+}
+
+// medianOf returns the median of buf, reordering buf in place. It uses
+// the paper's Table 1 definition (midpoint average for even length).
+func medianOf(buf []float64) float64 {
+	n := len(buf)
+	if n == 0 {
+		return 0
+	}
+	// Insertion sort: depth d is small (≈10), so this beats sort.Slice
+	// on the query hot path and allocates nothing.
+	for i := 1; i < n; i++ {
+		v := buf[i]
+		j := i - 1
+		for j >= 0 && buf[j] > v {
+			buf[j+1] = buf[j]
+			j--
+		}
+		buf[j+1] = v
+	}
+	if n%2 == 1 {
+		return buf[n/2]
+	}
+	return (buf[n/2-1] + buf[n/2]) / 2
+}

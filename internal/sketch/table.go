@@ -1,0 +1,98 @@
+package sketch
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/hashing"
+)
+
+// table is the d×s counter matrix shared by every hashing-based sketch
+// in this package, together with its row hash functions. It is the
+// in-memory realization of the stacked CM/CS-matrices of Definitions 1
+// and 2: row t holds the sketching vector Π(h_t)x (or Ψ(h_t,r_t)x).
+type table struct {
+	cfg   Config
+	hash  hashing.Family
+	cells [][]float64 // cells[t][b], t < Depth, b < Rows
+}
+
+func newTable(cfg Config, r *rand.Rand) table {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	cells := make([][]float64, cfg.Depth)
+	for t := range cells {
+		cells[t] = make([]float64, cfg.Rows)
+	}
+	return table{cfg: cfg, hash: hashing.NewFamily(r, cfg.Depth, cfg.Rows), cells: cells}
+}
+
+func (tb *table) dim() int   { return tb.cfg.N }
+func (tb *table) words() int { return tb.cfg.Depth * tb.cfg.Rows }
+
+// sameShape reports whether two tables share shape and hash seeds, the
+// precondition for a meaningful merge.
+func (tb *table) sameShape(o *table) bool {
+	if tb.cfg != o.cfg {
+		return false
+	}
+	for t := range tb.hash.H {
+		if tb.hash.H[t] != o.hash.H[t] {
+			return false
+		}
+	}
+	return true
+}
+
+// mergeFrom adds o's cells into tb. Caller must have checked sameShape.
+func (tb *table) mergeFrom(o *table) {
+	for t := range tb.cells {
+		row, orow := tb.cells[t], o.cells[t]
+		for b := range row {
+			row[b] += orow[b]
+		}
+	}
+}
+
+// marshalCells serializes the counter matrix to a byte slice (8 bytes
+// per cell, little endian). Used by the distributed simulation to
+// account communication in bytes.
+func (tb *table) marshalCells() []byte {
+	buf := make([]byte, 8*tb.cfg.Depth*tb.cfg.Rows)
+	off := 0
+	for t := range tb.cells {
+		for _, v := range tb.cells[t] {
+			binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(v))
+			off += 8
+		}
+	}
+	return buf
+}
+
+// unmarshalCells overwrites the counter matrix from marshalCells output.
+func (tb *table) unmarshalCells(buf []byte) error {
+	want := 8 * tb.cfg.Depth * tb.cfg.Rows
+	if len(buf) != want {
+		return fmt.Errorf("sketch: cell payload %d bytes, want %d", len(buf), want)
+	}
+	off := 0
+	for t := range tb.cells {
+		for b := range tb.cells[t] {
+			tb.cells[t][b] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+			off += 8
+		}
+	}
+	return nil
+}
+
+// checkIndex panics on out-of-range coordinate indexes; sketches are
+// internal infrastructure and an out-of-range index is a programmer
+// error, not an input error.
+func (tb *table) checkIndex(i int) {
+	if i < 0 || i >= tb.cfg.N {
+		panic(fmt.Sprintf("sketch: index %d out of range [0,%d)", i, tb.cfg.N))
+	}
+}

@@ -1,0 +1,208 @@
+// Package sketchio serializes sketches to self-describing byte
+// streams: a header naming the algorithm, shape, and seed, followed by
+// the data-dependent state. A loader reconstructs the sketch from the
+// header (rebuilding hash functions, sampled positions, and column
+// sums from the seed — the paper's shared-randomness protocol, §5.5
+// footnote 4) and then restores the state, so a coordinator can
+// receive site sketches over any byte transport.
+package sketchio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/sketch"
+)
+
+// magic identifies the format; bump the version byte on change.
+const magic = "BAS1"
+
+// Stateful is the capture/restore surface a sketch must offer to be
+// serializable. The bias-aware sketches implement it via
+// MarshalState/UnmarshalState; the linear baselines via
+// Marshal/Unmarshal (adapted below).
+type Stateful interface {
+	MarshalState() []byte
+	UnmarshalState([]byte) error
+}
+
+// Desc describes how to reconstruct a sketch: the bench.Make
+// constructor arguments. Two processes exchanging sketches must agree
+// on it, exactly as they must agree on hash functions in the paper.
+type Desc struct {
+	Algo string
+	N    int
+	S    int
+	D    int
+	Seed int64
+}
+
+// Save writes desc and sk's state to w.
+func Save(w io.Writer, desc Desc, sk sketch.Sketch) error {
+	st, err := stateful(sk)
+	if err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, magic); err != nil {
+		return err
+	}
+	name := []byte(desc.Algo)
+	hdr := make([]byte, 4+len(name)+8*4)
+	binary.LittleEndian.PutUint32(hdr, uint32(len(name)))
+	copy(hdr[4:], name)
+	off := 4 + len(name)
+	for _, v := range []uint64{uint64(desc.N), uint64(desc.S), uint64(desc.D), uint64(desc.Seed)} {
+		binary.LittleEndian.PutUint64(hdr[off:], v)
+		off += 8
+	}
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	payload := st.MarshalState()
+	var plen [8]byte
+	binary.LittleEndian.PutUint64(plen[:], uint64(len(payload)))
+	if _, err := w.Write(plen[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(payload)
+	return err
+}
+
+// Load reads a sketch written by Save, reconstructing it via
+// bench.Make and restoring its state.
+func Load(r io.Reader) (sketch.Sketch, Desc, error) {
+	var desc Desc
+	head := make([]byte, 4)
+	if _, err := io.ReadFull(r, head); err != nil {
+		return nil, desc, fmt.Errorf("sketchio: reading magic: %w", err)
+	}
+	if string(head) != magic {
+		return nil, desc, fmt.Errorf("sketchio: bad magic %q", head)
+	}
+	var nameLen [4]byte
+	if _, err := io.ReadFull(r, nameLen[:]); err != nil {
+		return nil, desc, err
+	}
+	nl := binary.LittleEndian.Uint32(nameLen[:])
+	if nl > 256 {
+		return nil, desc, fmt.Errorf("sketchio: implausible algorithm name length %d", nl)
+	}
+	name := make([]byte, nl)
+	if _, err := io.ReadFull(r, name); err != nil {
+		return nil, desc, err
+	}
+	nums := make([]byte, 8*4)
+	if _, err := io.ReadFull(r, nums); err != nil {
+		return nil, desc, err
+	}
+	desc = Desc{
+		Algo: string(name),
+		N:    int(binary.LittleEndian.Uint64(nums)),
+		S:    int(binary.LittleEndian.Uint64(nums[8:])),
+		D:    int(binary.LittleEndian.Uint64(nums[16:])),
+		Seed: int64(binary.LittleEndian.Uint64(nums[24:])),
+	}
+	known := false
+	for _, a := range bench.All {
+		if a == desc.Algo {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return nil, desc, fmt.Errorf("sketchio: unknown algorithm %q", desc.Algo)
+	}
+	if err := desc.validate(); err != nil {
+		return nil, desc, err
+	}
+
+	var plen [8]byte
+	if _, err := io.ReadFull(r, plen[:]); err != nil {
+		return nil, desc, err
+	}
+	pl := binary.LittleEndian.Uint64(plen[:])
+	// The state of any serializable sketch is at most (D+2)·S cells
+	// plus estimator floats; anything bigger is corrupt, and the bound
+	// keeps hostile headers from forcing huge allocations.
+	if max := uint64(8*(desc.D+2)*desc.S + 4096); pl > max {
+		return nil, desc, fmt.Errorf("sketchio: payload length %d exceeds shape bound %d", pl, max)
+	}
+	payload := make([]byte, pl)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, desc, err
+	}
+	sk, err := safeMake(desc)
+	if err != nil {
+		return nil, desc, err
+	}
+	st, err := stateful(sk)
+	if err != nil {
+		return nil, desc, err
+	}
+	if err := st.UnmarshalState(payload); err != nil {
+		return nil, desc, err
+	}
+	return sk, desc, nil
+}
+
+// validate bounds the header fields before they reach a constructor —
+// payloads come from the network and must not be able to panic or
+// exhaust memory here.
+func (d Desc) validate() error {
+	if d.N < 1 || d.N > 1<<26 {
+		return fmt.Errorf("sketchio: implausible dimension %d", d.N)
+	}
+	if d.S < 4 || d.S > 1<<22 {
+		return fmt.Errorf("sketchio: implausible row width %d", d.S)
+	}
+	if d.D < 1 || d.D > 64 {
+		return fmt.Errorf("sketchio: implausible depth %d", d.D)
+	}
+	if d.S*d.D > 1<<24 {
+		return fmt.Errorf("sketchio: implausible table size %d cells", d.S*d.D)
+	}
+	if d.Seed < 0 {
+		return fmt.Errorf("sketchio: negative seed")
+	}
+	return nil
+}
+
+// safeMake converts any residual constructor panic (e.g. a parameter
+// combination a particular algorithm rejects) into an error.
+func safeMake(d Desc) (sk sketch.Sketch, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("sketchio: constructing %s: %v", d.Algo, r)
+		}
+	}()
+	return bench.Make(d.Algo, d.N, d.S, d.D, d.Seed), nil
+}
+
+// stateful adapts the concrete sketch types to the Stateful surface.
+func stateful(sk sketch.Sketch) (Stateful, error) {
+	switch s := sk.(type) {
+	case *core.L1SR:
+		return s, nil
+	case *core.L2SR:
+		return s, nil
+	case *sketch.CountMedian:
+		return marshalAdapter{s.Marshal, s.Unmarshal}, nil
+	case *sketch.CountSketch:
+		return marshalAdapter{s.Marshal, s.Unmarshal}, nil
+	case *sketch.CountMin:
+		return marshalAdapter{s.Marshal, s.Unmarshal}, nil
+	default:
+		return nil, fmt.Errorf("sketchio: %T is not serializable (conservative-update sketches are not linear and are not shipped between sites)", sk)
+	}
+}
+
+type marshalAdapter struct {
+	m func() []byte
+	u func([]byte) error
+}
+
+func (a marshalAdapter) MarshalState() []byte          { return a.m() }
+func (a marshalAdapter) UnmarshalState(b []byte) error { return a.u(b) }

@@ -1,0 +1,138 @@
+package sketchio
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/sketch"
+)
+
+func roundTrip(t *testing.T, algo string) {
+	t.Helper()
+	desc := Desc{Algo: algo, N: 20000, S: 256, D: 7, Seed: 99}
+	orig := bench.Make(desc.Algo, desc.N, desc.S, desc.D, desc.Seed)
+	r := rand.New(rand.NewSource(1))
+	for u := 0; u < 30000; u++ {
+		orig.Update(r.Intn(desc.N), float64(1+r.Intn(5)))
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, desc, orig); err != nil {
+		t.Fatalf("%s: Save: %v", algo, err)
+	}
+	loaded, gotDesc, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("%s: Load: %v", algo, err)
+	}
+	if gotDesc != desc {
+		t.Fatalf("%s: desc round-trip %+v != %+v", algo, gotDesc, desc)
+	}
+	for i := 0; i < desc.N; i += 97 {
+		if a, b := orig.Query(i), loaded.Query(i); math.Abs(a-b) > 1e-9 {
+			t.Fatalf("%s: query %d: %f != %f", algo, i, a, b)
+		}
+	}
+}
+
+func TestRoundTripAllSerializable(t *testing.T) {
+	for _, algo := range []string{
+		bench.AlgoL1SR, bench.AlgoL2SR, bench.AlgoL1Mean, bench.AlgoL2Mean,
+		bench.AlgoCM, bench.AlgoCS, bench.AlgoCntMin,
+	} {
+		roundTrip(t, algo)
+	}
+}
+
+func TestConservativeUpdateNotSerializable(t *testing.T) {
+	sk := bench.Make(bench.AlgoCMCU, 100, 16, 3, 1)
+	var buf bytes.Buffer
+	err := Save(&buf, Desc{Algo: bench.AlgoCMCU, N: 100, S: 16, D: 3, Seed: 1}, sk)
+	if err == nil || !strings.Contains(err.Error(), "not serializable") {
+		t.Errorf("CM-CU should refuse to serialize, got %v", err)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":     nil,
+		"bad magic": []byte("NOPE0000"),
+		"truncated": append([]byte(magic), 1, 0, 0),
+	}
+	for name, b := range cases {
+		if _, _, err := Load(bytes.NewReader(b)); err == nil {
+			t.Errorf("%s: Load should fail", name)
+		}
+	}
+}
+
+func TestLoadRejectsUnknownAlgo(t *testing.T) {
+	// Hand-craft a header with a bogus algorithm name.
+	var buf bytes.Buffer
+	desc := Desc{Algo: bench.AlgoCM, N: 100, S: 16, D: 3, Seed: 5}
+	sk := bench.Make(desc.Algo, desc.N, desc.S, desc.D, desc.Seed)
+	if err := Save(&buf, desc, sk); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// The algorithm name "CM" begins at offset 8; corrupt it.
+	raw[8] = 'Z'
+	if _, _, err := Load(bytes.NewReader(raw)); err == nil {
+		t.Error("corrupted algorithm name should fail")
+	}
+}
+
+func TestStatePayloadTamperDetected(t *testing.T) {
+	var buf bytes.Buffer
+	desc := Desc{Algo: bench.AlgoL2SR, N: 1000, S: 64, D: 3, Seed: 2}
+	sk := bench.Make(desc.Algo, desc.N, desc.S, desc.D, desc.Seed)
+	if err := Save(&buf, desc, sk); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Truncate the payload: Load must error, not panic.
+	if _, _, err := Load(bytes.NewReader(raw[:len(raw)-4])); err == nil {
+		t.Error("truncated payload should fail")
+	}
+}
+
+// The distributed flow end to end: two sites serialize, a coordinator
+// loads and merges, and the result matches the centralized sketch.
+func TestShipAndMerge(t *testing.T) {
+	desc := Desc{Algo: bench.AlgoCS, N: 5000, S: 128, D: 7, Seed: 11}
+	mk := func() sketch.Sketch { return bench.Make(desc.Algo, desc.N, desc.S, desc.D, desc.Seed) }
+	siteA, siteB, central := mk(), mk(), mk()
+	r := rand.New(rand.NewSource(12))
+	for u := 0; u < 20000; u++ {
+		i, d := r.Intn(desc.N), float64(r.Intn(9)-2)
+		central.Update(i, d)
+		if u%2 == 0 {
+			siteA.Update(i, d)
+		} else {
+			siteB.Update(i, d)
+		}
+	}
+	ship := func(s sketch.Sketch) sketch.Sketch {
+		var buf bytes.Buffer
+		if err := Save(&buf, desc, s); err != nil {
+			t.Fatal(err)
+		}
+		loaded, _, err := Load(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return loaded
+	}
+	a := ship(siteA).(*sketch.CountSketch)
+	b := ship(siteB).(*sketch.CountSketch)
+	if err := a.MergeFrom(b); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < desc.N; i += 53 {
+		if x, y := central.Query(i), a.Query(i); math.Abs(x-y) > 1e-9 {
+			t.Fatalf("query %d: central %f shipped-merged %f", i, x, y)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package vecmath
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// vectorFromBytes decodes a fuzz payload into a bounded float vector.
+func vectorFromBytes(data []byte) []float64 {
+	n := len(data) / 2
+	if n == 0 || n > 64 {
+		return nil
+	}
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		v := int16(binary.LittleEndian.Uint16(data[2*i:]))
+		x[i] = float64(v)
+	}
+	return x
+}
+
+// FuzzMinBetaErrK cross-checks the sliding-window optimum against the
+// quadratic brute force on arbitrary integer vectors.
+func FuzzMinBetaErrK(f *testing.F) {
+	f.Add([]byte{1, 0, 2, 0, 3, 0, 4, 0}, uint8(1))
+	f.Add([]byte{255, 255, 0, 0, 7, 0}, uint8(0))
+	f.Fuzz(func(t *testing.T, data []byte, kRaw uint8) {
+		x := vectorFromBytes(data)
+		if x == nil {
+			t.Skip()
+		}
+		k := int(kRaw) % len(x)
+		for _, p := range []int{1, 2} {
+			_, got := MinBetaErrK(x, k, p)
+			want := bruteMinBeta(x, k, p)
+			if math.Abs(got-want) > 1e-6*(1+want) {
+				t.Fatalf("p=%d k=%d x=%v: MinBetaErrK=%g brute=%g", p, k, x, got, want)
+			}
+		}
+	})
+}
+
+// FuzzErrKInvariants checks structural invariants of the tail error on
+// arbitrary inputs: symmetry under negation, monotonicity in k, and
+// the ordering Err2 <= Err1.
+func FuzzErrKInvariants(f *testing.F) {
+	f.Add([]byte{10, 0, 20, 0, 30, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		x := vectorFromBytes(data)
+		if x == nil {
+			t.Skip()
+		}
+		neg := make([]float64, len(x))
+		for i, v := range x {
+			neg[i] = -v
+		}
+		prev1, prev2 := math.Inf(1), math.Inf(1)
+		for k := 0; k <= len(x); k++ {
+			e1, e2 := ErrK(x, k, 1), ErrK(x, k, 2)
+			if e1 > prev1+1e-9 || e2 > prev2+1e-9 {
+				t.Fatalf("ErrK not monotone at k=%d", k)
+			}
+			prev1, prev2 = e1, e2
+			if e2 > e1+1e-9 {
+				t.Fatalf("Err2 %g > Err1 %g at k=%d", e2, e1, k)
+			}
+			if n1 := ErrK(neg, k, 1); math.Abs(n1-e1) > 1e-9 {
+				t.Fatalf("ErrK not negation-symmetric at k=%d", k)
+			}
+		}
+	})
+}
+
+// FuzzMultiBias checks the DP against the m=1 closed form and
+// monotonicity in m.
+func FuzzMultiBias(f *testing.F) {
+	f.Add([]byte{5, 0, 5, 0, 9, 0, 1, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		x := vectorFromBytes(data)
+		if x == nil || len(x) > 40 {
+			t.Skip()
+		}
+		for _, p := range []int{1, 2} {
+			_, want := MinBetaErrK(x, 0, p)
+			got := MinMultiBiasErr(x, 1, p)
+			if math.Abs(got-want) > 1e-6*(1+want) {
+				t.Fatalf("p=%d m=1: %g != %g", p, got, want)
+			}
+			prev := math.Inf(1)
+			for m := 1; m <= 4 && m <= len(x); m++ {
+				c := MinMultiBiasErr(x, m, p)
+				if c > prev+1e-9 {
+					t.Fatalf("p=%d: cost increased at m=%d", p, m)
+				}
+				prev = c
+			}
+		}
+	})
+}

@@ -1,0 +1,98 @@
+package vecmath
+
+import (
+	"math"
+	"sort"
+)
+
+// This file quantifies Remark 1 of the paper: allowing m > 1 bias
+// values cannot be supported by any o(n)-size sketch (each coordinate
+// would need to remember which bias was subtracted), but the *offline*
+// optimum is computable and tells you how much a second bias value
+// would have bought on a given dataset. MinMultiBiasErr computes it by
+// dynamic programming over the sorted coordinates: for ℓp costs the
+// optimal assignment partitions the sorted order into m contiguous
+// segments, each using its own optimal bias (median for p=1, mean for
+// p=2).
+
+// MinMultiBiasErr returns the minimum over m bias values β₁..β_m and
+// assignments of ‖x − β_{a(·)}‖_p — i.e. Err with an m-level bias and
+// no dropped outliers (k = 0; combine with ErrK-style dropping by
+// preprocessing if needed). p must be 1 or 2. m is clamped to [1, n].
+//
+// Complexity O(n²·m) time, O(n·m) space — an offline analysis tool,
+// not a sketch component.
+func MinMultiBiasErr(x []float64, m, p int) float64 {
+	if p != 1 && p != 2 {
+		panic("vecmath: MinMultiBiasErr requires p == 1 or p == 2")
+	}
+	n := len(x)
+	if n == 0 {
+		return 0
+	}
+	if m < 1 {
+		m = 1
+	}
+	if m > n {
+		m = n
+	}
+	sorted := append([]float64(nil), x...)
+	sort.Float64s(sorted)
+	// Center for numerical stability (cf. MinBetaErrK).
+	c := sorted[n/2]
+	for i := range sorted {
+		sorted[i] -= c
+	}
+
+	pre := make([]float64, n+1)
+	pre2 := make([]float64, n+1)
+	for i, v := range sorted {
+		pre[i+1] = pre[i] + v
+		pre2[i+1] = pre2[i] + v*v
+	}
+	// segCost(l, r) = optimal single-bias ℓp^p cost of sorted[l:r]
+	// (sum of |·| for p=1, sum of squares for p=2, so costs add).
+	segCost := func(l, r int) float64 {
+		w := r - l
+		if w <= 1 {
+			return 0
+		}
+		if p == 2 {
+			sum := pre[r] - pre[l]
+			ss := pre2[r] - pre2[l] - sum*sum/float64(w)
+			if ss < 0 {
+				ss = 0
+			}
+			return ss
+		}
+		h := w / 2
+		upper := pre[r] - pre[r-h]
+		lower := pre[l+h] - pre[l]
+		return upper - lower
+	}
+
+	// dp[j][i] = best cost of covering sorted[:i] with j segments.
+	prev := make([]float64, n+1)
+	cur := make([]float64, n+1)
+	for i := 1; i <= n; i++ {
+		prev[i] = segCost(0, i)
+	}
+	for j := 2; j <= m; j++ {
+		cur[0] = 0
+		for i := 1; i <= n; i++ {
+			best := math.Inf(1)
+			for l := j - 1; l <= i; l++ {
+				if c := prev[l] + segCost(l, i); c < best {
+					best = c
+				}
+			}
+			cur[i] = best
+		}
+		prev, cur = cur, prev
+	}
+	total := prev[n]
+	if p == 2 {
+		return math.Sqrt(total)
+	}
+	return total
+}

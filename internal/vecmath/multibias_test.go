@@ -1,0 +1,183 @@
+package vecmath
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMultiBiasPaperRemark1Example(t *testing.T) {
+	// Remark 1's vector: two natural levels 50 and 100 with outliers
+	// 200 and 10.
+	y := []float64{200, 100, 50, 50, 50, 50, 100, 100, 100, 10}
+	one := MinMultiBiasErr(y, 1, 1)
+	two := MinMultiBiasErr(y, 2, 1)
+	three := MinMultiBiasErr(y, 3, 1)
+	if !(two < one) {
+		t.Errorf("two biases (%f) should beat one (%f)", two, one)
+	}
+	if !(three <= two) {
+		t.Errorf("three biases (%f) should not lose to two (%f)", three, two)
+	}
+}
+
+func TestMultiBiasSingleMatchesErrK0(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + r.Intn(40)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.NormFloat64() * 20
+		}
+		for _, p := range []int{1, 2} {
+			_, want := MinBetaErrK(x, 0, p)
+			got := MinMultiBiasErr(x, 1, p)
+			if !almostEq(got, want, 1e-9) {
+				t.Fatalf("trial %d p=%d: m=1 cost %f != MinBetaErrK %f", trial, p, got, want)
+			}
+		}
+	}
+}
+
+func TestMultiBiasPerfectBimodal(t *testing.T) {
+	// Exactly two levels → zero cost with m=2 but large with m=1.
+	x := []float64{10, 10, 10, 500, 500, 500}
+	for _, p := range []int{1, 2} {
+		if got := MinMultiBiasErr(x, 2, p); got > 1e-9 {
+			t.Errorf("p=%d: bimodal m=2 cost %f, want 0", p, got)
+		}
+		if got := MinMultiBiasErr(x, 1, p); got < 100 {
+			t.Errorf("p=%d: bimodal m=1 cost %f should be large", p, got)
+		}
+	}
+}
+
+func TestMultiBiasMonotoneInM(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	x := make([]float64, 60)
+	for i := range x {
+		x[i] = math.Round(r.NormFloat64() * 30)
+	}
+	for _, p := range []int{1, 2} {
+		prev := math.Inf(1)
+		for m := 1; m <= 10; m++ {
+			got := MinMultiBiasErr(x, m, p)
+			if got > prev+1e-9 {
+				t.Fatalf("p=%d: cost increased at m=%d: %f > %f", p, m, got, prev)
+			}
+			prev = got
+		}
+	}
+}
+
+func TestMultiBiasDegenerate(t *testing.T) {
+	if MinMultiBiasErr(nil, 2, 1) != 0 {
+		t.Error("empty vector should cost 0")
+	}
+	if MinMultiBiasErr([]float64{5}, 1, 2) != 0 {
+		t.Error("single coordinate should cost 0")
+	}
+	x := []float64{1, 7, 9}
+	if MinMultiBiasErr(x, 99, 1) != 0 {
+		t.Error("m >= n should cost 0")
+	}
+	if MinMultiBiasErr(x, -1, 1) != MinMultiBiasErr(x, 1, 1) {
+		t.Error("m < 1 should clamp to 1")
+	}
+}
+
+func TestMultiBiasPanicsOnBadP(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MinMultiBiasErr([]float64{1}, 1, 3)
+}
+
+// Brute force m=2 reference: try every split of the sorted order.
+func TestMultiBiasTwoMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + r.Intn(25)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = math.Round(r.NormFloat64() * 40)
+		}
+		sorted := append([]float64(nil), x...)
+		sortFloats(sorted)
+		for _, p := range []int{1, 2} {
+			best := math.Inf(1)
+			for cut := 1; cut < n; cut++ {
+				c := segCostRef(sorted[:cut], p) + segCostRef(sorted[cut:], p)
+				if c < best {
+					best = c
+				}
+			}
+			if p == 2 {
+				best = math.Sqrt(best)
+			}
+			got := MinMultiBiasErr(x, 2, p)
+			if !almostEq(got, best, 1e-8) {
+				t.Fatalf("trial %d p=%d: DP %f != brute %f", trial, p, got, best)
+			}
+		}
+	}
+}
+
+func segCostRef(w []float64, p int) float64 {
+	if len(w) == 0 {
+		return 0
+	}
+	var cost float64
+	if p == 1 {
+		med := MedianSorted(w)
+		for _, v := range w {
+			cost += math.Abs(v - med)
+		}
+	} else {
+		mu := Mean(w)
+		for _, v := range w {
+			cost += (v - mu) * (v - mu)
+		}
+	}
+	return cost
+}
+
+func sortFloats(x []float64) {
+	for i := 1; i < len(x); i++ {
+		v := x[i]
+		j := i - 1
+		for j >= 0 && x[j] > v {
+			x[j+1] = x[j]
+			j--
+		}
+		x[j+1] = v
+	}
+}
+
+// Property: adding a constant shift never changes multi-bias cost.
+func TestMultiBiasShiftInvariantProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(30)
+		m := 1 + r.Intn(4)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		shift := r.NormFloat64() * 1000
+		for i := range x {
+			x[i] = r.NormFloat64() * 25
+			y[i] = x[i] + shift
+		}
+		for _, p := range []int{1, 2} {
+			if !almostEq(MinMultiBiasErr(x, m, p), MinMultiBiasErr(y, m, p), 1e-7) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

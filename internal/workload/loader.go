@@ -1,0 +1,53 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ReadVector parses a frequency vector from r, one float per line
+// (blank lines skipped) — the format written by cmd/datagen. It fails
+// on unparsable lines and on empty input.
+func ReadVector(r io.Reader) ([]float64, error) {
+	var x []float64
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		s := strings.TrimSpace(sc.Text())
+		if s == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: parse %q: %w", line, s, err)
+		}
+		x = append(x, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(x) == 0 {
+		return nil, fmt.Errorf("workload: empty vector")
+	}
+	return x, nil
+}
+
+// ReadVectorFile opens path and parses it with ReadVector.
+func ReadVectorFile(path string) ([]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	x, err := ReadVector(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return x, nil
+}
