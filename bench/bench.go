@@ -1,0 +1,18 @@
+// Package bench is the public face of the figure-regeneration harness
+// behind cmd/biasrepro: one entry per figure of the paper's §5 (plus
+// the prose-only comparisons), each producing printable tables. The
+// types are aliases of the internal harness so external tooling can
+// drive the same experiments without importing repro/internal/....
+package bench
+
+import "repro/internal/bench"
+
+// Config scales and seeds a figure run.
+type Config = bench.Config
+
+// Table is one printable sub-figure: algorithms × sweep points.
+type Table = bench.Table
+
+// Figures maps figure number (1–9 from the paper, 10–13 for the
+// prose-only comparisons) to its generator.
+var Figures = bench.Figures

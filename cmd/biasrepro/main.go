@@ -21,7 +21,7 @@ import (
 	"sort"
 	"time"
 
-	"repro/internal/bench"
+	"repro/bench"
 )
 
 func main() {

@@ -21,7 +21,7 @@ import (
 	"os"
 	"strconv"
 
-	"repro/internal/workload"
+	"repro/workload"
 )
 
 func main() {

@@ -7,7 +7,7 @@ import (
 	"strings"
 	"testing"
 
-	"repro/internal/workload"
+	"repro/workload"
 )
 
 func TestRunEmitsVectorToStdout(t *testing.T) {

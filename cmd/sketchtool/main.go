@@ -8,9 +8,10 @@
 //	sketchtool -in data.txt -algo l2sr [-s 4096] [-d 9] [-seed 1] \
 //	           [-query 3,17,99] [-stats] [-save sketch.bin]
 //
-// Algorithms: l1sr, l2sr, l1mean, l2mean, cm (Count-Median), cs
-// (Count-Sketch), cmcu, cmlcu, countmin, dengrafiei. -save writes the
-// sketch in the sketchio wire format (linear sketches only).
+// Algorithms are the repro.New registry names (l1sr, l2sr, l1mean,
+// l2mean, countmin, countmedian, countsketch, cmcu, cmlcu, dengrafiei)
+// or the paper's legend aliases (cm, cs, ...). -save writes the sketch
+// in the repro wire format; repro.UnmarshalFrom loads it back.
 package main
 
 import (
@@ -21,25 +22,9 @@ import (
 	"strconv"
 	"strings"
 
-	"repro/internal/bench"
-	"repro/internal/sketch"
-	"repro/internal/sketchio"
-	"repro/internal/vecmath"
-	"repro/internal/workload"
+	"repro"
+	"repro/workload"
 )
-
-var algoNames = map[string]string{
-	"l1sr":       bench.AlgoL1SR,
-	"l2sr":       bench.AlgoL2SR,
-	"l1mean":     bench.AlgoL1Mean,
-	"l2mean":     bench.AlgoL2Mean,
-	"cm":         bench.AlgoCM,
-	"cs":         bench.AlgoCS,
-	"cmcu":       bench.AlgoCMCU,
-	"cmlcu":      bench.AlgoCMLCU,
-	"countmin":   bench.AlgoCntMin,
-	"dengrafiei": bench.AlgoDeng,
-}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -51,21 +36,17 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("sketchtool", flag.ContinueOnError)
 	in := fs.String("in", "", "input vector file (one value per line)")
-	algo := fs.String("algo", "l2sr", "algorithm")
+	algo := fs.String("algo", "l2sr", "algorithm (see repro.Algorithms)")
 	s := fs.Int("s", 4096, "buckets per row")
 	d := fs.Int("d", 9, "depth")
 	seed := fs.Int64("seed", 1, "random seed")
 	query := fs.String("query", "", "comma-separated coordinate indexes to query")
 	stats := fs.Bool("stats", false, "report avg/max recovery error and compression")
-	save := fs.String("save", "", "write the sketch to this file (sketchio format)")
+	save := fs.String("save", "", "write the sketch to this file (repro wire format)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	name, ok := algoNames[*algo]
-	if !ok {
-		return fmt.Errorf("unknown algorithm %q", *algo)
-	}
 	if *in == "" {
 		return fmt.Errorf("-in is required")
 	}
@@ -74,10 +55,16 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	sk := bench.Make(name, len(x), *s, *d, *seed)
-	sketch.SketchVector(sk, x)
+	sk, err := repro.New(*algo,
+		repro.WithDim(len(x)), repro.WithWords(*s), repro.WithDepth(*d), repro.WithSeed(*seed))
+	if err != nil {
+		return err
+	}
+	if err := repro.SketchVector(sk, x); err != nil {
+		return err
+	}
 	fmt.Fprintf(out, "sketched %s: n=%d words=%d (%.1fx compression)\n",
-		name, len(x), sk.Words(), float64(len(x))/float64(sk.Words()))
+		sk.Algo(), len(x), sk.Words(), float64(len(x))/float64(sk.Words()))
 
 	if *query != "" {
 		for _, tok := range strings.Split(*query, ",") {
@@ -89,9 +76,9 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	if *stats {
-		xhat := sketch.Recover(sk)
+		xhat := repro.Recover(sk)
 		fmt.Fprintf(out, "avg error = %g\nmax error = %g\n",
-			vecmath.AvgAbsErr(x, xhat), vecmath.MaxAbsErr(x, xhat))
+			repro.AvgAbsErr(x, xhat), repro.MaxAbsErr(x, xhat))
 	}
 	if *save != "" {
 		f, err := os.Create(*save)
@@ -99,8 +86,7 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		defer f.Close()
-		desc := sketchio.Desc{Algo: name, N: len(x), S: *s, D: *d, Seed: *seed}
-		if err := sketchio.Save(f, desc, sk); err != nil {
+		if err := repro.MarshalTo(f, sk); err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "saved sketch to %s\n", *save)

@@ -7,7 +7,7 @@ import (
 	"strings"
 	"testing"
 
-	"repro/internal/sketchio"
+	"repro"
 )
 
 func writeVector(t *testing.T, vals string) string {
@@ -29,7 +29,7 @@ func TestRunQueriesAndStats(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := out.String()
-	for _, want := range []string{"sketched l2-S/R", "x[0]:", "x[3]: exact=500", "avg error", "max error"} {
+	for _, want := range []string{"sketched l2sr", "x[0]:", "x[3]: exact=500", "avg error", "max error"} {
 		if !strings.Contains(s, want) {
 			t.Errorf("output missing %q:\n%s", want, s)
 		}
@@ -65,12 +65,12 @@ func TestRunSaveProducesLoadableSketch(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer f.Close()
-	sk, desc, err := sketchio.Load(f)
+	sk, err := repro.UnmarshalFrom(f)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if desc.N != 200 || desc.S != 16 {
-		t.Errorf("desc = %+v", desc)
+	if sk.Algo() != "countsketch" || sk.Dim() != 200 {
+		t.Errorf("loaded algo=%s dim=%d, want countsketch/200", sk.Algo(), sk.Dim())
 	}
 	if got := sk.Query(5); got < 50 || got > 150 {
 		t.Errorf("loaded sketch Query(5) = %f, want ≈100", got)
@@ -79,9 +79,15 @@ func TestRunSaveProducesLoadableSketch(t *testing.T) {
 
 func TestRunAllAlgoNamesConstructible(t *testing.T) {
 	path := writeVector(t, strings.Repeat("7\n", 100))
-	for short := range algoNames {
-		if err := run([]string{"-in", path, "-algo", short, "-s", "8", "-d", "2"}, &bytes.Buffer{}); err != nil {
-			t.Errorf("algo %s: %v", short, err)
+	for _, name := range repro.Algorithms() {
+		if err := run([]string{"-in", path, "-algo", name, "-s", "8", "-d", "2"}, &bytes.Buffer{}); err != nil {
+			t.Errorf("algo %s: %v", name, err)
+		}
+	}
+	// The paper's legend names stay accepted as aliases.
+	for _, alias := range []string{"cm", "cs", "CM-CU", "l2-S/R", "Deng-Rafiei"} {
+		if err := run([]string{"-in", path, "-algo", alias, "-s", "8", "-d", "2"}, &bytes.Buffer{}); err != nil {
+			t.Errorf("alias %s: %v", alias, err)
 		}
 	}
 }

@@ -1,5 +1,6 @@
 // Package repro is a from-scratch Go reproduction of "Bias-Aware
-// Sketches" (Jiecao Chen and Qin Zhang, PVLDB 10(9), VLDB 2017).
+// Sketches" (Jiecao Chen and Qin Zhang, PVLDB 10(9), VLDB 2017) — and
+// a production-shaped library around it.
 //
 // The paper's contribution — the ℓ1-S/R and ℓ2-S/R bias-aware linear
 // sketches with the guarantee
@@ -11,11 +12,42 @@
 // related system it discusses (Deng–Rafiei, BOMP, Counter Braids) is
 // implemented alongside, with the streaming and distributed execution
 // substrates, synthetic equivalents of the seven evaluation datasets,
-// and a benchmark harness (internal/bench, cmd/biasrepro) that
-// regenerates every figure of the paper's §5.
+// and a benchmark harness (cmd/biasrepro) that regenerates every
+// figure of the paper's §5.
 //
-// Start with README.md for usage, DESIGN.md for the system inventory
-// and dataset substitutions, and EXPERIMENTS.md for paper-versus-
-// measured results. The runnable entry points are the examples/
-// programs and the three commands under cmd/.
+// # Public API
+//
+// This package is the facade over all of it. One registry constructs
+// every algorithm by canonical name through a single functional-
+// options constructor:
+//
+//	sk, err := repro.New("l2sr",
+//	    repro.WithDim(1_000_000),  // n, required
+//	    repro.WithWords(16_384),   // s, per-row word budget
+//	    repro.WithDepth(9),        // d, independent repetitions
+//	    repro.WithSeed(42),        // shared-randomness seed
+//	)
+//
+// Algorithms: l1sr, l2sr, l1mean, l2mean, countmin, countmedian,
+// countsketch, cmcu, cmlcu, dengrafiei, exact (the ground-truth dense
+// vector); the paper's legend names ("l2-S/R", "CM-CU", …) are
+// accepted aliases. All follow the paper's equal-words protocol, so at
+// one (words, depth) setting every algorithm costs the same memory.
+//
+// Capabilities are layered as interfaces — Sketch (update/query),
+// Linear (adds Merge), Serializable (adds the wire format), Biased
+// (adds the β̂ estimate) — and as package-level helpers returning typed
+// errors where a capability is absent: Merge (ErrNotLinear on the
+// conservative-update sketches), Marshal/Unmarshal (the
+// self-describing wire format of §5.5's shared-randomness protocol),
+// Recover, Bias, Scan and TopK (deviation heavy hitters), NewSharded
+// (contention-free concurrent ingestion), and NewRange (dyadic range
+// sums and quantiles).
+//
+// The subpackages repro/workload (the §5.1 synthetic datasets) and
+// repro/bench (the figure harness) complete the public surface;
+// everything under internal/ is an implementation detail.
+//
+// Start with README.md for usage; the runnable entry points are the
+// examples/ programs and the three commands under cmd/.
 package repro

@@ -2,19 +2,15 @@
 // query — range sums and quantiles — answered from a dyadic stack of
 // bias-aware sketches over a day of WorldCup-like traffic, plus top-k
 // deviation outliers. One pass over the data, one sketch, many query
-// types.
+// types, all through the public repro API.
 package main
 
 import (
 	"fmt"
 	"math/rand"
 
-	"repro/internal/core"
-	"repro/internal/heavyhitter"
-	"repro/internal/rangequery"
-	"repro/internal/sketch"
-	"repro/internal/stream"
-	"repro/internal/workload"
+	"repro"
+	"repro/workload"
 )
 
 func main() {
@@ -29,13 +25,16 @@ func main() {
 	// every level discovering its own block-scaled bias. This is the
 	// standard engineering of dyadic sketches — spend words where the
 	// dimension is, not where the mass is.
-	factory := func(_, size int, rr *rand.Rand) rangequery.PointSketch {
+	rq, err := repro.NewRange(n, func(_, size int, seed int64) repro.Sketch {
 		if size <= 4096 {
-			return stream.NewExact(size)
+			return repro.Exact(size)
 		}
-		return core.NewL2SR(core.L2Config{N: size, K: 512, UseBiasHeap: true}, rr)
+		return repro.MustNew("l2sr",
+			repro.WithDim(size), repro.WithWords(2048), repro.WithSeed(seed))
+	}, 2)
+	if err != nil {
+		panic(err)
 	}
-	rq := rangequery.New(n, factory, rand.New(rand.NewSource(2)))
 	for i, v := range x {
 		rq.Update(i, v)
 	}
@@ -64,12 +63,16 @@ func main() {
 
 	// Deviation heavy hitters from a flat (non-dyadic) sketch: the
 	// burst seconds.
-	l2 := core.NewL2SR(core.L2Config{N: n, K: 1024, UseBiasHeap: true},
-		rand.New(rand.NewSource(3)))
-	sketch.SketchVector(l2, x)
+	l2 := repro.MustNew("l2sr",
+		repro.WithDim(n), repro.WithWords(4096), repro.WithSeed(3)).(repro.Biased)
+	repro.SketchVector(l2, x)
 	fmt.Printf("\nbase traffic level (bias): %.1f req/s\n", l2.Bias())
 	fmt.Println("top burst seconds (deviation heavy hitters):")
-	for _, d := range heavyhitter.TopK(l2, 5) {
+	top, err := repro.TopK(l2, 5)
+	if err != nil {
+		panic(err)
+	}
+	for _, d := range top {
 		fmt.Printf("  second %6d: estimated %6.0f req/s (exact %6.0f)\n",
 			d.Index, d.Estimate, x[d.Index])
 	}

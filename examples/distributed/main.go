@@ -1,53 +1,87 @@
 // Distributed example: ten sites each observe a local share of a
-// biased traffic vector; each ships a 40KB ℓ1-S/R sketch to the
-// coordinator instead of its 8MB raw vector, and the coordinator
-// recovers the global vector from the merged sketch (§1's model,
-// exploiting linearity: Φx = Φx¹ + … + Φxᵗ).
+// biased traffic vector; each ships its ℓ1-S/R sketch to the
+// coordinator as wire-format bytes instead of its raw vector, and the
+// coordinator unmarshals, merges (§1's model, exploiting linearity:
+// Φx = Φx¹ + … + Φxᵗ), and recovers the global vector.
 package main
 
 import (
 	"fmt"
 	"math/rand"
 
-	"repro/internal/core"
-	"repro/internal/distributed"
-	"repro/internal/sketch"
-	"repro/internal/vecmath"
-	"repro/internal/workload"
+	"repro"
+	"repro/workload"
 )
 
 func main() {
-	const n, sites, k = 1_000_000, 10, 4096
+	const n, sites, words = 1_000_000, 10, 16_384
 
 	// Global vector: per-key event counts biased around 100, split
 	// unevenly across sites.
 	r := rand.New(rand.NewSource(1))
 	global := workload.Gaussian{Bias: 100, Sigma: 15}.Vector(n, r)
-	locals := distributed.Split(global, sites)
+	locals := split(global, sites, r)
 
-	// All sites share seeds (the coordinator distributes hash
-	// functions up front — §5.5 footnote 4).
-	cfg := core.L1Config{N: n, K: k, SampleCount: 4 * k}
-	mk := func() *core.L1SR { return core.NewL1SR(cfg, rand.New(rand.NewSource(7))) }
+	// All sites build the same shape from the same seed (the
+	// coordinator distributes the configuration up front — the shared-
+	// randomness protocol of §5.5 footnote 4).
+	opts := []repro.Option{repro.WithDim(n), repro.WithWords(words), repro.WithSeed(7)}
 
-	merged, stats, err := distributed.Run(mk,
-		func(dst, src *core.L1SR) error { return dst.MergeFrom(src) }, locals)
-	if err != nil {
-		panic(err)
+	// Each site sketches its local share and ships the bytes.
+	var packets [][]byte
+	for _, local := range locals {
+		site := repro.MustNew("l1sr", opts...)
+		repro.SketchVector(site, local)
+		pkt, err := repro.Marshal(site)
+		if err != nil {
+			panic(err)
+		}
+		packets = append(packets, pkt)
 	}
 
-	fmt.Printf("sites: %d\n", stats.Sites)
-	fmt.Printf("communication: %d words total (%d per site)\n",
-		stats.TotalCommWords, stats.WordsPerSite)
-	fmt.Printf("naive cost (raw vectors): %d words — sketching saves %.0fx\n\n",
-		stats.NaiveCommWords, stats.CompressionFactor)
+	// The coordinator reconstructs each site sketch and merges.
+	merged := repro.MustNew("l1sr", opts...)
+	var commWords int
+	for _, pkt := range packets {
+		site, err := repro.Unmarshal(pkt)
+		if err != nil {
+			panic(err)
+		}
+		if err := repro.Merge(merged, site); err != nil {
+			panic(err)
+		}
+		commWords += site.Words()
+	}
 
-	fmt.Printf("coordinator bias estimate: %.2f (true bias 100)\n", merged.Bias())
-	xhat := sketch.Recover(merged)
+	fmt.Printf("sites: %d\n", sites)
+	fmt.Printf("communication: %d words total (%d per site)\n", commWords, commWords/sites)
+	naive := sites * n
+	fmt.Printf("naive cost (raw vectors): %d words — sketching saves %.0fx\n\n",
+		naive, float64(naive)/float64(commWords))
+
+	beta, _ := repro.Bias(merged)
+	fmt.Printf("coordinator bias estimate: %.2f (true bias 100)\n", beta)
+	xhat := repro.Recover(merged)
 	fmt.Printf("global recovery: avg error %.3f, max error %.3f\n",
-		vecmath.AvgAbsErr(global, xhat), vecmath.MaxAbsErr(global, xhat))
+		repro.AvgAbsErr(global, xhat), repro.MaxAbsErr(global, xhat))
 
 	for _, i := range []int{5, 500_000} {
 		fmt.Printf("  global x[%7d] = %6.1f, recovered %8.2f\n", i, global[i], merged.Query(i))
 	}
+}
+
+// split deals the global vector into per-site shares: each
+// coordinate's mass is divided between two random sites (so the merge
+// genuinely sums overlapping coordinates, as in §1's model), and the
+// site vectors add back to the global.
+func split(global []float64, sites int, r *rand.Rand) [][]float64 {
+	locals := make([][]float64, sites)
+	for p := range locals {
+		locals[p] = make([]float64, len(global))
+	}
+	for i, v := range global {
+		locals[r.Intn(sites)][i] += v / 2
+		locals[r.Intn(sites)][i] += v / 2
+	}
+	return locals
 }

@@ -4,6 +4,7 @@
 // essentially every coordinate (they all carry the ≈3700 bias mass),
 // while a bias-aware sketch isolates the true anomalies — the §1
 // motivation and the distributed outlier-detection use case of [31].
+// repro.Scan does the deviation ranking.
 //
 // Detectability is governed by Theorem 4: deviations below
 // O(1/√k)·min_β Err_2^k(x−β) — the bucket noise floor — are
@@ -14,17 +15,14 @@ package main
 
 import (
 	"fmt"
-	"math"
 	"math/rand"
-	"sort"
 
-	"repro/internal/core"
-	"repro/internal/sketch"
-	"repro/internal/workload"
+	"repro"
+	"repro/workload"
 )
 
 func main() {
-	const n, k = 500_000, 256
+	const n, words = 500_000, 1024
 	const outliers = 12
 	const threshold = 50_000
 
@@ -39,36 +37,27 @@ func main() {
 		planted[i] = x[i]
 	}
 
-	l2 := core.NewL2SR(core.L2Config{N: n, K: k}, rand.New(rand.NewSource(2)))
-	sketch.SketchVector(l2, x)
-	beta := l2.Bias()
-	fmt.Printf("bias estimate: %.1f (crowd level)\n\n", beta)
+	l2 := repro.MustNew("l2sr",
+		repro.WithDim(n), repro.WithWords(words), repro.WithSeed(2)).(repro.Biased)
+	repro.SketchVector(l2, x)
+	fmt.Printf("bias estimate: %.1f (crowd level)\n\n", l2.Bias())
 
 	// Rank coordinates by estimated deviation from the bias.
-	type hit struct {
-		idx int
-		dev float64
-		est float64
+	hits, err := repro.Scan(l2, threshold)
+	if err != nil {
+		panic(err)
 	}
-	var hits []hit
-	for i := 0; i < n; i++ {
-		est := l2.Query(i)
-		if dev := math.Abs(est - beta); dev > threshold {
-			hits = append(hits, hit{i, dev, est})
-		}
-	}
-	sort.Slice(hits, func(a, b int) bool { return hits[a].dev > hits[b].dev })
 
 	fmt.Printf("found %d candidates deviating >%d from the bias (planted %d):\n",
 		len(hits), threshold, outliers)
 	found := 0
 	for _, h := range hits {
-		_, isPlanted := planted[h.idx]
+		_, isPlanted := planted[h.Index]
 		if isPlanted {
 			found++
 		}
 		fmt.Printf("  x[%6d] est %9.0f exact %9.0f planted=%v\n",
-			h.idx, h.est, x[h.idx], isPlanted)
+			h.Index, h.Estimate, x[h.Index], isPlanted)
 	}
 	fmt.Printf("\nrecall: %d/%d planted anomalies found using %d words (%.0fx compression)\n",
 		found, outliers, l2.Words(), float64(n)/float64(l2.Words()))

@@ -1,8 +1,9 @@
 // Continuous distributed monitoring: eight collectors each ingest
 // their local slice of a biased event stream; every 50k local updates
-// each ships its ℓ2-S/R sketch to the coordinator, which — by
-// linearity — always holds a fresh global summary. The §1 distributed
-// model and the §4.4 streaming model running together.
+// each ships its ℓ2-S/R sketch to the coordinator as wire-format
+// bytes, and the coordinator — by linearity — rebuilds a fresh global
+// summary by merging the latest packet from every site. The §1
+// distributed model and the §4.4 streaming model running together.
 package main
 
 import (
@@ -10,27 +11,31 @@ import (
 	"math"
 	"math/rand"
 
-	"repro/internal/core"
-	"repro/internal/distributed"
-	"repro/internal/stream"
+	"repro"
 )
 
-func main() {
-	const (
-		n       = 200_000
-		sites   = 8
-		perSite = 250_000
-	)
+const (
+	n        = 200_000
+	sites    = 8
+	perSite  = 250_000
+	syncStep = 50_000
+)
 
+type update struct {
+	i     int
+	delta float64
+}
+
+func main() {
 	// Each site sees a stream of key hits; keys are uniformly busy
 	// (the bias) except a few globally hot keys that heat up late in
 	// the streams.
 	hot := []int{1234, 99_999, 150_000}
-	streams := make([][]stream.Update, sites)
+	streams := make([][]update, sites)
 	exact := make([]float64, n)
 	for p := 0; p < sites; p++ {
 		r := rand.New(rand.NewSource(int64(p + 1)))
-		us := make([]stream.Update, perSite)
+		us := make([]update, perSite)
 		for u := range us {
 			var i int
 			if u > perSite/2 && r.Intn(50) == 0 {
@@ -38,40 +43,61 @@ func main() {
 			} else {
 				i = r.Intn(n)
 			}
-			us[u] = stream.Update{I: i, Delta: 1}
+			us[u] = update{i: i, delta: 1}
 			exact[i]++
 		}
 		streams[p] = us
 	}
 
-	cfg := core.L2Config{N: n, K: 2048, UseBiasHeap: true}
-	mk := func() *core.L2SR { return core.NewL2SR(cfg, rand.New(rand.NewSource(42))) }
+	// Sites and coordinator agree on one configuration and seed, so
+	// unmarshaled site sketches merge.
+	opts := []repro.Option{repro.WithDim(n), repro.WithWords(8192), repro.WithSeed(42)}
+	collectors := make([]repro.Sketch, sites)
+	for p := range collectors {
+		collectors[p] = repro.MustNew("l2sr", opts...)
+	}
 
-	fmt.Printf("%d sites × %d updates, sync every 50k per site\n\n", sites, perSite)
-	final, st, err := distributed.Monitor(
-		distributed.MonitorConfig{Sites: sites, SyncEvery: 50_000},
-		mk,
-		func(dst, src *core.L2SR) error { return dst.MergeFrom(src) },
-		streams,
-		func(round int, coord *core.L2SR) {
-			fmt.Printf("round %d: coordinator bias %.2f, hot keys:", round, coord.Bias())
-			for _, h := range hot {
-				fmt.Printf("  x[%d]≈%.0f", h, coord.Query(h))
+	fmt.Printf("%d sites × %d updates, sync every %dk per site\n\n", sites, perSite, syncStep/1000)
+
+	var coord repro.Sketch
+	var commWords, rounds int
+	for round := 1; round*syncStep <= perSite; round++ {
+		// Each site ingests its next slice, then ships its sketch.
+		coord = repro.MustNew("l2sr", opts...)
+		for p := 0; p < sites; p++ {
+			for _, u := range streams[p][(round-1)*syncStep : round*syncStep] {
+				collectors[p].Update(u.i, u.delta)
 			}
-			fmt.Println()
-		})
-	if err != nil {
-		panic(err)
+			pkt, err := repro.Marshal(collectors[p])
+			if err != nil {
+				panic(err)
+			}
+			site, err := repro.Unmarshal(pkt)
+			if err != nil {
+				panic(err)
+			}
+			if err := repro.Merge(coord, site); err != nil {
+				panic(err)
+			}
+			commWords += site.Words()
+		}
+		rounds++
+
+		beta, _ := repro.Bias(coord)
+		fmt.Printf("round %d: coordinator bias %.2f, hot keys:", round, beta)
+		for _, h := range hot {
+			fmt.Printf("  x[%d]≈%.0f", h, coord.Query(h))
+		}
+		fmt.Println()
 	}
 
 	fmt.Printf("\ncommunication: %d words over %d rounds (naive per round: %d words)\n",
-		st.CommWords, st.Rounds, sites*n)
+		commWords, rounds, sites*n)
 	var worst float64
 	for _, h := range hot {
-		if e := math.Abs(final.Query(h) - exact[h]); e > worst {
+		if e := math.Abs(coord.Query(h) - exact[h]); e > worst {
 			worst = e
 		}
 	}
 	fmt.Printf("final hot-key worst error: %.0f (exact counts ~%.0f)\n", worst, exact[hot[0]])
-
 }

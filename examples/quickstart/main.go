@@ -1,32 +1,32 @@
 // Quickstart: sketch a biased vector with ℓ2-S/R, query a few
 // coordinates, and compare against a plain Count-Sketch of the same
-// size — the paper's headline result in thirty lines.
+// size — the paper's headline result in thirty lines, written entirely
+// against the public repro API.
 package main
 
 import (
 	"fmt"
 	"math/rand"
 
-	"repro/internal/core"
-	"repro/internal/sketch"
-	"repro/internal/vecmath"
-	"repro/internal/workload"
+	"repro"
+	"repro/workload"
 )
 
 func main() {
-	const n, k = 1_000_000, 4096
+	const n, words = 1_000_000, 16_384
 
 	// A million coordinates clustered around 100 (the "bias"), like a
 	// per-second request counter: classical sketches see a huge tail.
 	r := rand.New(rand.NewSource(1))
 	x := workload.Gaussian{Bias: 100, Sigma: 15}.Vector(n, r)
 
-	// Bias-aware sketch (Theorem 4) and an equal-budget Count-Sketch.
-	l2 := core.NewL2SR(core.L2Config{N: n, K: k}, rand.New(rand.NewSource(2)))
-	cs := sketch.NewCountSketch(sketch.Config{N: n, Rows: 4 * k, Depth: 10},
-		rand.New(rand.NewSource(3)))
-	sketch.SketchVector(l2, x)
-	sketch.SketchVector(cs, x)
+	// Bias-aware sketch (Theorem 4) and an equal-budget Count-Sketch:
+	// at the same WithWords/WithDepth setting every algorithm consumes
+	// the same number of 64-bit words.
+	l2 := repro.MustNew("l2sr", repro.WithDim(n), repro.WithWords(words), repro.WithSeed(2)).(repro.Biased)
+	cs := repro.MustNew("countsketch", repro.WithDim(n), repro.WithWords(words), repro.WithSeed(3))
+	repro.SketchVector(l2, x)
+	repro.SketchVector(cs, x)
 
 	fmt.Printf("n = %d, sketch = %d words (%.0fx compression)\n",
 		n, l2.Words(), float64(n)/float64(l2.Words()))
@@ -38,9 +38,9 @@ func main() {
 			i, x[i], l2.Query(i), cs.Query(i))
 	}
 
-	l2hat, cshat := sketch.Recover(l2), sketch.Recover(cs)
+	l2hat, cshat := repro.Recover(l2), repro.Recover(cs)
 	fmt.Printf("\nfull recovery, average error:  l2-S/R %.3f   Count-Sketch %.3f\n",
-		vecmath.AvgAbsErr(x, l2hat), vecmath.AvgAbsErr(x, cshat))
+		repro.AvgAbsErr(x, l2hat), repro.AvgAbsErr(x, cshat))
 	fmt.Printf("full recovery, maximum error:  l2-S/R %.3f   Count-Sketch %.3f\n",
-		vecmath.MaxAbsErr(x, l2hat), vecmath.MaxAbsErr(x, cshat))
+		repro.MaxAbsErr(x, l2hat), repro.MaxAbsErr(x, cshat))
 }

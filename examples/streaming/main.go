@@ -1,15 +1,15 @@
 // Streaming example: maintain an ℓ2-S/R sketch with the Bias-Heap
 // (Algorithms 5–6) over a Hudong-like edge stream, answering real-time
-// point queries mid-stream — the scenario of §4.4 and Figure 6.
+// point queries mid-stream — the scenario of §4.4 and Figure 6. An
+// exact counter vector runs alongside as ground truth.
 package main
 
 import (
 	"fmt"
 	"math/rand"
 
-	"repro/internal/core"
-	"repro/internal/stream"
-	"repro/internal/workload"
+	"repro"
+	"repro/workload"
 )
 
 func main() {
@@ -21,10 +21,9 @@ func main() {
 	edges := workload.HudongLike{}.EdgeStream(articles, r)
 	fmt.Printf("streaming %d edge insertions over %d articles\n\n", len(edges), articles)
 
-	l2 := core.NewL2SR(core.L2Config{
-		N: articles, K: 4096, UseBiasHeap: true, // O(log s) updates, O(1) bias queries
-	}, rand.New(rand.NewSource(2)))
-	exact := stream.NewExact(articles)
+	l2 := repro.MustNew("l2sr",
+		repro.WithDim(articles), repro.WithWords(16_384), repro.WithSeed(2)).(repro.Biased)
+	exact := repro.Exact(articles)
 
 	checkpoints := map[int]bool{
 		len(edges) / 4: true,

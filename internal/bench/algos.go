@@ -2,9 +2,8 @@ package bench
 
 import (
 	"fmt"
-	"math/rand"
 
-	"repro/internal/core"
+	"repro/internal/registry"
 	"repro/internal/sketch"
 )
 
@@ -41,43 +40,14 @@ var All = []string{
 // variants of the bias-aware sketches (Bias-Heap / BST-maintained
 // samples) are always used, so the same constructor serves the vector
 // and the stream experiments.
+//
+// Make is legend-name sugar over the shared algorithm catalog in
+// internal/registry, which also backs the public repro.New facade and
+// the sketchio loader.
 func Make(algo string, n, s, d int, seed int64) sketch.Sketch {
-	r := rand.New(rand.NewSource(seed))
-	k := s / 4
-	if k < 1 {
-		k = 1
-	}
-	scfg := sketch.Config{N: n, Rows: s, Depth: d + 1}
-	switch algo {
-	case AlgoL1SR:
-		return core.NewL1SR(core.L1Config{
-			N: n, K: k, Cs: 4, Depth: d, SampleCount: s,
-		}, r)
-	case AlgoL2SR:
-		return core.NewL2SR(core.L2Config{
-			N: n, K: k, Cs: 4, Depth: d, UseBiasHeap: true,
-		}, r)
-	case AlgoL1Mean:
-		return core.NewL1SR(core.L1Config{
-			N: n, K: k, Cs: 4, Depth: d, SampleCount: 1, Estimator: core.EstimatorMean,
-		}, r)
-	case AlgoL2Mean:
-		return core.NewL2SR(core.L2Config{
-			N: n, K: k, Cs: 4, Depth: d, Estimator: core.EstimatorMean,
-		}, r)
-	case AlgoCM:
-		return sketch.NewCountMedian(scfg, r)
-	case AlgoCS:
-		return sketch.NewCountSketch(scfg, r)
-	case AlgoCMCU:
-		return sketch.NewCMCU(scfg, r)
-	case AlgoCMLCU:
-		return sketch.NewCMLCU(scfg, sketch.DefaultCMLBase, r)
-	case AlgoCntMin:
-		return sketch.NewCountMin(scfg, r)
-	case AlgoDeng:
-		return sketch.NewDengRafiei(scfg, r)
-	default:
+	e, ok := registry.Lookup(algo)
+	if !ok {
 		panic(fmt.Sprintf("bench: unknown algorithm %q", algo))
 	}
+	return e.New(n, s, d, seed)
 }

@@ -1,0 +1,286 @@
+// Package registry is the single algorithm catalog behind every way a
+// sketch gets constructed by name: the public repro.New facade, the
+// bench harness's legend-name dispatch, and the sketchio wire-format
+// loader all resolve through the one table here. Each entry carries
+// the canonical public name, the paper's legend name, the accepted
+// aliases, the capability flags (linear / bias-aware), and the
+// constructor implementing the paper's equal-words sizing protocol
+// (§5.1): the bias-aware sketches use depth d with s extra words for
+// bias estimation, the baselines use depth d+1, so every algorithm
+// consumes (d+1)·s words at the same (s, d) setting.
+package registry
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/sketch"
+	"repro/internal/stream"
+)
+
+// Canonical algorithm names — the strings the public API accepts and
+// the wire format writes.
+const (
+	L1SR        = "l1sr"
+	L2SR        = "l2sr"
+	L1Mean      = "l1mean"
+	L2Mean      = "l2mean"
+	CountMin    = "countmin"
+	CountMedian = "countmedian"
+	CountSketch = "countsketch"
+	CMCU        = "cmcu"
+	CMLCU       = "cmlcu"
+	DengRafiei  = "dengrafiei"
+	Exact       = "exact"
+)
+
+// Entry describes one constructible algorithm.
+type Entry struct {
+	Name    string   // canonical name, e.g. "l2sr"
+	Legend  string   // the paper's legend name, e.g. "l2-S/R"
+	Aliases []string // extra accepted lookups (case-insensitive)
+
+	// Linear marks sketches with the property Φ(x+y) = Φx + Φy, the
+	// precondition for Merge and for the distributed model of §1.
+	Linear bool
+	// Bias marks the bias-aware sketches exposing a Bias() estimate.
+	Bias bool
+
+	// New constructs the sketch for dimension n, row width s, depth d,
+	// and hash seed. It panics on unusable parameters (constructors
+	// validate); callers with untrusted inputs go through SafeNew.
+	New func(n, s, d int, seed int64) sketch.Sketch
+}
+
+// Stateful is the capture/restore surface a sketch must offer to be
+// serializable (the sketchio payload body).
+type Stateful interface {
+	MarshalState() []byte
+	UnmarshalState([]byte) error
+}
+
+// marshaler is the simpler state surface of the table-based sketches.
+type marshaler interface {
+	Marshal() []byte
+	Unmarshal([]byte) error
+}
+
+type marshalAdapter struct{ m marshaler }
+
+func (a marshalAdapter) MarshalState() []byte          { return a.m.Marshal() }
+func (a marshalAdapter) UnmarshalState(b []byte) error { return a.m.Unmarshal(b) }
+
+var (
+	entries []*Entry
+	byName  = map[string]*Entry{}
+)
+
+// Register adds an entry to the catalog. The canonical name, legend,
+// and every alias become valid lookups; collisions panic (the catalog
+// is assembled in init, a collision is a programmer error).
+func Register(e Entry) {
+	cp := e
+	entries = append(entries, &cp)
+	for _, name := range append([]string{e.Name, e.Legend}, e.Aliases...) {
+		key := strings.ToLower(name)
+		if key == "" {
+			continue
+		}
+		if prev, dup := byName[key]; dup && prev != &cp {
+			panic(fmt.Sprintf("registry: name %q registered twice", key))
+		}
+		byName[key] = &cp
+	}
+}
+
+// Lookup resolves an algorithm by canonical name, legend name, or
+// alias, case-insensitively.
+func Lookup(name string) (*Entry, bool) {
+	e, ok := byName[strings.ToLower(name)]
+	return e, ok
+}
+
+// Names returns the canonical names of every registered algorithm,
+// sorted.
+func Names() []string {
+	out := make([]string, len(entries))
+	for i, e := range entries {
+		out[i] = e.Name
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SafeNew constructs the named algorithm, converting constructor
+// panics (parameter combinations an algorithm rejects) into errors —
+// the entry point for descriptors read off the network.
+func SafeNew(name string, n, s, d int, seed int64) (sk sketch.Sketch, err error) {
+	e, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("registry: unknown algorithm %q", name)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("registry: constructing %s: %v", e.Name, r)
+		}
+	}()
+	return e.New(n, s, d, seed), nil
+}
+
+// State adapts sk to the capture/restore surface, or reports that the
+// sketch holds state the wire format cannot carry.
+func State(sk sketch.Sketch) (Stateful, error) {
+	switch s := sk.(type) {
+	case Stateful:
+		return s, nil
+	case marshaler:
+		return marshalAdapter{s}, nil
+	default:
+		return nil, fmt.Errorf("registry: %T is not serializable", sk)
+	}
+}
+
+// Merge adds src's state into dst. Both must come from the same entry
+// with identical shape and seeds; non-linear sketches (or mismatched
+// pairs) return sketch.ErrIncompatible from the concrete MergeFrom,
+// and types with no merge surface at all report an error naming the
+// type.
+func Merge(dst, src sketch.Sketch) error {
+	switch d := dst.(type) {
+	case *core.L1SR:
+		s, ok := src.(*core.L1SR)
+		if !ok {
+			return sketch.ErrIncompatible
+		}
+		return d.MergeFrom(s)
+	case *core.L2SR:
+		s, ok := src.(*core.L2SR)
+		if !ok {
+			return sketch.ErrIncompatible
+		}
+		return d.MergeFrom(s)
+	case sketch.Linear:
+		s, ok := src.(sketch.Linear)
+		if !ok {
+			return sketch.ErrIncompatible
+		}
+		return d.MergeFrom(s)
+	case *stream.Exact:
+		s, ok := src.(*stream.Exact)
+		if !ok || s.Dim() != d.Dim() {
+			return sketch.ErrIncompatible
+		}
+		for i, v := range s.Vector() {
+			if v != 0 {
+				d.Update(i, v)
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("registry: %T is not mergeable", dst)
+	}
+}
+
+// baseCfg is the baselines' shape under the equal-words protocol.
+func baseCfg(n, s, d int) sketch.Config {
+	return sketch.Config{N: n, Rows: s, Depth: d + 1}
+}
+
+func kOf(s int) int {
+	if k := s / 4; k >= 1 {
+		return k
+	}
+	return 1
+}
+
+func init() {
+	Register(Entry{
+		Name: L1SR, Legend: "l1-S/R", Aliases: []string{"l1-sr", "l1s/r"},
+		Linear: true, Bias: true,
+		New: func(n, s, d int, seed int64) sketch.Sketch {
+			return core.NewL1SR(core.L1Config{
+				N: n, K: kOf(s), Cs: 4, Depth: d, SampleCount: s,
+			}, rand.New(rand.NewSource(seed)))
+		},
+	})
+	Register(Entry{
+		Name: L2SR, Legend: "l2-S/R", Aliases: []string{"l2-sr", "l2s/r"},
+		Linear: true, Bias: true,
+		New: func(n, s, d int, seed int64) sketch.Sketch {
+			return core.NewL2SR(core.L2Config{
+				N: n, K: kOf(s), Cs: 4, Depth: d, UseBiasHeap: true,
+			}, rand.New(rand.NewSource(seed)))
+		},
+	})
+	Register(Entry{
+		Name: L1Mean, Legend: "l1-mean",
+		Linear: true, Bias: true,
+		New: func(n, s, d int, seed int64) sketch.Sketch {
+			return core.NewL1SR(core.L1Config{
+				N: n, K: kOf(s), Cs: 4, Depth: d, SampleCount: 1, Estimator: core.EstimatorMean,
+			}, rand.New(rand.NewSource(seed)))
+		},
+	})
+	Register(Entry{
+		Name: L2Mean, Legend: "l2-mean",
+		Linear: true, Bias: true,
+		New: func(n, s, d int, seed int64) sketch.Sketch {
+			return core.NewL2SR(core.L2Config{
+				N: n, K: kOf(s), Cs: 4, Depth: d, Estimator: core.EstimatorMean,
+			}, rand.New(rand.NewSource(seed)))
+		},
+	})
+	Register(Entry{
+		Name: CountMedian, Legend: "CM", Aliases: []string{"count-median"},
+		Linear: true,
+		New: func(n, s, d int, seed int64) sketch.Sketch {
+			return sketch.NewCountMedian(baseCfg(n, s, d), rand.New(rand.NewSource(seed)))
+		},
+	})
+	Register(Entry{
+		Name: CountSketch, Legend: "CS", Aliases: []string{"count-sketch"},
+		Linear: true,
+		New: func(n, s, d int, seed int64) sketch.Sketch {
+			return sketch.NewCountSketch(baseCfg(n, s, d), rand.New(rand.NewSource(seed)))
+		},
+	})
+	Register(Entry{
+		Name: CountMin, Legend: "Count-Min", Aliases: []string{"count-min"},
+		Linear: true,
+		New: func(n, s, d int, seed int64) sketch.Sketch {
+			return sketch.NewCountMin(baseCfg(n, s, d), rand.New(rand.NewSource(seed)))
+		},
+	})
+	Register(Entry{
+		Name: CMCU, Legend: "CM-CU",
+		New: func(n, s, d int, seed int64) sketch.Sketch {
+			return sketch.NewCMCU(baseCfg(n, s, d), rand.New(rand.NewSource(seed)))
+		},
+	})
+	Register(Entry{
+		Name: CMLCU, Legend: "CML-CU",
+		New: func(n, s, d int, seed int64) sketch.Sketch {
+			return sketch.NewCMLCU(baseCfg(n, s, d), sketch.DefaultCMLBase, rand.New(rand.NewSource(seed)))
+		},
+	})
+	Register(Entry{
+		Name: DengRafiei, Legend: "Deng-Rafiei", Aliases: []string{"deng-rafiei"},
+		Linear: true,
+		New: func(n, s, d int, seed int64) sketch.Sketch {
+			return sketch.NewDengRafiei(baseCfg(n, s, d), rand.New(rand.NewSource(seed)))
+		},
+	})
+	// Exact is the ground-truth "sketch": a plain dense vector. It is
+	// trivially linear but never shipped in the wire format (its state
+	// is the full vector — there is nothing sketched to save).
+	Register(Entry{
+		Name: Exact, Legend: "Exact",
+		Linear: true,
+		New: func(n, _, _ int, _ int64) sketch.Sketch {
+			return stream.NewExact(n)
+		},
+	})
+}

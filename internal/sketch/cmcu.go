@@ -63,3 +63,11 @@ func (c *CMCU) Dim() int { return c.tb.dim() }
 
 // Words returns the sketch size in 64-bit words.
 func (c *CMCU) Words() int { return c.tb.words() }
+
+// Marshal serializes the counter matrix. CM-CU is not linear — a
+// restored sketch resumes local ingestion, it cannot be merged.
+func (c *CMCU) Marshal() []byte { return c.tb.marshalCells() }
+
+// Unmarshal restores state captured by Marshal on a sketch built with
+// the same configuration and seeds.
+func (c *CMCU) Unmarshal(b []byte) error { return c.tb.unmarshalCells(b) }

@@ -105,3 +105,13 @@ func (c *CMLCU) Dim() int { return c.tb.dim() }
 // size-versus-accuracy axes comparable across algorithms, matching how
 // the paper plots all algorithms at equal word budgets.)
 func (c *CMLCU) Words() int { return c.tb.words() }
+
+// Marshal serializes the log-counter matrix. The probabilistic-
+// rounding RNG is not part of the state: queries never touch it, and a
+// restored sketch that keeps ingesting just continues with the fresh
+// seed-derived stream.
+func (c *CMLCU) Marshal() []byte { return c.tb.marshalCells() }
+
+// Unmarshal restores state captured by Marshal on a sketch built with
+// the same configuration, base, and seeds.
+func (c *CMLCU) Unmarshal(b []byte) error { return c.tb.unmarshalCells(b) }

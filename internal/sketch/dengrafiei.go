@@ -1,6 +1,11 @@
 package sketch
 
-import "math/rand"
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+)
 
 // DengRafiei is the bias-corrected Count-Min estimator of Deng and
 // Rafiei [14], sketched in §2 of the paper: when recovering a
@@ -56,6 +61,29 @@ func (c *DengRafiei) Dim() int { return c.tb.dim() }
 
 // Words returns the sketch size in 64-bit words (+1 for the total).
 func (c *DengRafiei) Words() int { return c.tb.words() + 1 }
+
+// Marshal serializes the counter matrix followed by the running total
+// (8 bytes, little endian).
+func (c *DengRafiei) Marshal() []byte {
+	cells := c.tb.marshalCells()
+	out := make([]byte, len(cells)+8)
+	copy(out, cells)
+	binary.LittleEndian.PutUint64(out[len(cells):], math.Float64bits(c.total))
+	return out
+}
+
+// Unmarshal restores state captured by Marshal on a sketch built with
+// the same configuration and seeds.
+func (c *DengRafiei) Unmarshal(b []byte) error {
+	if len(b) < 8 {
+		return fmt.Errorf("sketch: DengRafiei payload %d bytes, want at least 8", len(b))
+	}
+	if err := c.tb.unmarshalCells(b[:len(b)-8]); err != nil {
+		return err
+	}
+	c.total = math.Float64frombits(binary.LittleEndian.Uint64(b[len(b)-8:]))
+	return nil
+}
 
 // MergeFrom adds another DengRafiei with identical shape and seeds.
 // The estimator is linear: both the cells and the running total add.

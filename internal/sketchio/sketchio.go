@@ -12,8 +12,7 @@ import (
 	"fmt"
 	"io"
 
-	"repro/internal/bench"
-	"repro/internal/core"
+	"repro/internal/registry"
 	"repro/internal/sketch"
 )
 
@@ -22,16 +21,15 @@ const magic = "BAS1"
 
 // Stateful is the capture/restore surface a sketch must offer to be
 // serializable. The bias-aware sketches implement it via
-// MarshalState/UnmarshalState; the linear baselines via
-// Marshal/Unmarshal (adapted below).
-type Stateful interface {
-	MarshalState() []byte
-	UnmarshalState([]byte) error
-}
+// MarshalState/UnmarshalState; the table-based sketches via
+// Marshal/Unmarshal (adapted by the registry).
+type Stateful = registry.Stateful
 
-// Desc describes how to reconstruct a sketch: the bench.Make
-// constructor arguments. Two processes exchanging sketches must agree
-// on it, exactly as they must agree on hash functions in the paper.
+// Desc describes how to reconstruct a sketch: the registry constructor
+// arguments. Two processes exchanging sketches must agree on it,
+// exactly as they must agree on hash functions in the paper. Algo is
+// any name the registry resolves — canonical ("l2sr") or the paper's
+// legend ("l2-S/R") — so streams written by older builds still load.
 type Desc struct {
 	Algo string
 	N    int
@@ -71,8 +69,8 @@ func Save(w io.Writer, desc Desc, sk sketch.Sketch) error {
 	return err
 }
 
-// Load reads a sketch written by Save, reconstructing it via
-// bench.Make and restoring its state.
+// Load reads a sketch written by Save, reconstructing it via the
+// algorithm registry and restoring its state.
 func Load(r io.Reader) (sketch.Sketch, Desc, error) {
 	var desc Desc
 	head := make([]byte, 4)
@@ -105,17 +103,10 @@ func Load(r io.Reader) (sketch.Sketch, Desc, error) {
 		D:    int(binary.LittleEndian.Uint64(nums[16:])),
 		Seed: int64(binary.LittleEndian.Uint64(nums[24:])),
 	}
-	known := false
-	for _, a := range bench.All {
-		if a == desc.Algo {
-			known = true
-			break
-		}
-	}
-	if !known {
+	if _, ok := registry.Lookup(desc.Algo); !ok {
 		return nil, desc, fmt.Errorf("sketchio: unknown algorithm %q", desc.Algo)
 	}
-	if err := desc.validate(); err != nil {
+	if err := desc.Validate(); err != nil {
 		return nil, desc, err
 	}
 
@@ -134,7 +125,7 @@ func Load(r io.Reader) (sketch.Sketch, Desc, error) {
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return nil, desc, err
 	}
-	sk, err := safeMake(desc)
+	sk, err := registry.SafeNew(desc.Algo, desc.N, desc.S, desc.D, desc.Seed)
 	if err != nil {
 		return nil, desc, err
 	}
@@ -148,10 +139,11 @@ func Load(r io.Reader) (sketch.Sketch, Desc, error) {
 	return sk, desc, nil
 }
 
-// validate bounds the header fields before they reach a constructor —
-// payloads come from the network and must not be able to panic or
-// exhaust memory here.
-func (d Desc) validate() error {
+// Validate bounds the descriptor fields before they reach a
+// constructor — payloads come from the network and must not be able
+// to panic or exhaust memory here. The public facade applies the same
+// bounds at construction time, so every sketch it builds round-trips.
+func (d Desc) Validate() error {
 	if d.N < 1 || d.N > 1<<26 {
 		return fmt.Errorf("sketchio: implausible dimension %d", d.N)
 	}
@@ -170,39 +162,11 @@ func (d Desc) validate() error {
 	return nil
 }
 
-// safeMake converts any residual constructor panic (e.g. a parameter
-// combination a particular algorithm rejects) into an error.
-func safeMake(d Desc) (sk sketch.Sketch, err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			err = fmt.Errorf("sketchio: constructing %s: %v", d.Algo, r)
-		}
-	}()
-	return bench.Make(d.Algo, d.N, d.S, d.D, d.Seed), nil
-}
-
 // stateful adapts the concrete sketch types to the Stateful surface.
 func stateful(sk sketch.Sketch) (Stateful, error) {
-	switch s := sk.(type) {
-	case *core.L1SR:
-		return s, nil
-	case *core.L2SR:
-		return s, nil
-	case *sketch.CountMedian:
-		return marshalAdapter{s.Marshal, s.Unmarshal}, nil
-	case *sketch.CountSketch:
-		return marshalAdapter{s.Marshal, s.Unmarshal}, nil
-	case *sketch.CountMin:
-		return marshalAdapter{s.Marshal, s.Unmarshal}, nil
-	default:
-		return nil, fmt.Errorf("sketchio: %T is not serializable (conservative-update sketches are not linear and are not shipped between sites)", sk)
+	st, err := registry.State(sk)
+	if err != nil {
+		return nil, fmt.Errorf("sketchio: %T is not serializable (its state is not carried by the wire format)", sk)
 	}
+	return st, nil
 }
-
-type marshalAdapter struct {
-	m func() []byte
-	u func([]byte) error
-}
-
-func (a marshalAdapter) MarshalState() []byte          { return a.m() }
-func (a marshalAdapter) UnmarshalState(b []byte) error { return a.u(b) }

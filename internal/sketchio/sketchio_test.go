@@ -41,17 +41,29 @@ func TestRoundTripAllSerializable(t *testing.T) {
 	for _, algo := range []string{
 		bench.AlgoL1SR, bench.AlgoL2SR, bench.AlgoL1Mean, bench.AlgoL2Mean,
 		bench.AlgoCM, bench.AlgoCS, bench.AlgoCntMin,
+		bench.AlgoCMCU, bench.AlgoCMLCU, bench.AlgoDeng,
 	} {
 		roundTrip(t, algo)
 	}
 }
 
-func TestConservativeUpdateNotSerializable(t *testing.T) {
-	sk := bench.Make(bench.AlgoCMCU, 100, 16, 3, 1)
+// Canonical registry names resolve the same algorithms as the paper's
+// legend names, so a stream written under either loads.
+func TestRoundTripCanonicalNames(t *testing.T) {
+	for _, algo := range []string{
+		"l1sr", "l2sr", "countmin", "countmedian", "countsketch",
+		"cmcu", "cmlcu", "dengrafiei",
+	} {
+		roundTrip(t, algo)
+	}
+}
+
+func TestExactNotSerializable(t *testing.T) {
+	sk := bench.Make("exact", 100, 16, 3, 1)
 	var buf bytes.Buffer
-	err := Save(&buf, Desc{Algo: bench.AlgoCMCU, N: 100, S: 16, D: 3, Seed: 1}, sk)
+	err := Save(&buf, Desc{Algo: "exact", N: 100, S: 16, D: 3, Seed: 1}, sk)
 	if err == nil || !strings.Contains(err.Error(), "not serializable") {
-		t.Errorf("CM-CU should refuse to serialize, got %v", err)
+		t.Errorf("exact should refuse to serialize, got %v", err)
 	}
 }
 

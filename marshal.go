@@ -1,0 +1,66 @@
+package repro
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"repro/internal/registry"
+	"repro/internal/sketchio"
+)
+
+// Marshal serializes s in the self-describing wire format: a header
+// carrying the algorithm name, shape, and seed, then the sketch state.
+// Unmarshal on the receiving side rebuilds the hash functions from the
+// header (the paper's shared-randomness protocol, §5.5 footnote 4) and
+// restores the state, so sketches travel over any byte transport.
+//
+// Every registry algorithm serializes, including the non-linear
+// conservative-update sketches (save/restore is local persistence and
+// needs no linearity); only Exact does not, returning
+// ErrNotSerializable.
+func Marshal(s Sketch) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := MarshalTo(&buf, s); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// MarshalTo is Marshal writing to w.
+func MarshalTo(w io.Writer, s Sketch) error {
+	h, ok := s.(baser)
+	if !ok {
+		return fmt.Errorf("repro: %T was not built by repro.New", s)
+	}
+	b := h.base()
+	if _, err := registry.State(b.inner); err != nil {
+		return fmt.Errorf("%w: %s", ErrNotSerializable, b.entry.Name)
+	}
+	return sketchio.Save(w, b.desc, b.inner)
+}
+
+// Unmarshal reconstructs a sketch serialized by Marshal. The result
+// carries the original algorithm, shape, and seed, so it merges with
+// sketches from the same New configuration.
+func Unmarshal(data []byte) (Sketch, error) {
+	return UnmarshalFrom(bytes.NewReader(data))
+}
+
+// UnmarshalFrom is Unmarshal reading from r. Headers are validated
+// before any allocation they imply, so hostile bytes error out instead
+// of exhausting memory.
+func UnmarshalFrom(r io.Reader) (Sketch, error) {
+	inner, desc, err := sketchio.Load(r)
+	if err != nil {
+		return nil, fmt.Errorf("repro: %w", err)
+	}
+	e, ok := registry.Lookup(desc.Algo)
+	if !ok {
+		// Load already resolved the name; this is unreachable short of
+		// a registry bug.
+		return nil, fmt.Errorf("%w: %q", ErrUnknownAlgorithm, desc.Algo)
+	}
+	desc.Algo = e.Name
+	return wrap(e, inner, desc), nil
+}

@@ -1,0 +1,74 @@
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/sketchio"
+)
+
+// Defaults applied by New when the corresponding option is omitted —
+// the shape the paper's evaluation uses throughout §5.1.
+const (
+	DefaultWords = 4096
+	DefaultDepth = 9
+	DefaultSeed  = 1
+)
+
+// Option configures New and NewSharded. Options follow the functional-
+// options idiom so the constructor signature stays stable as knobs are
+// added.
+type Option func(*newConfig)
+
+type newConfig struct {
+	dim   int
+	words int
+	depth int
+	seed  int64
+}
+
+// WithDim sets n, the dimension of the summarized frequency vector.
+// Required.
+func WithDim(n int) Option { return func(c *newConfig) { c.dim = n } }
+
+// WithWords sets s, the per-row word budget (the paper's c_s·k: the
+// bias-aware sketches split it into buckets plus bias-estimator
+// samples, the baselines use it as buckets per row). Total sketch size
+// is (depth+1)·words for every algorithm. Default 4096.
+func WithWords(s int) Option { return func(c *newConfig) { c.words = s } }
+
+// WithDepth sets d, the number of independent repetitions (Θ(log n)
+// in the theorems; 9 in §5.1). Default 9.
+func WithDepth(d int) Option { return func(c *newConfig) { c.depth = d } }
+
+// WithSeed sets the seed deriving every hash function and sampled
+// position. Two sketches merge — and a serialized sketch reloads —
+// only under the same seed: this is the paper's shared-randomness
+// protocol (§5.5 footnote 4). Default 1.
+func WithSeed(seed int64) Option { return func(c *newConfig) { c.seed = seed } }
+
+func buildConfig(opts []Option) (newConfig, error) {
+	cfg := newConfig{words: DefaultWords, depth: DefaultDepth, seed: DefaultSeed}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.dim <= 0 {
+		return cfg, fmt.Errorf("repro: WithDim is required and must be positive, got %d", cfg.dim)
+	}
+	if cfg.words <= 0 {
+		return cfg, fmt.Errorf("repro: WithWords must be positive, got %d", cfg.words)
+	}
+	if cfg.depth <= 0 {
+		return cfg, fmt.Errorf("repro: WithDepth must be positive, got %d", cfg.depth)
+	}
+	if cfg.seed < 0 {
+		return cfg, fmt.Errorf("repro: WithSeed must be non-negative (the wire format carries it unsigned), got %d", cfg.seed)
+	}
+	// Enforce the wire format's descriptor bounds at construction time,
+	// so every sketch New builds can be marshaled AND unmarshaled — a
+	// site must never produce packets the coordinator rejects.
+	desc := sketchio.Desc{N: cfg.dim, S: cfg.words, D: cfg.depth, Seed: cfg.seed}
+	if err := desc.Validate(); err != nil {
+		return cfg, fmt.Errorf("repro: configuration outside wire-format bounds (dim ≤ 2^26, 4 ≤ words ≤ 2^22, depth ≤ 64, words·depth ≤ 2^24): %w", err)
+	}
+	return cfg, nil
+}

@@ -1,0 +1,72 @@
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/rangequery"
+)
+
+// LevelFactory builds the point sketch for one dyadic level of a
+// RangeSketch; size is the level's dimension (≈ n/2^level) and seed is
+// a per-level value derived from the RangeSketch seed. Returning a
+// small-dimension Exact for coarse levels and a bias-aware sketch for
+// fine ones is the standard engineering: spend words where the
+// dimension is, not where the mass is.
+type LevelFactory func(level, size int, seed int64) Sketch
+
+// RangeSketch answers range sums and quantiles from a dyadic stack of
+// point sketches — the statistical queries §1 lists beyond point
+// query. One pass over the data, one structure, many query types.
+type RangeSketch struct {
+	inner *rangequery.Sketch
+}
+
+// NewRange creates a range-query sketch over vectors of dimension n,
+// building each dyadic level with f. seed derives the per-level seeds.
+func NewRange(n int, f LevelFactory, seed int64) (*RangeSketch, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("repro: range dimension must be positive, got %d", n)
+	}
+	var err error
+	r := rand.New(rand.NewSource(seed))
+	rs := &RangeSketch{}
+	rs.inner = rangequery.New(n, func(level, size int, _ *rand.Rand) rangequery.PointSketch {
+		sk := f(level, size, r.Int63())
+		if sk == nil && err == nil {
+			err = fmt.Errorf("repro: level factory returned nil for level %d", level)
+		}
+		if sk == nil {
+			return Exact(size) // placeholder; the error aborts below
+		}
+		return sk
+	}, r)
+	if err != nil {
+		return nil, err
+	}
+	return rs, nil
+}
+
+// Update applies x[i] += delta, propagating to every level.
+func (s *RangeSketch) Update(i int, delta float64) { s.inner.Update(i, delta) }
+
+// RangeSum estimates sum(x[lo:hi]) from O(log n) level queries.
+func (s *RangeSketch) RangeSum(lo, hi int) float64 { return s.inner.RangeSum(lo, hi) }
+
+// PrefixSum estimates sum(x[0:hi]).
+func (s *RangeSketch) PrefixSum(hi int) float64 { return s.inner.PrefixSum(hi) }
+
+// Total estimates the full vector mass.
+func (s *RangeSketch) Total() float64 { return s.inner.Total() }
+
+// Quantile returns the smallest index i with PrefixSum(i+1) ≥ q·Total.
+func (s *RangeSketch) Quantile(q float64) int { return s.inner.Quantile(q) }
+
+// Levels returns the number of dyadic levels.
+func (s *RangeSketch) Levels() int { return s.inner.Levels() }
+
+// Dim returns the base dimension n.
+func (s *RangeSketch) Dim() int { return s.inner.Dim() }
+
+// Words returns the total size across levels in 64-bit words.
+func (s *RangeSketch) Words() int { return s.inner.Words() }

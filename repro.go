@@ -1,0 +1,273 @@
+package repro
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/heavyhitter"
+	"repro/internal/registry"
+	"repro/internal/sketch"
+	"repro/internal/sketchio"
+	"repro/internal/vecmath"
+)
+
+// Sketch is a summary of a frequency vector x ∈ R^n supporting point
+// updates and point queries — the protocol every algorithm in the
+// paper shares (S(x) builds the summary, R recovers from it, §1).
+//
+// A Sketch produced by New may additionally satisfy Linear,
+// Serializable, or Biased; assert for the capability or use the
+// package-level helpers (Merge, Marshal, Bias), which return typed
+// errors when the capability is absent.
+type Sketch interface {
+	// Update applies x[i] += delta. i must be in [0, Dim()).
+	Update(i int, delta float64)
+	// Query returns an estimate of x[i].
+	Query(i int) float64
+	// Dim returns n, the dimension of the summarized vector.
+	Dim() int
+	// Words returns the sketch size in 64-bit words.
+	Words() int
+	// Algo returns the canonical algorithm name, e.g. "l2sr".
+	Algo() string
+}
+
+// Linear is a sketch with the linearity property Φ(x+y) = Φx + Φy,
+// hence mergeable: sites sketch their local vectors and a coordinator
+// sums the sketches (the distributed model of §1). The conservative-
+// update baselines (cmcu, cmlcu) are deliberately *not* Linear — that
+// is the drawback §2 points out for the distributed setting.
+type Linear interface {
+	Sketch
+	// Merge adds other's state into the receiver. Both sketches must
+	// come from the same New call shape: same algorithm, dimension,
+	// words, depth, and seed. Mismatches return ErrIncompatible.
+	Merge(other Sketch) error
+}
+
+// Serializable is a Linear sketch that also round-trips through the
+// wire format — the full site→coordinator contract: ship bytes, load,
+// merge. (Non-linear sketches can still be saved and restored locally
+// with Marshal/Unmarshal; Serializable marks the ones that are safe to
+// exchange between sites.)
+type Serializable interface {
+	Linear
+	// MarshalBinary serializes the sketch in the self-describing wire
+	// format; repro.Unmarshal reconstructs it.
+	MarshalBinary() ([]byte, error)
+}
+
+// Biased is a bias-aware sketch (l1sr, l2sr and their mean variants):
+// it additionally estimates the bias β̂ = argmin_β Err_p^k(x − β), the
+// quantity the paper's ℓ1-S/R and ℓ2-S/R subtract before sketching.
+type Biased interface {
+	Serializable
+	// Bias returns the current estimate of the data's bias β.
+	Bias() float64
+}
+
+// Typed capability and lookup errors.
+var (
+	// ErrUnknownAlgorithm is returned by New for names the registry
+	// does not resolve; Algorithms lists the valid ones.
+	ErrUnknownAlgorithm = errors.New("repro: unknown algorithm")
+	// ErrNotLinear is returned by Merge when either sketch is a
+	// non-linear algorithm (cmcu, cmlcu): conservative update loses
+	// the property Φ(x+y) = Φx + Φy, so there is no meaningful sum.
+	ErrNotLinear = errors.New("repro: sketch is not linear")
+	// ErrIncompatible is returned by Merge when two linear sketches do
+	// not share algorithm, shape, and seed.
+	ErrIncompatible = sketch.ErrIncompatible
+	// ErrNoBias is returned by Bias, Scan, and TopK for sketches that
+	// do not estimate a bias.
+	ErrNoBias = errors.New("repro: sketch has no bias estimate")
+	// ErrNotSerializable is returned by Marshal for sketches whose
+	// state the wire format does not carry (exact).
+	ErrNotSerializable = errors.New("repro: sketch is not serializable")
+)
+
+// handle is the base facade wrapper: the constructed sketch plus the
+// descriptor needed to rebuild it on the other end of a wire.
+type handle struct {
+	inner sketch.Sketch
+	entry *registry.Entry
+	desc  sketchio.Desc
+}
+
+func (h *handle) Update(i int, delta float64) { h.inner.Update(i, delta) }
+func (h *handle) Query(i int) float64         { return h.inner.Query(i) }
+func (h *handle) Dim() int                    { return h.inner.Dim() }
+func (h *handle) Words() int                  { return h.inner.Words() }
+func (h *handle) Algo() string                { return h.entry.Name }
+func (h *handle) String() string {
+	return fmt.Sprintf("%s(n=%d s=%d d=%d)", h.entry.Name, h.desc.N, h.desc.S, h.desc.D)
+}
+
+// base lets the package helpers unwrap any handle flavor.
+func (h *handle) base() *handle { return h }
+
+type baser interface{ base() *handle }
+
+// linearHandle adds Merge (exact — linear but not serializable).
+type linearHandle struct{ handle }
+
+func (h *linearHandle) Merge(other Sketch) error { return mergeHandles(&h.handle, other) }
+
+// serialHandle adds the wire format (the linear baselines).
+type serialHandle struct{ linearHandle }
+
+func (h *serialHandle) MarshalBinary() ([]byte, error) { return Marshal(h) }
+
+// biasedHandle adds the bias estimate (l1sr, l2sr, l1mean, l2mean).
+type biasedHandle struct{ serialHandle }
+
+func (h *biasedHandle) Bias() float64 {
+	return h.inner.(interface{ Bias() float64 }).Bias()
+}
+
+// wrap picks the handle flavor matching the entry's capabilities, so
+// type assertions against Linear/Serializable/Biased are meaningful.
+func wrap(e *registry.Entry, inner sketch.Sketch, desc sketchio.Desc) Sketch {
+	h := handle{inner: inner, entry: e, desc: desc}
+	switch {
+	case e.Bias:
+		return &biasedHandle{serialHandle{linearHandle{h}}}
+	case e.Linear && serializableInner(inner):
+		return &serialHandle{linearHandle{h}}
+	case e.Linear:
+		return &linearHandle{h}
+	default:
+		return &h
+	}
+}
+
+func serializableInner(inner sketch.Sketch) bool {
+	_, err := registry.State(inner)
+	return err == nil
+}
+
+// New constructs the named algorithm with the functional options.
+// WithDim is required; WithWords, WithDepth, and WithSeed default to
+// 4096, 9, and 1 (the paper's §5.1 shape). Every algorithm follows the
+// equal-words sizing protocol: at a given (words, depth) setting each
+// consumes (depth+1)·words 64-bit words, so size-versus-accuracy
+// comparisons across algorithms are apples to apples.
+//
+// Algorithm names (see Algorithms): "l1sr", "l2sr", "l1mean",
+// "l2mean", "countmin", "countmedian", "countsketch", "cmcu", "cmlcu",
+// "dengrafiei", "exact". The paper's legend names ("l2-S/R", "CM-CU",
+// …) are accepted as aliases.
+func New(algo string, opts ...Option) (Sketch, error) {
+	e, ok := registry.Lookup(algo)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q (valid: %v)", ErrUnknownAlgorithm, algo, Algorithms())
+	}
+	cfg, err := buildConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := registry.SafeNew(e.Name, cfg.dim, cfg.words, cfg.depth, cfg.seed)
+	if err != nil {
+		return nil, fmt.Errorf("repro: %w", err)
+	}
+	desc := sketchio.Desc{Algo: e.Name, N: cfg.dim, S: cfg.words, D: cfg.depth, Seed: cfg.seed}
+	return wrap(e, inner, desc), nil
+}
+
+// MustNew is New that panics on error, for tooling and examples where
+// the configuration is static.
+func MustNew(algo string, opts ...Option) Sketch {
+	s, err := New(algo, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Exact returns the ground-truth "sketch": a dense vector of n exact
+// counters. It is Linear (merging adds vectors) and useful as the
+// reference in tests and demos; it is not Serializable — there is
+// nothing sketched to ship.
+func Exact(n int) Sketch {
+	return MustNew(registry.Exact, WithDim(n))
+}
+
+// Algorithms returns the canonical names of every algorithm New can
+// construct, sorted.
+func Algorithms() []string { return registry.Names() }
+
+// IsLinear reports whether the named algorithm produces mergeable
+// sketches, without constructing one.
+func IsLinear(algo string) bool {
+	e, ok := registry.Lookup(algo)
+	return ok && e.Linear
+}
+
+// Recover reconstructs the full estimate vector x̂ by querying every
+// coordinate — the recovery phase R(Φx) of §1.
+func Recover(s Sketch) []float64 {
+	out := make([]float64, s.Dim())
+	for i := range out {
+		out[i] = s.Query(i)
+	}
+	return out
+}
+
+// SketchVector feeds a dense frequency vector into s, one update per
+// non-zero coordinate.
+func SketchVector(s Sketch, x []float64) error {
+	if len(x) != s.Dim() {
+		return fmt.Errorf("repro: vector length %d != sketch dim %d", len(x), s.Dim())
+	}
+	for i, v := range x {
+		if v != 0 {
+			s.Update(i, v)
+		}
+	}
+	return nil
+}
+
+// Bias returns the sketch's bias estimate β̂, or ErrNoBias for
+// algorithms that do not track one.
+func Bias(s Sketch) (float64, error) {
+	b, ok := s.(interface{ Bias() float64 })
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNoBias, s.Algo())
+	}
+	return b.Bias(), nil
+}
+
+// Deviator is one reported outlier: a coordinate whose estimate sits
+// far from the bias. On biased data this — not "largest coordinate" —
+// is the meaningful heavy-hitter notion (§1).
+type Deviator = heavyhitter.Deviator
+
+// TopK returns the k coordinates deviating most from the bias
+// estimate, sorted by decreasing deviation. ErrNoBias unless s is
+// bias-aware.
+func TopK(s Sketch, k int) ([]Deviator, error) {
+	b, ok := s.(heavyhitter.BiasedSketch)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoBias, s.Algo())
+	}
+	return heavyhitter.TopK(b, k), nil
+}
+
+// Scan returns every coordinate whose estimated deviation from the
+// bias exceeds threshold, sorted by decreasing deviation. ErrNoBias
+// unless s is bias-aware.
+func Scan(s Sketch, threshold float64) ([]Deviator, error) {
+	b, ok := s.(heavyhitter.BiasedSketch)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoBias, s.Algo())
+	}
+	return heavyhitter.Scan(b, threshold), nil
+}
+
+// AvgAbsErr returns the mean absolute difference between a vector and
+// its recovery — the y-axis of the paper's accuracy plots.
+func AvgAbsErr(x, xhat []float64) float64 { return vecmath.AvgAbsErr(x, xhat) }
+
+// MaxAbsErr returns the ℓ∞ recovery error, the quantity the paper's
+// theorems bound.
+func MaxAbsErr(x, xhat []float64) float64 { return vecmath.MaxAbsErr(x, xhat) }

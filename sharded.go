@@ -1,0 +1,104 @@
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/concurrent"
+	"repro/internal/registry"
+	"repro/internal/sketch"
+	"repro/internal/sketchio"
+)
+
+// Sharded is a linear sketch prepared for multi-goroutine ingestion:
+// P private replicas built with the same configuration and seed absorb
+// updates contention-free, and — by the same linearity that powers the
+// distributed model — a reader merges them into a consistent snapshot
+// on demand. Total memory is P× the single-sketch cost, the price of
+// contention-free writes.
+type Sharded struct {
+	inner *concurrent.Sharded[sketch.Sketch]
+	entry *registry.Entry
+	desc  sketchio.Desc
+}
+
+// NewSharded builds a sharded sketch with the given shard count; algo
+// and opts are exactly New's. Non-linear algorithms (cmcu, cmlcu)
+// return ErrNotLinear — without linearity the shards could not be
+// recombined.
+func NewSharded(shards int, algo string, opts ...Option) (*Sharded, error) {
+	if shards <= 0 {
+		return nil, fmt.Errorf("repro: shard count must be positive, got %d", shards)
+	}
+	e, ok := registry.Lookup(algo)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q (valid: %v)", ErrUnknownAlgorithm, algo, Algorithms())
+	}
+	if !e.Linear {
+		return nil, fmt.Errorf("%w: %s", ErrNotLinear, e.Name)
+	}
+	cfg, err := buildConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	mk := func() sketch.Sketch { return e.New(cfg.dim, cfg.words, cfg.depth, cfg.seed) }
+	inner, err := newShards(e.Name, shards, mk)
+	if err != nil {
+		return nil, err
+	}
+	return &Sharded{
+		inner: inner,
+		entry: e,
+		desc:  sketchio.Desc{Algo: e.Name, N: cfg.dim, S: cfg.words, D: cfg.depth, Seed: cfg.seed},
+	}, nil
+}
+
+// newShards builds the replica set, converting a constructor panic (a
+// parameter combination the algorithm rejects) into an error without
+// paying for a throwaway probe sketch.
+func newShards(algo string, shards int, mk func() sketch.Sketch) (s *concurrent.Sharded[sketch.Sketch], err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s, err = nil, fmt.Errorf("repro: constructing %s: %v", algo, r)
+		}
+	}()
+	return concurrent.New(shards, mk, registry.Merge), nil
+}
+
+// Update applies x[i] += delta on the shard owning the caller's slot.
+// slot is any caller-chosen integer (e.g. a worker id); updates with
+// the same slot serialize, different slots proceed in parallel.
+func (s *Sharded) Update(slot, i int, delta float64) { s.inner.Update(slot, i, delta) }
+
+// Snapshot merges all shards into a fresh sketch the caller owns
+// exclusively — a consistent sum of some interleaving of the updates,
+// exactly the semantics of the distributed model. The result is a full
+// facade sketch: it merges with and marshals like any other.
+func (s *Sharded) Snapshot() (Sketch, error) {
+	snap, err := s.inner.Snapshot()
+	if err != nil {
+		return nil, fmt.Errorf("repro: %w", err)
+	}
+	return wrap(s.entry, snap, s.desc), nil
+}
+
+// Query answers a point query against a merged snapshot. For query
+// bursts, take one Snapshot and query it directly instead.
+func (s *Sharded) Query(i int) (float64, error) {
+	v, err := s.inner.Query(i)
+	if err != nil {
+		return 0, fmt.Errorf("repro: %w", err)
+	}
+	return v, nil
+}
+
+// Algo returns the canonical algorithm name.
+func (s *Sharded) Algo() string { return s.entry.Name }
+
+// Shards returns the shard count.
+func (s *Sharded) Shards() int { return s.inner.Shards() }
+
+// Dim returns the dimension of the summarized vector.
+func (s *Sharded) Dim() int { return s.desc.N }
+
+// Words returns total memory across shards.
+func (s *Sharded) Words() int { return s.inner.Words() }

@@ -1,0 +1,44 @@
+// Package workload is the public face of the synthetic dataset
+// generators reproducing the seven evaluation workloads of §5.1, plus
+// loaders for vectors materialized to disk. The types are aliases of
+// the internal implementations, so values interoperate with everything
+// inside the module while outside consumers never import
+// repro/internal/... directly.
+package workload
+
+import "repro/internal/workload"
+
+// Generator produces a synthetic frequency vector.
+type Generator = workload.Generator
+
+// Gaussian is the paper's Gaussian dataset: x_i ~ N(Bias, Sigma²).
+type Gaussian = workload.Gaussian
+
+// GaussianShifted is Gaussian2: a Gaussian crowd with ShiftCount
+// coordinates lifted by ShiftBy — planted outliers.
+type GaussianShifted = workload.GaussianShifted
+
+// WorldCupLike mimics the WorldCup98 per-second request counts.
+type WorldCupLike = workload.WorldCupLike
+
+// WikiLike mimics the Wikipedia per-page edit counts.
+type WikiLike = workload.WikiLike
+
+// HiggsLike mimics the Higgs Twitter mention stream.
+type HiggsLike = workload.HiggsLike
+
+// MemeLike mimics the Memetracker phrase counts.
+type MemeLike = workload.MemeLike
+
+// HudongLike mimics the Hudong "related-to" edge stream; see
+// EdgeStream for the streaming form.
+type HudongLike = workload.HudongLike
+
+// ZipfLike is a heavy-tailed non-biased control workload.
+type ZipfLike = workload.ZipfLike
+
+// ReadVector parses a vector from r, one value per line.
+var ReadVector = workload.ReadVector
+
+// ReadVectorFile parses a vector file written by cmd/datagen.
+var ReadVectorFile = workload.ReadVectorFile
