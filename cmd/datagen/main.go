@@ -5,11 +5,17 @@
 // Usage:
 //
 //	datagen -dataset gaussian|gaussian2|worldcup|wiki|higgs|meme|hudong \
-//	        [-n N] [-seed S] [-out FILE]
+//	        [-n N] [-seed S] [-out FILE] [-ingest ALGO] [-batch B]
 //
 // For hudong the output is the edge stream (one source article id per
 // line) rather than the final vector; every other dataset emits the
 // frequency vector.
+//
+// With -ingest the generated dataset is additionally fed into the
+// named sketch through the batched update path (repro.UpdateBatch, B
+// elements per batch) and a throughput summary is printed — a quick
+// end-to-end smoke of the high-throughput ingestion pipeline. -ingest
+// requires -out so the summary does not interleave with the data.
 package main
 
 import (
@@ -20,7 +26,9 @@ import (
 	"math/rand"
 	"os"
 	"strconv"
+	"time"
 
+	"repro"
 	"repro/workload"
 )
 
@@ -39,11 +47,21 @@ func run(args []string, stdout io.Writer) error {
 	out := fs.String("out", "", "output file (default stdout)")
 	bias := fs.Float64("bias", 100, "gaussian bias b")
 	sigma := fs.Float64("sigma", 15, "gaussian sigma")
+	ingest := fs.String("ingest", "", "also ingest the dataset into this sketch algorithm via the batched update path and report throughput (requires -out)")
+	batch := fs.Int("batch", 4096, "updates per batch for -ingest")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *n <= 0 {
 		return fmt.Errorf("n must be positive, got %d", *n)
+	}
+	if *ingest != "" {
+		if *out == "" {
+			return fmt.Errorf("-ingest requires -out (the summary goes to stdout)")
+		}
+		if *batch <= 0 {
+			return fmt.Errorf("batch must be positive, got %d", *batch)
+		}
 	}
 
 	var w *bufio.Writer
@@ -61,34 +79,89 @@ func run(args []string, stdout io.Writer) error {
 
 	r := rand.New(rand.NewSource(*seed))
 
+	// Materialize the dataset as an update stream: coordinate indexes
+	// plus deltas (unit increments for the hudong edge stream, one
+	// weighted update per non-zero coordinate otherwise).
+	var idx []int
+	var deltas []float64
 	if *dataset == "hudong" {
-		for _, src := range (workload.HudongLike{}).EdgeStream(*n, r) {
+		edges := (workload.HudongLike{}).EdgeStream(*n, r)
+		for _, src := range edges {
 			w.WriteString(strconv.Itoa(src))
 			w.WriteByte('\n')
 		}
-		return nil
+		if *ingest != "" {
+			idx = edges
+			deltas = make([]float64, len(edges))
+			for j := range deltas {
+				deltas[j] = 1
+			}
+		}
+	} else {
+		var gen workload.Generator
+		switch *dataset {
+		case "gaussian":
+			gen = workload.Gaussian{Bias: *bias, Sigma: *sigma}
+		case "gaussian2":
+			gen = workload.GaussianShifted{Bias: *bias, Sigma: *sigma, ShiftCount: *n / 10_000, ShiftBy: 100_000}
+		case "worldcup":
+			gen = workload.WorldCupLike{}
+		case "wiki":
+			gen = workload.WikiLike{}
+		case "higgs":
+			gen = workload.HiggsLike{}
+		case "meme":
+			gen = workload.MemeLike{}
+		default:
+			return fmt.Errorf("unknown dataset %q", *dataset)
+		}
+		for i, v := range gen.Vector(*n, r) {
+			w.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+			w.WriteByte('\n')
+			if *ingest != "" && v != 0 {
+				idx = append(idx, i)
+				deltas = append(deltas, v)
+			}
+		}
 	}
 
-	var gen workload.Generator
-	switch *dataset {
-	case "gaussian":
-		gen = workload.Gaussian{Bias: *bias, Sigma: *sigma}
-	case "gaussian2":
-		gen = workload.GaussianShifted{Bias: *bias, Sigma: *sigma, ShiftCount: *n / 10_000, ShiftBy: 100_000}
-	case "worldcup":
-		gen = workload.WorldCupLike{}
-	case "wiki":
-		gen = workload.WikiLike{}
-	case "higgs":
-		gen = workload.HiggsLike{}
-	case "meme":
-		gen = workload.MemeLike{}
-	default:
-		return fmt.Errorf("unknown dataset %q", *dataset)
+	if *ingest == "" {
+		return nil
 	}
-	for _, v := range gen.Vector(*n, r) {
-		w.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
-		w.WriteByte('\n')
+	return ingestStream(stdout, *ingest, *n, *batch, idx, deltas)
+}
+
+// ingestStream drives the batched ingestion path: the whole update
+// stream flows through repro.UpdateBatch in batches of batchSize, and
+// the measured throughput is reported. Sketch panics (e.g. a negative
+// coordinate fed to a conservative-update sketch) surface as ordinary
+// CLI errors.
+func ingestStream(out io.Writer, algo string, dim, batchSize int, idx []int, deltas []float64) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("ingesting into %s: %v", algo, r)
+		}
+	}()
+	sk, err := repro.New(algo, repro.WithDim(dim))
+	if err != nil {
+		return err
 	}
+	start := time.Now()
+	for pos := 0; pos < len(idx); pos += batchSize {
+		end := pos + batchSize
+		if end > len(idx) {
+			end = len(idx)
+		}
+		if err := repro.UpdateBatch(sk, idx[pos:end], deltas[pos:end]); err != nil {
+			return err
+		}
+	}
+	elapsed := time.Since(start)
+	perUpdate := 0.0
+	if len(idx) > 0 {
+		perUpdate = float64(elapsed.Nanoseconds()) / float64(len(idx))
+	}
+	fmt.Fprintf(out, "ingested %d updates into %s (n=%d, %d words) in %v: %.1f ns/update at batch size %d\n",
+		len(idx), sk.Algo(), dim, sk.Words(), elapsed.Round(time.Microsecond), perUpdate, batchSize)
 	return nil
 }

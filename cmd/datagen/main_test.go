@@ -77,3 +77,52 @@ func TestRunErrors(t *testing.T) {
 		t.Error("stray output file created")
 	}
 }
+
+func TestRunIngestDrivesBatchPath(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "edges.txt")
+	var out bytes.Buffer
+	err := run([]string{"-dataset", "hudong", "-n", "200", "-seed", "5",
+		"-out", path, "-ingest", "l2sr", "-batch", "64"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "updates into l2sr") {
+		t.Fatalf("missing ingest summary, got: %q", out.String())
+	}
+	// The data file is still written alongside the ingest run.
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("edge stream file not written: %v", err)
+	}
+
+	// Vector datasets ingest their non-zero coordinates.
+	vpath := filepath.Join(t.TempDir(), "v.txt")
+	out.Reset()
+	err = run([]string{"-dataset", "gaussian", "-n", "500", "-out", vpath,
+		"-ingest", "countmin", "-batch", "128"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "updates into countmin") {
+		t.Fatalf("missing ingest summary, got: %q", out.String())
+	}
+}
+
+func TestRunIngestValidation(t *testing.T) {
+	if err := run([]string{"-n", "10", "-ingest", "l2sr"}, &bytes.Buffer{}); err == nil {
+		t.Error("-ingest without -out should fail")
+	}
+	path := filepath.Join(t.TempDir(), "v.txt")
+	if err := run([]string{"-n", "10", "-out", path, "-ingest", "nope"}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown ingest algorithm should fail")
+	}
+	if err := run([]string{"-n", "10", "-out", path, "-ingest", "l2sr", "-batch", "0"}, &bytes.Buffer{}); err == nil {
+		t.Error("non-positive batch should fail")
+	}
+	// A conservative-update sketch fed negative coordinates must
+	// surface a CLI error, not a panic stack trace.
+	err := run([]string{"-dataset", "gaussian", "-bias", "0", "-n", "200", "-out", path,
+		"-ingest", "cmcu"}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "cmcu") {
+		t.Errorf("negative updates into cmcu should error cleanly, got %v", err)
+	}
+}

@@ -35,14 +35,29 @@
 // one (words, depth) setting every algorithm costs the same memory.
 //
 // Capabilities are layered as interfaces — Sketch (update/query),
-// Linear (adds Merge), Serializable (adds the wire format), Biased
-// (adds the β̂ estimate) — and as package-level helpers returning typed
-// errors where a capability is absent: Merge (ErrNotLinear on the
-// conservative-update sketches), Marshal/Unmarshal (the
-// self-describing wire format of §5.5's shared-randomness protocol),
-// Recover, Bias, Scan and TopK (deviation heavy hitters), NewSharded
-// (contention-free concurrent ingestion), and NewRange (dyadic range
-// sums and quantiles).
+// BatchUpdater (adds batched ingestion), Linear (adds Merge),
+// Serializable (adds the wire format), Biased (adds the β̂ estimate) —
+// and as package-level helpers returning typed errors where a
+// capability is absent: Merge (ErrNotLinear on the conservative-update
+// sketches), Marshal/Unmarshal (the self-describing wire format of
+// §5.5's shared-randomness protocol), Recover, Bias, Scan and TopK
+// (deviation heavy hitters), NewSharded (contention-free concurrent
+// ingestion), and NewRange (dyadic range sums and quantiles).
+//
+// # Batched ingestion
+//
+// High-throughput pipelines feed updates in batches rather than one
+// stream element at a time. UpdateBatch(sk, idx, deltas) applies
+// x[idx[j]] += deltas[j] for every j through the sketch's native
+// batched path: a row-major traversal evaluates each row's hash over
+// the whole batch (one Carter–Wegman coefficient load per row, see
+// internal/hashing's HashMany) and keeps each counter row cache-hot
+// while it absorbs every element. The result is bit-identical to the
+// element-wise Update loop — batching is a throughput knob, never a
+// semantic change — and batches of a few hundred to a few thousand
+// elements give 1.2–2× single-threaded speedups depending on the
+// algorithm (see README.md for measured numbers). Sharded exposes the
+// same entry point with one shard-lock acquisition per batch.
 //
 // The subpackages repro/workload (the §5.1 synthetic datasets) and
 // repro/bench (the figure harness) complete the public surface;

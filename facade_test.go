@@ -329,3 +329,150 @@ func TestRangeSketch(t *testing.T) {
 		t.Errorf("median second %d implausible for uniform mass", mid)
 	}
 }
+
+// Every sketch New constructs exposes the batched ingestion path, and
+// the batch must leave exactly the state of the element-wise loop —
+// query-for-query, including the bias estimate where there is one.
+func TestUpdateBatchMatchesElementwiseEveryAlgorithm(t *testing.T) {
+	for _, algo := range append(append([]string{}, paperAlgos...), "l1mean", "l2mean", "exact") {
+		opts := []repro.Option{
+			repro.WithDim(20000), repro.WithWords(256), repro.WithDepth(7), repro.WithSeed(21),
+		}
+		batched := mustNew(t, algo, opts...)
+		seq := mustNew(t, algo, opts...)
+		if _, ok := batched.(repro.BatchUpdater); !ok {
+			t.Fatalf("%s: facade sketch does not satisfy repro.BatchUpdater", algo)
+		}
+		r := rand.New(rand.NewSource(22))
+		for round := 0; round < 10; round++ {
+			m := 1 + r.Intn(700)
+			idx := make([]int, m)
+			deltas := make([]float64, m)
+			for j := range idx {
+				idx[j] = r.Intn(20000)
+				deltas[j] = float64(1 + r.Intn(5)) // non-negative: cmcu/cmlcu safe
+			}
+			if err := repro.UpdateBatch(batched, idx, deltas); err != nil {
+				t.Fatalf("%s: UpdateBatch: %v", algo, err)
+			}
+			for j := range idx {
+				seq.Update(idx[j], deltas[j])
+			}
+		}
+		for i := 0; i < 20000; i += 89 {
+			if a, b := batched.Query(i), seq.Query(i); a != b {
+				t.Fatalf("%s: query %d: batched %v, element-wise %v", algo, i, a, b)
+			}
+		}
+		if bb, err1 := repro.Bias(batched); err1 == nil {
+			bs, _ := repro.Bias(seq)
+			if bb != bs {
+				t.Fatalf("%s: bias: batched %v, element-wise %v", algo, bb, bs)
+			}
+		}
+	}
+}
+
+// A length mismatch is reported as an error before any update lands.
+func TestUpdateBatchLengthMismatch(t *testing.T) {
+	s := mustNew(t, "countmin", repro.WithDim(100), repro.WithWords(16), repro.WithDepth(3))
+	if err := repro.UpdateBatch(s, []int{1, 2}, []float64{1}); err == nil {
+		t.Fatal("length mismatch should return an error")
+	}
+	for i := 0; i < 100; i++ {
+		if s.Query(i) != 0 {
+			t.Fatalf("sketch modified despite mismatch: Query(%d) = %f", i, s.Query(i))
+		}
+	}
+}
+
+// foreignSketch is a Sketch implementation from outside the module
+// with no native batched path; the helper must loop for it.
+type foreignSketch struct{ x []float64 }
+
+func (f *foreignSketch) Update(i int, delta float64) { f.x[i] += delta }
+func (f *foreignSketch) Query(i int) float64         { return f.x[i] }
+func (f *foreignSketch) Dim() int                    { return len(f.x) }
+func (f *foreignSketch) Words() int                  { return len(f.x) }
+func (f *foreignSketch) Algo() string                { return "foreign" }
+
+func TestUpdateBatchFallsBackForForeignSketch(t *testing.T) {
+	f := &foreignSketch{x: make([]float64, 10)}
+	if err := repro.UpdateBatch(f, []int{2, 2, 9}, []float64{1, 2, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if f.x[2] != 3 || f.x[9] != 4 {
+		t.Fatalf("fallback loop lost updates: %v", f.x)
+	}
+}
+
+// Acceptance shape of the issue: batched sharded ingestion must end in
+// the same counters as one sequential sketch fed element-wise.
+func TestShardedUpdateBatchMatchesSequential(t *testing.T) {
+	opts := []repro.Option{
+		repro.WithDim(5000), repro.WithWords(128), repro.WithDepth(5), repro.WithSeed(7),
+	}
+	sh, err := repro.NewSharded(4, "l2sr", opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := mustNew(t, "l2sr", opts...)
+
+	r := rand.New(rand.NewSource(23))
+	for round := 0; round < 40; round++ {
+		m := 1 + r.Intn(500)
+		idx := make([]int, m)
+		deltas := make([]float64, m)
+		for j := range idx {
+			idx[j] = r.Intn(5000)
+			deltas[j] = float64(1 + r.Intn(3))
+			seq.Update(idx[j], deltas[j])
+		}
+		if err := sh.UpdateBatch(round, idx, deltas); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sh.UpdateBatch(0, []int{1}, []float64{1, 2}); err == nil {
+		t.Fatal("sharded length mismatch should return an error")
+	}
+	snap, err := sh.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i += 13 {
+		if a, b := seq.Query(i), snap.Query(i); math.Abs(a-b) > 1e-9 {
+			t.Fatalf("query %d: sharded-batched %f != sequential %f", i, b, a)
+		}
+	}
+}
+
+// SketchVector mirrors the internal implementation: error on length
+// mismatch, zero coordinates skipped.
+func TestSketchVectorDelegation(t *testing.T) {
+	s := mustNew(t, "countmin", repro.WithDim(4), repro.WithWords(8), repro.WithDepth(2))
+	if err := repro.SketchVector(s, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch should return an error")
+	}
+	if err := repro.SketchVector(s, []float64{5, 0, 0, 7}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Query(0); got < 5 {
+		t.Errorf("Query(0) = %f, want >= 5", got)
+	}
+}
+
+// NewRange must stop invoking the level factory after the first nil
+// return instead of building dead placeholder levels.
+func TestNewRangeShortCircuitsOnFactoryError(t *testing.T) {
+	calls := 0
+	_, err := repro.NewRange(1<<16, func(level, size int, seed int64) repro.Sketch {
+		calls++
+		return nil // fail immediately on level 0
+	}, 1)
+	if err == nil {
+		t.Fatal("nil factory result should fail NewRange")
+	}
+	if calls != 1 {
+		t.Fatalf("factory called %d times after failing on the first level, want 1", calls)
+	}
+}

@@ -61,11 +61,43 @@ func New[S Mergeable](p int, mk func() S, merge func(dst, src S) error) *Sharded
 // Update applies x[i] += delta on the shard owning the caller's slot.
 // slot is any caller-chosen integer (e.g. a worker id); updates with
 // the same slot serialize, different slots proceed in parallel.
+//
+// The shard lock is released by defer: sk.Update panics on programmer
+// errors (an out-of-range index), and a panicking writer must not
+// leave the shard locked forever for every later writer.
 func (s *Sharded[S]) Update(slot, i int, delta float64) {
 	sh := &s.shards[uint(slot)%uint(len(s.shards))]
 	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	sh.sk.Update(i, delta)
-	sh.mu.Unlock()
+}
+
+// batchUpdater matches sketches with a native batched path — the
+// sketch.BatchUpdater capability, restated structurally so this
+// package keeps zero sketch dependencies.
+type batchUpdater interface {
+	UpdateBatch(idx []int, deltas []float64)
+}
+
+// UpdateBatch applies x[idx[j]] += deltas[j] for every j on the slot's
+// shard under a single lock acquisition — one acquire/release per
+// batch instead of per element, the high-throughput ingestion path.
+// Replicas with a native batched path get the whole batch at once;
+// others absorb it element-wise under the one lock.
+func (s *Sharded[S]) UpdateBatch(slot int, idx []int, deltas []float64) {
+	if len(idx) != len(deltas) {
+		panic(fmt.Sprintf("concurrent: batch index count %d != delta count %d", len(idx), len(deltas)))
+	}
+	sh := &s.shards[uint(slot)%uint(len(s.shards))]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if b, ok := any(sh.sk).(batchUpdater); ok {
+		b.UpdateBatch(idx, deltas)
+		return
+	}
+	for j, i := range idx {
+		sh.sk.Update(i, deltas[j])
+	}
 }
 
 // Snapshot merges all shards into a fresh sketch that the caller owns
@@ -76,16 +108,21 @@ func (s *Sharded[S]) Update(slot, i int, delta float64) {
 func (s *Sharded[S]) Snapshot() (S, error) {
 	out := s.mk()
 	for idx := range s.shards {
-		sh := &s.shards[idx]
-		sh.mu.Lock()
-		err := s.merge(out, sh.sk)
-		sh.mu.Unlock()
-		if err != nil {
+		if err := s.mergeShard(out, idx); err != nil {
 			var zero S
 			return zero, fmt.Errorf("concurrent: merging shard %d: %w", idx, err)
 		}
 	}
 	return out, nil
+}
+
+// mergeShard folds shard idx into out, holding the shard lock with
+// defer so a panicking merge cannot leave the shard locked.
+func (s *Sharded[S]) mergeShard(out S, idx int) error {
+	sh := &s.shards[idx]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return s.merge(out, sh.sk)
 }
 
 // Query answers a point query against a merged snapshot. For query

@@ -4,7 +4,9 @@ import (
 	"math"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/sketch"
@@ -202,4 +204,189 @@ func BenchmarkSnapshot(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// Regression test for the shard-mutex deadlock: a writer that panics
+// inside sk.Update (out-of-range index) must release the shard lock on
+// the way out, so later writers on the same shard still make progress.
+func TestPanickingUpdateDoesNotDeadlockShard(t *testing.T) {
+	sh := New(1, mkL2(12), mergeL2) // one shard: every slot shares the mutex
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("out-of-range update should panic")
+			}
+		}()
+		sh.Update(0, 1_000_000, 1) // N is 10000
+	}()
+
+	done := make(chan struct{})
+	go func() {
+		sh.Update(1, 42, 5) // same (only) shard as the panicking writer
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("second writer blocked: shard mutex leaked by panicking update")
+	}
+	if v, err := sh.Query(42); err != nil || v == 0 {
+		t.Fatalf("Query(42) = %v, %v after recovery", v, err)
+	}
+}
+
+// The batched entry point holds the same invariant.
+func TestPanickingUpdateBatchDoesNotDeadlockShard(t *testing.T) {
+	sh := New(1, mkL2(13), mergeL2)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("invalid batch should panic")
+			}
+		}()
+		sh.UpdateBatch(0, []int{1, 1_000_000}, []float64{1, 1})
+	}()
+
+	done := make(chan struct{})
+	go func() {
+		sh.UpdateBatch(1, []int{7, 7}, []float64{2, 3})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("second writer blocked: shard mutex leaked by panicking batch")
+	}
+	// The rejected batch is all-or-nothing AND the later batch landed.
+	if v, err := sh.Query(7); err != nil || v == 0 {
+		t.Fatalf("Query(7) = %v, %v after recovery", v, err)
+	}
+}
+
+// Batched sharded ingestion must produce the same final counters as
+// element-wise sharded ingestion (same slots, same stream order).
+func TestUpdateBatchMatchesElementwise(t *testing.T) {
+	const n, rounds = 10000, 50
+	batched := New(4, mkL2(14), mergeL2)
+	seq := New(4, mkL2(14), mergeL2)
+	r := rand.New(rand.NewSource(15))
+	for round := 0; round < rounds; round++ {
+		m := 1 + r.Intn(400)
+		idx := make([]int, m)
+		deltas := make([]float64, m)
+		for j := range idx {
+			idx[j] = r.Intn(n)
+			deltas[j] = float64(1 + r.Intn(5))
+		}
+		batched.UpdateBatch(round, idx, deltas)
+		for j := range idx {
+			seq.Update(round, idx[j], deltas[j])
+		}
+	}
+	a, err := batched.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := seq.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i += 37 {
+		if x, y := a.Query(i), b.Query(i); x != y {
+			t.Fatalf("query %d: batched %v, element-wise %v", i, x, y)
+		}
+	}
+	if a.Bias() != b.Bias() {
+		t.Fatalf("bias: batched %v, element-wise %v", a.Bias(), b.Bias())
+	}
+}
+
+// UpdateBatch under concurrent writers, checked with -race: the final
+// snapshot must carry every batch exactly once.
+func TestConcurrentBatchWritersExactTotal(t *testing.T) {
+	const workers, batches, batchLen, n = 8, 200, 64, 10000
+	sh := New(workers, mkL2(16), mergeL2)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(200 + w)))
+			idx := make([]int, batchLen)
+			deltas := make([]float64, batchLen)
+			for u := 0; u < batches; u++ {
+				for j := range idx {
+					idx[j] = r.Intn(n)
+					deltas[j] = 1
+				}
+				sh.UpdateBatch(w, idx, deltas)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	ref := mkL2(16)()
+	for w := 0; w < workers; w++ {
+		r := rand.New(rand.NewSource(int64(200 + w)))
+		for u := 0; u < batches*batchLen; u++ {
+			ref.Update(r.Intn(n), 1)
+		}
+	}
+	snap, err := sh.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i += 97 {
+		if a, b := ref.Query(i), snap.Query(i); math.Abs(a-b) > 1e-9 {
+			t.Fatalf("query %d: ref %f sharded %f", i, a, b)
+		}
+	}
+}
+
+// Replicas without a native batched path absorb batches element-wise
+// under the single lock — same counters either way.
+func TestUpdateBatchFallbackForPlainMergeable(t *testing.T) {
+	mk := func() *plainCounter { return &plainCounter{x: make([]float64, 100)} }
+	sh := New(2, mk, func(dst, src *plainCounter) error {
+		for i, v := range src.x {
+			dst.x[i] += v
+		}
+		return nil
+	})
+	sh.UpdateBatch(0, []int{3, 3, 7}, []float64{1, 2, 4})
+	snap, err := sh.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Query(3) != 3 || snap.Query(7) != 4 {
+		t.Fatalf("fallback batch lost updates: x[3]=%v x[7]=%v", snap.Query(3), snap.Query(7))
+	}
+}
+
+// plainCounter is a Mergeable with no UpdateBatch method.
+type plainCounter struct{ x []float64 }
+
+func (p *plainCounter) Update(i int, delta float64) { p.x[i] += delta }
+func (p *plainCounter) Query(i int) float64         { return p.x[i] }
+func (p *plainCounter) Dim() int                    { return len(p.x) }
+func (p *plainCounter) Words() int                  { return len(p.x) }
+
+func BenchmarkShardedUpdateBatchParallel(b *testing.B) {
+	const batchLen = 1024
+	sh := New(8, mkL2(17), mergeL2)
+	var nextSlot atomic.Int64 // distinct slot per goroutine: writers spread over shards
+	b.RunParallel(func(pb *testing.PB) {
+		slot := int(nextSlot.Add(1))
+		r := rand.New(rand.NewSource(int64(18 + slot)))
+		idx := make([]int, batchLen)
+		deltas := make([]float64, batchLen)
+		for j := range idx {
+			idx[j] = r.Intn(10000)
+			deltas[j] = 1
+		}
+		for pb.Next() {
+			sh.UpdateBatch(slot, idx, deltas)
+		}
+	})
+	b.ReportMetric(float64(b.N*batchLen), "updates")
 }

@@ -122,6 +122,17 @@ func (l *L1SR) Update(i int, delta float64) {
 	l.est.Observe(i, delta)
 }
 
+// UpdateBatch applies the batch to the CM rows row-major (one hash-
+// coefficient load per row, cache-hot rows) and replays it element-
+// ordered into the bias estimator, leaving exactly the state of the
+// element-wise Update loop.
+func (l *L1SR) UpdateBatch(idx []int, deltas []float64) {
+	l.cm.UpdateBatch(idx, deltas)
+	for j, i := range idx {
+		l.est.Observe(i, deltas[j])
+	}
+}
+
 // Bias returns the current bias estimate β̂ (Algorithm 2 line 1).
 func (l *L1SR) Bias() float64 { return l.est.Bias() }
 

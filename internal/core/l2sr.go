@@ -127,6 +127,17 @@ func (l *L2SR) Update(i int, delta float64) {
 	l.est.Observe(i, delta)
 }
 
+// UpdateBatch applies the batch to the CS rows row-major (one hash-
+// coefficient load per row, cache-hot rows) and replays it element-
+// ordered into the bias estimator, leaving exactly the state of the
+// element-wise Update loop.
+func (l *L2SR) UpdateBatch(idx []int, deltas []float64) {
+	l.cs.UpdateBatch(idx, deltas)
+	for j, i := range idx {
+		l.est.Observe(i, deltas[j])
+	}
+}
+
 // Bias returns the current bias estimate β̂ (Algorithm 4 line 2 /
 // Algorithm 5 line 19).
 func (l *L2SR) Bias() float64 { return l.est.Bias() }

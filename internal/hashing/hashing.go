@@ -63,6 +63,22 @@ func (h Pairwise) Hash(x uint64) int {
 	return int(addModP(mulModP(h.A, x), h.B) % h.Range)
 }
 
+// HashMany maps each coordinate xs[j] into [0, Range), writing the
+// result into out[j]. It is the batch entry point of the sketches'
+// row-major UpdateBatch: the Carter–Wegman coefficients load once per
+// row instead of once per stream element, and the bounds check on out
+// is hoisted out of the loop.
+func (h Pairwise) HashMany(xs []int, out []int) {
+	if len(xs) == 0 {
+		return
+	}
+	a, b, rng := h.A, h.B, h.Range
+	out = out[:len(xs)]
+	for j, x := range xs {
+		out[j] = int(addModP(mulModP(a, uint64(x)), b) % rng)
+	}
+}
+
 // Sign is a 2-wise independent random sign function r: [n] -> {-1,+1}
 // (Definition 2 of the paper uses these in the CS-matrix).
 type Sign struct {
@@ -93,6 +109,23 @@ func (s Sign) SignFloat(x uint64) float64 {
 		return 1
 	}
 	return -1
+}
+
+// SignFloatMany writes SignFloat(xs[j]) into out[j] for every j — the
+// batch companion of HashMany for the Count-Sketch rows.
+func (s Sign) SignFloatMany(xs []int, out []float64) {
+	if len(xs) == 0 {
+		return
+	}
+	a, b := s.A, s.B
+	out = out[:len(xs)]
+	for j, x := range xs {
+		if addModP(mulModP(a, uint64(x)), b)&1 == 0 {
+			out[j] = 1
+		} else {
+			out[j] = -1
+		}
+	}
 }
 
 // FourWise is a 4-wise independent hash function (degree-3 polynomial

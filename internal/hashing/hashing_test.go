@@ -340,3 +340,58 @@ func BenchmarkTabulationHash(b *testing.B) {
 	}
 	_ = sink
 }
+
+// HashMany must agree with element-wise Hash for every element — the
+// batch path is an optimization, never a different function.
+func TestHashManyMatchesHash(t *testing.T) {
+	r := rand.New(rand.NewSource(40))
+	for trial := 0; trial < 20; trial++ {
+		h := NewPairwise(r, 1+r.Intn(5000))
+		xs := make([]int, 1+r.Intn(300))
+		for j := range xs {
+			xs[j] = r.Intn(1 << 20)
+		}
+		out := make([]int, len(xs))
+		h.HashMany(xs, out)
+		for j, x := range xs {
+			if want := h.Hash(uint64(x)); out[j] != want {
+				t.Fatalf("trial %d: HashMany[%d] = %d, Hash = %d", trial, j, out[j], want)
+			}
+		}
+	}
+	// Empty batch is a no-op, not a panic.
+	NewPairwise(r, 16).HashMany(nil, nil)
+}
+
+func TestSignFloatManyMatchesSignFloat(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 20; trial++ {
+		s := NewSign(r)
+		xs := make([]int, 1+r.Intn(300))
+		for j := range xs {
+			xs[j] = r.Intn(1 << 20)
+		}
+		out := make([]float64, len(xs))
+		s.SignFloatMany(xs, out)
+		for j, x := range xs {
+			if want := s.SignFloat(uint64(x)); out[j] != want {
+				t.Fatalf("trial %d: SignFloatMany[%d] = %f, SignFloat = %f", trial, j, out[j], want)
+			}
+		}
+	}
+	NewSign(r).SignFloatMany(nil, nil)
+}
+
+func BenchmarkPairwiseHashMany(b *testing.B) {
+	h := NewPairwise(rand.New(rand.NewSource(1)), 4096)
+	xs := make([]int, 1024)
+	for j := range xs {
+		xs[j] = j * 31
+	}
+	out := make([]int, len(xs))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.HashMany(xs, out)
+	}
+}

@@ -13,7 +13,8 @@ import "math/rand"
 // weighted conservative rule: every bucket of i is raised to
 // max(bucket, min_t bucket_t(i) + delta).
 type CMCU struct {
-	tb table
+	tb   table
+	hbuf []int // d×batch bucket indexes, row-major, reused across UpdateBatch calls
 }
 
 // NewCMCU creates a conservative-update Count-Min sketch.
@@ -41,6 +42,43 @@ func (c *CMCU) Update(i int, delta float64) {
 		b := c.tb.hash.H[t].Hash(u)
 		if c.tb.cells[t][b] < target {
 			c.tb.cells[t][b] = target
+		}
+	}
+}
+
+// UpdateBatch applies the batch of conservative increments. The hash
+// evaluation is row-major (one coefficient load per row for the whole
+// batch), but the conservative raise stays element-ordered — each
+// element's row-wise minimum depends on every earlier element — so the
+// final counters exactly match the element-wise Update loop.
+func (c *CMCU) UpdateBatch(idx []int, deltas []float64) {
+	c.tb.checkBatch(idx, deltas)
+	for _, d := range deltas {
+		if d < 0 {
+			panic("sketch: CMCU does not support negative updates (insert-only)")
+		}
+	}
+	m := len(idx)
+	depth := len(c.tb.cells)
+	if cap(c.hbuf) < depth*m {
+		c.hbuf = make([]int, depth*m)
+	}
+	for t := 0; t < depth; t++ {
+		c.tb.hash.H[t].HashMany(idx, c.hbuf[t*m:(t+1)*m])
+	}
+	for j := 0; j < m; j++ {
+		min := c.tb.cells[0][c.hbuf[j]]
+		for t := 1; t < depth; t++ {
+			if v := c.tb.cells[t][c.hbuf[t*m+j]]; v < min {
+				min = v
+			}
+		}
+		target := min + deltas[j]
+		for t := 0; t < depth; t++ {
+			b := c.hbuf[t*m+j]
+			if c.tb.cells[t][b] < target {
+				c.tb.cells[t][b] = target
+			}
 		}
 	}
 }

@@ -28,6 +28,7 @@ type CMLCU struct {
 	base float64
 	lnB  float64
 	rng  *rand.Rand
+	hbuf []int // d×batch bucket indexes, row-major, reused across UpdateBatch calls
 }
 
 // NewCMLCU creates a Count-Min-Log sketch with the given shape and
@@ -80,6 +81,46 @@ func (c *CMLCU) Update(i int, delta float64) {
 		b := c.tb.hash.H[t].Hash(u)
 		if c.tb.cells[t][b] < target {
 			c.tb.cells[t][b] = target
+		}
+	}
+}
+
+// UpdateBatch applies the batch of conservative log-domain increments.
+// Hash evaluation is row-major; the conservative raise (and hence the
+// probabilistic-rounding RNG draws) stays element-ordered, so the
+// final counters exactly match the element-wise Update loop.
+func (c *CMLCU) UpdateBatch(idx []int, deltas []float64) {
+	c.tb.checkBatch(idx, deltas)
+	for _, d := range deltas {
+		if d < 0 {
+			panic("sketch: CMLCU does not support negative updates (insert-only)")
+		}
+	}
+	m := len(idx)
+	depth := len(c.tb.cells)
+	if cap(c.hbuf) < depth*m {
+		c.hbuf = make([]int, depth*m)
+	}
+	for t := 0; t < depth; t++ {
+		c.tb.hash.H[t].HashMany(idx, c.hbuf[t*m:(t+1)*m])
+	}
+	for j := 0; j < m; j++ {
+		min := c.tb.cells[0][c.hbuf[j]]
+		for t := 1; t < depth; t++ {
+			if v := c.tb.cells[t][c.hbuf[t*m+j]]; v < min {
+				min = v
+			}
+		}
+		exact := c.counter(c.value(min) + deltas[j])
+		target := math.Floor(exact)
+		if c.rng.Float64() < exact-target {
+			target++
+		}
+		for t := 0; t < depth; t++ {
+			b := c.hbuf[t*m+j]
+			if c.tb.cells[t][b] < target {
+				c.tb.cells[t][b] = target
+			}
 		}
 	}
 }

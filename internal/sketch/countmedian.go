@@ -28,6 +28,20 @@ func (c *CountMedian) Update(i int, delta float64) {
 	}
 }
 
+// UpdateBatch applies x[idx[j]] += deltas[j] for every j, row-major:
+// each row's hash runs over the whole batch and the row stays cache-
+// hot while it absorbs every element. Equivalent to the element-wise
+// Update loop (each cell receives the same addends in the same order).
+func (c *CountMedian) UpdateBatch(idx []int, deltas []float64) {
+	c.tb.checkBatch(idx, deltas)
+	for t := range c.tb.cells {
+		row := c.tb.cells[t]
+		for j, b := range c.tb.hashRow(t, idx) {
+			row[b] += deltas[j]
+		}
+	}
+}
+
 // Query estimates x[i] as the median over rows of the hashed bucket.
 func (c *CountMedian) Query(i int) float64 {
 	c.tb.checkIndex(i)

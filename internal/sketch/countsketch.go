@@ -15,6 +15,7 @@ type CountSketch struct {
 	tb    table
 	signs hashing.SignFamily
 	buf   []float64
+	sbuf  []float64 // per-row signs, reused across UpdateBatch calls
 
 	psis [][]float64 // cached per-row signed column sums ψ (see columns.go)
 }
@@ -35,6 +36,25 @@ func (c *CountSketch) Update(i int, delta float64) {
 	u := uint64(i)
 	for t := range c.tb.cells {
 		c.tb.cells[t][c.tb.hash.H[t].Hash(u)] += c.signs.S[t].SignFloat(u) * delta
+	}
+}
+
+// UpdateBatch applies x[idx[j]] += r_t(idx[j])·deltas[j] for every j,
+// row-major: each row's bucket hash and sign function run over the
+// whole batch before the row's counters absorb it. Equivalent to the
+// element-wise Update loop.
+func (c *CountSketch) UpdateBatch(idx []int, deltas []float64) {
+	c.tb.checkBatch(idx, deltas)
+	if cap(c.sbuf) < len(idx) {
+		c.sbuf = make([]float64, len(idx))
+	}
+	sg := c.sbuf[:len(idx)]
+	for t := range c.tb.cells {
+		row := c.tb.cells[t]
+		c.signs.S[t].SignFloatMany(idx, sg)
+		for j, b := range c.tb.hashRow(t, idx) {
+			row[b] += sg[j] * deltas[j]
+		}
 	}
 }
 

@@ -44,6 +44,22 @@ func (c *DengRafiei) Update(i int, delta float64) {
 	}
 }
 
+// UpdateBatch applies x[idx[j]] += deltas[j] for every j, row-major,
+// folding the batch into the running total once. Equivalent to the
+// element-wise Update loop.
+func (c *DengRafiei) UpdateBatch(idx []int, deltas []float64) {
+	c.tb.checkBatch(idx, deltas)
+	for _, d := range deltas {
+		c.total += d
+	}
+	for t := range c.tb.cells {
+		row := c.tb.cells[t]
+		for j, b := range c.tb.hashRow(t, idx) {
+			row[b] += deltas[j]
+		}
+	}
+}
+
 // Query estimates x[i] as the median over rows of the noise-corrected
 // bucket values.
 func (c *DengRafiei) Query(i int) float64 {

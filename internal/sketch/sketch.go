@@ -32,6 +32,38 @@ type Sketch interface {
 	Words() int
 }
 
+// BatchUpdater is the optional capability of sketches with a native
+// batched ingestion path. UpdateBatch applies x[idx[j]] += deltas[j]
+// for every j and leaves exactly the state of the equivalent
+// element-wise Update loop; implementations validate the whole batch
+// (slice lengths and index ranges) before touching any counter, so a
+// panic cannot leave the sketch partially updated.
+//
+// Every algorithm in this repository implements it with a row-major
+// traversal: each row's hash is evaluated over the whole batch (one
+// coefficient load per row, see hashing.Pairwise.HashMany) and the
+// row's counters — a few KB — stay cache-hot while absorbing every
+// element, instead of the whole d·s-word table being walked per
+// element.
+type BatchUpdater interface {
+	UpdateBatch(idx []int, deltas []float64)
+}
+
+// UpdateBatch feeds a batch through s's native batched path when it
+// has one, or an element-wise loop otherwise.
+func UpdateBatch(s Sketch, idx []int, deltas []float64) {
+	if b, ok := s.(BatchUpdater); ok {
+		b.UpdateBatch(idx, deltas)
+		return
+	}
+	if len(idx) != len(deltas) {
+		panic(fmt.Sprintf("sketch: batch index count %d != delta count %d", len(idx), len(deltas)))
+	}
+	for j, i := range idx {
+		s.Update(i, deltas[j])
+	}
+}
+
 // Linear is a sketch with the linearity property Φ(x+y) = Φx + Φy,
 // hence mergeable across distributed sites.
 type Linear interface {
@@ -56,16 +88,19 @@ func Recover(s Sketch) []float64 {
 }
 
 // SketchVector feeds a dense frequency vector into s, one update per
-// non-zero coordinate.
-func SketchVector(s Sketch, x []float64) {
+// non-zero coordinate. A length mismatch returns an error before any
+// update is applied; the public repro.SketchVector delegates here, so
+// the two paths share one behavior.
+func SketchVector(s Sketch, x []float64) error {
 	if len(x) != s.Dim() {
-		panic(fmt.Sprintf("sketch: vector length %d != sketch dim %d", len(x), s.Dim()))
+		return fmt.Errorf("sketch: vector length %d != sketch dim %d", len(x), s.Dim())
 	}
 	for i, v := range x {
 		if v != 0 {
 			s.Update(i, v)
 		}
 	}
+	return nil
 }
 
 // Config carries the shared shape parameters of every sketch in this

@@ -368,13 +368,20 @@ func TestIndexOutOfRangePanics(t *testing.T) {
 	}
 }
 
-func TestSketchVectorLengthMismatchPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
+func TestSketchVectorLengthMismatchErrors(t *testing.T) {
+	cm := NewCountMin(Config{N: 10, Rows: 8, Depth: 3}, rand.New(rand.NewSource(18)))
+	if err := SketchVector(cm, make([]float64, 5)); err == nil {
+		t.Fatal("length mismatch should return an error")
+	}
+	// No update may have been applied before the mismatch was caught.
+	for i := 0; i < 10; i++ {
+		if cm.Query(i) != 0 {
+			t.Fatalf("sketch modified despite length mismatch: Query(%d) = %f", i, cm.Query(i))
 		}
-	}()
-	SketchVector(NewCountMin(Config{N: 10, Rows: 8, Depth: 3}, rand.New(rand.NewSource(18))), make([]float64, 5))
+	}
+	if err := SketchVector(cm, make([]float64, 10)); err != nil {
+		t.Fatalf("matching length: %v", err)
+	}
 }
 
 // DengRafiei should beat plain Count-Min on biased data (its entire

@@ -17,6 +17,8 @@ type table struct {
 	cfg   Config
 	hash  hashing.Family
 	cells [][]float64 // cells[t][b], t < Depth, b < Rows
+
+	scratch []int // per-row bucket indexes, reused across UpdateBatch calls
 }
 
 func newTable(cfg Config, r *rand.Rand) table {
@@ -95,4 +97,26 @@ func (tb *table) checkIndex(i int) {
 	if i < 0 || i >= tb.cfg.N {
 		panic(fmt.Sprintf("sketch: index %d out of range [0,%d)", i, tb.cfg.N))
 	}
+}
+
+// checkBatch validates a whole batch before any counter is touched, so
+// a panic cannot leave the table partially updated.
+func (tb *table) checkBatch(idx []int, deltas []float64) {
+	if len(idx) != len(deltas) {
+		panic(fmt.Sprintf("sketch: batch index count %d != delta count %d", len(idx), len(deltas)))
+	}
+	for _, i := range idx {
+		tb.checkIndex(i)
+	}
+}
+
+// hashRow evaluates row t's hash over the whole batch into the shared
+// scratch buffer and returns it. Valid until the next hashRow call.
+func (tb *table) hashRow(t int, idx []int) []int {
+	if cap(tb.scratch) < len(idx) {
+		tb.scratch = make([]int, len(idx))
+	}
+	out := tb.scratch[:len(idx)]
+	tb.hash.H[t].HashMany(idx, out)
+	return out
 }

@@ -5,6 +5,7 @@
 package stream
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/sketch"
@@ -89,6 +90,23 @@ func NewExact(n int) *Exact { return &Exact{x: make([]float64, n)} }
 
 // Update implements sketch.Sketch.
 func (e *Exact) Update(i int, delta float64) { e.x[i] += delta }
+
+// UpdateBatch implements sketch.BatchUpdater: x[idx[j]] += deltas[j]
+// for every j. The whole batch is validated before any counter moves,
+// matching the all-or-nothing contract of the hashed sketches.
+func (e *Exact) UpdateBatch(idx []int, deltas []float64) {
+	if len(idx) != len(deltas) {
+		panic(fmt.Sprintf("stream: batch index count %d != delta count %d", len(idx), len(deltas)))
+	}
+	for _, i := range idx {
+		if i < 0 || i >= len(e.x) {
+			panic(fmt.Sprintf("stream: index %d out of range [0,%d)", i, len(e.x)))
+		}
+	}
+	for j, i := range idx {
+		e.x[i] += deltas[j]
+	}
+}
 
 // Query implements sketch.Sketch.
 func (e *Exact) Query(i int) float64 { return e.x[i] }

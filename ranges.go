@@ -32,20 +32,31 @@ func NewRange(n int, f LevelFactory, seed int64) (*RangeSketch, error) {
 	r := rand.New(rand.NewSource(seed))
 	rs := &RangeSketch{}
 	rs.inner = rangequery.New(n, func(level, size int, _ *rand.Rand) rangequery.PointSketch {
-		sk := f(level, size, r.Int63())
-		if sk == nil && err == nil {
-			err = fmt.Errorf("repro: level factory returned nil for level %d", level)
+		if err != nil {
+			// Construction already failed: stop calling the factory and
+			// fill the remaining levels with zero-cost placeholders (the
+			// whole structure is discarded below).
+			return nullLevel{}
 		}
-		if sk == nil {
-			return Exact(size) // placeholder; the error aborts below
+		if sk := f(level, size, r.Int63()); sk != nil {
+			return sk
 		}
-		return sk
+		err = fmt.Errorf("repro: level factory returned nil for level %d", level)
+		return nullLevel{}
 	}, r)
 	if err != nil {
 		return nil, err
 	}
 	return rs, nil
 }
+
+// nullLevel stands in for levels after the factory has failed, so
+// NewRange allocates nothing for a structure it is about to discard.
+type nullLevel struct{}
+
+func (nullLevel) Update(int, float64) {}
+func (nullLevel) Query(int) float64   { return 0 }
+func (nullLevel) Words() int          { return 0 }
 
 // Update applies x[i] += delta, propagating to every level.
 func (s *RangeSketch) Update(i int, delta float64) { s.inner.Update(i, delta) }

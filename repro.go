@@ -32,6 +32,23 @@ type Sketch interface {
 	Algo() string
 }
 
+// BatchUpdater is a sketch with a native batched ingestion path:
+// UpdateBatch applies x[idx[j]] += deltas[j] for every j and leaves
+// exactly the state of the equivalent element-wise Update loop, at a
+// fraction of the cost (row-major traversal keeps each counter row
+// cache-hot and loads each row's hash coefficients once per batch
+// instead of once per element). Every sketch New constructs implements
+// it; the package-level UpdateBatch helper falls back to an update
+// loop for foreign Sketch implementations without the capability.
+type BatchUpdater interface {
+	Sketch
+	// UpdateBatch applies x[idx[j]] += deltas[j] for every j. The two
+	// slices must have equal length and every index must be in
+	// [0, Dim()); the whole batch is validated before any counter
+	// moves, so a panic cannot leave the sketch partially updated.
+	UpdateBatch(idx []int, deltas []float64)
+}
+
 // Linear is a sketch with the linearity property Φ(x+y) = Φx + Φy,
 // hence mergeable: sites sketch their local vectors and a coordinator
 // sums the sketches (the distributed model of §1). The conservative-
@@ -96,9 +113,16 @@ type handle struct {
 
 func (h *handle) Update(i int, delta float64) { h.inner.Update(i, delta) }
 func (h *handle) Query(i int) float64         { return h.inner.Query(i) }
-func (h *handle) Dim() int                    { return h.inner.Dim() }
-func (h *handle) Words() int                  { return h.inner.Words() }
-func (h *handle) Algo() string                { return h.entry.Name }
+
+// UpdateBatch forwards to the inner sketch's native batched path
+// (every registry algorithm has one; sketch.UpdateBatch degrades to an
+// element-wise loop for any that does not).
+func (h *handle) UpdateBatch(idx []int, deltas []float64) {
+	sketch.UpdateBatch(h.inner, idx, deltas)
+}
+func (h *handle) Dim() int     { return h.inner.Dim() }
+func (h *handle) Words() int   { return h.inner.Words() }
+func (h *handle) Algo() string { return h.entry.Name }
 func (h *handle) String() string {
 	return fmt.Sprintf("%s(n=%d s=%d d=%d)", h.entry.Name, h.desc.N, h.desc.S, h.desc.D)
 }
@@ -213,18 +237,32 @@ func Recover(s Sketch) []float64 {
 	return out
 }
 
-// SketchVector feeds a dense frequency vector into s, one update per
-// non-zero coordinate.
-func SketchVector(s Sketch, x []float64) error {
-	if len(x) != s.Dim() {
-		return fmt.Errorf("repro: vector length %d != sketch dim %d", len(x), s.Dim())
+// UpdateBatch applies x[idx[j]] += deltas[j] for every j, using s's
+// native batched path when it has one (every sketch New constructs
+// does) and an element-wise update loop otherwise. A length mismatch
+// returns an error before any update is applied. This is the
+// high-throughput ingestion entry point: amortize per-element costs by
+// feeding elements in batches of a few hundred to a few thousand.
+func UpdateBatch(s Sketch, idx []int, deltas []float64) error {
+	if len(idx) != len(deltas) {
+		return fmt.Errorf("repro: batch index count %d != delta count %d", len(idx), len(deltas))
 	}
-	for i, v := range x {
-		if v != 0 {
-			s.Update(i, v)
-		}
+	if b, ok := s.(BatchUpdater); ok {
+		b.UpdateBatch(idx, deltas)
+		return nil
+	}
+	for j, i := range idx {
+		s.Update(i, deltas[j])
 	}
 	return nil
+}
+
+// SketchVector feeds a dense frequency vector into s, one update per
+// non-zero coordinate. It delegates to the internal implementation, so
+// the facade and internal paths cannot drift: both return an error on
+// length mismatch before any update is applied.
+func SketchVector(s Sketch, x []float64) error {
+	return sketch.SketchVector(s, x)
 }
 
 // Bias returns the sketch's bias estimate β̂, or ErrNoBias for

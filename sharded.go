@@ -69,6 +69,19 @@ func newShards(algo string, shards int, mk func() sketch.Sketch) (s *concurrent.
 // the same slot serialize, different slots proceed in parallel.
 func (s *Sharded) Update(slot, i int, delta float64) { s.inner.Update(slot, i, delta) }
 
+// UpdateBatch applies x[idx[j]] += deltas[j] for every j on the slot's
+// shard under a single lock acquisition — one acquire/release per
+// batch instead of per element, on top of the replica's own row-major
+// batched path. A length mismatch returns an error before any update
+// is applied.
+func (s *Sharded) UpdateBatch(slot int, idx []int, deltas []float64) error {
+	if len(idx) != len(deltas) {
+		return fmt.Errorf("repro: batch index count %d != delta count %d", len(idx), len(deltas))
+	}
+	s.inner.UpdateBatch(slot, idx, deltas)
+	return nil
+}
+
 // Snapshot merges all shards into a fresh sketch the caller owns
 // exclusively — a consistent sum of some interleaving of the updates,
 // exactly the semantics of the distributed model. The result is a full

@@ -1,0 +1,73 @@
+// Smoke test for the public workload shim: the aliases must construct
+// and generate through the public names alone, with no repro/internal
+// imports.
+package workload_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/workload"
+)
+
+func TestGeneratorsProduceVectors(t *testing.T) {
+	const n = 500
+	gens := map[string]workload.Generator{
+		"gaussian":  workload.Gaussian{Bias: 100, Sigma: 15},
+		"gaussian2": workload.GaussianShifted{Bias: 100, Sigma: 15, ShiftCount: 5, ShiftBy: 1000},
+		"worldcup":  workload.WorldCupLike{},
+		"wiki":      workload.WikiLike{},
+		"higgs":     workload.HiggsLike{},
+		"meme":      workload.MemeLike{},
+		"zipf":      workload.ZipfLike{},
+	}
+	for name, g := range gens {
+		x := g.Vector(n, rand.New(rand.NewSource(1)))
+		if len(x) != n {
+			t.Errorf("%s: vector length %d, want %d", name, len(x), n)
+			continue
+		}
+		var nonzero int
+		for _, v := range x {
+			if v != 0 {
+				nonzero++
+			}
+		}
+		if nonzero == 0 {
+			t.Errorf("%s: all-zero vector", name)
+		}
+	}
+}
+
+func TestHudongEdgeStream(t *testing.T) {
+	const articles = 200
+	edges := workload.HudongLike{}.EdgeStream(articles, rand.New(rand.NewSource(2)))
+	if len(edges) == 0 {
+		t.Fatal("empty edge stream")
+	}
+	for _, src := range edges {
+		if src < 0 || src >= articles {
+			t.Fatalf("edge source %d out of range [0,%d)", src, articles)
+		}
+	}
+}
+
+func TestReadVectorRoundTrip(t *testing.T) {
+	x, err := workload.ReadVector(strings.NewReader("1.5\n-2\n0\n3e2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1.5, -2, 0, 300}
+	if len(x) != len(want) {
+		t.Fatalf("parsed %d values, want %d", len(x), len(want))
+	}
+	for i := range want {
+		if x[i] != want[i] {
+			t.Errorf("x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+	if _, err := workload.ReadVector(strings.NewReader("1\nnot-a-number\n")); err == nil {
+		t.Error("garbage line should fail")
+	}
+}
