@@ -1,0 +1,102 @@
+// Query benchmarks at the public-API level: the same coordinates flow
+// through Sketch.Query, repro.QueryBatch, and snapshot reads of a
+// Sharded, so the facade's batched read path is measured exactly as an
+// external consumer would drive it. ns/op is per query for the facade
+// pair; the parallel snapshot benchmark measures coordination-free
+// concurrent readers against a published snapshot.
+package bench_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro"
+)
+
+const queryBatchLen = 1024
+
+// servedSketch builds and populates a facade sketch for query
+// benchmarks.
+func servedSketch(b *testing.B, algo string) repro.Sketch {
+	b.Helper()
+	sk := repro.MustNew(algo, repro.WithDim(ingestN))
+	idx, ones := ingestStream()
+	for off := 0; off+queryBatchLen <= len(idx); off += queryBatchLen {
+		if err := repro.UpdateBatch(sk, idx[off:off+queryBatchLen], ones[off:off+queryBatchLen]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return sk
+}
+
+func BenchmarkFacadeQuery(b *testing.B) {
+	idx, _ := ingestStream()
+	for _, algo := range ingestAlgos {
+		b.Run(algo, func(b *testing.B) {
+			sk := servedSketch(b, algo)
+			mask := len(idx) - 1
+			var sink float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sink += sk.Query(idx[i&mask])
+			}
+			_ = sink
+		})
+	}
+}
+
+func BenchmarkFacadeQueryBatch(b *testing.B) {
+	idx, _ := ingestStream()
+	for _, algo := range ingestAlgos {
+		b.Run(algo, func(b *testing.B) {
+			sk := servedSketch(b, algo)
+			out := make([]float64, queryBatchLen)
+			span := len(idx) - queryBatchLen
+			b.ResetTimer()
+			for done := 0; done < b.N; done += queryBatchLen {
+				m := queryBatchLen
+				if rem := b.N - done; rem < m {
+					m = rem
+				}
+				off := done % span
+				if err := repro.QueryBatch(sk, idx[off:off+m], out[:m]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Parallel batched reads against one published snapshot: zero shard
+// locks, zero refreshes inside the loop — the serving fast path under
+// concurrent query bursts.
+func BenchmarkSnapshotQueryBatchParallel(b *testing.B) {
+	idx, ones := ingestStream()
+	sh, err := repro.NewSharded(8, "countmin", repro.WithDim(ingestN))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for off := 0; off+queryBatchLen <= len(idx); off += queryBatchLen {
+		if err := sh.UpdateBatch(off, idx[off:off+queryBatchLen], ones[off:off+queryBatchLen]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	snap, err := sh.Refresh()
+	if err != nil {
+		b.Fatal(err)
+	}
+	span := len(idx) - queryBatchLen
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		out := make([]float64, queryBatchLen)
+		done := rand.Int() % span
+		for pb.Next() {
+			off := done % span
+			if err := snap.QueryBatch(idx[off:off+queryBatchLen], out); err != nil {
+				b.Fatal(err)
+			}
+			done += queryBatchLen
+		}
+	})
+	b.ReportMetric(float64(queryBatchLen), "queries/op")
+}

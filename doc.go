@@ -59,6 +59,30 @@
 // algorithm (see README.md for measured numbers). Sharded exposes the
 // same entry point with one shard-lock acquisition per batch.
 //
+// # Batched queries and snapshot serving
+//
+// The read side mirrors the write side. QueryBatch(sk, idx, out)
+// answers a batch of point queries through the same row-major
+// traversal — each row's hash and sign coefficients load once per
+// batch, the row's buckets are gathered cache-hot, and the per-element
+// min/median/bias-correction step runs over the gathered values —
+// with results bit-identical to the element-wise Query loop. The
+// min-answer sketches gain ~1.5–1.7×, the median-answer ones ~1.1–1.4×
+// (the depth-d median is inherently per-element); see README.md for
+// measured numbers. Recover, TopK, and Scan use this path internally.
+// Batched query scratch is allocated per call, so concurrent
+// QueryBatch calls against a sketch that is no longer being written
+// are safe.
+//
+// Sharded serves reads from snapshots: every shard carries an epoch
+// bumped per write, Refresh freezes only the shards that changed and
+// atomically publishes an immutable merged replica, and Snapshot
+// returns the published replica with zero shard locks — readers never
+// block writers and never see a torn merge, at the cost of reading a
+// view that is only as fresh as the last Refresh. The snapshot exposes
+// the full read surface (Query, QueryBatch, Bias, TopK, Scan, Stale)
+// plus Owned, which clones it into a mutable facade sketch.
+//
 // The subpackages repro/workload (the §5.1 synthetic datasets) and
 // repro/bench (the figure harness) complete the public surface;
 // everything under internal/ is an implementation detail.

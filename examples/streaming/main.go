@@ -61,10 +61,20 @@ func main() {
 			}
 			pos = end
 		}
+		// Checkpoint reads go through the batched query path — the
+		// read-side twin of the ingestion batching above, bit-identical
+		// to querying each probe individually.
 		fmt.Printf("after %8d edges: bias estimate = %.3f\n", pos, l2.Bias())
-		for _, a := range probe {
-			fmt.Printf("  out-degree[%6d]: exact %5.0f, sketch %8.2f\n",
-				a, exact.Query(a), l2.Query(a))
+		est := make([]float64, len(probe))
+		truth := make([]float64, len(probe))
+		if err := repro.QueryBatch(l2, probe, est); err != nil {
+			panic(err)
+		}
+		if err := repro.QueryBatch(exact, probe, truth); err != nil {
+			panic(err)
+		}
+		for k, a := range probe {
+			fmt.Printf("  out-degree[%6d]: exact %5.0f, sketch %8.2f\n", a, truth[k], est[k])
 		}
 		fmt.Println()
 	}

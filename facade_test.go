@@ -137,12 +137,26 @@ func TestShardedMatchesSequential(t *testing.T) {
 			t.Fatalf("query %d: sharded %f != sequential %f", i, b, a)
 		}
 	}
-	// The snapshot is a full facade sketch: it must merge and marshal.
-	if err := repro.Merge(snap, seq); err != nil {
-		t.Fatalf("snapshot Merge: %v", err)
+	// An owned clone of the snapshot is a full facade sketch: it must
+	// merge and marshal; Merged builds the same thing from live shards.
+	owned, err := snap.Owned()
+	if err != nil {
+		t.Fatalf("snapshot Owned: %v", err)
 	}
-	if _, err := repro.Marshal(snap); err != nil {
-		t.Fatalf("snapshot Marshal: %v", err)
+	if err := repro.Merge(owned, seq); err != nil {
+		t.Fatalf("owned snapshot Merge: %v", err)
+	}
+	if _, err := repro.Marshal(owned); err != nil {
+		t.Fatalf("owned snapshot Marshal: %v", err)
+	}
+	merged, err := sh.Merged()
+	if err != nil {
+		t.Fatalf("Merged: %v", err)
+	}
+	for i := 0; i < 5000; i += 13 {
+		if a, b := snap.Query(i), merged.Query(i); math.Abs(a-b) > 1e-9 {
+			t.Fatalf("query %d: snapshot %f != merged %f", i, a, b)
+		}
 	}
 }
 

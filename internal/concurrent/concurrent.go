@@ -2,19 +2,32 @@
 // ingestion by sharding: P writers each own a private replica built
 // with the same configuration and seeds, so updates are contention
 // free; linearity (the same property that powers the distributed model
-// of §1) means the replicas simply sum, and a reader merges them into
-// a consistent snapshot on demand.
+// of §1) means the replicas simply sum, and readers consume merged
+// snapshots.
 //
 // This is the idiomatic way to parallelize sketch ingestion — a single
 // mutex serializes the hot path, while striped locks break the
 // sketch's cross-bucket invariants (the bias-aware sketches update a
 // bucket row *and* an estimator per call, which must stay atomic
 // relative to each other for mid-stream queries).
+//
+// The read side is epoch-counted: every shard carries an atomic epoch
+// bumped on each write, and the merged replica readers see is an
+// immutable Snapshot swapped in atomically by Refresh. Reading a
+// published snapshot takes zero shard locks and never blocks writers;
+// a refresh locks — briefly, one at a time — only the shards whose
+// epoch advanced since their state was last frozen, re-freezes those,
+// and re-sums the frozen replicas lock-free. The price is a lazily
+// made frozen replica per written shard plus the published merge
+// (memory up to 2P+1 single sketches once snapshots are in use); the
+// return is a serving path where query bursts from many goroutines
+// proceed with no coordination at all.
 package concurrent
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Mergeable is the sketch surface sharding needs: streaming updates,
@@ -32,12 +45,21 @@ type Sharded[S Mergeable] struct {
 	shards []shard[S]
 	mk     func() S
 	merge  func(dst, src S) error
+
+	// view is the published read replica; readers atomic-load it and
+	// never touch shard locks. refreshMu serializes refreshes and
+	// guards frozen/frozenOK/frozenEpo.
+	view      atomic.Pointer[Snapshot[S]]
+	refreshMu sync.Mutex
+	frozen    []S      // per-shard copy as of frozenEpo[i], lazily made
+	frozenEpo []uint64 // shard epoch when frozen[i] was captured; 0 = never frozen
 }
 
 type shard[S Mergeable] struct {
-	mu sync.Mutex
-	sk S
-	_  [40]byte // pad to keep shard locks off one cache line
+	mu    sync.Mutex
+	sk    S
+	epoch atomic.Uint64 // bumped under mu after every applied write
+	_     [32]byte      // pad to 64 bytes: one shard's mutex+epoch per cache line
 }
 
 // New creates a sharded sketch with p shards. mk must build replicas
@@ -48,13 +70,20 @@ func New[S Mergeable](p int, mk func() S, merge func(dst, src S) error) *Sharded
 		panic(fmt.Sprintf("concurrent: shard count %d must be positive", p))
 	}
 	s := &Sharded[S]{
-		shards: make([]shard[S], p),
-		mk:     mk,
-		merge:  merge,
+		shards:    make([]shard[S], p),
+		mk:        mk,
+		merge:     merge,
+		frozen:    make([]S, p),
+		frozenEpo: make([]uint64, p),
 	}
 	for i := range s.shards {
 		s.shards[i].sk = mk()
 	}
+	// Frozen replicas are made lazily, on the first refresh that finds
+	// the shard written: a never-written shard is empty, exactly what an
+	// absent frozen copy contributes to the merged snapshot, and
+	// write-only users (or Merged-only users) never pay the extra P
+	// replicas at all.
 	return s
 }
 
@@ -64,33 +93,65 @@ func New[S Mergeable](p int, mk func() S, merge func(dst, src S) error) *Sharded
 //
 // The shard lock is released by defer: sk.Update panics on programmer
 // errors (an out-of-range index), and a panicking writer must not
-// leave the shard locked forever for every later writer.
+// leave the shard locked forever for every later writer. The epoch
+// bumps by defer too, even when the write panics: the sketches in this
+// module validate before mutating, but a foreign replica might panic
+// half-applied, and a spurious epoch bump merely costs one refresh
+// while a missed one would hide the partial write from every snapshot.
 func (s *Sharded[S]) Update(slot, i int, delta float64) {
 	sh := &s.shards[uint(slot)%uint(len(s.shards))]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	defer sh.epoch.Add(1)
 	sh.sk.Update(i, delta)
 }
 
-// batchUpdater matches sketches with a native batched path — the
-// sketch.BatchUpdater capability, restated structurally so this
+// batchUpdater matches sketches with a native batched ingestion path —
+// the sketch.BatchUpdater capability, restated structurally so this
 // package keeps zero sketch dependencies.
 type batchUpdater interface {
 	UpdateBatch(idx []int, deltas []float64)
+}
+
+// batchQuerier is the read-side twin (sketch.BatchQuerier).
+type batchQuerier interface {
+	QueryBatch(idx []int, out []float64)
+}
+
+// readPreparer matches sketches that precompute lazily built query
+// caches, so the first reads of a published snapshot don't pay the
+// cache construction.
+type readPreparer interface {
+	PrepareRead()
+}
+
+// readCacheAdopter matches sketches that can copy seed-determined
+// query caches from an earlier replica of the same configuration —
+// successive snapshot replicas then share one cache instead of each
+// recomputing it.
+type readCacheAdopter interface {
+	AdoptReadCaches(src any)
 }
 
 // UpdateBatch applies x[idx[j]] += deltas[j] for every j on the slot's
 // shard under a single lock acquisition — one acquire/release per
 // batch instead of per element, the high-throughput ingestion path.
 // Replicas with a native batched path get the whole batch at once;
-// others absorb it element-wise under the one lock.
+// others absorb it element-wise under the one lock. The shard epoch
+// advances once per batch, by defer — even a batch that panics
+// half-applied (possible only through the element-wise fallback) stays
+// visible to the next refresh.
 func (s *Sharded[S]) UpdateBatch(slot int, idx []int, deltas []float64) {
 	if len(idx) != len(deltas) {
 		panic(fmt.Sprintf("concurrent: batch index count %d != delta count %d", len(idx), len(deltas)))
 	}
+	if len(idx) == 0 {
+		return // nothing to apply; don't mark snapshots stale for a no-op
+	}
 	sh := &s.shards[uint(slot)%uint(len(s.shards))]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	defer sh.epoch.Add(1)
 	if b, ok := any(sh.sk).(batchUpdater); ok {
 		b.UpdateBatch(idx, deltas)
 		return
@@ -100,17 +161,183 @@ func (s *Sharded[S]) UpdateBatch(slot int, idx []int, deltas []float64) {
 	}
 }
 
-// Snapshot merges all shards into a fresh sketch that the caller owns
-// exclusively. The merge locks shards one at a time, so concurrent
-// writers stall only briefly; the snapshot is a consistent sum of some
-// interleaving of the updates (exactly the semantics of the
-// distributed model).
-func (s *Sharded[S]) Snapshot() (S, error) {
+// Snapshot is an immutable merged view of a Sharded sketch: the sum of
+// every shard's state as of the Refresh that published it. Readers
+// share it — neither they nor the Sharded ever mutate a published
+// snapshot — so any number of goroutines may query it concurrently
+// with zero locks while writers keep ingesting.
+type Snapshot[S Mergeable] struct {
+	owner  *Sharded[S]
+	sk     S
+	epochs []uint64 // per-shard epoch folded into sk
+}
+
+// Sketch returns the merged replica. It is shared and immutable:
+// callers must not update or merge into it (clone it via the owner's
+// Merged for a mutable copy).
+func (sn *Snapshot[S]) Sketch() S { return sn.sk }
+
+// Query answers a point query against the snapshot, lock-free. It
+// routes through the replica's batched path as a batch of one: the
+// single-element Query methods of most sketches reuse per-sketch
+// scratch, which concurrent readers of a shared snapshot must not
+// touch, while the batched paths allocate scratch per call.
+func (sn *Snapshot[S]) Query(i int) float64 {
+	var (
+		idx = [1]int{i}
+		out [1]float64
+	)
+	sn.QueryBatch(idx[:], out[:])
+	return out[0]
+}
+
+// QueryBatch answers a batch of point queries against the snapshot,
+// lock-free, through the replica's native batched path when it has one
+// (bit-identical to the Query loop either way). The native batched
+// paths allocate scratch per call, so concurrent QueryBatch calls on
+// one snapshot are safe. (Replicas from outside this module without a
+// QueryBatch fall back to their Query method; whether concurrent
+// snapshot reads are then safe depends on that Query being
+// scratch-free.)
+func (sn *Snapshot[S]) QueryBatch(idx []int, out []float64) {
+	if len(idx) != len(out) {
+		panic(fmt.Sprintf("concurrent: batch index count %d != output count %d", len(idx), len(out)))
+	}
+	if b, ok := any(sn.sk).(batchQuerier); ok {
+		b.QueryBatch(idx, out)
+		return
+	}
+	for j, i := range idx {
+		out[j] = sn.sk.Query(i)
+	}
+}
+
+// Stale reports whether any shard has absorbed writes since this
+// snapshot was published — an atomic epoch comparison, no locks. A
+// false result is momentary under concurrent writers.
+func (sn *Snapshot[S]) Stale() bool {
+	for i := range sn.owner.shards {
+		if sn.owner.shards[i].epoch.Load() != sn.epochs[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// Snapshot returns the current published snapshot without taking any
+// shard lock, building the first one if none has been published yet.
+// The view is as fresh as the last Refresh; callers that need the
+// latest writes folded in call Refresh instead.
+func (s *Sharded[S]) Snapshot() (*Snapshot[S], error) {
+	if v := s.view.Load(); v != nil {
+		return v, nil
+	}
+	return s.Refresh()
+}
+
+// Refresh folds shards that changed since the last refresh into a new
+// immutable snapshot, publishes it atomically, and returns it. Only
+// the changed shards are locked — briefly, one at a time, to re-freeze
+// their state — so writers stall at most for one state copy; the
+// re-sum of the frozen replicas runs without any lock. If nothing
+// changed, the published snapshot is returned as is. On a merge error
+// the previous snapshot stays published.
+func (s *Sharded[S]) Refresh() (*Snapshot[S], error) {
+	s.refreshMu.Lock()
+	defer s.refreshMu.Unlock()
+	for i := range s.shards {
+		if s.shards[i].epoch.Load() == s.frozenEpo[i] {
+			continue // also covers never-written shards: no frozen copy needed
+		}
+		epoch, fresh, err := s.freezeShard(i)
+		if err != nil {
+			return nil, fmt.Errorf("concurrent: freezing shard %d: %w", i, err)
+		}
+		s.frozen[i] = fresh
+		s.frozenEpo[i] = epoch
+	}
+	// Republish the current view only if it already carries everything
+	// frozen — comparing against the view's own epochs (not a "did this
+	// call freeze anything" flag) so that a previous refresh that froze
+	// state but failed to publish is retried here instead of silently
+	// dropping those writes.
+	if v := s.view.Load(); v != nil && equalEpochs(v.epochs, s.frozenEpo) {
+		return v, nil
+	}
+	merged := s.mk()
+	for i := range s.frozen {
+		if s.frozenEpo[i] == 0 {
+			continue // never frozen, hence never written: nothing to add
+		}
+		if err := s.merge(merged, s.frozen[i]); err != nil {
+			return nil, fmt.Errorf("concurrent: merging frozen shard %d: %w", i, err)
+		}
+	}
+	// Replica query caches are seed-determined: adopt them from the
+	// outgoing snapshot when possible, compute them once otherwise, so
+	// refreshes after the first don't pay the O(n·d) warm-up.
+	if a, ok := any(merged).(readCacheAdopter); ok {
+		if prev := s.view.Load(); prev != nil {
+			a.AdoptReadCaches(any(prev.sk))
+		}
+	}
+	if p, ok := any(merged).(readPreparer); ok {
+		p.PrepareRead()
+	}
+	snap := &Snapshot[S]{
+		owner:  s,
+		sk:     merged,
+		epochs: append([]uint64(nil), s.frozenEpo...),
+	}
+	s.view.Store(snap)
+	return snap, nil
+}
+
+func equalEpochs(a, b []uint64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// freezeShard copies shard i's current state into a fresh replica,
+// holding the shard lock with defer so a panicking merge cannot leave
+// the shard locked, and returns the epoch the copy is valid for.
+func (s *Sharded[S]) freezeShard(i int) (uint64, S, error) {
+	fresh := s.mk()
+	sh := &s.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if err := s.merge(fresh, sh.sk); err != nil {
+		var zero S
+		return 0, zero, err
+	}
+	return sh.epoch.Load(), fresh, nil
+}
+
+// fresh returns a snapshot with every write so far folded in: the
+// published view if no shard advanced, otherwise a refresh.
+func (s *Sharded[S]) fresh() (*Snapshot[S], error) {
+	if v := s.view.Load(); v != nil && !v.Stale() {
+		return v, nil
+	}
+	return s.Refresh()
+}
+
+// Merged merges all shards into a fresh sketch that the caller owns
+// exclusively and may mutate freely — the hand-off shape of the
+// distributed model, as opposed to the shared read replica Snapshot
+// returns. The merge locks shards one at a time, so concurrent writers
+// stall only briefly; the result is a consistent sum of some
+// interleaving of the updates.
+func (s *Sharded[S]) Merged() (S, error) {
 	out := s.mk()
-	for idx := range s.shards {
-		if err := s.mergeShard(out, idx); err != nil {
+	for i := range s.shards {
+		if err := s.mergeShard(out, i); err != nil {
 			var zero S
-			return zero, fmt.Errorf("concurrent: merging shard %d: %w", idx, err)
+			return zero, fmt.Errorf("concurrent: merging shard %d: %w", i, err)
 		}
 	}
 	return out, nil
@@ -125,21 +352,34 @@ func (s *Sharded[S]) mergeShard(out S, idx int) error {
 	return s.merge(out, sh.sk)
 }
 
-// Query answers a point query against a merged snapshot. For query
+// Query answers a point query with every write so far folded in,
+// refreshing the snapshot only if some shard advanced. For query
 // bursts, take one Snapshot and query it directly instead.
 func (s *Sharded[S]) Query(i int) (float64, error) {
-	snap, err := s.Snapshot()
+	snap, err := s.fresh()
 	if err != nil {
 		return 0, err
 	}
 	return snap.Query(i), nil
 }
 
+// QueryBatch answers a batch of point queries with every write so far
+// folded in, refreshing the snapshot only if some shard advanced.
+func (s *Sharded[S]) QueryBatch(idx []int, out []float64) error {
+	snap, err := s.fresh()
+	if err != nil {
+		return err
+	}
+	snap.QueryBatch(idx, out)
+	return nil
+}
+
 // Shards returns the shard count.
 func (s *Sharded[S]) Shards() int { return len(s.shards) }
 
 // Words returns the total memory across shards (P× the single-sketch
-// cost — the price of contention-free writes).
+// cost — the price of contention-free writes; once snapshots are in
+// use, frozen replicas and the published merge add up to P+1 more).
 func (s *Sharded[S]) Words() int {
 	var w int
 	for idx := range s.shards {

@@ -48,8 +48,8 @@ func TestSequentialMatchesPlain(t *testing.T) {
 			t.Fatalf("query %d: plain %f sharded %f", i, a, b)
 		}
 	}
-	if math.Abs(plain.Bias()-snap.Bias()) > 1e-9 {
-		t.Fatalf("bias mismatch: %f vs %f", plain.Bias(), snap.Bias())
+	if math.Abs(plain.Bias()-snap.Sketch().Bias()) > 1e-9 {
+		t.Fatalf("bias mismatch: %f vs %f", plain.Bias(), snap.Sketch().Bias())
 	}
 }
 
@@ -193,10 +193,45 @@ func BenchmarkShardedUpdateParallel(b *testing.B) {
 	})
 }
 
-func BenchmarkSnapshot(b *testing.B) {
+func BenchmarkMerged(b *testing.B) {
 	sh := New(8, mkL2(11), mergeL2)
 	for u := 0; u < 100000; u++ {
 		sh.Update(u, u%10000, 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sh.Merged(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Refresh with exactly one dirty shard per iteration: the epoch check
+// skips the seven clean shards, so this measures one freeze plus the
+// frozen-replica re-sum.
+func BenchmarkRefreshOneDirtyShard(b *testing.B) {
+	sh := New(8, mkL2(11), mergeL2)
+	for u := 0; u < 100000; u++ {
+		sh.Update(u, u%10000, 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sh.Update(0, i%10000, 1)
+		if _, err := sh.Refresh(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Snapshot on a quiet Sharded is the serving fast path: one atomic
+// pointer load, no locks, no merging.
+func BenchmarkSnapshotPublished(b *testing.B) {
+	sh := New(8, mkL2(11), mergeL2)
+	for u := 0; u < 100000; u++ {
+		sh.Update(u, u%10000, 1)
+	}
+	if _, err := sh.Refresh(); err != nil {
+		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -296,8 +331,8 @@ func TestUpdateBatchMatchesElementwise(t *testing.T) {
 			t.Fatalf("query %d: batched %v, element-wise %v", i, x, y)
 		}
 	}
-	if a.Bias() != b.Bias() {
-		t.Fatalf("bias: batched %v, element-wise %v", a.Bias(), b.Bias())
+	if a.Sketch().Bias() != b.Sketch().Bias() {
+		t.Fatalf("bias: batched %v, element-wise %v", a.Sketch().Bias(), b.Sketch().Bias())
 	}
 }
 

@@ -1,0 +1,322 @@
+package concurrent
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/sketch"
+	"repro/internal/stream"
+)
+
+func mkExact(n int) func() *stream.Exact {
+	return func() *stream.Exact { return stream.NewExact(n) }
+}
+
+func mergeExact(dst, src *stream.Exact) error {
+	for i, v := range src.Vector() {
+		if v != 0 {
+			dst.Update(i, v)
+		}
+	}
+	return nil
+}
+
+// A published snapshot is immutable: writes that land after the
+// refresh must not change it, must flip Stale, and must appear in the
+// next refreshed snapshot.
+func TestSnapshotStalenessSemantics(t *testing.T) {
+	sh := New(4, mkExact(100), mergeExact)
+	sh.Update(0, 7, 3)
+	snap, err := sh.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Stale() {
+		t.Fatal("fresh snapshot reports stale")
+	}
+	if got := snap.Query(7); got != 3 {
+		t.Fatalf("Query(7) = %v, want 3", got)
+	}
+
+	sh.Update(1, 7, 10)
+	if !snap.Stale() {
+		t.Fatal("snapshot not stale after a write")
+	}
+	if got := snap.Query(7); got != 3 {
+		t.Fatalf("published snapshot changed under a writer: Query(7) = %v", got)
+	}
+
+	next, err := sh.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := next.Query(7); got != 13 {
+		t.Fatalf("refreshed Query(7) = %v, want 13", got)
+	}
+	if got := snap.Query(7); got != 3 {
+		t.Fatalf("old snapshot changed by refresh: Query(7) = %v", got)
+	}
+}
+
+// Refresh is epoch-gated: an unchanged Sharded republishes the same
+// snapshot, and a refresh after writes to one shard freezes only that
+// shard — observable through the replica-constructor call count.
+func TestRefreshMergesOnlyChangedShards(t *testing.T) {
+	var mkCalls atomic.Int64
+	mk := func() *stream.Exact {
+		mkCalls.Add(1)
+		return stream.NewExact(50)
+	}
+	sh := New(4, mk, mergeExact)
+	if got := mkCalls.Load(); got != 4 { // shards only: frozen copies are lazy
+		t.Fatalf("New made %d replicas, want 4", got)
+	}
+
+	snap1, err := sh.Refresh() // first publish: 1 mk for the merged sum
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mkCalls.Load(); got != 5 {
+		t.Fatalf("first refresh made %d replicas, want 5", got)
+	}
+
+	snap2, err := sh.Refresh() // nothing changed: no mk, same snapshot
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap2 != snap1 {
+		t.Fatal("refresh of an unchanged Sharded built a new snapshot")
+	}
+	if got := mkCalls.Load(); got != 5 {
+		t.Fatalf("no-op refresh made replicas: %d, want 5", got)
+	}
+
+	sh.Update(2, 1, 1) // dirty exactly one shard (slot 2 of 4)
+	if _, err := sh.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	// One freeze for the dirty shard + one merged sum: 2 more.
+	if got := mkCalls.Load(); got != 7 {
+		t.Fatalf("one-dirty-shard refresh made %d extra replicas, want 2", got-5)
+	}
+}
+
+// Concurrent readers on snapshots while writers batch-update: every
+// batch adds the same delta to coordinates 0 and 1, so any snapshot
+// that tore a batch — or a merge — would show x[0] != x[1]. Successive
+// snapshots must also be monotone on an insert-only stream. Run with
+// -race.
+func TestSnapshotReadersNeverSeeTornMerge(t *testing.T) {
+	const writers, batches = 4, 300
+	sh := New(writers, mkExact(10), mergeExact)
+	var wg sync.WaitGroup
+	stopReaders := make(chan struct{})
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for u := 0; u < batches; u++ {
+				sh.UpdateBatch(w, []int{0, 1}, []float64{1, 1})
+			}
+		}(w)
+	}
+
+	var readers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		readers.Add(1)
+		go func(g int) {
+			defer readers.Done()
+			last := math.Inf(-1)
+			out := make([]float64, 2)
+			for {
+				select {
+				case <-stopReaders:
+					return
+				default:
+				}
+				var snap *Snapshot[*stream.Exact]
+				var err error
+				if g%2 == 0 {
+					snap, err = sh.Snapshot()
+				} else {
+					snap, err = sh.Refresh()
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				snap.QueryBatch([]int{0, 1}, out)
+				if out[0] != out[1] {
+					t.Errorf("torn merge: x[0]=%v x[1]=%v", out[0], out[1])
+					return
+				}
+				if out[0] < last {
+					t.Errorf("snapshot went backwards: %v after %v", out[0], last)
+					return
+				}
+				last = out[0]
+			}
+		}(g)
+	}
+
+	wg.Wait()
+	close(stopReaders)
+	readers.Wait()
+
+	final, err := sh.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(writers * batches)
+	if got := final.Query(0); got != want {
+		t.Fatalf("final x[0] = %v, want %v", got, want)
+	}
+}
+
+// The sharded QueryBatch refreshes on staleness and falls back to a
+// Query loop for replicas without a native batched path.
+func TestShardedQueryBatch(t *testing.T) {
+	sh := New(2, mkExact(100), mergeExact)
+	sh.UpdateBatch(0, []int{3, 7}, []float64{2, 5})
+	out := make([]float64, 2)
+	if err := sh.QueryBatch([]int{3, 7}, out); err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 2 || out[1] != 5 {
+		t.Fatalf("QueryBatch = %v, want [2 5]", out)
+	}
+	sh.Update(1, 3, 1) // must be folded in by the next batched read
+	if err := sh.QueryBatch([]int{3, 7}, out); err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 3 {
+		t.Fatalf("stale read: x[3] = %v, want 3", out[0])
+	}
+
+	// plainCounter has no QueryBatch: the snapshot loops.
+	plain := New(2, func() *plainCounter { return &plainCounter{x: make([]float64, 10)} },
+		func(dst, src *plainCounter) error {
+			for i, v := range src.x {
+				dst.x[i] += v
+			}
+			return nil
+		})
+	plain.Update(0, 4, 9)
+	pout := make([]float64, 1)
+	if err := plain.QueryBatch([]int{4}, pout); err != nil {
+		t.Fatal(err)
+	}
+	if pout[0] != 9 {
+		t.Fatalf("fallback QueryBatch = %v, want 9", pout[0])
+	}
+}
+
+// A refresh that froze shard state but failed to publish (merge error
+// in the re-sum) must not let the next refresh republish the stale
+// view as if it were current — the frozen writes have to surface once
+// the fault clears.
+func TestRefreshRetriesAfterFailedPublish(t *testing.T) {
+	sh := New(2, mkExact(10), mergeExact)
+	if _, err := sh.Refresh(); err != nil { // publish the empty view
+		t.Fatal(err)
+	}
+	sh.Update(0, 3, 5)
+
+	// The freeze copy is the first merge call of the next refresh, the
+	// re-sum the second: let the freeze pass, fail the sum.
+	calls := 0
+	sh.merge = func(dst, src *stream.Exact) error {
+		if calls++; calls > 1 {
+			return errFault
+		}
+		return mergeExact(dst, src)
+	}
+	if _, err := sh.Refresh(); err == nil {
+		t.Fatal("refresh should surface the sum-merge error")
+	}
+	sh.merge = mergeExact
+
+	snap, err := sh.Refresh()
+	if err != nil {
+		t.Fatalf("refresh after fault cleared: %v", err)
+	}
+	if got := snap.Query(3); got != 5 {
+		t.Fatalf("write frozen before the failed publish was dropped: Query(3) = %v, want 5", got)
+	}
+}
+
+var errFault = errors.New("injected merge fault")
+
+// A batch that panics half-applied through the element-wise fallback
+// still bumps the shard epoch, so the partial write reaches the next
+// snapshot instead of silently diverging from Merged.
+func TestPartialFallbackBatchStaysVisibleToSnapshots(t *testing.T) {
+	sh := New(1, func() *plainCounter { return &plainCounter{x: make([]float64, 10)} },
+		func(dst, src *plainCounter) error {
+			for i, v := range src.x {
+				dst.x[i] += v
+			}
+			return nil
+		})
+	if _, err := sh.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("out-of-range element should panic")
+			}
+		}()
+		// plainCounter has no UpdateBatch and no pre-validation: the
+		// first element lands before the second panics.
+		sh.UpdateBatch(0, []int{4, 99}, []float64{7, 1})
+	}()
+	snap, err := sh.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.Query(4); got != 7 {
+		t.Fatalf("partial batch invisible to snapshot: Query(4) = %v, want 7", got)
+	}
+}
+
+// Snapshots of a sketch-typed Sharded (the facade's instantiation) use
+// the native batched query path and agree with Merged.
+func TestSnapshotMatchesMergedForSketches(t *testing.T) {
+	cfg := sketch.Config{N: 5000, Rows: 128, Depth: 7}
+	mk := func() sketch.Sketch {
+		return sketch.NewCountSketch(cfg, rand.New(rand.NewSource(21)))
+	}
+	merge := func(dst, src sketch.Sketch) error {
+		return dst.(sketch.Linear).MergeFrom(src.(sketch.Linear))
+	}
+	sh := New(3, mk, merge)
+	r := rand.New(rand.NewSource(22))
+	for u := 0; u < 20000; u++ {
+		sh.Update(u, r.Intn(cfg.N), float64(r.Intn(5)-1))
+	}
+	snap, err := sh.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := sh.Merged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := make([]int, 0, cfg.N/53)
+	for i := 0; i < cfg.N; i += 53 {
+		idx = append(idx, i)
+	}
+	out := make([]float64, len(idx))
+	snap.QueryBatch(idx, out)
+	for j, i := range idx {
+		if want := merged.Query(i); out[j] != want {
+			t.Fatalf("query %d: snapshot %v, merged %v", i, out[j], want)
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"repro/internal/biasheap"
 	"repro/internal/hashing"
@@ -229,6 +230,12 @@ type medianBucketEstimator struct {
 	useHeap bool
 	heap    *biasheap.Heap
 
+	// The sort-at-query cache is guarded by mu so that concurrent
+	// readers of a quiescent sketch (the snapshot-serving contract of
+	// QueryBatch) can share one estimator: the first Bias() after an
+	// update sorts and fills the cache, later ones read it. The heap
+	// variant needs no guard — its Bias() is a pure read.
+	mu     sync.Mutex
 	dirty  bool
 	cached float64
 }
@@ -268,6 +275,8 @@ func (e *medianBucketEstimator) Bias() float64 {
 	if e.useHeap {
 		return e.heap.Bias()
 	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if e.dirty {
 		e.cached = e.sortBias()
 		e.dirty = false

@@ -149,6 +149,53 @@ func (l *L1SR) Query(i int) float64 {
 	return median(l.buf) + beta
 }
 
+// QueryBatch writes the estimate of x[idx[j]] into out[j] for every j
+// — de-biased Count-Median recovery, row-major: each CM row's hash
+// coefficients, counters, and column counts π load once for the whole
+// batch, then the median and the β̂ add-back run per element over the
+// gathered, cache-hot columns. β̂ is read once up front; queries never
+// change estimator state, so this matches the per-query Bias() calls
+// of the element-wise loop and results are bit-identical to it. The
+// whole batch is validated before out is written, and scratch is
+// allocated per call, so concurrent QueryBatch calls on a quiescent
+// sketch (e.g. a Sharded snapshot replica) are safe.
+func (l *L1SR) QueryBatch(idx []int, out []float64) {
+	l.cm.CheckIndexBatch(idx, out)
+	beta := l.est.Bias()
+	hb := make([]int, sketch.TileWidth(len(idx)))
+	sketch.QueryBatchMedian(l.cfg.Depth, idx, out, func(t int, tile []int, o []float64) {
+		l.cm.BucketIndexMany(t, tile, hb)
+		row := l.cm.Row(t)
+		pi := l.cm.ColumnCounts(t)
+		for j, b := range hb[:len(tile)] {
+			o[j] = row[b] - beta*pi[b]
+		}
+	}, func(vals []float64) float64 {
+		return median(vals) + beta
+	})
+}
+
+// PrepareRead precomputes every lazily built, data-independent cache a
+// query touches (the per-row column counts π and the bias estimate's
+// internal cache). The caches are concurrency-safe to build on demand;
+// warming them up front just keeps the first reads of a published
+// replica from paying the O(n·d) π computation.
+func (l *L1SR) PrepareRead() {
+	l.cm.ColumnCounts(0)
+	l.est.Bias()
+}
+
+// AdoptReadCaches copies the seed-determined query caches (π) from a
+// previously prepared replica of the same configuration — "common
+// knowledge" in the paper's sense — so successive snapshot replicas
+// skip the O(n·d) recompute. A src of another type or shape is
+// ignored.
+func (l *L1SR) AdoptReadCaches(src any) {
+	if o, ok := src.(*L1SR); ok {
+		l.cm.ShareColumnCounts(o.cm)
+	}
+}
+
 // Dim returns n.
 func (l *L1SR) Dim() int { return l.cfg.N }
 

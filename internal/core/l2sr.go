@@ -155,6 +155,57 @@ func (l *L2SR) Query(i int) float64 {
 	return median(l.buf) + beta
 }
 
+// QueryBatch writes the estimate of x[idx[j]] into out[j] for every j
+// — de-biased Count-Sketch recovery, row-major: each CS row's bucket
+// hash, sign function, counters, and signed column sums ψ load once
+// for the whole batch, then the median and the β̂ add-back run per
+// element over the gathered, cache-hot columns. β̂ is read once up
+// front; queries never change estimator state, so this matches the
+// per-query Bias() calls of the element-wise loop and results are
+// bit-identical to it. The whole batch is validated before out is
+// written, and scratch is allocated per call, so concurrent QueryBatch
+// calls on a quiescent sketch (e.g. a Sharded snapshot replica) are
+// safe.
+func (l *L2SR) QueryBatch(idx []int, out []float64) {
+	l.cs.CheckIndexBatch(idx, out)
+	beta := l.est.Bias()
+	cw := sketch.TileWidth(len(idx))
+	hb := make([]int, cw)
+	sg := make([]float64, cw)
+	sketch.QueryBatchMedian(l.cfg.Depth, idx, out, func(t int, tile []int, o []float64) {
+		l.cs.BucketIndexMany(t, tile, hb)
+		l.cs.SignOfMany(t, tile, sg)
+		row := l.cs.Row(t)
+		psi := l.cs.SignedColumnSums(t)
+		for j, b := range hb[:len(tile)] {
+			o[j] = sg[j] * (row[b] - beta*psi[b])
+		}
+	}, func(vals []float64) float64 {
+		return median(vals) + beta
+	})
+}
+
+// PrepareRead precomputes every lazily built, data-independent cache a
+// query touches (the per-row signed column sums ψ and the bias
+// estimate's internal cache). The caches are concurrency-safe to build
+// on demand; warming them up front just keeps the first reads of a
+// published replica from paying the O(n·d) ψ computation.
+func (l *L2SR) PrepareRead() {
+	l.cs.SignedColumnSums(0)
+	l.est.Bias()
+}
+
+// AdoptReadCaches copies the seed-determined query caches (ψ) from a
+// previously prepared replica of the same configuration — "common
+// knowledge" in the paper's sense — so successive snapshot replicas
+// skip the O(n·d) recompute. A src of another type or shape is
+// ignored.
+func (l *L2SR) AdoptReadCaches(src any) {
+	if o, ok := src.(*L2SR); ok {
+		l.cs.ShareSignedColumnSums(o.cs)
+	}
+}
+
 // Dim returns n.
 func (l *L2SR) Dim() int { return l.cfg.N }
 

@@ -65,9 +65,9 @@ func (h Pairwise) Hash(x uint64) int {
 
 // HashMany maps each coordinate xs[j] into [0, Range), writing the
 // result into out[j]. It is the batch entry point of the sketches'
-// row-major UpdateBatch: the Carter–Wegman coefficients load once per
-// row instead of once per stream element, and the bounds check on out
-// is hoisted out of the loop.
+// row-major UpdateBatch and QueryBatch: the Carter–Wegman coefficients
+// load once per row instead of once per stream element (or per point
+// query), and the bounds check on out is hoisted out of the loop.
 func (h Pairwise) HashMany(xs []int, out []int) {
 	if len(xs) == 0 {
 		return
@@ -112,7 +112,8 @@ func (s Sign) SignFloat(x uint64) float64 {
 }
 
 // SignFloatMany writes SignFloat(xs[j]) into out[j] for every j — the
-// batch companion of HashMany for the Count-Sketch rows.
+// batch companion of HashMany for the Count-Sketch rows, on both the
+// ingestion (UpdateBatch) and query (QueryBatch) sides.
 func (s Sign) SignFloatMany(xs []int, out []float64) {
 	if len(xs) == 0 {
 		return

@@ -28,33 +28,76 @@ type Deviator struct {
 	Deviation float64 // |x̂_i − β̂|
 }
 
+// batchQuerier matches sketches with a native batched query path — the
+// sketch.BatchQuerier capability, restated structurally so this
+// package keeps zero sketch dependencies. Scan and TopK drive it in
+// chunks: the full-vector recovery they perform is exactly the
+// read-heavy shape the row-major batch path accelerates, and QueryBatch
+// is bit-identical to the Query loop, so results never change.
+type batchQuerier interface {
+	QueryBatch(idx []int, out []float64)
+}
+
+// scanChunk is the batch size of the chunked full-vector scans: large
+// enough to amortize per-row hash-coefficient loads, small enough that
+// the per-chunk scratch stays cache-resident.
+const scanChunk = 1024
+
+// forEachEstimate calls visit(i, x̂_i) for every coordinate, through
+// the sketch's batched query path when it has one.
+func forEachEstimate(s BiasedSketch, visit func(i int, est float64)) {
+	n := s.Dim()
+	bq, ok := s.(batchQuerier)
+	if !ok {
+		for i := 0; i < n; i++ {
+			visit(i, s.Query(i))
+		}
+		return
+	}
+	idx := make([]int, scanChunk)
+	out := make([]float64, scanChunk)
+	for base := 0; base < n; base += scanChunk {
+		m := scanChunk
+		if rem := n - base; rem < m {
+			m = rem
+		}
+		for j := 0; j < m; j++ {
+			idx[j] = base + j
+		}
+		bq.QueryBatch(idx[:m], out[:m])
+		for j := 0; j < m; j++ {
+			visit(base+j, out[j])
+		}
+	}
+}
+
 // Scan queries every coordinate and returns those whose estimated
 // deviation from the bias exceeds threshold, sorted by decreasing
-// deviation (ties by index). O(n) point queries.
+// deviation (ties by index). O(n) point queries, batched when the
+// sketch supports it.
 func Scan(s BiasedSketch, threshold float64) []Deviator {
 	beta := s.Bias()
 	var out []Deviator
-	for i := 0; i < s.Dim(); i++ {
-		est := s.Query(i)
+	forEachEstimate(s, func(i int, est float64) {
 		if dev := math.Abs(est - beta); dev > threshold {
 			out = append(out, Deviator{Index: i, Estimate: est, Deviation: dev})
 		}
-	}
+	})
 	sortDeviators(out)
 	return out
 }
 
 // TopK returns the k coordinates with the largest estimated deviation
-// from the bias, sorted by decreasing deviation. O(n) point queries
-// with an O(k)-size selection heap.
+// from the bias, sorted by decreasing deviation. O(n) point queries —
+// batched when the sketch supports it — with an O(k)-size selection
+// heap.
 func TopK(s BiasedSketch, k int) []Deviator {
 	if k <= 0 {
 		return nil
 	}
 	beta := s.Bias()
 	h := &devMinHeap{}
-	for i := 0; i < s.Dim(); i++ {
-		est := s.Query(i)
+	forEachEstimate(s, func(i int, est float64) {
 		d := Deviator{Index: i, Estimate: est, Deviation: math.Abs(est - beta)}
 		if h.Len() < k {
 			heap.Push(h, d)
@@ -62,7 +105,7 @@ func TopK(s BiasedSketch, k int) []Deviator {
 			(*h)[0] = d
 			heap.Fix(h, 0)
 		}
-	}
+	})
 	out := make([]Deviator, h.Len())
 	copy(out, *h)
 	sortDeviators(out)

@@ -83,6 +83,15 @@ func (c *CMCU) UpdateBatch(idx []int, deltas []float64) {
 	}
 }
 
+// QueryBatch writes the estimate of x[idx[j]] into out[j] for every j.
+// Queries read counters without the conservative-raise coupling that
+// forces element order on the write side, so the read path is plainly
+// row-major and bit-identical to the element-wise Query loop.
+func (c *CMCU) QueryBatch(idx []int, out []float64) {
+	c.tb.checkQueryBatch(idx, out)
+	c.tb.minRows(idx, out)
+}
+
 // Query estimates x[i] as the minimum bucket over rows.
 func (c *CMCU) Query(i int) float64 {
 	c.tb.checkIndex(i)

@@ -125,6 +125,19 @@ func (c *CMLCU) UpdateBatch(idx []int, deltas []float64) {
 	}
 }
 
+// QueryBatch writes the estimate of x[idx[j]] into out[j] for every j:
+// the row-major minimum gather of the Count-Min family, then a log-
+// domain decode per element. Bit-identical to the element-wise Query
+// loop, and — unlike Update — entirely deterministic: queries never
+// touch the probabilistic-rounding RNG.
+func (c *CMLCU) QueryBatch(idx []int, out []float64) {
+	c.tb.checkQueryBatch(idx, out)
+	c.tb.minRows(idx, out)
+	for j, v := range out {
+		out[j] = c.value(v)
+	}
+}
+
 // Query estimates x[i] by decoding the minimum log counter.
 func (c *CMLCU) Query(i int) float64 {
 	c.tb.checkIndex(i)

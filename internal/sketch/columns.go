@@ -11,19 +11,35 @@ package sketch
 // hash seeds (§5.5, footnote 4).
 
 // ColumnCounts returns π for row t: π[b] = |{j : h_t(j) = b}|. The
-// result is cached; callers must not modify it.
+// result is cached behind an atomic pointer — the caches are pure
+// functions of the hash seeds, so concurrent first readers may compute
+// them redundantly but always install identical values, and later
+// readers see one immutable slice. Callers must not modify it.
 func (c *CountMedian) ColumnCounts(t int) []float64 {
-	if c.pis == nil {
-		c.pis = make([][]float64, c.tb.cfg.Depth)
+	if p := c.pis.Load(); p != nil {
+		return (*p)[t]
 	}
-	if c.pis[t] == nil {
+	pis := make([][]float64, c.tb.cfg.Depth)
+	for r := range pis {
 		pi := make([]float64, c.tb.cfg.Rows)
 		for j := 0; j < c.tb.cfg.N; j++ {
-			pi[c.tb.hash.H[t].Hash(uint64(j))]++
+			pi[c.tb.hash.H[r].Hash(uint64(j))]++
 		}
-		c.pis[t] = pi
+		pis[r] = pi
 	}
-	return c.pis[t]
+	c.pis.CompareAndSwap(nil, &pis)
+	return (*c.pis.Load())[t]
+}
+
+// ShareColumnCounts adopts src's already-computed π caches when the
+// two sketches share shape and hash seeds — π is seed-determined
+// "common knowledge", so replicas of one configuration can skip the
+// O(N·d) recompute (the Sharded refresh path does this between
+// successive snapshots).
+func (c *CountMedian) ShareColumnCounts(src *CountMedian) {
+	if p := src.pis.Load(); p != nil && c.tb.sameShape(&src.tb) {
+		c.pis.Store(p)
+	}
 }
 
 // BucketIndex returns h_t(i), the bucket coordinate i occupies in row t.
@@ -31,24 +47,60 @@ func (c *CountMedian) BucketIndex(t, i int) int {
 	return c.tb.hash.H[t].Hash(uint64(i))
 }
 
+// BucketIndexMany writes h_t(idx[j]) into out[j] for every j — the
+// batch companion of BucketIndex, loading row t's hash coefficients
+// once for the whole batch.
+func (c *CountMedian) BucketIndexMany(t int, idx []int, out []int) {
+	c.tb.hash.H[t].HashMany(idx, out)
+}
+
 // Bucket returns the raw value of bucket b in row t.
 func (c *CountMedian) Bucket(t, b int) float64 { return c.tb.cells[t][b] }
 
+// Row returns row t's counters. Callers must not modify the slice.
+func (c *CountMedian) Row(t int) []float64 { return c.tb.cells[t] }
+
+// CheckIndexBatch validates a query batch (matching lengths, in-range
+// indexes) without touching any state, for the recovery algorithms
+// layered on top of this sketch.
+func (c *CountMedian) CheckIndexBatch(idx []int, out []float64) {
+	c.tb.checkQueryBatch(idx, out)
+}
+
 // SignedColumnSums returns ψ for row t: ψ[b] = Σ_{j: h_t(j)=b} r_t(j).
-// The result is cached; callers must not modify it.
+// The result is cached behind an atomic pointer — see ColumnCounts for
+// the concurrency contract. Callers must not modify it.
 func (c *CountSketch) SignedColumnSums(t int) []float64 {
-	if c.psis == nil {
-		c.psis = make([][]float64, c.tb.cfg.Depth)
+	if p := c.psis.Load(); p != nil {
+		return (*p)[t]
 	}
-	if c.psis[t] == nil {
+	psis := make([][]float64, c.tb.cfg.Depth)
+	for r := range psis {
 		psi := make([]float64, c.tb.cfg.Rows)
 		for j := 0; j < c.tb.cfg.N; j++ {
 			u := uint64(j)
-			psi[c.tb.hash.H[t].Hash(u)] += c.signs.S[t].SignFloat(u)
+			psi[c.tb.hash.H[r].Hash(u)] += c.signs.S[r].SignFloat(u)
 		}
-		c.psis[t] = psi
+		psis[r] = psi
 	}
-	return c.psis[t]
+	c.psis.CompareAndSwap(nil, &psis)
+	return (*c.psis.Load())[t]
+}
+
+// ShareSignedColumnSums adopts src's already-computed ψ caches when
+// the two sketches share shape, hash seeds, and sign seeds — the
+// Count-Sketch analogue of ShareColumnCounts.
+func (c *CountSketch) ShareSignedColumnSums(src *CountSketch) {
+	p := src.psis.Load()
+	if p == nil || !c.tb.sameShape(&src.tb) {
+		return
+	}
+	for t := range c.signs.S {
+		if c.signs.S[t] != src.signs.S[t] {
+			return
+		}
+	}
+	c.psis.Store(p)
 }
 
 // BucketIndex returns h_t(i) for the Count-Sketch row t.
@@ -56,10 +108,33 @@ func (c *CountSketch) BucketIndex(t, i int) int {
 	return c.tb.hash.H[t].Hash(uint64(i))
 }
 
+// BucketIndexMany writes h_t(idx[j]) into out[j] for every j — the
+// batch companion of BucketIndex, loading row t's hash coefficients
+// once for the whole batch.
+func (c *CountSketch) BucketIndexMany(t int, idx []int, out []int) {
+	c.tb.hash.H[t].HashMany(idx, out)
+}
+
 // Bucket returns the raw (signed-sum) value of bucket b in row t.
 func (c *CountSketch) Bucket(t, b int) float64 { return c.tb.cells[t][b] }
+
+// Row returns row t's counters. Callers must not modify the slice.
+func (c *CountSketch) Row(t int) []float64 { return c.tb.cells[t] }
 
 // SignOf returns r_t(i) as a float64.
 func (c *CountSketch) SignOf(t, i int) float64 {
 	return c.signs.S[t].SignFloat(uint64(i))
+}
+
+// SignOfMany writes r_t(idx[j]) into out[j] for every j — the batch
+// companion of SignOf.
+func (c *CountSketch) SignOfMany(t int, idx []int, out []float64) {
+	c.signs.S[t].SignFloatMany(idx, out)
+}
+
+// CheckIndexBatch validates a query batch (matching lengths, in-range
+// indexes) without touching any state, for the recovery algorithms
+// layered on top of this sketch.
+func (c *CountSketch) CheckIndexBatch(idx []int, out []float64) {
+	c.tb.checkQueryBatch(idx, out)
 }

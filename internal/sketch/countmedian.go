@@ -1,6 +1,9 @@
 package sketch
 
-import "math/rand"
+import (
+	"math/rand"
+	"sync/atomic"
+)
 
 // CountMedian is the Count-Median sketch of Cormode and Muthukrishnan
 // (Definition 1 / Theorem 1 of the paper): d independent CM-matrix
@@ -11,7 +14,7 @@ type CountMedian struct {
 	tb  table
 	buf []float64 // scratch for the per-query median
 
-	pis [][]float64 // cached per-row column counts π (see columns.go)
+	pis atomic.Pointer[[][]float64] // cached per-row column counts π (see columns.go)
 }
 
 // NewCountMedian creates a Count-Median sketch with the given shape,
@@ -40,6 +43,24 @@ func (c *CountMedian) UpdateBatch(idx []int, deltas []float64) {
 			row[b] += deltas[j]
 		}
 	}
+}
+
+// QueryBatch writes the estimate of x[idx[j]] into out[j] for every j.
+// The bucket gather is row-major (one hash-coefficient load per row,
+// cache-hot rows); the median then runs per element over the gathered
+// column, in the same row order as Query, so results are bit-identical
+// to the element-wise Query loop. Scratch is allocated per call, so
+// concurrent QueryBatch calls on a quiescent sketch are safe.
+func (c *CountMedian) QueryBatch(idx []int, out []float64) {
+	c.tb.checkQueryBatch(idx, out)
+	hb := make([]int, TileWidth(len(idx)))
+	QueryBatchMedian(len(c.tb.cells), idx, out, func(t int, tile []int, o []float64) {
+		c.tb.hash.H[t].HashMany(tile, hb)
+		row := c.tb.cells[t]
+		for j, b := range hb[:len(tile)] {
+			o[j] = row[b]
+		}
+	}, medianOf)
 }
 
 // Query estimates x[i] as the median over rows of the hashed bucket.

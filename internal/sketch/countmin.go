@@ -40,6 +40,15 @@ func (c *CountMin) UpdateBatch(idx []int, deltas []float64) {
 	}
 }
 
+// QueryBatch writes the estimate of x[idx[j]] into out[j] for every j,
+// row-major: each row's hash runs over the whole batch (one coefficient
+// load per row) and the per-element minimum folds row by row. Results
+// are bit-identical to the element-wise Query loop.
+func (c *CountMin) QueryBatch(idx []int, out []float64) {
+	c.tb.checkQueryBatch(idx, out)
+	c.tb.minRows(idx, out)
+}
+
 // Query estimates x[i] as the minimum bucket over rows.
 func (c *CountMin) Query(i int) float64 {
 	c.tb.checkIndex(i)

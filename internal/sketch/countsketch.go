@@ -2,6 +2,7 @@ package sketch
 
 import (
 	"math/rand"
+	"sync/atomic"
 
 	"repro/internal/hashing"
 )
@@ -17,7 +18,7 @@ type CountSketch struct {
 	buf   []float64
 	sbuf  []float64 // per-row signs, reused across UpdateBatch calls
 
-	psis [][]float64 // cached per-row signed column sums ψ (see columns.go)
+	psis atomic.Pointer[[][]float64] // cached per-row signed column sums ψ (see columns.go)
 }
 
 // NewCountSketch creates a Count-Sketch with the given shape.
@@ -56,6 +57,28 @@ func (c *CountSketch) UpdateBatch(idx []int, deltas []float64) {
 			row[b] += sg[j] * deltas[j]
 		}
 	}
+}
+
+// QueryBatch writes the estimate of x[idx[j]] into out[j] for every j.
+// Each row's bucket hash and sign function run over the whole batch
+// (one coefficient load per row each) before the signed buckets are
+// gathered; the median then runs per element in the same row order as
+// Query, so results are bit-identical to the element-wise Query loop.
+// Scratch is allocated per call, so concurrent QueryBatch calls on a
+// quiescent sketch are safe.
+func (c *CountSketch) QueryBatch(idx []int, out []float64) {
+	c.tb.checkQueryBatch(idx, out)
+	cw := TileWidth(len(idx))
+	hb := make([]int, cw)
+	sg := make([]float64, cw)
+	QueryBatchMedian(len(c.tb.cells), idx, out, func(t int, tile []int, o []float64) {
+		c.tb.hash.H[t].HashMany(tile, hb)
+		c.signs.S[t].SignFloatMany(tile, sg)
+		row := c.tb.cells[t]
+		for j, b := range hb[:len(tile)] {
+			o[j] = sg[j] * row[b]
+		}
+	}, medianOf)
 }
 
 // Query estimates x[i] as the median over rows of the signed bucket.

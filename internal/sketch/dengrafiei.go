@@ -60,6 +60,28 @@ func (c *DengRafiei) UpdateBatch(idx []int, deltas []float64) {
 	}
 }
 
+// QueryBatch writes the estimate of x[idx[j]] into out[j] for every j:
+// a row-major gather of the noise-corrected bucket values (one hash-
+// coefficient load per row, the row total loaded once per batch), then
+// the per-element median in the same row order as Query — results are
+// bit-identical to the element-wise Query loop. Scratch is allocated
+// per call, so concurrent QueryBatch calls on a quiescent sketch are
+// safe.
+func (c *DengRafiei) QueryBatch(idx []int, out []float64) {
+	c.tb.checkQueryBatch(idx, out)
+	s1 := float64(c.tb.cfg.Rows - 1)
+	total := c.total
+	hb := make([]int, TileWidth(len(idx)))
+	QueryBatchMedian(len(c.tb.cells), idx, out, func(t int, tile []int, o []float64) {
+		c.tb.hash.H[t].HashMany(tile, hb)
+		row := c.tb.cells[t]
+		for j, b := range hb[:len(tile)] {
+			v := row[b]
+			o[j] = v - (total-v)/s1
+		}
+	}, medianOf)
+}
+
 // Query estimates x[i] as the median over rows of the noise-corrected
 // bucket values.
 func (c *DengRafiei) Query(i int) float64 {

@@ -64,6 +64,41 @@ func UpdateBatch(s Sketch, idx []int, deltas []float64) {
 	}
 }
 
+// BatchQuerier is the read-side twin of BatchUpdater: QueryBatch
+// writes an estimate of x[idx[j]] into out[j] for every j, and the
+// results are bit-identical to the element-wise Query loop.
+//
+// Every algorithm in this repository implements it with the same
+// row-major traversal as UpdateBatch: each row's hash (and sign)
+// coefficients load once per batch and the row's counters stay
+// cache-hot while every element's bucket is gathered; the per-element
+// combination step (min / median / bias correction) then runs over the
+// gathered values. The whole batch is validated before out is written.
+//
+// Unlike the single-element Query methods — which reuse per-sketch
+// scratch buffers — QueryBatch implementations allocate their scratch
+// per call, so concurrent QueryBatch calls on a sketch that is no
+// longer being written (e.g. a Sharded snapshot replica) are safe.
+type BatchQuerier interface {
+	QueryBatch(idx []int, out []float64)
+}
+
+// QueryBatch answers a batch of point queries through s's native
+// batched path when it has one, or an element-wise Query loop
+// otherwise. Both paths produce bit-identical results.
+func QueryBatch(s Sketch, idx []int, out []float64) {
+	if len(idx) != len(out) {
+		panic(fmt.Sprintf("sketch: batch index count %d != output count %d", len(idx), len(out)))
+	}
+	if b, ok := s.(BatchQuerier); ok {
+		b.QueryBatch(idx, out)
+		return
+	}
+	for j, i := range idx {
+		out[j] = s.Query(i)
+	}
+}
+
 // Linear is a sketch with the linearity property Φ(x+y) = Φx + Φy,
 // hence mergeable across distributed sites.
 type Linear interface {

@@ -110,6 +110,17 @@ func (tb *table) checkBatch(idx []int, deltas []float64) {
 	}
 }
 
+// checkQueryBatch validates a whole query batch — matching slice
+// lengths and in-range indexes — before any output is written.
+func (tb *table) checkQueryBatch(idx []int, out []float64) {
+	if len(idx) != len(out) {
+		panic(fmt.Sprintf("sketch: batch index count %d != output count %d", len(idx), len(out)))
+	}
+	for _, i := range idx {
+		tb.checkIndex(i)
+	}
+}
+
 // hashRow evaluates row t's hash over the whole batch into the shared
 // scratch buffer and returns it. Valid until the next hashRow call.
 func (tb *table) hashRow(t int, idx []int) []int {
@@ -119,4 +130,85 @@ func (tb *table) hashRow(t int, idx []int) []int {
 	out := tb.scratch[:len(idx)]
 	tb.hash.H[t].HashMany(idx, out)
 	return out
+}
+
+// queryChunk is the internal tile width of the median-family
+// QueryBatch implementations: the row-major gather fills a
+// depth×queryChunk tile, then the per-element median reads it back
+// column-major. At 256 elements the tile is a few KB — L1-resident for
+// the strided read-back — while still amortizing each row's hash
+// coefficients over hundreds of elements. Purely an iteration-order
+// choice: results are bit-identical at any tile width.
+const queryChunk = 256
+
+// TileWidth returns the scratch length a QueryBatchMedian gather
+// closure needs for a batch of n elements: the tile width, never more
+// than the batch itself (a batch of one allocates one slot, not a full
+// tile).
+func TileWidth(n int) int {
+	if n > queryChunk {
+		return queryChunk
+	}
+	return n
+}
+
+// QueryBatchMedian is the shared skeleton of every median-family
+// QueryBatch (Count-Median, Count-Sketch, Deng–Rafiei, and the
+// bias-aware recoveries in internal/core): it walks the batch in
+// L1-resident tiles, calls gather(t, tile, o) to write row t's
+// per-element contribution into o for the whole tile (one
+// hash/sign-coefficient load per row per tile), then reads each
+// element's depth values back in row order and collapses them with
+// combine. Results are bit-identical to the element-wise loop that
+// fills a depth buffer per element, because each element's values
+// reach combine in the same row order. Scratch is allocated per call
+// and sized to the actual batch, so concurrent calls on a quiescent
+// sketch are safe and a batch of one stays cheap.
+func QueryBatchMedian(depth int, idx []int, out []float64, gather func(t int, tile []int, o []float64), combine func(vals []float64) float64) {
+	cw := TileWidth(len(idx))
+	vb := make([]float64, depth*cw)
+	buf := make([]float64, depth)
+	for base := 0; base < len(idx); base += queryChunk {
+		m := len(idx) - base
+		if m > queryChunk {
+			m = queryChunk
+		}
+		tile := idx[base : base+m]
+		for t := 0; t < depth; t++ {
+			gather(t, tile, vb[t*m:(t+1)*m])
+		}
+		for j := 0; j < m; j++ {
+			for t := 0; t < depth; t++ {
+				buf[t] = vb[t*m+j]
+			}
+			out[base+j] = combine(buf)
+		}
+	}
+}
+
+// minRows writes, for every batch element, the minimum bucket value
+// over all rows into out — the shared row-major gather behind the
+// Count-Min-family QueryBatch implementations. Per element the
+// comparison sequence is exactly the element-wise Query's (row 0
+// seeds, rows 1..d-1 compare with <), so the result is bit-identical.
+// Scratch is allocated per call, not taken from tb.scratch, so
+// concurrent calls on a table that is no longer being written are
+// safe.
+func (tb *table) minRows(idx []int, out []float64) {
+	hb := make([]int, len(idx))
+	for t := range tb.cells {
+		row := tb.cells[t]
+		tb.hash.H[t].HashMany(idx, hb)
+		if t == 0 {
+			for j, b := range hb {
+				out[j] = row[b]
+			}
+			continue
+		}
+		for j, b := range hb {
+			if v := row[b]; v < out[j] {
+				out[j] = v
+			}
+		}
+	}
 }

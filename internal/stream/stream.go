@@ -111,6 +111,23 @@ func (e *Exact) UpdateBatch(idx []int, deltas []float64) {
 // Query implements sketch.Sketch.
 func (e *Exact) Query(i int) float64 { return e.x[i] }
 
+// QueryBatch implements sketch.BatchQuerier: out[j] = x[idx[j]] for
+// every j, after validating the whole batch. Trivially bit-identical
+// to the element-wise Query loop.
+func (e *Exact) QueryBatch(idx []int, out []float64) {
+	if len(idx) != len(out) {
+		panic(fmt.Sprintf("stream: batch index count %d != output count %d", len(idx), len(out)))
+	}
+	for _, i := range idx {
+		if i < 0 || i >= len(e.x) {
+			panic(fmt.Sprintf("stream: index %d out of range [0,%d)", i, len(e.x)))
+		}
+	}
+	for j, i := range idx {
+		out[j] = e.x[i]
+	}
+}
+
 // Dim implements sketch.Sketch.
 func (e *Exact) Dim() int { return len(e.x) }
 

@@ -1,0 +1,363 @@
+package repro_test
+
+// Property/fuzz layer for the query-side fast path: QueryBatch must be
+// bit-identical to the element-wise Query loop for every registry
+// algorithm at randomized shapes, and snapshot reads of a Sharded must
+// agree with one sequentially ingested sketch — the facade-level
+// extension of internal/core/property_test.go.
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro"
+)
+
+// Property: QueryBatch ≡ Query loop — for every registry algorithm,
+// across random dimensions, shapes, seeds, ingestion histories, and
+// batch sizes, the batched path returns exactly the element-wise
+// answers.
+func TestQueryBatchMatchesQueryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 50 + r.Intn(3000)
+		words := 8 + r.Intn(120)
+		depth := 1 + r.Intn(8)
+		skSeed := r.Int63()
+		for _, algo := range repro.Algorithms() {
+			sk, err := repro.New(algo,
+				repro.WithDim(n), repro.WithWords(words), repro.WithDepth(depth), repro.WithSeed(skSeed))
+			if err != nil {
+				t.Logf("%s: New(n=%d s=%d d=%d): %v", algo, n, words, depth, err)
+				return false
+			}
+			bq, ok := sk.(repro.BatchQuerier)
+			if !ok {
+				t.Logf("%s: not a BatchQuerier", algo)
+				return false
+			}
+			updates := 200 + r.Intn(3000)
+			for u := 0; u < updates; u++ {
+				// Non-negative deltas keep the insert-only sketches legal.
+				sk.Update(r.Intn(n), float64(r.Intn(6)))
+			}
+			m := 1 + r.Intn(700)
+			idx := make([]int, m)
+			out := make([]float64, m)
+			for j := range idx {
+				idx[j] = r.Intn(n)
+			}
+			bq.QueryBatch(idx, out)
+			for j, i := range idx {
+				if want := sk.Query(i); out[j] != want {
+					t.Logf("%s: query %d: batched %v, element-wise %v", algo, i, out[j], want)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: snapshot-read ≡ sequential-ingest — a Sharded fed the
+// stream in batches over random slots must, after Refresh, answer
+// batched snapshot queries exactly like one sketch fed the same stream
+// element-wise (integer deltas make the merge arithmetic exact).
+func TestSnapshotReadMatchesSequentialProperty(t *testing.T) {
+	linear := []string{"l1sr", "l2sr", "l1mean", "l2mean", "countmin",
+		"countmedian", "countsketch", "dengrafiei", "exact"}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		algo := linear[r.Intn(len(linear))]
+		n := 100 + r.Intn(2000)
+		shards := 1 + r.Intn(6)
+		opts := []repro.Option{
+			repro.WithDim(n), repro.WithWords(16 + r.Intn(100)),
+			repro.WithDepth(1 + r.Intn(6)), repro.WithSeed(r.Int63()),
+		}
+		sh, err := repro.NewSharded(shards, algo, opts...)
+		if err != nil {
+			t.Logf("%s: NewSharded: %v", algo, err)
+			return false
+		}
+		seq, err := repro.New(algo, opts...)
+		if err != nil {
+			t.Logf("%s: New: %v", algo, err)
+			return false
+		}
+		rounds := 3 + r.Intn(20)
+		for round := 0; round < rounds; round++ {
+			m := 1 + r.Intn(400)
+			idx := make([]int, m)
+			deltas := make([]float64, m)
+			for j := range idx {
+				idx[j] = r.Intn(n)
+				deltas[j] = float64(r.Intn(5) - 1)
+				seq.Update(idx[j], deltas[j])
+			}
+			if err := sh.UpdateBatch(r.Int(), idx, deltas); err != nil {
+				t.Logf("%s: UpdateBatch: %v", algo, err)
+				return false
+			}
+		}
+		snap, err := sh.Refresh()
+		if err != nil {
+			t.Logf("%s: Refresh: %v", algo, err)
+			return false
+		}
+		if snap.Stale() {
+			t.Logf("%s: freshly refreshed snapshot is stale", algo)
+			return false
+		}
+		idx := make([]int, 0, n/7+1)
+		for i := 0; i < n; i += 7 {
+			idx = append(idx, i)
+		}
+		out := make([]float64, len(idx))
+		if err := snap.QueryBatch(idx, out); err != nil {
+			t.Logf("%s: QueryBatch: %v", algo, err)
+			return false
+		}
+		for j, i := range idx {
+			if want := seq.Query(i); math.Abs(out[j]-want) > 1e-9 {
+				t.Logf("%s: query %d: snapshot %v, sequential %v", algo, i, out[j], want)
+				return false
+			}
+			if got := snap.Query(i); got != out[j] {
+				t.Logf("%s: query %d: Snapshot.Query %v != QueryBatch %v", algo, i, got, out[j])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The package-level helper: native path, foreign-sketch fallback, and
+// length validation before anything is written.
+func TestQueryBatchHelper(t *testing.T) {
+	sk := mustNew(t, "countmedian", repro.WithDim(500), repro.WithWords(32), repro.WithDepth(5))
+	fill(sk, 5000, 31)
+	idx := []int{0, 13, 499, 13}
+	out := make([]float64, 4)
+	if err := repro.QueryBatch(sk, idx, out); err != nil {
+		t.Fatal(err)
+	}
+	for j, i := range idx {
+		if want := sk.Query(i); out[j] != want {
+			t.Fatalf("query %d: %v, want %v", i, out[j], want)
+		}
+	}
+	if err := repro.QueryBatch(sk, []int{1, 2}, make([]float64, 1)); err == nil {
+		t.Fatal("length mismatch should return an error")
+	}
+
+	f := &foreignSketch{x: make([]float64, 10)}
+	f.x[2], f.x[9] = 3, 4
+	fout := make([]float64, 3)
+	if err := repro.QueryBatch(f, []int{2, 2, 9}, fout); err != nil {
+		t.Fatal(err)
+	}
+	if fout[0] != 3 || fout[1] != 3 || fout[2] != 4 {
+		t.Fatalf("fallback loop answered %v", fout)
+	}
+}
+
+// Recover runs through the batched path; it must equal the per-
+// coordinate Query loop exactly.
+func TestRecoverMatchesQueryLoop(t *testing.T) {
+	for _, algo := range []string{"l2sr", "countmin", "cmlcu"} {
+		sk := mustNew(t, algo, repro.WithDim(3000), repro.WithWords(64), repro.WithDepth(5))
+		fill(sk, 20000, 37)
+		xhat := repro.Recover(sk)
+		if len(xhat) != 3000 {
+			t.Fatalf("%s: Recover length %d", algo, len(xhat))
+		}
+		for i, v := range xhat {
+			if want := sk.Query(i); v != want {
+				t.Fatalf("%s: Recover[%d] = %v, Query = %v", algo, i, v, want)
+			}
+		}
+	}
+}
+
+// Snapshot read surface: Bias/TopK/Scan work on bias-aware snapshots,
+// return ErrNoBias otherwise, and Owned produces an independent clone.
+func TestSnapshotReadSurface(t *testing.T) {
+	sh, err := repro.NewSharded(3, "l2sr",
+		repro.WithDim(2000), repro.WithWords(256), repro.WithDepth(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := make([]int, 2000)
+	deltas := make([]float64, 2000)
+	for i := range idx {
+		idx[i] = i
+		deltas[i] = 100
+	}
+	if err := sh.UpdateBatch(0, idx, deltas); err != nil {
+		t.Fatal(err)
+	}
+	sh.Update(1, 7, 10_000)
+	snap, err := sh.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	beta, err := snap.Bias()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if beta < 50 || beta > 150 {
+		t.Errorf("snapshot bias %f, want ≈100", beta)
+	}
+	top, err := snap.TopK(1)
+	if err != nil || len(top) != 1 || top[0].Index != 7 {
+		t.Errorf("snapshot TopK = %v, %v; want index 7", top, err)
+	}
+	devs, err := snap.Scan(5000)
+	if err != nil || len(devs) != 1 || devs[0].Index != 7 {
+		t.Errorf("snapshot Scan = %v, %v; want index 7", devs, err)
+	}
+
+	owned, err := snap.Owned()
+	if err != nil {
+		t.Fatal(err)
+	}
+	owned.Update(3, 1e6) // mutating the clone must not touch the snapshot
+	if got := snap.Query(3); math.Abs(got-100) > 50 {
+		t.Errorf("snapshot changed by mutating its Owned clone: Query(3) = %v", got)
+	}
+
+	cm, err := repro.NewSharded(2, "countmin", repro.WithDim(100), repro.WithWords(16), repro.WithDepth(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmSnap, err := cm.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cmSnap.Bias(); err == nil {
+		t.Error("countmin snapshot Bias should fail")
+	}
+	if _, err := cmSnap.TopK(3); err == nil {
+		t.Error("countmin snapshot TopK should fail")
+	}
+}
+
+// Race shape of the issue: concurrent snapshot readers while writers
+// batch-update. The exact sharded sketch carries two marker
+// coordinates that every batch moves in lockstep, so a torn merge is
+// numerically visible: any snapshot with x[0] != x[1] tore a batch.
+// Alongside, readers drive the full bias-aware read surface (batched
+// queries and TopK) on an l2sr sharded under the same write load.
+// Run with -race.
+func TestSnapshotReadersDuringBatchWrites(t *testing.T) {
+	const n, writers, batches, batchLen = 5000, 4, 60, 128
+	exact, err := repro.NewSharded(writers, "exact", repro.WithDim(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := repro.NewSharded(writers, "l2sr",
+		repro.WithDim(n), repro.WithWords(64), repro.WithDepth(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(300 + w)))
+			idx := make([]int, batchLen)
+			deltas := make([]float64, batchLen)
+			for u := 0; u < batches; u++ {
+				// Two lockstep markers in every batch + random filler.
+				idx[0], deltas[0] = 0, 1
+				idx[1], deltas[1] = 1, 1
+				for j := 2; j < batchLen; j++ {
+					idx[j] = 2 + r.Intn(n-2)
+					deltas[j] = 1
+				}
+				if err := exact.UpdateBatch(w, idx, deltas); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := l2.UpdateBatch(w, idx, deltas); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	var readers sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		readers.Add(1)
+		go func(g int) {
+			defer readers.Done()
+			out := make([]float64, 2)
+			for rounds := 0; ; rounds++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap, err := exact.Refresh()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := snap.QueryBatch([]int{0, 1}, out); err != nil {
+					t.Error(err)
+					return
+				}
+				if out[0] != out[1] {
+					t.Errorf("torn merge: x[0]=%v x[1]=%v", out[0], out[1])
+					return
+				}
+				l2snap, err := l2.Snapshot()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := l2snap.QueryBatch([]int{0, 1}, out); err != nil {
+					t.Error(err)
+					return
+				}
+				if g == 0 && rounds%8 == 0 {
+					if _, err := l2.Refresh(); err != nil {
+						t.Error(err)
+						return
+					}
+					if _, err := l2snap.TopK(3); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	snap, err := exact.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(writers * batches)
+	if got := snap.Query(0); got != want {
+		t.Fatalf("final x[0] = %v, want %v (a batch was lost or torn)", got, want)
+	}
+}

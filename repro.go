@@ -49,6 +49,26 @@ type BatchUpdater interface {
 	UpdateBatch(idx []int, deltas []float64)
 }
 
+// BatchQuerier is the read-side twin of BatchUpdater: a sketch with a
+// native batched query path. QueryBatch writes an estimate of
+// x[idx[j]] into out[j] for every j, bit-identical to the equivalent
+// element-wise Query loop, at a fraction of the cost — the same
+// row-major traversal as batched ingestion loads each row's hash (and
+// sign) coefficients once per batch and keeps the counter rows
+// cache-hot while every element's buckets are gathered; the
+// per-element median/min/bias-correction step then runs over the
+// gathered values. Every sketch New constructs implements it; the
+// package-level QueryBatch helper falls back to a Query loop for
+// foreign Sketch implementations without the capability.
+type BatchQuerier interface {
+	Sketch
+	// QueryBatch writes an estimate of x[idx[j]] into out[j] for every
+	// j. The two slices must have equal length and every index must be
+	// in [0, Dim()); the whole batch is validated before out is
+	// written.
+	QueryBatch(idx []int, out []float64)
+}
+
 // Linear is a sketch with the linearity property Φ(x+y) = Φx + Φy,
 // hence mergeable: sites sketch their local vectors and a coordinator
 // sums the sketches (the distributed model of §1). The conservative-
@@ -119,6 +139,13 @@ func (h *handle) Query(i int) float64         { return h.inner.Query(i) }
 // element-wise loop for any that does not).
 func (h *handle) UpdateBatch(idx []int, deltas []float64) {
 	sketch.UpdateBatch(h.inner, idx, deltas)
+}
+
+// QueryBatch forwards to the inner sketch's native batched query path
+// (every registry algorithm has one; sketch.QueryBatch degrades to an
+// element-wise loop for any that does not).
+func (h *handle) QueryBatch(idx []int, out []float64) {
+	sketch.QueryBatch(h.inner, idx, out)
 }
 func (h *handle) Dim() int     { return h.inner.Dim() }
 func (h *handle) Words() int   { return h.inner.Words() }
@@ -227,12 +254,35 @@ func IsLinear(algo string) bool {
 	return ok && e.Linear
 }
 
+// recoverChunk is the batch size Recover feeds through the batched
+// query path: large enough to amortize per-row coefficient loads,
+// small enough that the per-chunk scratch stays cache-resident.
+const recoverChunk = 1024
+
 // Recover reconstructs the full estimate vector x̂ by querying every
-// coordinate — the recovery phase R(Φx) of §1.
+// coordinate — the recovery phase R(Φx) of §1. It runs through the
+// sketch's batched query path when there is one; QueryBatch is
+// bit-identical to the Query loop, so the result never depends on the
+// path taken.
 func Recover(s Sketch) []float64 {
 	out := make([]float64, s.Dim())
-	for i := range out {
-		out[i] = s.Query(i)
+	bq, ok := s.(BatchQuerier)
+	if !ok {
+		for i := range out {
+			out[i] = s.Query(i)
+		}
+		return out
+	}
+	idx := make([]int, recoverChunk)
+	for base := 0; base < len(out); base += recoverChunk {
+		m := recoverChunk
+		if rem := len(out) - base; rem < m {
+			m = rem
+		}
+		for j := 0; j < m; j++ {
+			idx[j] = base + j
+		}
+		bq.QueryBatch(idx[:m], out[base:base+m])
 	}
 	return out
 }
@@ -253,6 +303,27 @@ func UpdateBatch(s Sketch, idx []int, deltas []float64) error {
 	}
 	for j, i := range idx {
 		s.Update(i, deltas[j])
+	}
+	return nil
+}
+
+// QueryBatch writes an estimate of x[idx[j]] into out[j] for every j,
+// using s's native batched query path when it has one (every sketch
+// New constructs does) and an element-wise Query loop otherwise — the
+// two are bit-identical. A length mismatch returns an error before
+// anything is written. This is the high-throughput serving entry
+// point: amortize per-query hash-coefficient loads by asking for
+// estimates in batches of a few hundred to a few thousand.
+func QueryBatch(s Sketch, idx []int, out []float64) error {
+	if len(idx) != len(out) {
+		return fmt.Errorf("repro: batch index count %d != output count %d", len(idx), len(out))
+	}
+	if b, ok := s.(BatchQuerier); ok {
+		b.QueryBatch(idx, out)
+		return nil
+	}
+	for j, i := range idx {
+		out[j] = s.Query(i)
 	}
 	return nil
 }

@@ -4,17 +4,28 @@ import (
 	"fmt"
 
 	"repro/internal/concurrent"
+	"repro/internal/heavyhitter"
 	"repro/internal/registry"
 	"repro/internal/sketch"
 	"repro/internal/sketchio"
 )
 
-// Sharded is a linear sketch prepared for multi-goroutine ingestion:
-// P private replicas built with the same configuration and seed absorb
-// updates contention-free, and — by the same linearity that powers the
-// distributed model — a reader merges them into a consistent snapshot
-// on demand. Total memory is P× the single-sketch cost, the price of
-// contention-free writes.
+// Sharded is a linear sketch prepared for multi-goroutine ingestion
+// and serving: P private replicas built with the same configuration
+// and seed absorb updates contention-free, and — by the same linearity
+// that powers the distributed model — readers consume merged views.
+//
+// The read side is snapshot-based. Every shard carries an epoch bumped
+// on each write; Snapshot returns the current published read replica —
+// an immutable merged sum served with zero shard locks — and Refresh
+// folds in the shards that changed since the last refresh (locking
+// only those, briefly, one at a time) before atomically swapping a new
+// replica in. A snapshot is therefore as fresh as the last Refresh:
+// writes land in it only when some reader (or Query/QueryBatch, which
+// refresh on staleness) next refreshes, never retroactively. Total
+// memory is up to 2P+1 single-sketch replicas (the P shards, lazily
+// made frozen copies of written shards, and the published snapshot) —
+// the price of contention-free writes and coordination-free reads.
 type Sharded struct {
 	inner *concurrent.Sharded[sketch.Sketch]
 	entry *registry.Entry
@@ -82,26 +93,69 @@ func (s *Sharded) UpdateBatch(slot int, idx []int, deltas []float64) error {
 	return nil
 }
 
-// Snapshot merges all shards into a fresh sketch the caller owns
+// Snapshot returns the current published read replica — an immutable
+// merged view served with zero shard locks, shared by every caller, so
+// any number of goroutines may query it concurrently while writers
+// keep ingesting. The view is as fresh as the last Refresh (the first
+// call builds one); call Refresh to fold newer writes in, and Merged
+// for a mutable caller-owned sketch.
+func (s *Sharded) Snapshot() (*Snapshot, error) {
+	v, err := s.inner.Snapshot()
+	if err != nil {
+		return nil, fmt.Errorf("repro: %w", err)
+	}
+	return &Snapshot{view: v, entry: s.entry, desc: s.desc}, nil
+}
+
+// Refresh folds the shards that changed since the last refresh into a
+// new published snapshot and returns it. Only the changed shards are
+// locked — briefly, one at a time — so writers stall at most for one
+// state copy; unchanged shards are not touched at all.
+func (s *Sharded) Refresh() (*Snapshot, error) {
+	v, err := s.inner.Refresh()
+	if err != nil {
+		return nil, fmt.Errorf("repro: %w", err)
+	}
+	return &Snapshot{view: v, entry: s.entry, desc: s.desc}, nil
+}
+
+// Merged merges all shards into a fresh sketch the caller owns
 // exclusively — a consistent sum of some interleaving of the updates,
 // exactly the semantics of the distributed model. The result is a full
-// facade sketch: it merges with and marshals like any other.
-func (s *Sharded) Snapshot() (Sketch, error) {
-	snap, err := s.inner.Snapshot()
+// facade sketch: it updates, merges, and marshals like any other, at
+// the cost of locking every shard (one at a time) to build.
+func (s *Sharded) Merged() (Sketch, error) {
+	snap, err := s.inner.Merged()
 	if err != nil {
 		return nil, fmt.Errorf("repro: %w", err)
 	}
 	return wrap(s.entry, snap, s.desc), nil
 }
 
-// Query answers a point query against a merged snapshot. For query
-// bursts, take one Snapshot and query it directly instead.
+// Query answers a point query with every write so far folded in; the
+// snapshot is refreshed only if some shard changed since the last one.
+// For query bursts, take one Snapshot and query it directly instead.
 func (s *Sharded) Query(i int) (float64, error) {
 	v, err := s.inner.Query(i)
 	if err != nil {
 		return 0, fmt.Errorf("repro: %w", err)
 	}
 	return v, nil
+}
+
+// QueryBatch writes an estimate of x[idx[j]] into out[j] for every j
+// with every write so far folded in, through the replica's native
+// batched query path; the snapshot is refreshed only if some shard
+// changed since the last one. A length mismatch returns an error
+// before anything is written.
+func (s *Sharded) QueryBatch(idx []int, out []float64) error {
+	if len(idx) != len(out) {
+		return fmt.Errorf("repro: batch index count %d != output count %d", len(idx), len(out))
+	}
+	if err := s.inner.QueryBatch(idx, out); err != nil {
+		return fmt.Errorf("repro: %w", err)
+	}
+	return nil
 }
 
 // Algo returns the canonical algorithm name.
@@ -115,3 +169,95 @@ func (s *Sharded) Dim() int { return s.desc.N }
 
 // Words returns total memory across shards.
 func (s *Sharded) Words() int { return s.inner.Words() }
+
+// Snapshot is an immutable merged view of a Sharded sketch, published
+// by Refresh and shared by every reader. All read methods are safe for
+// any number of concurrent goroutines and take zero shard locks —
+// Query routes single queries through the allocation-per-call batched
+// path precisely so that no per-sketch scratch is shared between
+// readers. A snapshot never changes after publication: writes that
+// land after the Refresh that built it are visible only in later
+// snapshots (check Stale, refresh via the owning Sharded).
+type Snapshot struct {
+	view  *concurrent.Snapshot[sketch.Sketch]
+	entry *registry.Entry
+	desc  sketchio.Desc
+}
+
+// Query returns an estimate of x[i] as of the snapshot.
+func (sn *Snapshot) Query(i int) float64 { return sn.view.Query(i) }
+
+// QueryBatch writes an estimate of x[idx[j]] into out[j] for every j,
+// as of the snapshot, through the replica's native batched query path
+// (bit-identical to the element-wise Query loop). A length mismatch
+// returns an error before anything is written.
+func (sn *Snapshot) QueryBatch(idx []int, out []float64) error {
+	if len(idx) != len(out) {
+		return fmt.Errorf("repro: batch index count %d != output count %d", len(idx), len(out))
+	}
+	sn.view.QueryBatch(idx, out)
+	return nil
+}
+
+// Bias returns the bias estimate β̂ as of the snapshot, or ErrNoBias
+// for algorithms that do not track one.
+func (sn *Snapshot) Bias() (float64, error) {
+	b, ok := sn.view.Sketch().(interface{ Bias() float64 })
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNoBias, sn.entry.Name)
+	}
+	return b.Bias(), nil
+}
+
+// TopK returns the k coordinates deviating most from the bias estimate
+// as of the snapshot, sorted by decreasing deviation, through the
+// batched query path. ErrNoBias unless the algorithm is bias-aware.
+func (sn *Snapshot) TopK(k int) ([]Deviator, error) {
+	b, ok := sn.view.Sketch().(heavyhitter.BiasedSketch)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoBias, sn.entry.Name)
+	}
+	return heavyhitter.TopK(b, k), nil
+}
+
+// Scan returns every coordinate whose estimated deviation from the
+// bias exceeds threshold as of the snapshot, sorted by decreasing
+// deviation, through the batched query path. ErrNoBias unless the
+// algorithm is bias-aware.
+func (sn *Snapshot) Scan(threshold float64) ([]Deviator, error) {
+	b, ok := sn.view.Sketch().(heavyhitter.BiasedSketch)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoBias, sn.entry.Name)
+	}
+	return heavyhitter.Scan(b, threshold), nil
+}
+
+// Stale reports whether any shard has absorbed writes since this
+// snapshot was published — an atomic comparison, no locks. A false
+// result is momentary under concurrent writers.
+func (sn *Snapshot) Stale() bool { return sn.view.Stale() }
+
+// Owned clones the snapshot into a fresh caller-owned facade sketch
+// that updates, merges, and marshals like any other — without taking
+// any shard lock (the clone merges from the immutable replica, not
+// from the live shards).
+func (sn *Snapshot) Owned() (Sketch, error) {
+	fresh, err := registry.SafeNew(sn.entry.Name, sn.desc.N, sn.desc.S, sn.desc.D, sn.desc.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("repro: %w", err)
+	}
+	if err := registry.Merge(fresh, sn.view.Sketch()); err != nil {
+		return nil, fmt.Errorf("repro: cloning snapshot: %w", err)
+	}
+	return wrap(sn.entry, fresh, sn.desc), nil
+}
+
+// Algo returns the canonical algorithm name.
+func (sn *Snapshot) Algo() string { return sn.entry.Name }
+
+// Dim returns the dimension of the summarized vector.
+func (sn *Snapshot) Dim() int { return sn.desc.N }
+
+// Words returns the size of the merged replica in 64-bit words (one
+// single-sketch cost, not the P× sharded total).
+func (sn *Snapshot) Words() int { return sn.view.Sketch().Words() }

@@ -1,0 +1,130 @@
+package repro_test
+
+// Golden wire-format vectors: one checked-in payload per serializable
+// algorithm, produced by a fixed construction and update stream. Any
+// change to the wire format — header layout, cell encoding, estimator
+// state framing — shows up as a byte diff against testdata/wire/
+// instead of a silent compatibility break. After an *intentional*
+// format change, regenerate with
+//
+//	go test -run TestGoldenWireFormat -update-golden .
+//
+// and review the diff like any other.
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro"
+)
+
+var updateGolden = flag.Bool("update-golden", false,
+	"rewrite testdata/wire golden payloads instead of comparing against them")
+
+// goldenSketch builds the fixed sketch behind <algo>.golden: shape and
+// stream are frozen — changing them invalidates every golden file.
+func goldenSketch(t testing.TB, algo string) repro.Sketch {
+	t.Helper()
+	sk, err := repro.New(algo,
+		repro.WithDim(512), repro.WithWords(32), repro.WithDepth(4), repro.WithSeed(7))
+	if err != nil {
+		t.Fatalf("%s: New: %v", algo, err)
+	}
+	// Deterministic insert-only stream (no RNG: golden bytes must not
+	// depend on math/rand internals).
+	for u := 0; u < 4096; u++ {
+		sk.Update((u*u+29)%512, float64(1+u%9))
+	}
+	return sk
+}
+
+func TestGoldenWireFormat(t *testing.T) {
+	for _, algo := range serializableAlgos {
+		t.Run(algo, func(t *testing.T) {
+			data, err := repro.Marshal(goldenSketch(t, algo))
+			if err != nil {
+				t.Fatalf("Marshal: %v", err)
+			}
+			path := filepath.Join("testdata", "wire", algo+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, data, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update-golden to create): %v", err)
+			}
+			if !bytes.Equal(data, want) {
+				t.Fatalf("wire format changed: Marshal output differs from %s "+
+					"(%d vs %d bytes, first diff at offset %d); if intentional, "+
+					"regenerate with -update-golden and bump the format magic",
+					path, len(data), len(want), firstDiff(data, want))
+			}
+		})
+	}
+}
+
+// Golden payloads must also still load and answer queries like a
+// freshly built twin — the cross-version compatibility contract, not
+// just byte stability.
+func TestGoldenWireFormatLoads(t *testing.T) {
+	for _, algo := range serializableAlgos {
+		t.Run(algo, func(t *testing.T) {
+			path := filepath.Join("testdata", "wire", algo+".golden")
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update-golden to create): %v", err)
+			}
+			loaded, err := repro.Unmarshal(data)
+			if err != nil {
+				t.Fatalf("golden payload does not load: %v", err)
+			}
+			ref := goldenSketch(t, algo)
+			for i := 0; i < 512; i += 11 {
+				if a, b := ref.Query(i), loaded.Query(i); a != b {
+					t.Fatalf("query %d: fresh %v, golden-loaded %v", i, a, b)
+				}
+			}
+		})
+	}
+}
+
+func firstDiff(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+// Guard against accidentally committing an -update-golden run that
+// wrote nothing: every serializable algorithm must have a golden file.
+func TestGoldenFilesComplete(t *testing.T) {
+	entries, err := os.ReadDir(filepath.Join("testdata", "wire"))
+	if err != nil {
+		t.Fatalf("testdata/wire unreadable (run with -update-golden to create): %v", err)
+	}
+	have := map[string]bool{}
+	for _, e := range entries {
+		have[e.Name()] = true
+	}
+	for _, algo := range serializableAlgos {
+		if name := fmt.Sprintf("%s.golden", algo); !have[name] {
+			t.Errorf("missing golden file %s", name)
+		}
+	}
+}
