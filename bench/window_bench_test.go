@@ -1,0 +1,78 @@
+// Sliding-window benchmarks at the public-API level: batched windowed
+// ingestion (including the pane-rotation cost amortized over the
+// stream) and windowed queries against a fresh cached view — the two
+// hot paths of the monitoring workload. ns/op is per update / per
+// query.
+package bench_test
+
+import (
+	"testing"
+
+	"repro"
+)
+
+func BenchmarkWindowedUpdateBatch(b *testing.B) {
+	idx, ones := ingestStream()
+	for _, algo := range ingestAlgos {
+		b.Run(algo, func(b *testing.B) {
+			w, err := repro.NewWindowed(1, algo, repro.WithDim(ingestN), repro.WithPanes(8))
+			if err != nil {
+				b.Fatal(err)
+			}
+			span := len(idx) - ingestBatchLen
+			rotateEvery := 64 // batches per pane: rotation cost is amortized in
+			b.ResetTimer()
+			batch := 0
+			for done := 0; done < b.N; done += ingestBatchLen {
+				m := ingestBatchLen
+				if rem := b.N - done; rem < m {
+					m = rem
+				}
+				off := done % span
+				if err := w.UpdateBatch(0, idx[off:off+m], ones[off:off+m]); err != nil {
+					b.Fatal(err)
+				}
+				if batch++; batch%rotateEvery == 0 {
+					if err := w.Advance(1); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkWindowedQueryBatch(b *testing.B) {
+	idx, ones := ingestStream()
+	for _, algo := range ingestAlgos {
+		b.Run(algo, func(b *testing.B) {
+			w, err := repro.NewWindowed(1, algo, repro.WithDim(ingestN), repro.WithPanes(8))
+			if err != nil {
+				b.Fatal(err)
+			}
+			for off := 0; off+ingestBatchLen <= len(idx); off += ingestBatchLen {
+				if err := w.UpdateBatch(0, idx[off:off+ingestBatchLen], ones[off:off+ingestBatchLen]); err != nil {
+					b.Fatal(err)
+				}
+				if off%(8*ingestBatchLen) == 0 {
+					if err := w.Advance(1); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			out := make([]float64, queryBatchLen)
+			span := len(idx) - queryBatchLen
+			b.ResetTimer()
+			for done := 0; done < b.N; done += queryBatchLen {
+				m := queryBatchLen
+				if rem := b.N - done; rem < m {
+					m = rem
+				}
+				off := done % span
+				if err := w.QueryBatch(idx[off:off+m], out[:m]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

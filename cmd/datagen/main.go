@@ -5,7 +5,8 @@
 // Usage:
 //
 //	datagen -dataset gaussian|gaussian2|worldcup|wiki|higgs|meme|hudong \
-//	        [-n N] [-seed S] [-out FILE] [-ingest ALGO] [-batch B]
+//	        [-n N] [-seed S] [-out FILE] [-ingest ALGO] [-batch B] \
+//	        [-panes P] [-rotate R]
 //
 // For hudong the output is the edge stream (one source article id per
 // line) rather than the final vector; every other dataset emits the
@@ -16,6 +17,13 @@
 // elements per batch) and a throughput summary is printed — a quick
 // end-to-end smoke of the high-throughput ingestion pipeline. -ingest
 // requires -out so the summary does not interleave with the data.
+//
+// With -panes the ingestion runs in windowed mode: the stream flows
+// into a repro.Windowed sliding window of P panes (the algorithm must
+// be linear), rotating one pane every R updates (-rotate, default
+// len/P so the stream spans one full window), and the summary
+// additionally reports how much of the stream's mass is still live in
+// the window — the monitoring shape where only recent traffic counts.
 package main
 
 import (
@@ -49,6 +57,8 @@ func run(args []string, stdout io.Writer) error {
 	sigma := fs.Float64("sigma", 15, "gaussian sigma")
 	ingest := fs.String("ingest", "", "also ingest the dataset into this sketch algorithm via the batched update path and report throughput (requires -out)")
 	batch := fs.Int("batch", 4096, "updates per batch for -ingest")
+	panes := fs.Int("panes", 0, "ingest through a sliding window of this many panes (0 = unbounded; requires -ingest)")
+	rotate := fs.Int("rotate", 0, "updates per pane in windowed mode (0 = stream length / panes)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -61,6 +71,17 @@ func run(args []string, stdout io.Writer) error {
 		}
 		if *batch <= 0 {
 			return fmt.Errorf("batch must be positive, got %d", *batch)
+		}
+	}
+	if *panes != 0 {
+		if *ingest == "" {
+			return fmt.Errorf("-panes requires -ingest")
+		}
+		if *panes < 0 {
+			return fmt.Errorf("panes must be non-negative, got %d", *panes)
+		}
+		if *rotate < 0 {
+			return fmt.Errorf("rotate must be non-negative, got %d", *rotate)
 		}
 	}
 
@@ -128,6 +149,9 @@ func run(args []string, stdout io.Writer) error {
 	if *ingest == "" {
 		return nil
 	}
+	if *panes > 0 {
+		return ingestWindowed(stdout, *ingest, *n, *batch, *panes, *rotate, idx, deltas)
+	}
 	return ingestStream(stdout, *ingest, *n, *batch, idx, deltas)
 }
 
@@ -163,5 +187,87 @@ func ingestStream(out io.Writer, algo string, dim, batchSize int, idx []int, del
 	}
 	fmt.Fprintf(out, "ingested %d updates into %s (n=%d, %d words) in %v: %.1f ns/update at batch size %d\n",
 		len(idx), sk.Algo(), dim, sk.Words(), elapsed.Round(time.Microsecond), perUpdate, batchSize)
+	return nil
+}
+
+// ingestWindowed drives the sliding-window ingestion path: the update
+// stream flows through repro.Windowed in batches, rotating one pane
+// every rotate updates, and the summary reports how much of the
+// stream's mass is still live in the window at the end — the
+// monitoring shape where old traffic is meant to be forgotten.
+func ingestWindowed(out io.Writer, algo string, dim, batchSize, panes, rotate int, idx []int, deltas []float64) error {
+	w, err := repro.NewWindowed(1, algo, repro.WithDim(dim), repro.WithPanes(panes))
+	if err != nil {
+		return err
+	}
+	if rotate == 0 {
+		// Default: the whole stream spans exactly one window.
+		if rotate = len(idx) / panes; rotate == 0 {
+			rotate = 1
+		}
+	}
+	var total float64
+	for _, d := range deltas {
+		total += d
+	}
+	start := time.Now()
+	advances := 0
+	sinceRotate := 0
+	// Chunks are capped at the pane edge so every pane holds exactly
+	// rotate updates — the live-mass report then means "the last
+	// panes·rotate updates", not "whatever batch granularity allowed".
+	for pos := 0; pos < len(idx); {
+		m := batchSize
+		if rem := len(idx) - pos; rem < m {
+			m = rem
+		}
+		if room := rotate - sinceRotate; m > room {
+			m = room
+		}
+		if err := w.UpdateBatch(0, idx[pos:pos+m], deltas[pos:pos+m]); err != nil {
+			return err
+		}
+		pos += m
+		if sinceRotate += m; sinceRotate == rotate && pos < len(idx) {
+			if err := w.Advance(1); err != nil {
+				return err
+			}
+			advances++
+			sinceRotate = 0
+		}
+	}
+	elapsed := time.Since(start)
+
+	// Live mass: sum the windowed estimates over every touched
+	// coordinate (batched) — against the full-stream mass it shows how
+	// much the window has already forgotten.
+	touched := make([]int, 0, len(idx))
+	seen := make(map[int]struct{}, len(idx))
+	for _, i := range idx {
+		if _, dup := seen[i]; !dup {
+			seen[i] = struct{}{}
+			touched = append(touched, i)
+		}
+	}
+	var live float64
+	est := make([]float64, batchSize)
+	for pos := 0; pos < len(touched); pos += batchSize {
+		end := pos + batchSize
+		if end > len(touched) {
+			end = len(touched)
+		}
+		if err := w.QueryBatch(touched[pos:end], est[:end-pos]); err != nil {
+			return err
+		}
+		for _, v := range est[:end-pos] {
+			live += v
+		}
+	}
+	perUpdate := 0.0
+	if len(idx) > 0 {
+		perUpdate = float64(elapsed.Nanoseconds()) / float64(len(idx))
+	}
+	fmt.Fprintf(out, "windowed ingest of %d updates into %s (n=%d, %d panes, rotate every %d, %d advances, %d live panes) in %v: %.1f ns/update; live mass %.0f of %.0f total\n",
+		len(idx), w.Algo(), dim, panes, rotate, advances, w.Live(), elapsed.Round(time.Microsecond), perUpdate, live, total)
 	return nil
 }

@@ -107,6 +107,57 @@ func TestRunIngestDrivesBatchPath(t *testing.T) {
 	}
 }
 
+func TestRunWindowedIngest(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "edges.txt")
+	var out bytes.Buffer
+	err := run([]string{"-dataset", "hudong", "-n", "200", "-seed", "5",
+		"-out", path, "-ingest", "countmin", "-batch", "64", "-panes", "4"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "windowed ingest") || !strings.Contains(s, "4 panes") {
+		t.Fatalf("missing windowed summary, got: %q", s)
+	}
+	// The stream spans one full window by default, so some early-pane
+	// mass has already been merged out of nothing — but nothing was
+	// advanced past the window, so all mass is still live.
+	if !strings.Contains(s, "live mass") {
+		t.Fatalf("missing live-mass report, got: %q", s)
+	}
+
+	// An explicit rotation much shorter than the stream must expire
+	// early traffic: the run still succeeds and reports advances.
+	out.Reset()
+	err = run([]string{"-dataset", "hudong", "-n", "200", "-seed", "5",
+		"-out", path, "-ingest", "exact", "-batch", "32", "-panes", "2", "-rotate", "100"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "advances") {
+		t.Fatalf("missing advance count, got: %q", out.String())
+	}
+}
+
+func TestRunWindowedValidation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v.txt")
+	if err := run([]string{"-n", "10", "-panes", "4"}, &bytes.Buffer{}); err == nil {
+		t.Error("-panes without -ingest should fail")
+	}
+	if err := run([]string{"-n", "10", "-out", path, "-ingest", "countmin", "-panes", "-2"}, &bytes.Buffer{}); err == nil {
+		t.Error("negative panes should fail")
+	}
+	if err := run([]string{"-n", "10", "-out", path, "-ingest", "countmin", "-panes", "2", "-rotate", "-1"}, &bytes.Buffer{}); err == nil {
+		t.Error("negative rotate should fail")
+	}
+	// Windowed mode needs a linear algorithm: the conservative-update
+	// baselines must be rejected with an error, not a panic.
+	if err := run([]string{"-dataset", "hudong", "-n", "50", "-out", path,
+		"-ingest", "cmcu", "-panes", "2"}, &bytes.Buffer{}); err == nil {
+		t.Error("windowed cmcu should fail (not linear)")
+	}
+}
+
 func TestRunIngestValidation(t *testing.T) {
 	if err := run([]string{"-n", "10", "-ingest", "l2sr"}, &bytes.Buffer{}); err == nil {
 		t.Error("-ingest without -out should fail")

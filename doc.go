@@ -83,6 +83,32 @@
 // the full read surface (Query, QueryBatch, Bias, TopK, Scan, Stale)
 // plus Owned, which clones it into a mutable facade sketch.
 //
+// # Sliding windows
+//
+// NewWindowed runs any linear algorithm over a pane-based sliding
+// window, the shape monitoring traffic needs: point queries cover
+// only the last WithPanes panes of the stream, and expired panes are
+// forgotten. The open pane is a sharded sketch (multi-writer,
+// contention-free), closed panes are immutable, and rotation —
+// explicit Advance or clock-driven via WithPaneWidth, with WithClock
+// injectable for tests — is a merge: the open pane freezes into the
+// ring and panes older than the window fall out. Reads come from a
+// cached merged replica (closed-pane sum + open-pane snapshot)
+// published through an atomic pointer, so queries against a fresh
+// window take zero locks; TopK serves windowed deviation heavy
+// hitters the same way. Non-linear algorithms return ErrNotLinear.
+//
+// # Accuracy guarantees under test
+//
+// Beyond bit-identity (batch ≡ element-wise, snapshot ≡ sequential,
+// window ≡ live-pane recount), the test suite pins the estimates to
+// the paper's theory: an accuracy-bound harness drives a seeded zipf
+// workload through every registry algorithm and asserts observed
+// point-query error sits inside the algorithm's (ε, δ) guarantee,
+// with the bias-aware bounds taken relative to the residual x − β̂.
+// Every constructor option is validated with the typed
+// ErrInvalidOption — out-of-range values error, never silently clamp.
+//
 // The subpackages repro/workload (the §5.1 synthetic datasets) and
 // repro/bench (the figure harness) complete the public surface;
 // everything under internal/ is an implementation detail.

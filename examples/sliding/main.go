@@ -1,0 +1,96 @@
+// Sliding-window monitoring: a day of synthetic request traffic flows
+// through a repro.Windowed sliding window (6 panes of 2 simulated
+// hours — a 12-hour window) alongside an unbounded all-time sketch. A key that was
+// scorching hot in the morning and then went quiet stays a top hitter
+// forever in the all-time view — the windowed view forgets it as its
+// panes expire, and surfaces the key that is hot *now*. This is the
+// workload shape of real monitoring: "heaviest in the last N hours",
+// not "heaviest since the process started".
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro"
+)
+
+const (
+	n         = 100_000
+	panes     = 6
+	paneWidth = 2 * time.Hour
+	perHour   = 40_000
+)
+
+func main() {
+	// A fake clock the window rotates by: the demo replays a day of
+	// traffic in milliseconds, deterministically.
+	now := time.Date(2026, 7, 30, 0, 0, 0, 0, time.UTC)
+	clock := func() time.Time { return now }
+
+	windowed, err := repro.NewWindowed(1, "l2sr",
+		repro.WithDim(n), repro.WithWords(4096), repro.WithDepth(7),
+		repro.WithPanes(panes), repro.WithPaneWidth(paneWidth),
+		repro.WithClock(clock))
+	if err != nil {
+		panic(err)
+	}
+	allTime := repro.MustNew("l2sr",
+		repro.WithDim(n), repro.WithWords(4096), repro.WithDepth(7))
+
+	const morningHot, eveningHot = 7_777, 42_424
+	r := rand.New(rand.NewSource(1))
+	idx := make([]int, 0, perHour)
+	deltas := make([]float64, 0, perHour)
+	for hour := 0; hour < 24; hour++ {
+		idx, deltas = idx[:0], deltas[:0]
+		for u := 0; u < perHour; u++ {
+			i := r.Intn(n) // uniform background crowd
+			switch {
+			case hour < 8 && r.Intn(4) == 0:
+				i = morningHot // 00:00–08:00: one key takes ~25% of traffic
+			case hour >= 16 && r.Intn(8) == 0:
+				i = eveningHot // 16:00–24:00: a different key heats up
+			}
+			idx = append(idx, i)
+			deltas = append(deltas, 1)
+		}
+		if err := windowed.UpdateBatch(0, idx, deltas); err != nil {
+			panic(err)
+		}
+		if err := repro.UpdateBatch(allTime, idx, deltas); err != nil {
+			panic(err)
+		}
+		now = now.Add(time.Hour) // the next touch rotates any due panes
+
+		if hour == 7 || hour == 15 || hour == 23 {
+			report(windowed, allTime, hour+1)
+		}
+	}
+}
+
+func report(windowed *repro.Windowed, allTime repro.Sketch, hour int) {
+	wTop, err := windowed.TopK(1)
+	if err != nil {
+		panic(err)
+	}
+	aTop, err := repro.TopK(allTime, 1)
+	if err != nil {
+		panic(err)
+	}
+	wEst, err := windowed.Query(7_777)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%02d:00  last %2dh top key: %6d   all-time top key: %6d   morning key in window: %8.0f\n",
+		hour, panes*2, wTop[0].Index, aTop[0].Index, wEst)
+	if hour == 24 {
+		fmt.Printf("       window holds %d live panes (%d words)\n", windowed.Live(), windowed.Words())
+		if wTop[0].Index != 42_424 || aTop[0].Index != 7_777 {
+			fmt.Println("       unexpected: windowed should surface the evening key, all-time the morning one")
+		} else {
+			fmt.Println("       windowed view surfaces the key that is hot NOW; all-time never forgets")
+		}
+	}
+}

@@ -224,6 +224,19 @@ func (sn *Snapshot[S]) Stale() bool {
 	return false
 }
 
+// Written reports whether any shard has ever absorbed a write — an
+// atomic epoch scan, no locks. Callers about to pay for a merged copy
+// (e.g. a sliding window freezing a pane) use it to skip empty shards
+// sets entirely.
+func (s *Sharded[S]) Written() bool {
+	for i := range s.shards {
+		if s.shards[i].epoch.Load() != 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // Snapshot returns the current published snapshot without taking any
 // shard lock, building the first one if none has been published yet.
 // The view is as fresh as the last Refresh; callers that need the

@@ -1,0 +1,96 @@
+package repro_test
+
+// Table-driven validation of every functional option: zero, negative,
+// and overflow values must be rejected with the typed ErrInvalidOption
+// — never silently clamped — by every constructor that takes options.
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+func TestOptionValidation(t *testing.T) {
+	valid := []repro.Option{
+		repro.WithDim(1000), repro.WithWords(64), repro.WithDepth(5), repro.WithSeed(1),
+	}
+	cases := []struct {
+		name string
+		opts []repro.Option
+	}{
+		{"dim missing", []repro.Option{repro.WithWords(64)}},
+		{"dim zero", append(valid[1:], repro.WithDim(0))},
+		{"dim negative", append(valid[1:], repro.WithDim(-5))},
+		{"dim overflow", append(valid[1:], repro.WithDim(1<<30))},
+		{"words zero", append(valid, repro.WithWords(0))},
+		{"words negative", append(valid, repro.WithWords(-64))},
+		{"words overflow", append(valid, repro.WithWords(1<<30))},
+		{"depth zero", append(valid, repro.WithDepth(0))},
+		{"depth negative", append(valid, repro.WithDepth(-1))},
+		{"depth overflow", append(valid, repro.WithDepth(1000))},
+		{"words*depth overflow", append(valid, repro.WithWords(1<<22), repro.WithDepth(64))},
+		{"seed negative", append(valid, repro.WithSeed(-1))},
+		{"panes zero", append(valid, repro.WithPanes(0))},
+		{"panes negative", append(valid, repro.WithPanes(-2))},
+		{"panes overflow", append(valid, repro.WithPanes(repro.MaxPanes+1))},
+		{"pane width negative", append(valid, repro.WithPaneWidth(-time.Second))},
+		{"clock nil", append(valid, repro.WithClock(nil))},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := repro.New("countmin", tc.opts...); !errors.Is(err, repro.ErrInvalidOption) {
+				t.Errorf("New: got %v, want ErrInvalidOption", err)
+			}
+			if _, err := repro.NewSharded(2, "countmin", tc.opts...); !errors.Is(err, repro.ErrInvalidOption) {
+				t.Errorf("NewSharded: got %v, want ErrInvalidOption", err)
+			}
+			if _, err := repro.NewWindowed(2, "countmin", tc.opts...); !errors.Is(err, repro.ErrInvalidOption) {
+				t.Errorf("NewWindowed: got %v, want ErrInvalidOption", err)
+			}
+		})
+	}
+}
+
+// Boundary values the wire format allows must construct — rejection is
+// for invalid values only, not for unusual-but-legal ones.
+func TestOptionBoundaryValuesConstruct(t *testing.T) {
+	cases := []struct {
+		name string
+		opts []repro.Option
+	}{
+		{"minimum shape", []repro.Option{repro.WithDim(1), repro.WithWords(4), repro.WithDepth(1)}},
+		{"depth ceiling", []repro.Option{repro.WithDim(100), repro.WithWords(16), repro.WithDepth(64)}},
+		{"one pane", []repro.Option{repro.WithDim(100), repro.WithWords(16), repro.WithDepth(3), repro.WithPanes(1)}},
+		{"max panes", []repro.Option{repro.WithDim(100), repro.WithWords(16), repro.WithDepth(3), repro.WithPanes(repro.MaxPanes)}},
+		{"zero pane width", []repro.Option{repro.WithDim(100), repro.WithWords(16), repro.WithDepth(3), repro.WithPaneWidth(0)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := repro.New("countmin", tc.opts...); err != nil {
+				t.Errorf("New: %v", err)
+			}
+		})
+	}
+}
+
+// The sharded and windowed constructors validate their shard argument
+// with the same typed error, and NewRange its dimension.
+func TestConstructorArgumentValidation(t *testing.T) {
+	opts := []repro.Option{repro.WithDim(100), repro.WithWords(16), repro.WithDepth(3)}
+	if _, err := repro.NewSharded(0, "countmin", opts...); !errors.Is(err, repro.ErrInvalidOption) {
+		t.Errorf("NewSharded(0): got %v, want ErrInvalidOption", err)
+	}
+	if _, err := repro.NewSharded(-3, "countmin", opts...); !errors.Is(err, repro.ErrInvalidOption) {
+		t.Errorf("NewSharded(-3): got %v, want ErrInvalidOption", err)
+	}
+	factory := func(_, size int, seed int64) repro.Sketch {
+		return repro.MustNew("exact", repro.WithDim(size), repro.WithSeed(seed&(1<<62-1)))
+	}
+	for _, n := range []int{0, -1, repro.MaxRangeDim + 1} {
+		if _, err := repro.NewRange(n, factory, 1); !errors.Is(err, repro.ErrInvalidOption) {
+			t.Errorf("NewRange(%d): got %v, want ErrInvalidOption", n, err)
+		}
+	}
+}

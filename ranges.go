@@ -22,11 +22,22 @@ type RangeSketch struct {
 	inner *rangequery.Sketch
 }
 
+// MaxRangeDim bounds NewRange's dimension at the wire format's point-
+// sketch ceiling (2^26): the level-0 sketch summarizes the full
+// vector, so a dimension no point sketch can be built for must be
+// rejected here — with an error, never a panic — before any level is
+// allocated.
+const MaxRangeDim = 1 << 26
+
 // NewRange creates a range-query sketch over vectors of dimension n,
 // building each dyadic level with f. seed derives the per-level seeds.
+// n must be in [1, MaxRangeDim].
 func NewRange(n int, f LevelFactory, seed int64) (*RangeSketch, error) {
 	if n <= 0 {
-		return nil, fmt.Errorf("repro: range dimension must be positive, got %d", n)
+		return nil, fmt.Errorf("%w: range dimension must be positive, got %d", ErrInvalidOption, n)
+	}
+	if n > MaxRangeDim {
+		return nil, fmt.Errorf("%w: range dimension must be at most %d, got %d", ErrInvalidOption, MaxRangeDim, n)
 	}
 	var err error
 	r := rand.New(rand.NewSource(seed))

@@ -1,0 +1,104 @@
+package repro_test
+
+// Construction fuzz layer, mirroring the PR 3 wire fuzzers: hostile
+// dimensions, shapes, and misbehaving level factories must make
+// NewRange (and NewWindowed) return an error — never panic — and
+// anything they do accept must answer queries.
+
+import (
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// FuzzNewRange drives the dyadic-stack constructor with arbitrary
+// dimensions and per-level factory behavior: negative and overflowing
+// dims, factories that fail at a fuzzed level (returning nil, as the
+// LevelFactory contract specifies for unusable parameters), and
+// factories building real sketches at fuzzed shapes. The contract: a
+// typed error for anything unusable, a working sketch otherwise, and
+// no panic anywhere.
+func FuzzNewRange(f *testing.F) {
+	f.Add(int64(1024), uint8(0), uint16(16), uint8(3), uint8(255))
+	f.Add(int64(0), uint8(0), uint16(16), uint8(3), uint8(255))
+	f.Add(int64(-77), uint8(1), uint16(8), uint8(1), uint8(255))
+	f.Add(int64(1)<<40, uint8(2), uint16(64), uint8(9), uint8(255))
+	f.Add(int64(300), uint8(3), uint16(0), uint8(0), uint8(2)) // factory fails at level 2
+	f.Fuzz(func(t *testing.T, n int64, algoRaw uint8, wordsRaw uint16, depthRaw uint8, nilLevel uint8) {
+		algos := []string{"exact", "countmin", "countsketch", "l2sr"}
+		algo := algos[int(algoRaw)%len(algos)]
+		levels := 0
+		factory := func(level, size int, seed int64) repro.Sketch {
+			levels++
+			if uint8(level) == nilLevel {
+				return nil // a factory rejecting this level's parameters
+			}
+			sk, err := repro.New(algo,
+				repro.WithDim(size),
+				repro.WithWords(4+int(wordsRaw)%1024),
+				repro.WithDepth(1+int(depthRaw)%8),
+				repro.WithSeed(seed&(1<<62-1)))
+			if err != nil {
+				return nil
+			}
+			return sk
+		}
+		rs, err := repro.NewRange(int(n), factory, 42)
+		if err != nil {
+			return // rejected without panicking: the contract
+		}
+		if rs == nil {
+			t.Fatal("nil RangeSketch with nil error")
+		}
+		// Anything accepted must be a working structure.
+		dim := rs.Dim()
+		if dim <= 0 || dim != int(n) {
+			t.Fatalf("accepted dim %d from request %d", dim, n)
+		}
+		if rs.Levels() <= 0 {
+			t.Fatalf("accepted structure has %d levels", rs.Levels())
+		}
+		rs.Update(0, 3)
+		rs.Update(dim-1, 2)
+		if got := rs.RangeSum(0, dim); got != got { // NaN guard
+			t.Fatalf("RangeSum returned NaN")
+		}
+		_ = rs.Total()
+		_ = rs.Quantile(0.5)
+		_ = rs.Words()
+	})
+}
+
+// FuzzNewWindowed drives the sliding-window constructor with arbitrary
+// shard counts, algorithm names, shapes, and window knobs: every
+// unusable combination must come back as a typed error, never a
+// panic, and every accepted window must ingest, rotate, and query.
+func FuzzNewWindowed(f *testing.F) {
+	f.Add(1, "countmin", 100, 16, 3, int64(1), 4, int64(0))
+	f.Add(0, "l2sr", 100, 16, 3, int64(1), 4, int64(0))
+	f.Add(3, "cmcu", 50, 8, 2, int64(9), 2, int64(0))
+	f.Add(2, "exact", -5, 0, 0, int64(-1), -3, int64(-10))
+	f.Add(4, "zzz", 1<<30, 1<<30, 1000, int64(1)<<62, 1<<30, int64(time.Hour))
+	f.Fuzz(func(t *testing.T, shards int, algo string, dim, words, depth int, seed int64, panes int, width int64) {
+		w, err := repro.NewWindowed(shards, algo,
+			repro.WithDim(dim), repro.WithWords(words), repro.WithDepth(depth),
+			repro.WithSeed(seed), repro.WithPanes(panes),
+			repro.WithPaneWidth(time.Duration(width)))
+		if err != nil {
+			return // rejected without panicking: the contract
+		}
+		if w == nil {
+			t.Fatal("nil Windowed with nil error")
+		}
+		if err := w.Update(0, 0, 1); err != nil {
+			t.Fatalf("accepted window rejects Update: %v", err)
+		}
+		if err := w.Advance(1); err != nil {
+			t.Fatalf("accepted window rejects Advance: %v", err)
+		}
+		if _, err := w.Query(0); err != nil {
+			t.Fatalf("accepted window rejects Query: %v", err)
+		}
+	})
+}

@@ -38,7 +38,7 @@ type Sharded struct {
 // recombined.
 func NewSharded(shards int, algo string, opts ...Option) (*Sharded, error) {
 	if shards <= 0 {
-		return nil, fmt.Errorf("repro: shard count must be positive, got %d", shards)
+		return nil, fmt.Errorf("%w: shard count must be positive, got %d", ErrInvalidOption, shards)
 	}
 	e, ok := registry.Lookup(algo)
 	if !ok {

@@ -1,0 +1,171 @@
+package repro
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/heavyhitter"
+	"repro/internal/registry"
+	"repro/internal/sketch"
+	"repro/internal/window"
+)
+
+// Windowed is a sliding-window sketch: point queries cover only the
+// last WithPanes panes of the stream, not all of it — the "recent
+// frequencies" shape real monitoring traffic needs. Any linear
+// algorithm from the registry works as the pane sketch; non-linear
+// ones (cmcu, cmlcu) return ErrNotLinear, since expiring and summing
+// panes is exactly a merge.
+//
+// Ingestion runs through a concurrent.Sharded open pane, so
+// multi-goroutine writers are contention-free; closed panes are
+// immutable; and reads are served from a cached merged replica of the
+// live panes published through an atomic pointer — a query against a
+// fresh window takes zero locks, the epoch/snapshot machinery of
+// Sharded extended with a rotation generation.
+//
+// Rotation is either explicit (Advance) or clock-driven
+// (WithPaneWidth, with WithClock injectable for tests): in the timed
+// mode every update or query first folds in the panes the clock says
+// have elapsed, so expired traffic disappears even from a write-idle
+// window.
+type Windowed struct {
+	inner *window.Window[sketch.Sketch]
+	entry *registry.Entry
+	dim   int
+}
+
+// NewWindowed builds a sliding-window sketch with the given
+// writer-shard count; algo and opts are exactly New's, plus the window
+// knobs WithPanes (window length, default DefaultPanes), WithPaneWidth
+// (clock-driven rotation, default explicit-Advance), and WithClock.
+func NewWindowed(shards int, algo string, opts ...Option) (*Windowed, error) {
+	if shards <= 0 {
+		return nil, fmt.Errorf("%w: shard count must be positive, got %d", ErrInvalidOption, shards)
+	}
+	e, ok := registry.Lookup(algo)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q (valid: %v)", ErrUnknownAlgorithm, algo, Algorithms())
+	}
+	if !e.Linear {
+		return nil, fmt.Errorf("%w: %s", ErrNotLinear, e.Name)
+	}
+	cfg, err := buildConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	// Probe the constructor once so a parameter combination the
+	// algorithm rejects surfaces here as an error, not as a panic from
+	// the first pane rotation.
+	if _, err := registry.SafeNew(e.Name, cfg.dim, cfg.words, cfg.depth, cfg.seed); err != nil {
+		return nil, fmt.Errorf("repro: %w", err)
+	}
+	mk := func() sketch.Sketch { return e.New(cfg.dim, cfg.words, cfg.depth, cfg.seed) }
+	inner, err := window.New(window.Config{
+		Panes:  cfg.panes,
+		Shards: shards,
+		Width:  cfg.paneWidth,
+		Now:    cfg.clock,
+	}, mk, registry.Merge)
+	if err != nil {
+		return nil, fmt.Errorf("repro: %w", err)
+	}
+	return &Windowed{inner: inner, entry: e, dim: cfg.dim}, nil
+}
+
+// Advance rotates k panes: the open pane freezes, panes older than the
+// window expire, and a fresh open pane starts absorbing writes.
+// Advancing by the full window (k ≥ Panes) empties it. k must be
+// positive. In clock-driven mode Advance is still allowed — it rotates
+// relative to whatever pane is open.
+func (w *Windowed) Advance(k int) error {
+	if err := w.inner.Advance(k); err != nil {
+		return fmt.Errorf("repro: %w", err)
+	}
+	return nil
+}
+
+// Update applies x[i] += delta to the open pane, on the shard owning
+// the caller's slot (Sharded.Update semantics: same slot serializes,
+// different slots proceed in parallel).
+func (w *Windowed) Update(slot, i int, delta float64) error {
+	if err := w.inner.Update(slot, i, delta); err != nil {
+		return fmt.Errorf("repro: %w", err)
+	}
+	return nil
+}
+
+// UpdateBatch applies x[idx[j]] += deltas[j] for every j to the open
+// pane under a single shard-lock acquisition — the high-throughput
+// ingestion path. A length mismatch returns an error before any update
+// is applied.
+func (w *Windowed) UpdateBatch(slot int, idx []int, deltas []float64) error {
+	if len(idx) != len(deltas) {
+		return fmt.Errorf("repro: batch index count %d != delta count %d", len(idx), len(deltas))
+	}
+	if err := w.inner.UpdateBatch(slot, idx, deltas); err != nil {
+		return fmt.Errorf("repro: %w", err)
+	}
+	return nil
+}
+
+// Query returns an estimate of x[i] counting only the live panes —
+// the sliding-window frequency. Stale merged views are refreshed
+// first; queries against a fresh view take zero locks.
+func (w *Windowed) Query(i int) (float64, error) {
+	v, err := w.inner.Query(i)
+	if err != nil {
+		return 0, fmt.Errorf("repro: %w", err)
+	}
+	return v, nil
+}
+
+// QueryBatch writes a live-pane estimate of x[idx[j]] into out[j] for
+// every j, through the replica's native batched query path. A length
+// mismatch returns an error before anything is written.
+func (w *Windowed) QueryBatch(idx []int, out []float64) error {
+	if len(idx) != len(out) {
+		return fmt.Errorf("repro: batch index count %d != output count %d", len(idx), len(out))
+	}
+	if err := w.inner.QueryBatch(idx, out); err != nil {
+		return fmt.Errorf("repro: %w", err)
+	}
+	return nil
+}
+
+// TopK returns the k coordinates deviating most from the bias estimate
+// within the live panes, sorted by decreasing deviation — windowed
+// deviation heavy hitters. ErrNoBias unless the algorithm is
+// bias-aware.
+func (w *Windowed) TopK(k int) ([]Deviator, error) {
+	v, err := w.inner.View()
+	if err != nil {
+		return nil, fmt.Errorf("repro: %w", err)
+	}
+	b, ok := v.Sketch().(heavyhitter.BiasedSketch)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoBias, w.entry.Name)
+	}
+	return heavyhitter.TopK(b, k), nil
+}
+
+// Algo returns the canonical algorithm name.
+func (w *Windowed) Algo() string { return w.entry.Name }
+
+// Dim returns the dimension of the summarized vector.
+func (w *Windowed) Dim() int { return w.dim }
+
+// Panes returns the configured window length in panes.
+func (w *Windowed) Panes() int { return w.inner.Panes() }
+
+// PaneWidth returns the pane duration (0 in explicit-Advance mode).
+func (w *Windowed) PaneWidth() time.Duration { return w.inner.Width() }
+
+// Live returns the number of panes currently holding data (open pane
+// included): at most Panes, fewer when the stream is younger than the
+// window or recent panes saw no writes.
+func (w *Windowed) Live() int { return w.inner.Live() }
+
+// Words returns the total live memory across the open pane's shards,
+// the closed panes, and the cached closed-pane sum, in 64-bit words.
+func (w *Windowed) Words() int { return w.inner.Words() }

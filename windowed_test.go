@@ -1,0 +1,342 @@
+package repro_test
+
+// Public-API tests for the sliding-window layer: construction and
+// option validation, live-pane recount equivalence across every linear
+// registry algorithm, clock-driven expiry, windowed TopK, and a
+// rotation race. Everything goes through the facade exactly as an
+// external consumer would.
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro"
+)
+
+// windowableAlgos is every registry algorithm a Windowed accepts: the
+// linear ones (pane expiry is a merge, so conservative update is out).
+var windowableAlgos = []string{
+	"l1sr", "l2sr", "l1mean", "l2mean", "countmin", "countmedian",
+	"countsketch", "dengrafiei", "exact",
+}
+
+func TestNewWindowedValidation(t *testing.T) {
+	opts := []repro.Option{repro.WithDim(100), repro.WithWords(16), repro.WithDepth(3)}
+	if _, err := repro.NewWindowed(0, "countmin", opts...); !errors.Is(err, repro.ErrInvalidOption) {
+		t.Errorf("shards=0: got %v, want ErrInvalidOption", err)
+	}
+	if _, err := repro.NewWindowed(2, "no-such-algo", opts...); !errors.Is(err, repro.ErrUnknownAlgorithm) {
+		t.Errorf("unknown algo: got %v, want ErrUnknownAlgorithm", err)
+	}
+	for _, algo := range []string{"cmcu", "cmlcu"} {
+		if _, err := repro.NewWindowed(2, algo, opts...); !errors.Is(err, repro.ErrNotLinear) {
+			t.Errorf("%s: got %v, want ErrNotLinear", algo, err)
+		}
+	}
+	w, err := repro.NewWindowed(2, "countmin", append(opts, repro.WithPanes(5))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Algo() != "countmin" || w.Dim() != 100 || w.Panes() != 5 || w.Live() != 1 || w.PaneWidth() != 0 {
+		t.Fatalf("accessors: %s/%d/%d/%d/%v", w.Algo(), w.Dim(), w.Panes(), w.Live(), w.PaneWidth())
+	}
+	if err := w.Advance(0); err == nil {
+		t.Error("Advance(0) should fail")
+	}
+	if err := w.UpdateBatch(0, []int{1}, []float64{1, 2}); err == nil {
+		t.Error("UpdateBatch length mismatch should fail")
+	}
+	if err := w.QueryBatch([]int{1}, make([]float64, 2)); err == nil {
+		t.Error("QueryBatch length mismatch should fail")
+	}
+}
+
+// Property: Windowed.Query ≡ brute-force recount over only the live
+// panes, for every linear registry algorithm across random pane
+// counts, shard counts, and advance schedules. A reference sketch with
+// the same configuration and seed is fed exactly the live panes'
+// updates; integer deltas keep the pane-merge arithmetic exact, so the
+// comparison is bit-for-bit (the bias-aware sketches merge their
+// estimator samples in pane order rather than stream order, which the
+// tolerance absorbs).
+func TestWindowedQueryMatchesLivePaneRecountProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		algo := windowableAlgos[r.Intn(len(windowableAlgos))]
+		tol := 0.0
+		switch algo {
+		case "l1sr", "l2sr", "l1mean", "l2mean":
+			tol = 1e-9
+		}
+		n := 64 + r.Intn(1000)
+		panes := 1 + r.Intn(5)
+		opts := []repro.Option{
+			repro.WithDim(n), repro.WithWords(8 + r.Intn(64)),
+			repro.WithDepth(1 + r.Intn(5)), repro.WithSeed(r.Int63()),
+			repro.WithPanes(panes),
+		}
+		w, err := repro.NewWindowed(1+r.Intn(4), algo, opts...)
+		if err != nil {
+			t.Logf("%s: NewWindowed: %v", algo, err)
+			return false
+		}
+		type upd struct {
+			i int
+			d float64
+		}
+		byPane := map[int][]upd{}
+		cur := 0
+		rounds := 2 + r.Intn(8)
+		for round := 0; round < rounds; round++ {
+			m := r.Intn(200)
+			idx := make([]int, m)
+			deltas := make([]float64, m)
+			for j := range idx {
+				idx[j] = r.Intn(n)
+				deltas[j] = float64(1 + r.Intn(6))
+				byPane[cur] = append(byPane[cur], upd{idx[j], deltas[j]})
+			}
+			if err := w.UpdateBatch(r.Int(), idx, deltas); err != nil {
+				t.Logf("%s: UpdateBatch: %v", algo, err)
+				return false
+			}
+			if r.Intn(3) == 0 {
+				k := 1 + r.Intn(panes+1)
+				if err := w.Advance(k); err != nil {
+					t.Logf("%s: Advance: %v", algo, err)
+					return false
+				}
+				cur += k
+			}
+		}
+		// Brute-force recount: a same-seed sketch fed only the live
+		// panes' updates, in pane order.
+		ref, err := repro.New(algo, opts...)
+		if err != nil {
+			t.Logf("%s: New: %v", algo, err)
+			return false
+		}
+		for seq := cur - (panes - 1); seq <= cur; seq++ {
+			for _, u := range byPane[seq] {
+				ref.Update(u.i, u.d)
+			}
+		}
+		idx := make([]int, 0, n/3+1)
+		for i := 0; i < n; i += 3 {
+			idx = append(idx, i)
+		}
+		out := make([]float64, len(idx))
+		if err := w.QueryBatch(idx, out); err != nil {
+			t.Logf("%s: QueryBatch: %v", algo, err)
+			return false
+		}
+		for j, i := range idx {
+			want := ref.Query(i)
+			if tol == 0 && out[j] != want {
+				t.Logf("%s (seed %d): x[%d] = %v, live-pane recount %v (bit-exact required)",
+					algo, seed, i, out[j], want)
+				return false
+			}
+			if math.Abs(out[j]-want) > tol {
+				t.Logf("%s (seed %d): x[%d] = %v, live-pane recount %v", algo, seed, i, out[j], want)
+				return false
+			}
+			if got, err := w.Query(i); err != nil || got != out[j] {
+				t.Logf("%s: Query(%d) = %v, %v; QueryBatch gave %v", algo, i, got, err, out[j])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Clock-driven rotation through the facade: an injected fake clock
+// crossing pane boundaries must expire old traffic on the next touch,
+// with no Advance call anywhere.
+func TestWindowedClockDrivenExpiry(t *testing.T) {
+	var mu sync.Mutex
+	now := time.Unix(5000, 0)
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	tick := func(d time.Duration) { mu.Lock(); now = now.Add(d); mu.Unlock() }
+
+	w, err := repro.NewWindowed(2, "exact", repro.WithDim(50),
+		repro.WithPanes(3), repro.WithPaneWidth(time.Minute), repro.WithClock(clock))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.PaneWidth() != time.Minute {
+		t.Fatalf("PaneWidth = %v", w.PaneWidth())
+	}
+	if err := w.Update(0, 7, 100); err != nil {
+		t.Fatal(err)
+	}
+	tick(61 * time.Second)
+	if err := w.Update(0, 7, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := w.Query(7); got != 101 {
+		t.Fatalf("both panes live: Query = %v, want 101", got)
+	}
+	tick(2 * time.Minute) // first pane expires
+	if got, _ := w.Query(7); got != 1 {
+		t.Fatalf("first pane expired: Query = %v, want 1", got)
+	}
+	tick(time.Hour) // everything expires, via a query-only touch
+	if got, _ := w.Query(7); got != 0 {
+		t.Fatalf("all panes expired: Query = %v, want 0", got)
+	}
+}
+
+// Windowed TopK: an outlier in an expired pane must vanish from the
+// deviation heavy hitters while a live-pane outlier stays; non-bias
+// algorithms report ErrNoBias.
+func TestWindowedTopK(t *testing.T) {
+	w, err := repro.NewWindowed(2, "l2sr", repro.WithDim(2000),
+		repro.WithWords(256), repro.WithDepth(5), repro.WithPanes(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := make([]int, 2000)
+	deltas := make([]float64, 2000)
+	for i := range idx {
+		idx[i], deltas[i] = i, 100
+	}
+	// Pane 0: background crowd + outlier at 7.
+	if err := w.UpdateBatch(0, idx, deltas); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Update(0, 7, 50_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Advance(1); err != nil {
+		t.Fatal(err)
+	}
+	// Pane 1: background crowd + outlier at 1234.
+	if err := w.UpdateBatch(0, idx, deltas); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Update(0, 1234, 50_000); err != nil {
+		t.Fatal(err)
+	}
+	top, err := w.TopK(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 2 || (top[0].Index != 7 && top[1].Index != 7) {
+		t.Fatalf("both panes live: TopK = %+v, want 7 among top 2", top)
+	}
+	if err := w.Advance(1); err != nil { // pane 0 (outlier 7) expires
+		t.Fatal(err)
+	}
+	top, err = w.TopK(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 1 || top[0].Index != 1234 {
+		t.Fatalf("after expiry: TopK = %+v, want index 1234", top)
+	}
+
+	cm, err := repro.NewWindowed(1, "countmin", repro.WithDim(100), repro.WithWords(16), repro.WithDepth(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cm.TopK(3); !errors.Is(err, repro.ErrNoBias) {
+		t.Errorf("countmin TopK: got %v, want ErrNoBias", err)
+	}
+}
+
+// Rotation race at the facade: concurrent Advance, batched updates,
+// and queries on a Windowed. The two marker coordinates move in
+// lockstep within each batch, so every live-pane sum must keep them
+// equal; after draining the window everything must read zero. Run
+// with -race.
+func TestWindowedRotationRace(t *testing.T) {
+	const n, writers, panes = 1000, 3, 3
+	batches := 40
+	if testing.Short() {
+		batches = 10
+	}
+	w, err := repro.NewWindowed(writers, "exact", repro.WithDim(n), repro.WithPanes(panes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var writerWG, helperWG sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < writers; g++ {
+		writerWG.Add(1)
+		go func(g int) {
+			defer writerWG.Done()
+			r := rand.New(rand.NewSource(int64(40 + g)))
+			idx := make([]int, 32)
+			deltas := make([]float64, 32)
+			for u := 0; u < batches; u++ {
+				idx[0], deltas[0] = 0, 1
+				idx[1], deltas[1] = 1, 1
+				for j := 2; j < len(idx); j++ {
+					idx[j], deltas[j] = 2+r.Intn(n-2), 1
+				}
+				if err := w.UpdateBatch(g, idx, deltas); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	helperWG.Add(2)
+	go func() { // rotator
+		defer helperWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := w.Advance(1); err != nil {
+				t.Error(err)
+				return
+			}
+			runtime.Gosched()
+		}
+	}()
+	go func() { // reader
+		defer helperWG.Done()
+		out := make([]float64, 2)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := w.QueryBatch([]int{0, 1}, out); err != nil {
+				t.Error(err)
+				return
+			}
+			if out[0] != out[1] {
+				t.Errorf("torn window: x[0]=%v x[1]=%v", out[0], out[1])
+				return
+			}
+			runtime.Gosched()
+		}
+	}()
+	writerWG.Wait()
+	close(stop)
+	helperWG.Wait()
+
+	if err := w.Advance(panes); err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, 1, n - 1} {
+		if got, err := w.Query(i); err != nil || got != 0 {
+			t.Fatalf("after draining, Query(%d) = %v, %v; want 0", i, got, err)
+		}
+	}
+}
