@@ -1,0 +1,166 @@
+// Wire-format benchmarks at the public-API level: single-sketch
+// Encode/Decode and composite checkpoint/restore throughput in MB/s
+// (b.SetBytes on the payload size), the serving-side cost of
+// durability and site→coordinator shipping.
+package bench_test
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"repro"
+)
+
+const codecDim = 100_000
+
+func codecSketch(b *testing.B, algo string) repro.Sketch {
+	b.Helper()
+	sk, err := repro.New(algo, repro.WithDim(codecDim), repro.WithSeed(7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for u := 0; u < 200_000; u++ {
+		sk.Update((u*u+13)%codecDim, float64(1+u%5))
+	}
+	return sk
+}
+
+func BenchmarkEncode(b *testing.B) {
+	for _, algo := range []string{"countmin", "l2sr"} {
+		b.Run(algo, func(b *testing.B) {
+			sk := codecSketch(b, algo)
+			data, err := repro.Marshal(sk)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(data)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := repro.Encode(io.Discard, sk); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	for _, algo := range []string{"countmin", "l2sr"} {
+		b.Run(algo, func(b *testing.B) {
+			data, err := repro.Marshal(codecSketch(b, algo))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(data)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := repro.Unmarshal(data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkCheckpointSharded(b *testing.B) {
+	s, err := repro.NewSharded(4, "countmin", repro.WithDim(codecDim), repro.WithSeed(7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for u := 0; u < 200_000; u++ {
+		s.Update(u%4, (u*u+13)%codecDim, 1)
+	}
+	var size bytes.Buffer
+	if err := s.Checkpoint(&size); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(size.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Checkpoint(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRestoreSharded(b *testing.B) {
+	s, err := repro.NewSharded(4, "countmin", repro.WithDim(codecDim), repro.WithSeed(7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for u := 0; u < 200_000; u++ {
+		s.Update(u%4, (u*u+13)%codecDim, 1)
+	}
+	var buf bytes.Buffer
+	if err := s.Checkpoint(&buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := repro.RestoreSharded(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCheckpointWindowed(b *testing.B) {
+	w, err := repro.NewWindowed(2, "countmin",
+		repro.WithDim(codecDim), repro.WithSeed(7), repro.WithPanes(6))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for u := 0; u < 200_000; u++ {
+		if err := w.Update(u%2, (u*u+13)%codecDim, 1); err != nil {
+			b.Fatal(err)
+		}
+		if u%40_000 == 39_999 {
+			if err := w.Advance(1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	var size bytes.Buffer
+	if err := w.Checkpoint(&size); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(size.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Checkpoint(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRestoreWindowed(b *testing.B) {
+	w, err := repro.NewWindowed(2, "countmin",
+		repro.WithDim(codecDim), repro.WithSeed(7), repro.WithPanes(6))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for u := 0; u < 200_000; u++ {
+		if err := w.Update(u%2, (u*u+13)%codecDim, 1); err != nil {
+			b.Fatal(err)
+		}
+		if u%40_000 == 39_999 {
+			if err := w.Advance(1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := w.Checkpoint(&buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := repro.RestoreWindowed(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package repro_test
+
+// Fuzz layer for the composite wire formats: arbitrary bytes fed to
+// every decode entry point — single-sketch Decode/Unmarshal and the
+// three checkpoint restorers — must error or produce a working
+// structure, never panic, and never allocate past what the input pays
+// for (hostile length prefixes are the classic way in; the seeds
+// include valid checkpoints of all three kinds so the fuzzer mutates
+// deep structure, not just magics).
+
+import (
+	"bytes"
+	"testing"
+
+	"repro"
+)
+
+// tinyShape keeps fuzz-seed structures small so the fuzzer's
+// throughput stays high.
+func tinyShape() []repro.Option {
+	return []repro.Option{
+		repro.WithDim(64), repro.WithWords(8), repro.WithDepth(2), repro.WithSeed(3),
+	}
+}
+
+func seedShardedBytes(f *testing.F) []byte {
+	f.Helper()
+	s, err := repro.NewSharded(2, "countmin", tinyShape()...)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for u := 0; u < 200; u++ {
+		s.Update(u%2, u%64, 1)
+	}
+	var buf bytes.Buffer
+	if err := s.Checkpoint(&buf); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func seedWindowedBytes(f *testing.F) []byte {
+	f.Helper()
+	w, err := repro.NewWindowed(2, "l2sr", append(tinyShape(), repro.WithPanes(3))...)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for u := 0; u < 300; u++ {
+		if err := w.Update(u%2, u%64, 1); err != nil {
+			f.Fatal(err)
+		}
+		if u%100 == 99 {
+			if err := w.Advance(1); err != nil {
+				f.Fatal(err)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := w.Checkpoint(&buf); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func seedRangeBytes(f *testing.F) []byte {
+	f.Helper()
+	rs, err := repro.NewRange(50, func(level, size int, seed int64) repro.Sketch {
+		if size <= 8 {
+			return repro.Exact(size)
+		}
+		return repro.MustNew("countmin",
+			repro.WithDim(size), repro.WithWords(8), repro.WithDepth(2), repro.WithSeed(seed))
+	}, 5)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for u := 0; u < 200; u++ {
+		rs.Update(u%50, 1)
+	}
+	var buf bytes.Buffer
+	if err := rs.Checkpoint(&buf); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzDecode drives every composite decode path. Anything accepted
+// must be alive enough to answer a query (or a range sum) without
+// panicking.
+func FuzzDecode(f *testing.F) {
+	sharded := seedShardedBytes(f)
+	windowed := seedWindowedBytes(f)
+	ranged := seedRangeBytes(f)
+	f.Add(sharded)
+	f.Add(windowed)
+	f.Add(ranged)
+	// Truncations and flips push the fuzzer into section framing.
+	f.Add(sharded[:len(sharded)/2])
+	f.Add(windowed[:9])
+	flip := append([]byte(nil), ranged...)
+	flip[len(flip)/2] ^= 0xFF
+	f.Add(flip)
+	f.Add([]byte("BAS2"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if sk, err := repro.Unmarshal(data); err == nil {
+			_ = sk.Query(0)
+		}
+		if s, err := repro.RestoreSharded(bytes.NewReader(data)); err == nil {
+			if _, err := s.Query(0); err != nil {
+				t.Fatalf("restored sharded cannot query: %v", err)
+			}
+		}
+		if w, err := repro.RestoreWindowed(bytes.NewReader(data)); err == nil {
+			if _, err := w.Query(0); err != nil {
+				t.Fatalf("restored windowed cannot query: %v", err)
+			}
+		}
+		if rs, err := repro.RestoreRange(bytes.NewReader(data)); err == nil {
+			_ = rs.RangeSum(0, rs.Dim())
+		}
+	})
+}

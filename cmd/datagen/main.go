@@ -6,7 +6,7 @@
 //
 //	datagen -dataset gaussian|gaussian2|worldcup|wiki|higgs|meme|hudong \
 //	        [-n N] [-seed S] [-out FILE] [-ingest ALGO] [-batch B] \
-//	        [-panes P] [-rotate R]
+//	        [-panes P] [-rotate R] [-checkpoint FILE] [-resume FILE]
 //
 // For hudong the output is the edge stream (one source article id per
 // line) rather than the final vector; every other dataset emits the
@@ -24,6 +24,16 @@
 // len/P so the stream spans one full window), and the summary
 // additionally reports how much of the stream's mass is still live in
 // the window — the monitoring shape where only recent traffic counts.
+//
+// With -checkpoint the ingested state is written to the named file
+// after the stream drains — the wire-format v2 checkpoint of the
+// sliding window in windowed mode, the encoded sketch otherwise. With
+// -resume ingestion starts from a previously written checkpoint
+// instead of an empty sketch: a datagen run killed between the two
+// flags picks up exactly where it left off. Both require -ingest. A
+// windowed checkpoint selects windowed mode by itself (-panes is not
+// needed on resume), and the window's configuration (panes, shape)
+// comes from the checkpoint file.
 package main
 
 import (
@@ -59,6 +69,8 @@ func run(args []string, stdout io.Writer) error {
 	batch := fs.Int("batch", 4096, "updates per batch for -ingest")
 	panes := fs.Int("panes", 0, "ingest through a sliding window of this many panes (0 = unbounded; requires -ingest)")
 	rotate := fs.Int("rotate", 0, "updates per pane in windowed mode (0 = stream length / panes)")
+	checkpoint := fs.String("checkpoint", "", "write the ingested state to this file after the stream drains (requires -ingest)")
+	resume := fs.String("resume", "", "start ingestion from this checkpoint file instead of an empty sketch (requires -ingest)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -83,6 +95,9 @@ func run(args []string, stdout io.Writer) error {
 		if *rotate < 0 {
 			return fmt.Errorf("rotate must be non-negative, got %d", *rotate)
 		}
+	}
+	if (*checkpoint != "" || *resume != "") && *ingest == "" {
+		return fmt.Errorf("-checkpoint and -resume require -ingest")
 	}
 
 	var w *bufio.Writer
@@ -149,10 +164,93 @@ func run(args []string, stdout io.Writer) error {
 	if *ingest == "" {
 		return nil
 	}
-	if *panes > 0 {
-		return ingestWindowed(stdout, *ingest, *n, *batch, *panes, *rotate, idx, deltas)
+	windowed := *panes > 0
+	if !windowed && *resume != "" {
+		// Without -panes, let the checkpoint file pick the mode: a
+		// windowed checkpoint resumes as a window (its pane count comes
+		// from the wire), anything else goes through the plain path.
+		w, err := checkpointIsWindowed(*resume)
+		if err != nil {
+			return err
+		}
+		windowed = w
 	}
-	return ingestStream(stdout, *ingest, *n, *batch, idx, deltas)
+	if windowed {
+		return ingestWindowed(stdout, *ingest, *n, *batch, *panes, *rotate, *checkpoint, *resume, idx, deltas)
+	}
+	return ingestStream(stdout, *ingest, *n, *batch, *checkpoint, *resume, idx, deltas)
+}
+
+// checkpointIsWindowed sniffs a checkpoint file's container header:
+// wire-format v2 magic "BAS2" followed by the container kind, where
+// kind 3 is a windowed checkpoint (see the wire-format section of the
+// repro README).
+func checkpointIsWindowed(path string) (bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	var hdr [5]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return false, fmt.Errorf("reading checkpoint %s: %w", path, err)
+	}
+	return string(hdr[:4]) == "BAS2" && hdr[4] == 3, nil
+}
+
+// verifyResumed checks a restored structure continues the requested
+// run: same algorithm (resolved through the registry, so aliases
+// match) and dimension.
+func verifyResumed(path, algo string, dim int, gotAlgo string, gotDim int) error {
+	probe, err := repro.New(algo, repro.WithDim(dim))
+	if err != nil {
+		return err
+	}
+	if gotAlgo != probe.Algo() || gotDim != dim {
+		return fmt.Errorf("checkpoint %s holds %s (n=%d), run wants %s (n=%d)",
+			path, gotAlgo, gotDim, probe.Algo(), dim)
+	}
+	return nil
+}
+
+// resumeSketch loads a single-sketch checkpoint and verifies it is a
+// continuation of the requested run.
+func resumeSketch(path, algo string, dim int) (repro.Sketch, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sk, err := repro.Decode(f)
+	if err != nil {
+		return nil, fmt.Errorf("resuming from %s: %w", path, err)
+	}
+	if err := verifyResumed(path, algo, dim, sk.Algo(), sk.Dim()); err != nil {
+		return nil, err
+	}
+	return sk, nil
+}
+
+// writeCheckpoint writes enc's output to path and reports the size.
+func writeCheckpoint(out io.Writer, path string, enc func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := enc(f); err != nil {
+		f.Close()
+		return fmt.Errorf("writing checkpoint %s: %w", path, err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "checkpoint written to %s (%d bytes)\n", path, info.Size())
+	return nil
 }
 
 // ingestStream drives the batched ingestion path: the whole update
@@ -160,14 +258,19 @@ func run(args []string, stdout io.Writer) error {
 // the measured throughput is reported. Sketch panics (e.g. a negative
 // coordinate fed to a conservative-update sketch) surface as ordinary
 // CLI errors.
-func ingestStream(out io.Writer, algo string, dim, batchSize int, idx []int, deltas []float64) (err error) {
+func ingestStream(out io.Writer, algo string, dim, batchSize int, checkpoint, resume string, idx []int, deltas []float64) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("ingesting into %s: %v", algo, r)
 		}
 	}()
-	sk, err := repro.New(algo, repro.WithDim(dim))
-	if err != nil {
+	var sk repro.Sketch
+	if resume != "" {
+		if sk, err = resumeSketch(resume, algo, dim); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "resumed %s (n=%d, %d words) from %s\n", sk.Algo(), sk.Dim(), sk.Words(), resume)
+	} else if sk, err = repro.New(algo, repro.WithDim(dim)); err != nil {
 		return err
 	}
 	start := time.Now()
@@ -187,6 +290,9 @@ func ingestStream(out io.Writer, algo string, dim, batchSize int, idx []int, del
 	}
 	fmt.Fprintf(out, "ingested %d updates into %s (n=%d, %d words) in %v: %.1f ns/update at batch size %d\n",
 		len(idx), sk.Algo(), dim, sk.Words(), elapsed.Round(time.Microsecond), perUpdate, batchSize)
+	if checkpoint != "" {
+		return writeCheckpoint(out, checkpoint, func(w io.Writer) error { return repro.Encode(w, sk) })
+	}
 	return nil
 }
 
@@ -195,10 +301,31 @@ func ingestStream(out io.Writer, algo string, dim, batchSize int, idx []int, del
 // every rotate updates, and the summary reports how much of the
 // stream's mass is still live in the window at the end — the
 // monitoring shape where old traffic is meant to be forgotten.
-func ingestWindowed(out io.Writer, algo string, dim, batchSize, panes, rotate int, idx []int, deltas []float64) error {
-	w, err := repro.NewWindowed(1, algo, repro.WithDim(dim), repro.WithPanes(panes))
-	if err != nil {
-		return err
+func ingestWindowed(out io.Writer, algo string, dim, batchSize, panes, rotate int, checkpoint, resume string, idx []int, deltas []float64) error {
+	var w *repro.Windowed
+	if resume != "" {
+		f, err := os.Open(resume)
+		if err != nil {
+			return err
+		}
+		w, err = repro.RestoreWindowed(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("resuming from %s: %w", resume, err)
+		}
+		if err := verifyResumed(resume, algo, dim, w.Algo(), w.Dim()); err != nil {
+			return err
+		}
+		// The window's configuration comes from the checkpoint.
+		panes = w.Panes()
+		fmt.Fprintf(out, "resumed %s window (n=%d, %d panes, %d live) from %s\n",
+			w.Algo(), w.Dim(), panes, w.Live(), resume)
+	} else {
+		var err error
+		w, err = repro.NewWindowed(1, algo, repro.WithDim(dim), repro.WithPanes(panes))
+		if err != nil {
+			return err
+		}
 	}
 	if rotate == 0 {
 		// Default: the whole stream spans exactly one window.
@@ -269,5 +396,8 @@ func ingestWindowed(out io.Writer, algo string, dim, batchSize, panes, rotate in
 	}
 	fmt.Fprintf(out, "windowed ingest of %d updates into %s (n=%d, %d panes, rotate every %d, %d advances, %d live panes) in %v: %.1f ns/update; live mass %.0f of %.0f total\n",
 		len(idx), w.Algo(), dim, panes, rotate, advances, w.Live(), elapsed.Round(time.Microsecond), perUpdate, live, total)
+	if checkpoint != "" {
+		return writeCheckpoint(out, checkpoint, w.Checkpoint)
+	}
 	return nil
 }

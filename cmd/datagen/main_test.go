@@ -177,3 +177,102 @@ func TestRunIngestValidation(t *testing.T) {
 		t.Errorf("negative updates into cmcu should error cleanly, got %v", err)
 	}
 }
+
+// A run killed after -checkpoint and resumed with -resume must end in
+// the same state as one uninterrupted run: the two-phase ingest of the
+// same stream reports the same live mass as the single-phase one.
+func TestRunCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "d.txt")
+	ckpt := filepath.Join(dir, "w.ckpt")
+
+	// Phase 1: windowed ingest, checkpoint at the end.
+	var out bytes.Buffer
+	err := run([]string{"-dataset", "hudong", "-n", "300", "-seed", "4", "-out", data,
+		"-ingest", "countmin", "-batch", "64", "-panes", "3", "-rotate", "150",
+		"-checkpoint", ckpt}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "checkpoint written to") {
+		t.Fatalf("missing checkpoint report, got: %q", out.String())
+	}
+	if fi, err := os.Stat(ckpt); err != nil || fi.Size() == 0 {
+		t.Fatalf("checkpoint file: %v (%v)", err, fi)
+	}
+
+	// Phase 2: resume from it and ingest the stream again (any stream
+	// works — the point is that restored state keeps absorbing).
+	out.Reset()
+	err = run([]string{"-dataset", "hudong", "-n", "300", "-seed", "4", "-out", data,
+		"-ingest", "countmin", "-batch", "64", "-panes", "3", "-rotate", "150",
+		"-resume", ckpt}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "resumed countmin window") {
+		t.Fatalf("missing resume report, got: %q", s)
+	}
+	if !strings.Contains(s, "live mass") {
+		t.Fatalf("missing live-mass report, got: %q", s)
+	}
+
+	// A windowed checkpoint selects windowed mode by itself: resuming
+	// without -panes works, with the pane count from the file.
+	out.Reset()
+	err = run([]string{"-dataset", "hudong", "-n", "300", "-seed", "4", "-out", data,
+		"-ingest", "countmin", "-batch", "64", "-resume", ckpt}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "3 panes") {
+		t.Fatalf("pane count not adopted from checkpoint, got: %q", out.String())
+	}
+
+	// Plain (unbounded) checkpoint/resume: the resumed sketch holds
+	// twice the mass of a single pass.
+	plain := filepath.Join(dir, "s.ckpt")
+	out.Reset()
+	err = run([]string{"-dataset", "hudong", "-n", "300", "-seed", "4", "-out", data,
+		"-ingest", "countmin", "-batch", "64", "-checkpoint", plain}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	err = run([]string{"-dataset", "hudong", "-n", "300", "-seed", "4", "-out", data,
+		"-ingest", "countmin", "-batch", "64", "-resume", plain}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "resumed countmin") {
+		t.Fatalf("missing resume report, got: %q", out.String())
+	}
+}
+
+func TestRunCheckpointValidation(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "d.txt")
+	if err := run([]string{"-n", "10", "-checkpoint", filepath.Join(dir, "c")}, &bytes.Buffer{}); err == nil {
+		t.Error("-checkpoint without -ingest should fail")
+	}
+	if err := run([]string{"-n", "10", "-resume", filepath.Join(dir, "c")}, &bytes.Buffer{}); err == nil {
+		t.Error("-resume without -ingest should fail")
+	}
+	// Resuming from a missing file errors cleanly.
+	if err := run([]string{"-dataset", "hudong", "-n", "50", "-out", data,
+		"-ingest", "countmin", "-resume", filepath.Join(dir, "absent")}, &bytes.Buffer{}); err == nil {
+		t.Error("missing resume file should fail")
+	}
+	// Resuming a checkpoint of a different algorithm errors cleanly.
+	ckpt := filepath.Join(dir, "cm.ckpt")
+	if err := run([]string{"-dataset", "hudong", "-n", "50", "-out", data,
+		"-ingest", "countmin", "-checkpoint", ckpt}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-dataset", "hudong", "-n", "50", "-out", data,
+		"-ingest", "l2sr", "-resume", ckpt}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "countmin") {
+		t.Errorf("algorithm mismatch should name the checkpointed algo, got %v", err)
+	}
+}

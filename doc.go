@@ -83,6 +83,26 @@
 // the full read surface (Query, QueryBatch, Bias, TopK, Scan, Stale)
 // plus Owned, which clones it into a mutable facade sketch.
 //
+// # Wire format and checkpoint/restore
+//
+// Serialization is a streaming codec (wire format v2): versioned,
+// length-prefixed, section-based containers over io.Writer/io.Reader.
+// Encode/Decode (and the buffer forms Marshal/Unmarshal) carry single
+// sketches; Sharded.Checkpoint/RestoreSharded,
+// Windowed.Checkpoint/RestoreWindowed, and
+// RangeSketch.Checkpoint/RestoreRange carry the composite serving
+// structures — shard states with their epochs, pane rings with their
+// rotation sequences and clock-independent pane width, dyadic level
+// stacks (exact coarse levels included). A restored structure answers
+// Query/QueryBatch/TopK bit-identically to the checkpointed original
+// and keeps ingesting as its exact continuation; checkpoints taken
+// under concurrent writers are consistent (the Merged guarantee).
+// Legacy v1 payloads written by older builds still decode; writers
+// emit v2 only. Unmarshal rejects trailing bytes with the typed
+// ErrTrailingData; all decode paths bound every length and count
+// against the validated descriptor before allocating, so hostile
+// bytes error rather than panic or exhaust memory.
+//
 // # Sliding windows
 //
 // NewWindowed runs any linear algorithm over a pane-based sliding

@@ -1,0 +1,181 @@
+// Checkpoint example: a sliding-window heavy-hitter monitor is
+// "killed" halfway through a day of traffic, restored from its
+// checkpoint file, and run to the end — then compared against an
+// uninterrupted twin that saw the identical stream. The restored
+// monitor's answers (point queries and windowed top-k deviators) are
+// bit-for-bit the twin's: a checkpoint is the monitor, not an
+// approximation of it.
+//
+// This is the wire-format v2 checkpoint/restore path end to end: the
+// window's rotation state, every closed pane, and the open pane's
+// sharded replica set all round-trip through one file.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"repro"
+)
+
+const (
+	n         = 200_000 // key space
+	words     = 4096
+	panes     = 6 // 6-pane sliding window (say, six 4-hour panes)
+	perPane   = 40_000
+	totalUpd  = perPane * panes * 2 // two windows' worth of traffic
+	checkFile = "window.ckpt"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "repro-checkpoint")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, checkFile)
+
+	// One deterministic stream of biased traffic with a few planted
+	// heavy deviators, materialized up front so the interrupted monitor
+	// and the uninterrupted twin consume identical updates.
+	idx, deltas := makeStream()
+
+	// ---- Phase 1: monitor the first half of the day, then "crash".
+	monitor := newMonitor()
+	feed(monitor, idx[:totalUpd/2], deltas[:totalUpd/2], 0)
+	if err := checkpointTo(monitor, path); err != nil {
+		panic(err)
+	}
+	info, _ := os.Stat(path)
+	fmt.Printf("half-day monitor checkpointed to %s (%d bytes, %d live panes)\n",
+		checkFile, info.Size(), monitor.Live())
+	monitor = nil // the process dies here
+
+	// ---- Phase 2: a new process restores and finishes the day.
+	f, err := os.Open(path)
+	if err != nil {
+		panic(err)
+	}
+	restored, err := repro.RestoreWindowed(f)
+	f.Close()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("restored %s window: n=%d, %d panes, %d live\n\n",
+		restored.Algo(), restored.Dim(), restored.Panes(), restored.Live())
+	feed(restored, idx[totalUpd/2:], deltas[totalUpd/2:], totalUpd/2)
+
+	// ---- The twin never crashed.
+	twin := newMonitor()
+	feed(twin, idx, deltas, 0)
+
+	// Compare: windowed top-5 deviation heavy hitters...
+	rTop, err := restored.TopK(5)
+	if err != nil {
+		panic(err)
+	}
+	tTop, err := twin.TopK(5)
+	if err != nil {
+		panic(err)
+	}
+	identical := len(rTop) == len(tTop)
+	fmt.Println("windowed top-5 deviators (restored vs uninterrupted):")
+	for i := range rTop {
+		same := rTop[i] == tTop[i]
+		identical = identical && same
+		fmt.Printf("  #%d  key %6d  deviation %10.2f   | key %6d  deviation %10.2f   match=%v\n",
+			i+1, rTop[i].Index, rTop[i].Deviation, tTop[i].Index, tTop[i].Deviation, same)
+	}
+
+	// ...and point queries across the key space.
+	for i := 0; i < n; i += 997 {
+		a, err := restored.Query(i)
+		if err != nil {
+			panic(err)
+		}
+		b, err := twin.Query(i)
+		if err != nil {
+			panic(err)
+		}
+		if a != b {
+			identical = false
+			fmt.Printf("  query %d diverged: restored %v, twin %v\n", i, a, b)
+		}
+	}
+	fmt.Printf("\nrestored monitor answers bit-identical to the uninterrupted twin: %v\n", identical)
+}
+
+// newMonitor builds the windowed bias-aware monitor both runs use:
+// identical shape and seed, so their sketches are comparable
+// replica-for-replica.
+func newMonitor() *repro.Windowed {
+	w, err := repro.NewWindowed(2, "l2sr",
+		repro.WithDim(n), repro.WithWords(words), repro.WithSeed(42),
+		repro.WithPanes(panes))
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// feed replays updates [off, off+len) of the global stream, rotating a
+// pane every perPane updates of *global* position — so an interrupted
+// run and its resumption rotate at exactly the same stream offsets.
+func feed(w *repro.Windowed, idx []int, deltas []float64, off int) {
+	const batch = 2048
+	for pos := 0; pos < len(idx); {
+		m := batch
+		if rem := len(idx) - pos; rem < m {
+			m = rem
+		}
+		// Stop the batch at the next pane boundary.
+		if room := perPane - (off+pos)%perPane; m > room {
+			m = room
+		}
+		slot := (off + pos) / batch // deterministic writer slot
+		if err := w.UpdateBatch(slot, idx[pos:pos+m], deltas[pos:pos+m]); err != nil {
+			panic(err)
+		}
+		pos += m
+		if (off+pos)%perPane == 0 && off+pos < totalUpd {
+			if err := w.Advance(1); err != nil {
+				panic(err)
+			}
+		}
+	}
+}
+
+// checkpointTo writes the window's checkpoint to path.
+func checkpointTo(w *repro.Windowed, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := w.Checkpoint(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// makeStream builds the day's traffic: background load biased around
+// 25 per key, plus a handful of keys that run far hotter in the second
+// half — the deviators the windowed monitor should surface.
+func makeStream() ([]int, []float64) {
+	r := rand.New(rand.NewSource(7))
+	idx := make([]int, totalUpd)
+	deltas := make([]float64, totalUpd)
+	hot := []int{1234, 56789, 101_112, 131_415, 161_718}
+	for u := range idx {
+		if u > totalUpd/3 && u%97 == 0 {
+			idx[u] = hot[u%len(hot)]
+			deltas[u] = float64(400 + u%100)
+			continue
+		}
+		idx[u] = r.Intn(n)
+		deltas[u] = 25 + float64(r.Intn(11)) - 5
+	}
+	return idx, deltas
+}

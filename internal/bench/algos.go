@@ -43,7 +43,7 @@ var All = []string{
 //
 // Make is legend-name sugar over the shared algorithm catalog in
 // internal/registry, which also backs the public repro.New facade and
-// the sketchio loader.
+// the wire-format codec loader.
 func Make(algo string, n, s, d int, seed int64) sketch.Sketch {
 	e, ok := registry.Lookup(algo)
 	if !ok {

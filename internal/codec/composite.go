@@ -1,0 +1,425 @@
+package codec
+
+// Composite containers: checkpoint/restore for the serving structures
+// built on top of single sketches. Encoding captures live structures
+// under their own locks (per-shard for Sharded, the rotation lock for
+// windows), so checkpoints taken under concurrent writers are a
+// consistent sum of some interleaving of the updates — the same
+// guarantee Merged gives. Decoding validates every count and length
+// against the already-validated descriptor before structure-
+// proportional allocation, and reads the state bytes before building
+// replica sets, so a hostile header cannot imply allocations the
+// input has not paid for.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"repro/internal/concurrent"
+	"repro/internal/registry"
+	"repro/internal/sketch"
+	"repro/internal/window"
+)
+
+// EncodeSharded writes a checkpoint of s: the descriptor, the shard
+// count with per-shard epochs, then every shard's state in shard
+// order. Safe under concurrent writers (each shard is captured under
+// its own lock).
+func EncodeSharded(w io.Writer, desc Desc, s *concurrent.Sharded[sketch.Sketch]) error {
+	p := s.Shards()
+	meta := make([]byte, 0, 8+8*p)
+	meta = binary.LittleEndian.AppendUint64(meta, uint64(p))
+	states := make([]section, 0, p)
+	err := s.CheckpointShards(func(i int, epoch uint64, sk sketch.Sketch) error {
+		tag, payload, err := captureState(sk)
+		if err != nil {
+			return err
+		}
+		meta = binary.LittleEndian.AppendUint64(meta, epoch)
+		states = append(states, section{tag, payload})
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	secs := append([]section{
+		{secDesc, descPayload(desc)},
+		{secShardMeta, meta},
+	}, states...)
+	return writeContainer(w, KindSharded, secs)
+}
+
+// DecodeSharded reads a sharded checkpoint, reconstructing the replica
+// set through the registry and restoring every shard's state and
+// epoch. The restored Sharded serves exactly the answers the
+// checkpointed one did: shard order, epochs, and therefore snapshot
+// merge order are all preserved.
+func DecodeSharded(r io.Reader) (*concurrent.Sharded[sketch.Sketch], Desc, error) {
+	version, kind, nsec, err := readHeader(r)
+	if err != nil {
+		return nil, Desc{}, err
+	}
+	if version != 2 || kind != KindSharded {
+		return nil, Desc{}, wrongKindError(version, kind, "sharded checkpoint")
+	}
+	return decodeShardedSections(r, nsec)
+}
+
+func decodeShardedSections(r io.Reader, nsec uint32) (*concurrent.Sharded[sketch.Sketch], Desc, error) {
+	desc, e, err := readDescSection(r)
+	if err != nil {
+		return nil, Desc{}, err
+	}
+	if !e.Linear {
+		return nil, Desc{}, fmt.Errorf("codec: %s is not linear and cannot have been sharded", e.Name)
+	}
+	metaLen, err := readSectionHeader(r, secShardMeta)
+	if err != nil {
+		return nil, Desc{}, err
+	}
+	meta, err := readPayload(r, metaLen, 8+8*MaxShards)
+	if err != nil {
+		return nil, Desc{}, err
+	}
+	if len(meta) < 8 {
+		return nil, Desc{}, fmt.Errorf("codec: shard metadata section truncated")
+	}
+	p := binary.LittleEndian.Uint64(meta)
+	if p < 1 || p > MaxShards {
+		return nil, Desc{}, fmt.Errorf("codec: implausible shard count %d", p)
+	}
+	if uint64(len(meta)) != 8+8*p {
+		return nil, Desc{}, fmt.Errorf("codec: shard metadata is %d bytes for %d shards", len(meta), p)
+	}
+	if uint64(nsec) != 2+p {
+		return nil, Desc{}, fmt.Errorf("codec: sharded container has %d sections for %d shards", nsec, p)
+	}
+	if p*desc.cells(e) > maxCheckpointCells {
+		return nil, Desc{}, fmt.Errorf("codec: checkpoint implies %d cells across %d shards, over the %d bound",
+			p*desc.cells(e), p, uint64(maxCheckpointCells))
+	}
+	epochs := make([]uint64, p)
+	for i := range epochs {
+		epochs[i] = binary.LittleEndian.Uint64(meta[8+8*i:])
+	}
+	// Read every shard's state bytes before building the replica set:
+	// the input pays for the allocation it is about to cause.
+	states := make([]section, p)
+	for i := range states {
+		tag, payload, err := readStateSection(r, desc, e)
+		if err != nil {
+			return nil, Desc{}, fmt.Errorf("codec: shard %d: %w", i, err)
+		}
+		states[i] = section{tag, payload}
+	}
+	mk, err := maker(desc, e)
+	if err != nil {
+		return nil, Desc{}, err
+	}
+	s := concurrent.New(int(p), mk, registry.Merge)
+	err = s.RestoreShards(func(i int, sk sketch.Sketch) (uint64, error) {
+		if err := restoreState(sk, states[i].tag, states[i].payload); err != nil {
+			return 0, err
+		}
+		return epochs[i], nil
+	})
+	if err != nil {
+		return nil, Desc{}, err
+	}
+	return s, desc, nil
+}
+
+// EncodeWindowed writes a checkpoint of win: the descriptor, the
+// rotation metadata (pane count, clock-independent pane width, pane
+// sequences), every closed pane's state oldest first, then the open
+// pane as a nested sharded container. Absolute pane boundaries are
+// deliberately not part of the format: on restore the open pane's
+// clock restarts, only the width survives.
+func EncodeWindowed(w io.Writer, desc Desc, win *window.Window[sketch.Sketch]) error {
+	return win.Checkpoint(func(cp window.Checkpoint[sketch.Sketch]) error {
+		meta := make([]byte, 0, 32+8*len(cp.ClosedSeqs))
+		meta = binary.LittleEndian.AppendUint64(meta, uint64(win.Panes()))
+		meta = binary.LittleEndian.AppendUint64(meta, uint64(win.Width()))
+		meta = binary.LittleEndian.AppendUint64(meta, cp.CurSeq)
+		meta = binary.LittleEndian.AppendUint64(meta, uint64(len(cp.ClosedSeqs)))
+		for _, seq := range cp.ClosedSeqs {
+			meta = binary.LittleEndian.AppendUint64(meta, seq)
+		}
+		secs := []section{
+			{secDesc, descPayload(desc)},
+			{secWindowMeta, meta},
+		}
+		for _, pane := range cp.Closed {
+			tag, payload, err := captureState(pane)
+			if err != nil {
+				return err
+			}
+			secs = append(secs, section{tag, payload})
+		}
+		var open bytes.Buffer
+		if err := EncodeSharded(&open, desc, cp.Open); err != nil {
+			return err
+		}
+		secs = append(secs, section{secNested, open.Bytes()})
+		return writeContainer(w, KindWindowed, secs)
+	})
+}
+
+// DecodeWindowed reads a windowed checkpoint and reconstructs the
+// window: closed panes restored oldest first, the open pane decoded
+// from its nested sharded container, the cached closed-pane sum
+// rebuilt with the same merge association the live window uses — so
+// the restored window answers bit-identically. now is the clock for
+// clock-driven rotation (nil means time.Now); the open pane's width
+// timer restarts at restore time.
+func DecodeWindowed(r io.Reader, now func() time.Time) (*window.Window[sketch.Sketch], Desc, error) {
+	version, kind, nsec, err := readHeader(r)
+	if err != nil {
+		return nil, Desc{}, err
+	}
+	if version != 2 || kind != KindWindowed {
+		return nil, Desc{}, wrongKindError(version, kind, "windowed checkpoint")
+	}
+	desc, e, err := readDescSection(r)
+	if err != nil {
+		return nil, Desc{}, err
+	}
+	if !e.Linear {
+		return nil, Desc{}, fmt.Errorf("codec: %s is not linear and cannot have been windowed", e.Name)
+	}
+	metaLen, err := readSectionHeader(r, secWindowMeta)
+	if err != nil {
+		return nil, Desc{}, err
+	}
+	meta, err := readPayload(r, metaLen, 32+8*MaxPanes)
+	if err != nil {
+		return nil, Desc{}, err
+	}
+	if len(meta) < 32 {
+		return nil, Desc{}, fmt.Errorf("codec: window metadata section truncated")
+	}
+	panes := binary.LittleEndian.Uint64(meta)
+	width := binary.LittleEndian.Uint64(meta[8:])
+	curSeq := binary.LittleEndian.Uint64(meta[16:])
+	closedCount := binary.LittleEndian.Uint64(meta[24:])
+	if panes < 1 || panes > MaxPanes {
+		return nil, Desc{}, fmt.Errorf("codec: implausible pane count %d", panes)
+	}
+	if width > math.MaxInt64 {
+		return nil, Desc{}, fmt.Errorf("codec: implausible pane width %d", width)
+	}
+	if closedCount >= panes {
+		return nil, Desc{}, fmt.Errorf("codec: %d closed panes do not fit a %d-pane window", closedCount, panes)
+	}
+	if uint64(len(meta)) != 32+8*closedCount {
+		return nil, Desc{}, fmt.Errorf("codec: window metadata is %d bytes for %d closed panes", len(meta), closedCount)
+	}
+	if uint64(nsec) != 3+closedCount {
+		return nil, Desc{}, fmt.Errorf("codec: windowed container has %d sections for %d closed panes", nsec, closedCount)
+	}
+	seqs := make([]uint64, closedCount)
+	for i := range seqs {
+		seqs[i] = binary.LittleEndian.Uint64(meta[32+8*i:])
+	}
+	mk, err := maker(desc, e)
+	if err != nil {
+		return nil, Desc{}, err
+	}
+	closed := make([]sketch.Sketch, closedCount)
+	for i := range closed {
+		tag, payload, err := readStateSection(r, desc, e)
+		if err != nil {
+			return nil, Desc{}, fmt.Errorf("codec: closed pane %d: %w", i, err)
+		}
+		pane := mk()
+		if err := restoreState(pane, tag, payload); err != nil {
+			return nil, Desc{}, fmt.Errorf("codec: closed pane %d: %w", i, err)
+		}
+		closed[i] = pane
+	}
+	open, openDesc, err := decodeNested(r, func(nr io.Reader) (*concurrent.Sharded[sketch.Sketch], Desc, error) {
+		return DecodeSharded(nr)
+	})
+	if err != nil {
+		return nil, Desc{}, fmt.Errorf("codec: open pane: %w", err)
+	}
+	if openDesc != desc {
+		return nil, Desc{}, fmt.Errorf("codec: open pane descriptor %+v does not match window descriptor %+v", openDesc, desc)
+	}
+	if now == nil {
+		now = time.Now
+	}
+	// The shell is built with a single shard: Restore discards its open
+	// pane in favor of the decoded one and adopts that pane's shard
+	// count, so pre-building open.Shards() replicas here would be pure
+	// waste.
+	win, err := window.New(window.Config{
+		Panes:  int(panes),
+		Shards: 1,
+		Width:  time.Duration(width),
+		Now:    now,
+	}, mk, registry.Merge)
+	if err != nil {
+		return nil, Desc{}, fmt.Errorf("codec: %w", err)
+	}
+	if err := win.Restore(window.Checkpoint[sketch.Sketch]{
+		CurSeq:     curSeq,
+		ClosedSeqs: seqs,
+		Closed:     closed,
+		Open:       open,
+	}); err != nil {
+		return nil, Desc{}, fmt.Errorf("codec: %w", err)
+	}
+	return win, desc, nil
+}
+
+// Level is one dyadic level of a range checkpoint: the level sketch
+// and the descriptor that rebuilds it.
+type Level struct {
+	Desc Desc
+	Sk   sketch.Sketch
+}
+
+// EncodeRange writes a checkpoint of a dyadic range-query stack over
+// base dimension n: the dimension and level count, then one nested
+// sketch container per level, finest (size n) first. Exact levels are
+// carried as dense vectors — the standard build uses exact for the
+// coarse levels, and a checkpoint must not lose them.
+func EncodeRange(w io.Writer, n int, levels []Level) error {
+	if n < 1 || n > maxRangeDim {
+		return fmt.Errorf("codec: range dimension %d outside [1, %d]", n, maxRangeDim)
+	}
+	if want := chainLen(n); len(levels) != want {
+		return fmt.Errorf("codec: %d level sketches for dimension %d, want %d", len(levels), n, want)
+	}
+	meta := make([]byte, 0, 16)
+	meta = binary.LittleEndian.AppendUint64(meta, uint64(n))
+	meta = binary.LittleEndian.AppendUint64(meta, uint64(len(levels)))
+	secs := []section{{secRangeMeta, meta}}
+	size := n
+	for i, l := range levels {
+		if l.Desc.N < size {
+			return fmt.Errorf("codec: level %d sketch has dimension %d, below level size %d", i, l.Desc.N, size)
+		}
+		var buf bytes.Buffer
+		if err := encodeSketchContainer(&buf, l.Desc, l.Sk); err != nil {
+			return fmt.Errorf("codec: level %d: %w", i, err)
+		}
+		secs = append(secs, section{secNested, buf.Bytes()})
+		if size > 1 {
+			size = (size + 1) / 2
+		}
+	}
+	return writeContainer(w, KindRange, secs)
+}
+
+// DecodeRange reads a range checkpoint, returning the base dimension
+// and the restored level sketches with their descriptors, finest
+// first. The caller reassembles the stack (the facade wraps each
+// level and hands them to rangequery.NewFromLevels).
+func DecodeRange(r io.Reader) (int, []Level, error) {
+	version, kind, nsec, err := readHeader(r)
+	if err != nil {
+		return 0, nil, err
+	}
+	if version != 2 || kind != KindRange {
+		return 0, nil, wrongKindError(version, kind, "range checkpoint")
+	}
+	metaLen, err := readSectionHeader(r, secRangeMeta)
+	if err != nil {
+		return 0, nil, err
+	}
+	meta, err := readPayload(r, metaLen, 16)
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(meta) != 16 {
+		return 0, nil, fmt.Errorf("codec: range metadata is %d bytes, want 16", len(meta))
+	}
+	n := binary.LittleEndian.Uint64(meta)
+	levels := binary.LittleEndian.Uint64(meta[8:])
+	if n < 1 || n > maxRangeDim {
+		return 0, nil, fmt.Errorf("codec: implausible range dimension %d", n)
+	}
+	if want := uint64(chainLen(int(n))); levels != want {
+		return 0, nil, fmt.Errorf("codec: %d levels for dimension %d, want %d", levels, n, want)
+	}
+	if uint64(nsec) != 1+levels {
+		return 0, nil, fmt.Errorf("codec: range container has %d sections for %d levels", nsec, levels)
+	}
+	out := make([]Level, levels)
+	size := int(n)
+	for i := range out {
+		sk, desc, err := decodeNested(r, decodeSketchContainer)
+		if err != nil {
+			return 0, nil, fmt.Errorf("codec: level %d: %w", i, err)
+		}
+		if desc.N < size {
+			return 0, nil, fmt.Errorf("codec: level %d sketch has dimension %d, below level size %d", i, desc.N, size)
+		}
+		out[i] = Level{Desc: desc, Sk: sk}
+		if size > 1 {
+			size = (size + 1) / 2
+		}
+	}
+	return int(n), out, nil
+}
+
+// decodeNested consumes a secNested section and decodes the embedded
+// container with decode, enforcing that the container consumes its
+// declared framing exactly.
+func decodeNested[T any](r io.Reader, decode func(io.Reader) (T, Desc, error)) (T, Desc, error) {
+	var zero T
+	n, err := readSectionHeader(r, secNested)
+	if err != nil {
+		return zero, Desc{}, err
+	}
+	if n > math.MaxInt64 {
+		return zero, Desc{}, fmt.Errorf("codec: implausible nested container length %d", n)
+	}
+	lr := io.LimitReader(r, int64(n))
+	v, desc, err := decode(lr)
+	if err != nil {
+		return zero, Desc{}, err
+	}
+	var drain [1]byte
+	if m, err := lr.Read(drain[:]); m != 0 || err != io.EOF {
+		return zero, Desc{}, fmt.Errorf("codec: nested container shorter than its declared %d bytes", n)
+	}
+	return v, desc, nil
+}
+
+// maker builds the replica constructor for a validated descriptor,
+// probing it once so a parameter combination the algorithm rejects
+// surfaces as an error instead of a panic from the first replica.
+func maker(desc Desc, e *registry.Entry) (func() sketch.Sketch, error) {
+	if _, err := registry.SafeNew(desc.Algo, desc.N, desc.S, desc.D, desc.Seed); err != nil {
+		return nil, err
+	}
+	return func() sketch.Sketch {
+		return e.New(desc.N, desc.S, desc.D, desc.Seed)
+	}, nil
+}
+
+// chainLen is the dyadic level count for base dimension n: sizes n,
+// ⌈n/2⌉, …, 1.
+func chainLen(n int) int {
+	c := 1
+	for s := n; s > 1; s = (s + 1) / 2 {
+		c++
+	}
+	return c
+}
+
+// wrongKindError reports a container of the wrong kind in terms of
+// what it actually holds.
+func wrongKindError(version int, kind byte, want string) error {
+	if version == 1 {
+		return fmt.Errorf("codec: v1 payloads carry single sketches, not a %s", want)
+	}
+	return fmt.Errorf("codec: container holds a %s, not a %s", kindName(kind), want)
+}

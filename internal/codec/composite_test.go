@@ -1,0 +1,490 @@
+package codec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/concurrent"
+	"repro/internal/registry"
+	"repro/internal/sketch"
+	"repro/internal/window"
+)
+
+func mkFor(t testing.TB, desc Desc) func() sketch.Sketch {
+	t.Helper()
+	e, ok := registry.Lookup(desc.Algo)
+	if !ok {
+		t.Fatalf("unknown algo %q", desc.Algo)
+	}
+	return func() sketch.Sketch { return e.New(desc.N, desc.S, desc.D, desc.Seed) }
+}
+
+// Sharded checkpoints must restore shard-for-shard: same per-shard
+// states, same epochs, bit-identical snapshot answers — for hashed
+// algorithms and for exact (carried as dense vectors).
+func TestShardedCheckpointRoundTrip(t *testing.T) {
+	for _, algo := range []string{"l2sr", "countmin", "exact"} {
+		t.Run(algo, func(t *testing.T) {
+			desc := Desc{Algo: algo, N: 400, S: 32, D: 3, Seed: 11}
+			s := concurrent.New(3, mkFor(t, desc), registry.Merge)
+			for u := 0; u < 4000; u++ {
+				s.Update(u%3, (u*u+13)%desc.N, float64(1+u%5))
+			}
+			var buf bytes.Buffer
+			if err := EncodeSharded(&buf, desc, s); err != nil {
+				t.Fatal(err)
+			}
+			restored, gotDesc, err := DecodeSharded(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotDesc != desc {
+				t.Fatalf("desc %+v != %+v", gotDesc, desc)
+			}
+			if restored.Shards() != s.Shards() {
+				t.Fatalf("shards %d != %d", restored.Shards(), s.Shards())
+			}
+			// Per-shard equality, including epochs.
+			var orig []uint64
+			var origQ []float64
+			_ = s.CheckpointShards(func(i int, epoch uint64, sk sketch.Sketch) error {
+				orig = append(orig, epoch)
+				origQ = append(origQ, sk.Query(7), sk.Query(111))
+				return nil
+			})
+			var j int
+			err = restored.CheckpointShards(func(i int, epoch uint64, sk sketch.Sketch) error {
+				if epoch != orig[i] {
+					t.Errorf("shard %d epoch %d != %d", i, epoch, orig[i])
+				}
+				if a, b := sk.Query(7), origQ[2*i]; a != b {
+					t.Errorf("shard %d q7 %v != %v", i, a, b)
+				}
+				if a, b := sk.Query(111), origQ[2*i+1]; a != b {
+					t.Errorf("shard %d q111 %v != %v", i, a, b)
+				}
+				j++
+				return nil
+			})
+			if err != nil || j != 3 {
+				t.Fatalf("walk: %v (%d shards)", err, j)
+			}
+			// Snapshot answers bit-identical.
+			a, err := s.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := restored.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < desc.N; i += 7 {
+				if x, y := a.Query(i), b.Query(i); x != y {
+					t.Fatalf("query %d: %v != %v", i, x, y)
+				}
+			}
+		})
+	}
+}
+
+// A checkpoint taken while writers are mid-flight must be decodable
+// and internally consistent (run under -race in CI).
+func TestShardedCheckpointUnderConcurrentWriters(t *testing.T) {
+	desc := Desc{Algo: "countmin", N: 256, S: 16, D: 3, Seed: 3}
+	s := concurrent.New(4, mkFor(t, desc), registry.Merge)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			for u := 0; ; u++ {
+				select {
+				case <-stop:
+					return
+				default:
+					s.Update(slot, (u+slot)%desc.N, 1)
+				}
+			}
+		}(w)
+	}
+	for k := 0; k < 20; k++ {
+		var buf bytes.Buffer
+		if err := EncodeSharded(&buf, desc, s); err != nil {
+			t.Fatal(err)
+		}
+		restored, _, err := DecodeSharded(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap, err := restored.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < desc.N; i += 17 {
+			if v := snap.Query(i); v < 0 {
+				t.Fatalf("negative count %v", v)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestDecodeShardedRejectsHostileStructure(t *testing.T) {
+	desc := Desc{Algo: "countmin", N: 200, S: 16, D: 2, Seed: 1}
+	s := concurrent.New(2, mkFor(t, desc), registry.Merge)
+	s.Update(0, 5, 1)
+	var buf bytes.Buffer
+	if err := EncodeSharded(&buf, desc, s); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	mutate := func(f func(b []byte)) []byte {
+		b := append([]byte(nil), valid...)
+		f(b)
+		return b
+	}
+	// Offsets: header 9, desc section 9+2+8+32 (algo "countmin"), then
+	// shard-meta header at 9+9+42 = 60, its payload (count at 61+8=69).
+	metaHdr := 9 + 9 + (2 + len("countmin") + 32)
+	if valid[metaHdr] != secShardMeta {
+		t.Fatalf("layout drifted: tag %d", valid[metaHdr])
+	}
+	countOff := metaHdr + 9
+	cases := map[string][]byte{
+		"v1 magic":    append([]byte(MagicV1), valid[4:]...),
+		"wrong kind":  mutate(func(b []byte) { b[4] = KindRange }),
+		"zero shards": mutate(func(b []byte) { binary.LittleEndian.PutUint64(b[countOff:], 0) }),
+		"huge shards": mutate(func(b []byte) { binary.LittleEndian.PutUint64(b[countOff:], 1<<40) }),
+		"shard count / meta length mismatch": mutate(func(b []byte) {
+			binary.LittleEndian.PutUint64(b[countOff:], 3)
+		}),
+		"truncated": valid[:len(valid)-3],
+	}
+	for name, b := range cases {
+		if _, _, err := DecodeSharded(bytes.NewReader(b)); err == nil {
+			t.Errorf("%s: DecodeSharded should fail", name)
+		}
+	}
+	// Single-sketch bytes are not a sharded checkpoint.
+	var single bytes.Buffer
+	if err := EncodeSketch(&single, desc, bench.Make(desc.Algo, desc.N, desc.S, desc.D, desc.Seed)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := DecodeSharded(&single); err == nil {
+		t.Error("sketch container accepted as sharded checkpoint")
+	}
+}
+
+// A sharded checkpoint whose header implies more replica memory than
+// the bound must be rejected before the replica set is built.
+func TestDecodeShardedBoundsTotalCells(t *testing.T) {
+	// words·(depth+2) = 4M cells per shard: 65 shards crosses 2^28.
+	desc := Desc{Algo: "countmin", N: 1000, S: 1 << 21, D: 8, Seed: 1}
+	var buf bytes.Buffer
+	secs := []section{
+		{secDesc, descPayload(desc)},
+	}
+	const p = 4096
+	meta := binary.LittleEndian.AppendUint64(nil, p)
+	for i := 0; i < p; i++ {
+		meta = binary.LittleEndian.AppendUint64(meta, 1)
+	}
+	secs = append(secs, section{secShardMeta, meta})
+	if err := writeContainer(&buf, KindSharded, secs); err != nil {
+		t.Fatal(err)
+	}
+	// Claim the full section count so decoding reaches the cell bound
+	// (the shard states themselves are absent — the bound must fire
+	// before any replica is allocated).
+	raw := buf.Bytes()
+	binary.LittleEndian.PutUint32(raw[5:], 2+p)
+	_, _, err := DecodeSharded(bytes.NewReader(raw))
+	if err == nil || !bytes.Contains([]byte(err.Error()), []byte("bound")) {
+		t.Fatalf("cell-bound violation not rejected: %v", err)
+	}
+}
+
+func TestDecodeShardedRejectsNonLinear(t *testing.T) {
+	desc := Desc{Algo: "cmcu", N: 100, S: 16, D: 2, Seed: 1}
+	var buf bytes.Buffer
+	secs := []section{
+		{secDesc, descPayload(desc)},
+		{secShardMeta, binary.LittleEndian.AppendUint64(binary.LittleEndian.AppendUint64(nil, 1), 0)},
+	}
+	if err := writeContainer(&buf, KindSharded, secs); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := DecodeSharded(&buf); err == nil {
+		t.Error("non-linear algorithm accepted as sharded checkpoint")
+	}
+}
+
+// Windowed checkpoints must carry rotation state exactly: sequences,
+// closed panes, open pane, pane width.
+func TestWindowedCheckpointRoundTrip(t *testing.T) {
+	desc := Desc{Algo: "countsketch", N: 300, S: 16, D: 3, Seed: 9}
+	mk := mkFor(t, desc)
+	win, err := window.New(window.Config{Panes: 4, Shards: 2}, mk, registry.Merge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 6000; u++ {
+		if err := win.Update(u%2, (u*u+7)%desc.N, float64(1+u%3)); err != nil {
+			t.Fatal(err)
+		}
+		if u%1000 == 999 {
+			if err := win.Advance(1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := EncodeWindowed(&buf, desc, win); err != nil {
+		t.Fatal(err)
+	}
+	restored, gotDesc, err := DecodeWindowed(&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotDesc != desc {
+		t.Fatalf("desc %+v != %+v", gotDesc, desc)
+	}
+	if restored.Panes() != win.Panes() || restored.Live() != win.Live() {
+		t.Fatalf("shape: %d/%d panes, %d/%d live",
+			restored.Panes(), win.Panes(), restored.Live(), win.Live())
+	}
+	for i := 0; i < desc.N; i += 7 {
+		a, err := win.Query(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := restored.Query(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("query %d: %v != %v", i, a, b)
+		}
+	}
+	// Rotation semantics survive: advancing both by the same amount
+	// keeps them identical.
+	if err := win.Advance(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Advance(2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < desc.N; i += 13 {
+		a, _ := win.Query(i)
+		b, _ := restored.Query(i)
+		if a != b {
+			t.Fatalf("post-advance query %d: %v != %v", i, a, b)
+		}
+	}
+}
+
+// Clock-driven windows serialize their width but not their absolute
+// deadlines: the restored window rotates on its own (injected) clock.
+func TestWindowedCheckpointClockDriven(t *testing.T) {
+	desc := Desc{Algo: "countmin", N: 100, S: 16, D: 2, Seed: 2}
+	mk := mkFor(t, desc)
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	win, err := window.New(window.Config{Panes: 3, Shards: 1, Width: time.Minute, Now: clock}, mk, registry.Merge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := win.Update(0, 5, 10); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := EncodeWindowed(&buf, desc, win); err != nil {
+		t.Fatal(err)
+	}
+	restoredNow := time.Unix(5000, 0)
+	restored, _, err := DecodeWindowed(&buf, func() time.Time { return restoredNow })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Width() != time.Minute {
+		t.Fatalf("width %v", restored.Width())
+	}
+	if v, _ := restored.Query(5); v != 10 {
+		t.Fatalf("query = %v", v)
+	}
+	// Two pane widths later the restored window must have rotated the
+	// update out of the open pane but kept it live as a closed pane.
+	restoredNow = restoredNow.Add(2 * time.Minute)
+	if v, _ := restored.Query(5); v != 10 {
+		t.Fatalf("after 2 widths: query = %v (pane should still be live)", v)
+	}
+	restoredNow = restoredNow.Add(2 * time.Minute)
+	if v, _ := restored.Query(5); v != 0 {
+		t.Fatalf("after 4 widths: query = %v (pane should have expired)", v)
+	}
+}
+
+func TestDecodeWindowedRejectsHostileStructure(t *testing.T) {
+	desc := Desc{Algo: "countmin", N: 100, S: 16, D: 2, Seed: 4}
+	mk := mkFor(t, desc)
+	win, err := window.New(window.Config{Panes: 3, Shards: 1}, mk, registry.Merge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 100; u++ {
+		_ = win.Update(0, u%100, 1)
+	}
+	_ = win.Advance(1)
+	for u := 0; u < 50; u++ {
+		_ = win.Update(0, u%100, 1)
+	}
+	var buf bytes.Buffer
+	if err := EncodeWindowed(&buf, desc, win); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+	metaHdr := 9 + 9 + (2 + len("countmin") + 32)
+	if valid[metaHdr] != secWindowMeta {
+		t.Fatalf("layout drifted: tag %d", valid[metaHdr])
+	}
+	payload := metaHdr + 9
+	mutate := func(f func(b []byte)) []byte {
+		b := append([]byte(nil), valid...)
+		f(b)
+		return b
+	}
+	cases := map[string][]byte{
+		"zero panes": mutate(func(b []byte) { binary.LittleEndian.PutUint64(b[payload:], 0) }),
+		"huge panes": mutate(func(b []byte) { binary.LittleEndian.PutUint64(b[payload:], 1<<30) }),
+		"negative width": mutate(func(b []byte) {
+			binary.LittleEndian.PutUint64(b[payload+8:], 1<<63)
+		}),
+		"closed count over panes": mutate(func(b []byte) {
+			binary.LittleEndian.PutUint64(b[payload+24:], 99)
+		}),
+		"closed seq above open": mutate(func(b []byte) {
+			binary.LittleEndian.PutUint64(b[payload+32:], 1<<40)
+		}),
+		"truncated": valid[:len(valid)-5],
+	}
+	for name, b := range cases {
+		if _, _, err := DecodeWindowed(bytes.NewReader(b), nil); err == nil {
+			t.Errorf("%s: DecodeWindowed should fail", name)
+		}
+	}
+}
+
+// Range checkpoints must restore every dyadic level, including exact
+// coarse levels, with bit-identical range answers.
+func TestRangeCheckpointRoundTrip(t *testing.T) {
+	const n = 500
+	// Build the level stack by hand: countsketch for fine levels,
+	// exact for coarse ones — the standard engineering.
+	var levels []Level
+	size := n
+	for lv := 0; ; lv++ {
+		var d Desc
+		if size > 32 {
+			d = Desc{Algo: "countsketch", N: size, S: 16, D: 3, Seed: int64(100 + lv)}
+		} else {
+			d = Desc{Algo: "exact", N: size, S: 16, D: 3, Seed: 1}
+		}
+		levels = append(levels, Level{Desc: d, Sk: bench.Make(d.Algo, d.N, d.S, d.D, d.Seed)})
+		if size == 1 {
+			break
+		}
+		size = (size + 1) / 2
+	}
+	// Ingest the same stream into every level at its own granularity.
+	update := func(lvls []Level, i int, delta float64) {
+		for lv := range lvls {
+			lvls[lv].Sk.Update(i>>uint(lv), delta)
+		}
+	}
+	for u := 0; u < 3000; u++ {
+		update(levels, (u*17+u*u)%n, float64(1+u%4))
+	}
+	var buf bytes.Buffer
+	if err := EncodeRange(&buf, n, levels); err != nil {
+		t.Fatal(err)
+	}
+	gotN, restored, err := DecodeRange(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotN != n || len(restored) != len(levels) {
+		t.Fatalf("shape: n=%d levels=%d", gotN, len(restored))
+	}
+	for lv := range levels {
+		if restored[lv].Desc != levels[lv].Desc {
+			t.Fatalf("level %d desc %+v != %+v", lv, restored[lv].Desc, levels[lv].Desc)
+		}
+		for i := 0; i < levels[lv].Desc.N; i += 3 {
+			if a, b := levels[lv].Sk.Query(i), restored[lv].Sk.Query(i); a != b {
+				t.Fatalf("level %d query %d: %v != %v", lv, i, a, b)
+			}
+		}
+	}
+}
+
+func TestEncodeRangeValidates(t *testing.T) {
+	if err := EncodeRange(&bytes.Buffer{}, 0, nil); err == nil {
+		t.Error("zero dimension accepted")
+	}
+	if err := EncodeRange(&bytes.Buffer{}, 100, nil); err == nil {
+		t.Error("missing levels accepted")
+	}
+}
+
+func TestDecodeRangeRejectsHostileStructure(t *testing.T) {
+	d := Desc{Algo: "countmin", N: 4, S: 16, D: 2, Seed: 1}
+	mkLevels := func() []Level {
+		var out []Level
+		for _, sz := range []int{4, 2, 1} {
+			ld := d
+			ld.N = sz
+			// countmin accepts any positive dim; keep desc valid.
+			if ld.N < 1 {
+				ld.N = 1
+			}
+			out = append(out, Level{Desc: ld, Sk: bench.Make(ld.Algo, ld.N, ld.S, ld.D, ld.Seed)})
+		}
+		return out
+	}
+	var buf bytes.Buffer
+	if err := EncodeRange(&buf, 4, mkLevels()); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+	payload := 9 + 9 // range meta payload offset
+	mutate := func(f func(b []byte)) []byte {
+		b := append([]byte(nil), valid...)
+		f(b)
+		return b
+	}
+	cases := map[string][]byte{
+		"zero dim": mutate(func(b []byte) { binary.LittleEndian.PutUint64(b[payload:], 0) }),
+		"huge dim": mutate(func(b []byte) { binary.LittleEndian.PutUint64(b[payload:], 1<<40) }),
+		"level count mismatch": mutate(func(b []byte) {
+			binary.LittleEndian.PutUint64(b[payload+8:], 7)
+		}),
+		"truncated": valid[:len(valid)-2],
+		"single-sketch bytes": func() []byte {
+			var s bytes.Buffer
+			_ = EncodeSketch(&s, d, bench.Make(d.Algo, d.N, d.S, d.D, d.Seed))
+			return s.Bytes()
+		}(),
+	}
+	for name, b := range cases {
+		if _, _, err := DecodeRange(bytes.NewReader(b)); err == nil {
+			t.Errorf("%s: DecodeRange should fail", name)
+		}
+	}
+}

@@ -1,4 +1,4 @@
-package sketchio
+package codec
 
 import (
 	"bytes"
@@ -7,24 +7,27 @@ import (
 	"repro/internal/bench"
 )
 
-// FuzzLoad feeds arbitrary bytes to the loader: it must reject garbage
-// with an error — never panic, never allocate absurdly.
-func FuzzLoad(f *testing.F) {
-	// Seed with a valid payload so the fuzzer explores deep paths.
-	var buf bytes.Buffer
-	desc := Desc{Algo: bench.AlgoCM, N: 100, S: 16, D: 3, Seed: 1}
+// FuzzDecodeSketch feeds arbitrary bytes to the single-sketch loader
+// (both versions share the entry point): it must reject garbage with
+// an error — never panic, never allocate absurdly.
+func FuzzDecodeSketch(f *testing.F) {
+	desc := Desc{Algo: "countmin", N: 100, S: 16, D: 3, Seed: 1}
 	sk := bench.Make(desc.Algo, desc.N, desc.S, desc.D, desc.Seed)
 	sk.Update(5, 3)
-	if err := Save(&buf, desc, sk); err != nil {
+	var v1, v2 bytes.Buffer
+	if err := EncodeV1(&v1, desc, sk); err != nil {
 		f.Fatal(err)
 	}
-	f.Add(buf.Bytes())
+	if err := EncodeSketch(&v2, desc, sk); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v1.Bytes())
+	f.Add(v2.Bytes())
 	f.Add([]byte("BAS1garbage"))
+	f.Add([]byte("BAS2garbage"))
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
-		// Loading may succeed only for structurally valid payloads;
-		// anything else must return an error without panicking.
-		sk, _, err := Load(bytes.NewReader(data))
+		sk, _, err := DecodeSketch(bytes.NewReader(data))
 		if err == nil && sk == nil {
 			t.Fatal("nil sketch with nil error")
 		}
@@ -35,23 +38,23 @@ func FuzzLoad(f *testing.F) {
 	})
 }
 
-// FuzzSaveLoadRoundTrip mutates the valid header fields and checks
-// that every accepted load round-trips queries exactly.
-func FuzzSaveLoadRoundTrip(f *testing.F) {
+// FuzzSketchRoundTrip mutates the shape fields and checks that every
+// accepted v2 encode/decode round-trips queries exactly.
+func FuzzSketchRoundTrip(f *testing.F) {
 	f.Add(int64(1), uint16(16), uint8(3))
 	f.Fuzz(func(t *testing.T, seed int64, sRaw uint16, dRaw uint8) {
 		s := 8 + int(sRaw)%64
 		d := 1 + int(dRaw)%6
-		desc := Desc{Algo: bench.AlgoCS, N: 200, S: s, D: d, Seed: seed}
+		desc := Desc{Algo: "countsketch", N: 200, S: s, D: d, Seed: seed & (1<<63 - 1)}
 		orig := bench.Make(desc.Algo, desc.N, desc.S, desc.D, desc.Seed)
 		for i := 0; i < 200; i++ {
 			orig.Update(i, float64(i%11))
 		}
 		var buf bytes.Buffer
-		if err := Save(&buf, desc, orig); err != nil {
+		if err := EncodeSketch(&buf, desc, orig); err != nil {
 			t.Fatal(err)
 		}
-		loaded, gotDesc, err := Load(&buf)
+		loaded, gotDesc, err := DecodeSketch(&buf)
 		if err != nil {
 			t.Fatal(err)
 		}

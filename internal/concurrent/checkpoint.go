@@ -1,0 +1,75 @@
+package concurrent
+
+import "fmt"
+
+// This file is the checkpoint surface the streaming codec drives: a
+// Sharded's durable identity is its per-shard replica states plus the
+// per-shard epochs. Capturing both lets a restore rebuild not just the
+// summed answer but the exact snapshot behavior — which shards a
+// Refresh freezes, and in what order the frozen replicas merge — so a
+// restored Sharded answers queries bit-identically to the original.
+
+// CheckpointShards invokes f once per shard, in shard order, with the
+// shard's live sketch and current epoch, holding that shard's lock for
+// the duration of the call: f sees a single-shard-consistent state and
+// must capture (copy or serialize) what it needs without retaining sk.
+// Writers on other shards proceed concurrently, so a checkpoint taken
+// under load is a consistent sum of some interleaving of the updates —
+// the same guarantee Merged gives. An error from f aborts the walk.
+func (s *Sharded[S]) CheckpointShards(f func(i int, epoch uint64, sk S) error) error {
+	for i := range s.shards {
+		if err := s.checkpointShard(i, f); err != nil {
+			return fmt.Errorf("concurrent: checkpointing shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// checkpointShard runs f against shard i under its lock, released by
+// defer so a panicking f cannot leave the shard locked.
+func (s *Sharded[S]) checkpointShard(i int, f func(int, uint64, S) error) error {
+	sh := &s.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return f(i, sh.epoch.Load(), sh.sk)
+}
+
+// RestoreShards rebuilds every shard from checkpointed state: f is
+// invoked once per shard in shard order with the shard's replica to
+// mutate in place, and returns the epoch to install — the value
+// CheckpointShards reported, so the restored Sharded freezes and
+// merges exactly as the original would. The snapshot machinery is
+// reset (frozen copies dropped, published view cleared); the next read
+// rebuilds it from the restored shards.
+//
+// Restore is meant for a freshly constructed Sharded (the codec path).
+// Restoring a live instance is safe with respect to locks, but
+// snapshots handed out earlier keep serving the pre-restore state.
+func (s *Sharded[S]) RestoreShards(f func(i int, sk S) (epoch uint64, err error)) error {
+	s.refreshMu.Lock()
+	defer s.refreshMu.Unlock()
+	var zero S
+	for i := range s.shards {
+		if err := s.restoreShard(i, f); err != nil {
+			return fmt.Errorf("concurrent: restoring shard %d: %w", i, err)
+		}
+		s.frozen[i] = zero
+		s.frozenEpo[i] = 0
+	}
+	s.view.Store(nil)
+	return nil
+}
+
+// restoreShard runs f against shard i under its lock, installing the
+// returned epoch only on success.
+func (s *Sharded[S]) restoreShard(i int, f func(int, S) (uint64, error)) error {
+	sh := &s.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	epoch, err := f(i, sh.sk)
+	if err != nil {
+		return err
+	}
+	sh.epoch.Store(epoch)
+	return nil
+}

@@ -126,7 +126,7 @@ func TestEmptySketchQueries(t *testing.T) {
 	}
 }
 
-// State round trips for every estimator kind (the sketchio substrate).
+// State round trips for every estimator kind (the wire-format codec substrate).
 func TestStateRoundTrip(t *testing.T) {
 	const n, k = 3000, 8
 	x := biasedGaussian(n, 70, 9, 10)

@@ -7,7 +7,7 @@ import (
 )
 
 // This file provides state capture/restore for the bias-aware
-// sketches, used by internal/sketchio to ship sketches between
+// sketches, used by internal/codec to ship sketches between
 // processes. Only data-dependent state travels: hash functions,
 // sampled positions, and column sums are shared randomness that both
 // ends reconstruct from the configuration and seed (exactly the

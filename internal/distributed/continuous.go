@@ -1,8 +1,11 @@
 package distributed
 
 import (
+	"bytes"
 	"fmt"
 
+	"repro/internal/codec"
+	"repro/internal/registry"
 	"repro/internal/sketch"
 	"repro/internal/stream"
 )
@@ -12,9 +15,11 @@ import (
 // real time and periodically ship their current sketch to the
 // coordinator, which — again by linearity — replaces each site's
 // contribution and answers queries over the up-to-date global vector.
-// Communication is counted per round, reproducing the paper's
-// observation that total communication is (#sites × sketch size) per
-// synchronization.
+// The shipping goes through the streaming codec: each synchronization
+// encodes every site's sketch to wire-format bytes and the coordinator
+// decodes and merges, so communication is counted both in words
+// (reproducing the paper's sites × sketch size per round) and in
+// encoded bytes.
 
 // MonitorConfig shapes a continuous monitoring run.
 type MonitorConfig struct {
@@ -38,40 +43,51 @@ type MonitorStats struct {
 	Rounds         int
 	UpdatesApplied int
 	CommWords      int // total words shipped site→coordinator
+	CommBytes      int // total encoded bytes shipped site→coordinator
 }
 
 // Monitor runs the simulation: streams[p] is site p's update sequence,
-// consumed round-robin in SyncEvery-sized batches; after each site's
-// batch the site ships its full sketch (Words() words) and the
-// coordinator rebuilds the global sketch from scratch by merging all
-// site sketches. onSync, if non-nil, is invoked with the coordinator's
-// merged sketch after every full round, so callers can track query
-// error over time.
+// consumed round-robin in SyncEvery-sized batches; after every full
+// round each site encodes its current sketch through the codec and
+// ships the bytes, and the coordinator rebuilds the global sketch from
+// scratch by decoding and merging every site payload. onSync, if
+// non-nil, is invoked with the coordinator's merged sketch after every
+// round, so callers can track query error over time.
 //
-// mk must build identically-seeded sketches; merge adds src into dst.
-func Monitor[S sketch.Sketch](
+// desc names the shared configuration every site constructs — the
+// same linear, serializable contract as Run.
+func Monitor(
 	cfg MonitorConfig,
-	mk func() S,
-	merge func(dst, src S) error,
+	desc codec.Desc,
 	streams [][]stream.Update,
-	onSync func(round int, coordinator S),
-) (S, MonitorStats, error) {
-	var zero S
+	onSync func(round int, coordinator sketch.Sketch),
+) (sketch.Sketch, MonitorStats, error) {
 	if err := cfg.Validate(); err != nil {
-		return zero, MonitorStats{}, err
+		return nil, MonitorStats{}, err
 	}
 	if len(streams) != cfg.Sites {
-		return zero, MonitorStats{}, fmt.Errorf("distributed: %d streams for %d sites", len(streams), cfg.Sites)
+		return nil, MonitorStats{}, fmt.Errorf("distributed: %d streams for %d sites", len(streams), cfg.Sites)
+	}
+	e, ok := registry.Lookup(desc.Algo)
+	if !ok {
+		return nil, MonitorStats{}, fmt.Errorf("distributed: unknown algorithm %q", desc.Algo)
+	}
+	if err := shippable(e); err != nil {
+		return nil, MonitorStats{}, err
 	}
 
-	sites := make([]S, cfg.Sites)
+	sites := make([]sketch.Sketch, cfg.Sites)
 	pos := make([]int, cfg.Sites)
 	for p := range sites {
-		sites[p] = mk()
+		sk, err := registry.SafeNew(desc.Algo, desc.N, desc.S, desc.D, desc.Seed)
+		if err != nil {
+			return nil, MonitorStats{}, fmt.Errorf("distributed: %w", err)
+		}
+		sites[p] = sk
 	}
 
 	var st MonitorStats
-	var coordinator S
+	var coordinator sketch.Sketch
 	for {
 		progressed := false
 		for p := 0; p < cfg.Sites; p++ {
@@ -89,13 +105,26 @@ func Monitor[S sketch.Sketch](
 		if !progressed {
 			break
 		}
-		// Synchronization: every site ships its sketch; the
-		// coordinator merges them fresh.
-		coordinator = mk()
+		// Synchronization: every site encodes and ships its sketch; the
+		// coordinator decodes each payload and merges them fresh.
+		fresh, err := registry.SafeNew(desc.Algo, desc.N, desc.S, desc.D, desc.Seed)
+		if err != nil {
+			return nil, st, fmt.Errorf("distributed: %w", err)
+		}
+		coordinator = fresh
 		for p := 0; p < cfg.Sites; p++ {
+			var pkt bytes.Buffer
+			if err := codec.EncodeSketch(&pkt, desc, sites[p]); err != nil {
+				return nil, st, fmt.Errorf("distributed: round %d site %d encode: %w", st.Rounds, p, err)
+			}
 			st.CommWords += sites[p].Words()
-			if err := merge(coordinator, sites[p]); err != nil {
-				return zero, st, fmt.Errorf("distributed: round %d site %d: %w", st.Rounds, p, err)
+			st.CommBytes += pkt.Len()
+			shipped, _, err := codec.DecodeSketch(&pkt)
+			if err != nil {
+				return nil, st, fmt.Errorf("distributed: round %d site %d decode: %w", st.Rounds, p, err)
+			}
+			if err := registry.Merge(coordinator, shipped); err != nil {
+				return nil, st, fmt.Errorf("distributed: round %d site %d: %w", st.Rounds, p, err)
 			}
 		}
 		st.Rounds++
@@ -104,7 +133,7 @@ func Monitor[S sketch.Sketch](
 		}
 	}
 	if st.Rounds == 0 {
-		coordinator = mk()
+		coordinator, _ = registry.SafeNew(desc.Algo, desc.N, desc.S, desc.D, desc.Seed)
 	}
 	return coordinator, st, nil
 }

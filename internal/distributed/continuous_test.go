@@ -5,7 +5,9 @@ import (
 	"math/rand"
 	"testing"
 
-	"repro/internal/core"
+	"repro/internal/codec"
+	"repro/internal/registry"
+	"repro/internal/sketch"
 	"repro/internal/stream"
 )
 
@@ -39,13 +41,11 @@ func mkStreams(sites, perSite, n int, seed int64) ([][]stream.Update, []float64)
 func TestMonitorMatchesCentralized(t *testing.T) {
 	const n, sites, perSite = 4000, 4, 6000
 	streams, global := mkStreams(sites, perSite, n, 1)
-	cfg := core.L2Config{N: n, K: 32, UseBiasHeap: true}
-	mk := func() *core.L2SR { return core.NewL2SR(cfg, rand.New(rand.NewSource(2))) }
-	merge := func(d, s *core.L2SR) error { return d.MergeFrom(s) }
+	desc := codec.Desc{Algo: "l2sr", N: n, S: 128, D: 1, Seed: 2}
 
 	rounds := 0
 	final, st, err := Monitor(MonitorConfig{Sites: sites, SyncEvery: 1000},
-		mk, merge, streams, func(round int, _ *core.L2SR) { rounds = round })
+		desc, streams, func(round int, _ sketch.Sketch) { rounds = round })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,11 +55,18 @@ func TestMonitorMatchesCentralized(t *testing.T) {
 	if rounds != st.Rounds || st.Rounds != 6 {
 		t.Errorf("rounds = %d (callback %d), want 6", st.Rounds, rounds)
 	}
-	if st.CommWords != st.Rounds*sites*mk().Words() {
-		t.Errorf("CommWords = %d, want %d", st.CommWords, st.Rounds*sites*mk().Words())
+	perSketch := final.Words()
+	if st.CommWords != st.Rounds*sites*perSketch {
+		t.Errorf("CommWords = %d, want %d", st.CommWords, st.Rounds*sites*perSketch)
+	}
+	if st.CommBytes <= 0 {
+		t.Errorf("no bytes shipped: %+v", st)
 	}
 
-	central := mk()
+	central, err := registry.SafeNew(desc.Algo, desc.N, desc.S, desc.D, desc.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i, v := range global {
 		if v != 0 {
 			central.Update(i, v)
@@ -77,8 +84,7 @@ func TestMonitorMatchesCentralized(t *testing.T) {
 func TestMonitorIntermediateRounds(t *testing.T) {
 	const n, sites, perSite = 2000, 3, 3000
 	streams, _ := mkStreams(sites, perSite, n, 3)
-	cfg := core.L2Config{N: n, K: 64, UseBiasHeap: true}
-	mk := func() *core.L2SR { return core.NewL2SR(cfg, rand.New(rand.NewSource(4))) }
+	desc := codec.Desc{Algo: "l2sr", N: n, S: 256, D: 1, Seed: 4}
 
 	// Track the exact prefix as rounds complete.
 	exactAt := func(round int) []float64 {
@@ -96,8 +102,8 @@ func TestMonitorIntermediateRounds(t *testing.T) {
 	}
 
 	_, _, err := Monitor(MonitorConfig{Sites: sites, SyncEvery: 1000},
-		mk, func(d, s *core.L2SR) error { return d.MergeFrom(s) }, streams,
-		func(round int, coord *core.L2SR) {
+		desc, streams,
+		func(round int, coord sketch.Sketch) {
 			x := exactAt(round)
 			var worst float64
 			for i := 0; i < n; i += 37 {
@@ -117,33 +123,27 @@ func TestMonitorIntermediateRounds(t *testing.T) {
 }
 
 func TestMonitorErrors(t *testing.T) {
-	cfg := core.L2Config{N: 100, K: 4}
-	mk := func() *core.L2SR { return core.NewL2SR(cfg, rand.New(rand.NewSource(5))) }
-	merge := func(d, s *core.L2SR) error { return d.MergeFrom(s) }
-	if _, _, err := Monitor(MonitorConfig{Sites: 0, SyncEvery: 1}, mk, merge, nil, nil); err == nil {
+	desc := codec.Desc{Algo: "l2sr", N: 100, S: 16, D: 1, Seed: 5}
+	if _, _, err := Monitor(MonitorConfig{Sites: 0, SyncEvery: 1}, desc, nil, nil); err == nil {
 		t.Error("bad config should fail")
 	}
-	if _, _, err := Monitor(MonitorConfig{Sites: 2, SyncEvery: 1}, mk, merge,
+	if _, _, err := Monitor(MonitorConfig{Sites: 2, SyncEvery: 1}, desc,
 		make([][]stream.Update, 3), nil); err == nil {
 		t.Error("stream/site mismatch should fail")
 	}
-	// Incompatible site sketches (factory with changing seeds).
-	seed := int64(0)
-	badMk := func() *core.L2SR {
-		seed++
-		return core.NewL2SR(cfg, rand.New(rand.NewSource(seed)))
-	}
 	streams := [][]stream.Update{{{I: 1, Delta: 1}}, {{I: 2, Delta: 1}}}
-	if _, _, err := Monitor(MonitorConfig{Sites: 2, SyncEvery: 1}, badMk, merge, streams, nil); err == nil {
-		t.Error("incompatible sites should fail")
+	for _, algo := range []string{"cmcu", "exact", "no-such-algo"} {
+		bad := desc
+		bad.Algo = algo
+		if _, _, err := Monitor(MonitorConfig{Sites: 2, SyncEvery: 1}, bad, streams, nil); err == nil {
+			t.Errorf("%s: Monitor should refuse", algo)
+		}
 	}
 }
 
 func TestMonitorEmptyStreams(t *testing.T) {
-	cfg := core.L2Config{N: 100, K: 4}
-	mk := func() *core.L2SR { return core.NewL2SR(cfg, rand.New(rand.NewSource(6))) }
-	final, st, err := Monitor(MonitorConfig{Sites: 2, SyncEvery: 10}, mk,
-		func(d, s *core.L2SR) error { return d.MergeFrom(s) },
+	desc := codec.Desc{Algo: "l2sr", N: 100, S: 16, D: 1, Seed: 6}
+	final, st, err := Monitor(MonitorConfig{Sites: 2, SyncEvery: 10}, desc,
 		[][]stream.Update{{}, {}}, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -159,8 +159,7 @@ func TestMonitorEmptyStreams(t *testing.T) {
 func TestMonitorUnevenStreams(t *testing.T) {
 	// One site has far more data; rounds continue until all drained.
 	const n = 500
-	cfg := core.L2Config{N: n, K: 8}
-	mk := func() *core.L2SR { return core.NewL2SR(cfg, rand.New(rand.NewSource(7))) }
+	desc := codec.Desc{Algo: "l2sr", N: n, S: 32, D: 1, Seed: 7}
 	streams := [][]stream.Update{
 		make([]stream.Update, 2500),
 		make([]stream.Update, 100),
@@ -170,8 +169,7 @@ func TestMonitorUnevenStreams(t *testing.T) {
 			streams[p][u] = stream.Update{I: (p*7 + u) % n, Delta: 1}
 		}
 	}
-	final, st, err := Monitor(MonitorConfig{Sites: 2, SyncEvery: 1000}, mk,
-		func(d, s *core.L2SR) error { return d.MergeFrom(s) }, streams, nil)
+	final, st, err := Monitor(MonitorConfig{Sites: 2, SyncEvery: 1000}, desc, streams, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

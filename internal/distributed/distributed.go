@@ -2,14 +2,19 @@
 // §1: t sites each hold a local frequency vector x^i; every site
 // sketches its vector with shared randomness and ships the sketch to a
 // coordinator, which sums them (linearity: Φx = Φx¹ + … + Φxᵗ) and
-// recovers the global vector. The simulation accounts communication in
-// words, matching §5.5's observation that total communication is
-// (number of sites) × (sketch size).
+// recovers the global vector. Sites and coordinator share no memory:
+// the only thing that crosses the boundary is the encoded wire-format
+// payload, exactly as it would over a network. The simulation accounts
+// communication both in words (matching §5.5's observation that total
+// communication is sites × sketch size) and in actual encoded bytes.
 package distributed
 
 import (
+	"bytes"
 	"fmt"
 
+	"repro/internal/codec"
+	"repro/internal/registry"
 	"repro/internal/sketch"
 )
 
@@ -18,57 +23,100 @@ type Stats struct {
 	Sites             int
 	WordsPerSite      int
 	TotalCommWords    int // Sites × WordsPerSite
+	CommBytes         int // encoded bytes actually shipped site→coordinator
 	NaiveCommWords    int // Sites × n: the cost of shipping raw vectors
 	CompressionFactor float64
 }
 
-// Run simulates the model for any mergeable sketch type S. mk must
-// construct structurally identical sketches (same shape and random
-// seeds — the coordinator distributes hash functions up front, §5.5
-// footnote 4); merge adds src into dst; locals are the per-site
-// vectors. It returns the coordinator's merged sketch and the
-// communication accounting.
-func Run[S sketch.Sketch](
-	mk func() S,
-	merge func(dst, src S) error,
-	locals [][]float64,
-) (S, Stats, error) {
-	var zero S
+// Run simulates the model. desc names the shared configuration every
+// site constructs (the coordinator distributes algorithm, shape, and
+// seed up front — the shared-randomness protocol of §5.5 footnote 4);
+// locals are the per-site vectors. Each site sketches its local
+// vector and encodes it through the streaming codec; the coordinator
+// decodes each packet and merges. The algorithm must be linear (the
+// precondition of the model) and serializable (exact ships the whole
+// vector and is exactly what sketching is here to avoid).
+func Run(desc codec.Desc, locals [][]float64) (sketch.Sketch, Stats, error) {
 	if len(locals) == 0 {
-		return zero, Stats{}, fmt.Errorf("distributed: no sites")
+		return nil, Stats{}, fmt.Errorf("distributed: no sites")
 	}
 	n := len(locals[0])
 	for i, l := range locals {
 		if len(l) != n {
-			return zero, Stats{}, fmt.Errorf("distributed: site %d has dimension %d, want %d", i, len(l), n)
+			return nil, Stats{}, fmt.Errorf("distributed: site %d has dimension %d, want %d", i, len(l), n)
+		}
+	}
+	if desc.N != n {
+		return nil, Stats{}, fmt.Errorf("distributed: sketch dim %d != vector dim %d", desc.N, n)
+	}
+	e, ok := registry.Lookup(desc.Algo)
+	if !ok {
+		return nil, Stats{}, fmt.Errorf("distributed: unknown algorithm %q", desc.Algo)
+	}
+	if err := shippable(e); err != nil {
+		return nil, Stats{}, err
+	}
+
+	coordinator, err := registry.SafeNew(desc.Algo, desc.N, desc.S, desc.D, desc.Seed)
+	if err != nil {
+		return nil, Stats{}, fmt.Errorf("distributed: %w", err)
+	}
+	st := Stats{Sites: len(locals), NaiveCommWords: len(locals) * n}
+	for p, local := range locals {
+		shipped, bytes, err := shipSite(desc, local)
+		if err != nil {
+			return nil, Stats{}, fmt.Errorf("distributed: site %d: %w", p, err)
+		}
+		st.CommBytes += bytes
+		if err := registry.Merge(coordinator, shipped); err != nil {
+			return nil, Stats{}, fmt.Errorf("distributed: merge site %d: %w", p, err)
 		}
 	}
 
-	coordinator := mk()
-	if coordinator.Dim() != n {
-		return zero, Stats{}, fmt.Errorf("distributed: sketch dim %d != vector dim %d", coordinator.Dim(), n)
-	}
-	// Site 0's sketch becomes the accumulator; remaining sites are
-	// merged in one at a time.
-	sketch.SketchVector(coordinator, locals[0])
-	for _, local := range locals[1:] {
-		site := mk()
-		sketch.SketchVector(site, local)
-		if err := merge(coordinator, site); err != nil {
-			return zero, Stats{}, fmt.Errorf("distributed: merge: %w", err)
-		}
-	}
-
-	st := Stats{
-		Sites:          len(locals),
-		WordsPerSite:   coordinator.Words(),
-		TotalCommWords: len(locals) * coordinator.Words(),
-		NaiveCommWords: len(locals) * n,
-	}
+	st.WordsPerSite = coordinator.Words()
+	st.TotalCommWords = st.Sites * st.WordsPerSite
 	if st.TotalCommWords > 0 {
 		st.CompressionFactor = float64(st.NaiveCommWords) / float64(st.TotalCommWords)
 	}
 	return coordinator, st, nil
+}
+
+// shippable gates the algorithms that can play a site's role, before
+// any per-site work: the model needs linearity (site sketches must
+// sum) and a wire representation smaller than the data (exact would
+// ship the raw vector — exactly what sketching is here to avoid, and
+// the codec refuses it as a standalone container anyway).
+func shippable(e *registry.Entry) error {
+	if !e.Linear {
+		return fmt.Errorf("distributed: %s is not linear; site sketches cannot be summed", e.Name)
+	}
+	if e.Name == registry.Exact {
+		return fmt.Errorf("distributed: exact ships the raw vector; use a sketch")
+	}
+	return nil
+}
+
+// shipSite builds one site's sketch of its local vector and round-
+// trips it through the codec — the site→coordinator hop. The returned
+// sketch was reconstructed purely from the encoded payload.
+func shipSite(desc codec.Desc, local []float64) (sketch.Sketch, int, error) {
+	site, err := registry.SafeNew(desc.Algo, desc.N, desc.S, desc.D, desc.Seed)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := sketch.SketchVector(site, local); err != nil {
+		return nil, 0, err
+	}
+	var pkt bytes.Buffer
+	if err := codec.EncodeSketch(&pkt, desc, site); err != nil {
+		return nil, 0, fmt.Errorf("encode: %w", err)
+	}
+	size := pkt.Len()
+	shipped, _, err := codec.DecodeSketch(&pkt)
+	if err != nil {
+		return nil, 0, fmt.Errorf("decode: %w", err)
+	}
+	return shipped, size, nil
 }
 
 // Split partitions a global vector into `sites` local vectors whose

@@ -5,7 +5,8 @@ import (
 	"math/rand"
 	"testing"
 
-	"repro/internal/core"
+	"repro/internal/codec"
+	"repro/internal/registry"
 	"repro/internal/sketch"
 )
 
@@ -36,23 +37,39 @@ func TestSplitPanicsOnBadSites(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	mk := func() *sketch.CountMedian {
-		return sketch.NewCountMedian(sketch.Config{N: 10, Rows: 8, Depth: 3}, rand.New(rand.NewSource(1)))
-	}
-	merge := func(d, s *sketch.CountMedian) error { return d.MergeFrom(s) }
-	if _, _, err := Run(mk, merge, nil); err == nil {
+	desc := codec.Desc{Algo: "countmedian", N: 10, S: 8, D: 2, Seed: 1}
+	if _, _, err := Run(desc, nil); err == nil {
 		t.Error("no sites should error")
 	}
-	if _, _, err := Run(mk, merge, [][]float64{make([]float64, 10), make([]float64, 5)}); err == nil {
+	if _, _, err := Run(desc, [][]float64{make([]float64, 10), make([]float64, 5)}); err == nil {
 		t.Error("dimension mismatch should error")
 	}
-	if _, _, err := Run(mk, merge, [][]float64{make([]float64, 7)}); err == nil {
+	if _, _, err := Run(desc, [][]float64{make([]float64, 7)}); err == nil {
 		t.Error("sketch/vector dim mismatch should error")
+	}
+	bogus := desc
+	bogus.Algo = "no-such-algo"
+	if _, _, err := Run(bogus, [][]float64{make([]float64, 10)}); err == nil {
+		t.Error("unknown algorithm should error")
+	}
+}
+
+// Non-linear algorithms cannot participate in the distributed model at
+// all — the site sketches have no meaningful sum — and exact would
+// ship the raw vector, defeating the sketch. Both are rejected up
+// front.
+func TestRunRejectsUnshippableAlgorithms(t *testing.T) {
+	for _, algo := range []string{"cmcu", "cmlcu", "exact"} {
+		desc := codec.Desc{Algo: algo, N: 10, S: 8, D: 2, Seed: 1}
+		if _, _, err := Run(desc, [][]float64{make([]float64, 10)}); err == nil {
+			t.Errorf("%s: Run should refuse", algo)
+		}
 	}
 }
 
 // Distributed recovery must equal centralized sketching of the global
-// vector, for the classical and the bias-aware sketches.
+// vector, for the classical and the bias-aware sketches — with every
+// site→coordinator hop going through encoded bytes.
 func TestDistributedEqualsCentralized(t *testing.T) {
 	const n, sites = 3000, 5
 	r := rand.New(rand.NewSource(2))
@@ -62,76 +79,60 @@ func TestDistributedEqualsCentralized(t *testing.T) {
 	}
 	parts := Split(global, sites)
 
-	t.Run("countsketch", func(t *testing.T) {
-		cfg := sketch.Config{N: n, Rows: 128, Depth: 9}
-		mk := func() *sketch.CountSketch {
-			return sketch.NewCountSketch(cfg, rand.New(rand.NewSource(3)))
-		}
-		merged, st, err := Run(mk, func(d, s *sketch.CountSketch) error { return d.MergeFrom(s) }, parts)
-		if err != nil {
-			t.Fatal(err)
-		}
-		central := mk()
-		sketch.SketchVector(central, global)
-		for i := 0; i < n; i += 61 {
-			if a, b := central.Query(i), merged.Query(i); math.Abs(a-b) > 1e-6 {
-				t.Fatalf("query %d: centralized %f distributed %f", i, a, b)
+	for _, tc := range []struct {
+		name string
+		desc codec.Desc
+	}{
+		{"countsketch", codec.Desc{Algo: "countsketch", N: n, S: 128, D: 8, Seed: 3}},
+		{"l2sr", codec.Desc{Algo: "l2sr", N: n, S: 128, D: 2, Seed: 4}},
+		{"l1sr", codec.Desc{Algo: "l1sr", N: n, S: 128, D: 2, Seed: 5}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			merged, st, err := Run(tc.desc, parts)
+			if err != nil {
+				t.Fatal(err)
 			}
-		}
-		if st.Sites != sites || st.TotalCommWords != sites*central.Words() {
-			t.Errorf("bad stats %+v", st)
-		}
-		if st.CompressionFactor <= 1 {
-			t.Errorf("sketching should compress: factor %f", st.CompressionFactor)
-		}
-	})
-
-	t.Run("l2sr", func(t *testing.T) {
-		cfg := core.L2Config{N: n, K: 16}
-		mk := func() *core.L2SR { return core.NewL2SR(cfg, rand.New(rand.NewSource(4))) }
-		merged, _, err := Run(mk, func(d, s *core.L2SR) error { return d.MergeFrom(s) }, parts)
-		if err != nil {
-			t.Fatal(err)
-		}
-		central := mk()
-		sketch.SketchVector(central, global)
-		if math.Abs(central.Bias()-merged.Bias()) > 1e-9 {
-			t.Fatalf("bias: centralized %f distributed %f", central.Bias(), merged.Bias())
-		}
-		for i := 0; i < n; i += 61 {
-			if a, b := central.Query(i), merged.Query(i); math.Abs(a-b) > 1e-6 {
-				t.Fatalf("query %d: centralized %f distributed %f", i, a, b)
+			central, err := registry.SafeNew(tc.desc.Algo, tc.desc.N, tc.desc.S, tc.desc.D, tc.desc.Seed)
+			if err != nil {
+				t.Fatal(err)
 			}
-		}
-	})
-
-	t.Run("l1sr", func(t *testing.T) {
-		cfg := core.L1Config{N: n, K: 16, SampleCount: 128}
-		mk := func() *core.L1SR { return core.NewL1SR(cfg, rand.New(rand.NewSource(5))) }
-		merged, _, err := Run(mk, func(d, s *core.L1SR) error { return d.MergeFrom(s) }, parts)
-		if err != nil {
-			t.Fatal(err)
-		}
-		central := mk()
-		sketch.SketchVector(central, global)
-		for i := 0; i < n; i += 61 {
-			if a, b := central.Query(i), merged.Query(i); math.Abs(a-b) > 1e-6 {
-				t.Fatalf("query %d: centralized %f distributed %f", i, a, b)
+			if err := sketch.SketchVector(central, global); err != nil {
+				t.Fatal(err)
 			}
-		}
-	})
-}
-
-func TestMergeFailurePropagates(t *testing.T) {
-	// Sites with different seeds produce incompatible sketches.
-	seed := int64(0)
-	mk := func() *sketch.CountMedian {
-		seed++
-		return sketch.NewCountMedian(sketch.Config{N: 10, Rows: 8, Depth: 3}, rand.New(rand.NewSource(seed)))
+			for i := 0; i < n; i += 61 {
+				if a, b := central.Query(i), merged.Query(i); math.Abs(a-b) > 1e-6 {
+					t.Fatalf("query %d: centralized %f distributed %f", i, a, b)
+				}
+			}
+			if st.Sites != sites || st.TotalCommWords != sites*central.Words() {
+				t.Errorf("bad stats %+v", st)
+			}
+			if st.CommBytes <= 0 {
+				t.Errorf("no bytes shipped: %+v", st)
+			}
+			if st.CompressionFactor <= 1 {
+				t.Errorf("sketching should compress: factor %f", st.CompressionFactor)
+			}
+		})
 	}
-	parts := [][]float64{make([]float64, 10), make([]float64, 10)}
-	_, _, err := Run(mk, func(d, s *sketch.CountMedian) error { return d.MergeFrom(s) }, parts)
-	if err == nil {
-		t.Error("incompatible sites should propagate a merge error")
-	}
+
+	t.Run("l2sr bias survives shipping", func(t *testing.T) {
+		desc := codec.Desc{Algo: "l2sr", N: n, S: 128, D: 2, Seed: 4}
+		merged, _, err := Run(desc, parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		central, err := registry.SafeNew(desc.Algo, desc.N, desc.S, desc.D, desc.Seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sketch.SketchVector(central, global); err != nil {
+			t.Fatal(err)
+		}
+		cb := central.(interface{ Bias() float64 }).Bias()
+		mb := merged.(interface{ Bias() float64 }).Bias()
+		if math.Abs(cb-mb) > 1e-9 {
+			t.Fatalf("bias: centralized %f distributed %f", cb, mb)
+		}
+	})
 }

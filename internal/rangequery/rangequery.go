@@ -58,6 +58,47 @@ func New(n int, f Factory, r *rand.Rand) *Sketch {
 	return s
 }
 
+// NewFromLevels reassembles a Sketch from pre-built level sketches —
+// the checkpoint-restore path of the streaming codec. sks must hold
+// exactly the dyadic chain for n (sizes n, ⌈n/2⌉, …, 1), finest
+// first, each able to answer indices in [0, size) at its level.
+func NewFromLevels(n int, sks []PointSketch) (*Sketch, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("rangequery: dimension %d must be positive", n)
+	}
+	want := 1
+	for size := n; size > 1; size = (size + 1) / 2 {
+		want++
+	}
+	if len(sks) != want {
+		return nil, fmt.Errorf("rangequery: %d level sketches for dimension %d, want %d", len(sks), n, want)
+	}
+	s := &Sketch{n: n, levels: make([]level, want)}
+	size := n
+	for lv := range sks {
+		if sks[lv] == nil {
+			return nil, fmt.Errorf("rangequery: nil sketch for level %d", lv)
+		}
+		s.levels[lv] = level{size: size, sk: sks[lv]}
+		if size > 1 {
+			size = (size + 1) / 2
+		}
+	}
+	return s, nil
+}
+
+// ForEachLevel invokes f for every dyadic level, finest (level 0,
+// size n) first — the checkpoint-capture path of the streaming codec.
+// An error from f stops the walk and is returned.
+func (s *Sketch) ForEachLevel(f func(level, size int, sk PointSketch) error) error {
+	for lv := range s.levels {
+		if err := f(lv, s.levels[lv].size, s.levels[lv].sk); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Update applies x[i] += delta, propagating to every level.
 func (s *Sketch) Update(i int, delta float64) {
 	if i < 0 || i >= s.n {

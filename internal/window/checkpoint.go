@@ -1,0 +1,137 @@
+package window
+
+import (
+	"fmt"
+
+	"repro/internal/concurrent"
+)
+
+// This file is the checkpoint surface the streaming codec drives. A
+// window's durable identity is its rotation state: the open pane's
+// sequence number, the closed panes with their sequences, and the open
+// pane's sharded replica set. Pane width is configuration (a duration,
+// clock-independent); absolute pane boundaries are deliberately not
+// part of a checkpoint — on restore the open pane's clock restarts.
+
+// Checkpoint is the rotation state handed to (and accepted from) the
+// codec.
+type Checkpoint[S concurrent.Mergeable] struct {
+	// CurSeq is the open pane's sequence number.
+	CurSeq uint64
+	// ClosedSeqs holds the closed panes' sequence numbers, oldest
+	// first, strictly increasing, all below CurSeq and within the
+	// window span.
+	ClosedSeqs []uint64
+	// Closed holds the closed panes, parallel to ClosedSeqs. They are
+	// immutable shared replicas.
+	Closed []S
+	// Open is the open pane's replica set.
+	Open *concurrent.Sharded[S]
+}
+
+// Checkpoint invokes f with the window's current rotation state, held
+// stable for the duration of the call: the rotation read-lock blocks
+// Advance and clock-driven rotation, while writers keep ingesting into
+// the open pane — per-shard locking inside CheckpointShards gives f
+// the same consistent-interleaving guarantee as Merged. In clock-
+// driven mode any due rotation is folded in first, so a checkpoint
+// never carries expired panes. f must not retain the state after
+// returning: the closed panes are shared immutable replicas and the
+// open pane is live.
+func (w *Window[S]) Checkpoint(f func(Checkpoint[S]) error) error {
+	if err := w.maybeAdvance(); err != nil {
+		return err
+	}
+	w.rot.RLock()
+	defer w.rot.RUnlock()
+	cp := Checkpoint[S]{
+		CurSeq:     w.curSeq,
+		ClosedSeqs: make([]uint64, len(w.closed)),
+		Closed:     make([]S, len(w.closed)),
+		Open:       w.cur,
+	}
+	for i, p := range w.closed {
+		cp.ClosedSeqs[i] = p.seq
+		cp.Closed[i] = p.sk
+	}
+	return f(cp)
+}
+
+// Restore installs a checkpointed rotation state, replacing the
+// window's entire contents: the closed panes are adopted as immutable,
+// the open pane becomes cp.Open, and the cached closed-pane sum is
+// rebuilt with the same left-fold (oldest first) association the live
+// rotation path uses — so a restored window answers queries
+// bit-identically to the window that was checkpointed. The published
+// view is invalidated; in clock-driven mode the open pane's clock
+// restarts at restore time.
+//
+// Restore is meant for a freshly built Window (the codec path). The
+// window adopts the checkpoint's writer-shard count (so the shell may
+// be built with Shards: 1 — its pre-restore open pane is discarded),
+// and views handed out before a restore keep serving the pre-restore
+// state.
+func (w *Window[S]) Restore(cp Checkpoint[S]) error {
+	if cp.Open == nil {
+		return fmt.Errorf("window: restore: nil open pane")
+	}
+	if len(cp.Closed) != len(cp.ClosedSeqs) {
+		return fmt.Errorf("window: restore: %d closed panes with %d sequences", len(cp.Closed), len(cp.ClosedSeqs))
+	}
+	if len(cp.Closed) > w.panes-1 {
+		return fmt.Errorf("window: restore: %d closed panes do not fit a %d-pane window", len(cp.Closed), w.panes)
+	}
+	var minLive uint64
+	if span := uint64(w.panes - 1); cp.CurSeq > span {
+		minLive = cp.CurSeq - span
+	}
+	for i, seq := range cp.ClosedSeqs {
+		if seq >= cp.CurSeq {
+			return fmt.Errorf("window: restore: closed pane %d sequence %d not below the open pane's %d", i, seq, cp.CurSeq)
+		}
+		if seq < minLive {
+			return fmt.Errorf("window: restore: closed pane %d sequence %d already expired (window starts at %d)", i, seq, minLive)
+		}
+		if i > 0 && seq <= cp.ClosedSeqs[i-1] {
+			return fmt.Errorf("window: restore: closed pane sequences not strictly increasing at %d", i)
+		}
+	}
+
+	// Rebuild the cached closed-pane sum before committing anything: a
+	// failing merge (possible with a caller-supplied merge function)
+	// leaves the window untouched.
+	var sum S
+	hasClosed := len(cp.Closed) > 0
+	if hasClosed {
+		sum = w.mk()
+		for i, p := range cp.Closed {
+			if err := w.merge(sum, p); err != nil {
+				return fmt.Errorf("window: restore: summing closed pane %d: %w", i, err)
+			}
+		}
+	}
+	keep := make([]frozenPane[S], len(cp.Closed))
+	for i := range cp.Closed {
+		keep[i] = frozenPane[S]{sk: cp.Closed[i], seq: cp.ClosedSeqs[i]}
+	}
+
+	w.rot.Lock()
+	defer w.rot.Unlock()
+	w.closed = keep
+	w.closedSum = sum
+	w.hasClosed = hasClosed
+	w.curSeq = cp.CurSeq
+	w.cur = cp.Open
+	// Adopt the checkpoint's writer-shard count: future rotations build
+	// fresh open panes shaped like the restored one, and the caller can
+	// construct the shell window with a single throwaway shard instead
+	// of pre-building a replica set Restore would discard.
+	w.sh = cp.Open.Shards()
+	if w.width > 0 {
+		w.paneStart = w.now()
+		w.deadline.Store(w.paneStart.Add(w.width).UnixNano())
+	}
+	w.view.Store(nil)
+	w.gen.Add(1)
+	return nil
+}

@@ -1,0 +1,281 @@
+package window
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/concurrent"
+	"repro/internal/stream"
+)
+
+// cloneExact copies an exact pane (what the codec does by serializing).
+func cloneExact(src *stream.Exact) *stream.Exact {
+	dst := mkExact()
+	_ = mergeExact(dst, src)
+	return dst
+}
+
+// snapshotState captures a window's checkpoint with cloned panes and a
+// cloned open-pane replica set — a pure in-memory stand-in for the
+// codec.
+func snapshotState(t *testing.T, w *Window[*stream.Exact]) Checkpoint[*stream.Exact] {
+	t.Helper()
+	var out Checkpoint[*stream.Exact]
+	err := w.Checkpoint(func(cp Checkpoint[*stream.Exact]) error {
+		out.CurSeq = cp.CurSeq
+		out.ClosedSeqs = append([]uint64(nil), cp.ClosedSeqs...)
+		for _, p := range cp.Closed {
+			out.Closed = append(out.Closed, cloneExact(p))
+		}
+		open := concurrent.New(cp.Open.Shards(), mkExact, mergeExact)
+		var states []*stream.Exact
+		var epochs []uint64
+		if err := cp.Open.CheckpointShards(func(i int, epoch uint64, sk *stream.Exact) error {
+			states = append(states, cloneExact(sk))
+			epochs = append(epochs, epoch)
+			return nil
+		}); err != nil {
+			return err
+		}
+		if err := open.RestoreShards(func(i int, sk *stream.Exact) (uint64, error) {
+			return epochs[i], mergeExact(sk, states[i])
+		}); err != nil {
+			return err
+		}
+		out.Open = open
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// Checkpoint → Restore must reproduce the window exactly: live panes,
+// sequences, answers — and both windows must evolve identically
+// afterwards, including expiry of pre-checkpoint panes.
+func TestCheckpointRestoreRoundTrip(t *testing.T) {
+	live := mustWindow(t, Config{Panes: 4, Shards: 2})
+	for u := 0; u < 2600; u++ {
+		if err := live.Update(u%2, (u*7+3)%dim, float64(1+u%3)); err != nil {
+			t.Fatal(err)
+		}
+		if u%400 == 399 {
+			if err := live.Advance(1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	cp := snapshotState(t, live)
+	restored := mustWindow(t, Config{Panes: 4, Shards: 2})
+	if err := restored.Restore(cp); err != nil {
+		t.Fatal(err)
+	}
+
+	same := func() {
+		t.Helper()
+		if live.Live() != restored.Live() {
+			t.Fatalf("live panes %d != %d", live.Live(), restored.Live())
+		}
+		for i := 0; i < dim; i += 5 {
+			a, err := live.Query(i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := restored.Query(i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a != b {
+				t.Fatalf("query %d: %v != %v", i, a, b)
+			}
+		}
+	}
+	same()
+
+	// Lockstep evolution: writes, rotations, expiry.
+	for u := 0; u < 1800; u++ {
+		if err := live.Update(u%2, (u*11+1)%dim, 2); err != nil {
+			t.Fatal(err)
+		}
+		if err := restored.Update(u%2, (u*11+1)%dim, 2); err != nil {
+			t.Fatal(err)
+		}
+		if u%300 == 299 {
+			if err := live.Advance(1); err != nil {
+				t.Fatal(err)
+			}
+			if err := restored.Advance(1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	same()
+}
+
+// Restore validation: every structurally invalid checkpoint is
+// rejected with the window untouched.
+func TestRestoreValidates(t *testing.T) {
+	mkOpen := func(shards int) *concurrent.Sharded[*stream.Exact] {
+		return concurrent.New(shards, mkExact, mergeExact)
+	}
+	base := func() Checkpoint[*stream.Exact] {
+		return Checkpoint[*stream.Exact]{
+			CurSeq:     5,
+			ClosedSeqs: []uint64{3, 4},
+			Closed:     []*stream.Exact{mkExact(), mkExact()},
+			Open:       mkOpen(2),
+		}
+	}
+	cases := map[string]func(cp *Checkpoint[*stream.Exact]){
+		"nil open":          func(cp *Checkpoint[*stream.Exact]) { cp.Open = nil },
+		"seq/pane mismatch": func(cp *Checkpoint[*stream.Exact]) { cp.ClosedSeqs = cp.ClosedSeqs[:1] },
+		"too many panes": func(cp *Checkpoint[*stream.Exact]) {
+			cp.ClosedSeqs = []uint64{1, 2, 3, 4}
+			cp.Closed = []*stream.Exact{mkExact(), mkExact(), mkExact(), mkExact()}
+		},
+		"seq at open pane":    func(cp *Checkpoint[*stream.Exact]) { cp.ClosedSeqs = []uint64{3, 5} },
+		"seq expired":         func(cp *Checkpoint[*stream.Exact]) { cp.CurSeq = 100; cp.ClosedSeqs = []uint64{3, 99} },
+		"seqs not increasing": func(cp *Checkpoint[*stream.Exact]) { cp.ClosedSeqs = []uint64{4, 4} },
+	}
+	for name, corrupt := range cases {
+		w := mustWindow(t, Config{Panes: 4, Shards: 2})
+		if err := w.Update(0, 1, 7); err != nil {
+			t.Fatal(err)
+		}
+		cp := base()
+		corrupt(&cp)
+		if err := w.Restore(cp); err == nil {
+			t.Errorf("%s: Restore should fail", name)
+			continue
+		}
+		// Window untouched by the failed restore.
+		if v, err := w.Query(1); err != nil || v != 7 {
+			t.Errorf("%s: window disturbed by failed restore: %v %v", name, v, err)
+		}
+	}
+}
+
+// A valid restore replaces prior contents and invalidates published
+// views.
+func TestRestoreReplacesContents(t *testing.T) {
+	w := mustWindow(t, Config{Panes: 3, Shards: 1})
+	if err := w.Update(0, 9, 50); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.View(); err != nil {
+		t.Fatal(err)
+	}
+	open := concurrent.New(1, mkExact, mergeExact)
+	open.Update(0, 2, 11)
+	closedPane := mkExact()
+	closedPane.Update(4, 6)
+	err := w.Restore(Checkpoint[*stream.Exact]{
+		CurSeq:     8,
+		ClosedSeqs: []uint64{7},
+		Closed:     []*stream.Exact{closedPane},
+		Open:       open,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := w.Query(9); got != 0 {
+		t.Fatalf("old contents survived: %v", got)
+	}
+	if got, _ := w.Query(2); got != 11 {
+		t.Fatalf("open pane state: %v", got)
+	}
+	if got, _ := w.Query(4); got != 6 {
+		t.Fatalf("closed pane state: %v", got)
+	}
+	if w.Live() != 2 {
+		t.Fatalf("live = %d", w.Live())
+	}
+	// One more advance expires the restored closed pane (seq 7 with
+	// curSeq 8 in a 3-pane window survives until curSeq 10).
+	if err := w.Advance(3); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := w.Query(4); got != 0 {
+		t.Fatalf("closed pane should have expired: %v", got)
+	}
+}
+
+// Restore adopts the checkpoint's writer-shard count: a shell built
+// with one shard ends up with the checkpointed shard layout, and the
+// next rotation builds fresh open panes with that count.
+func TestRestoreAdoptsShardCount(t *testing.T) {
+	w := mustWindow(t, Config{Panes: 3, Shards: 1})
+	open := concurrent.New(4, mkExact, mergeExact)
+	open.Update(2, 5, 9)
+	if err := w.Restore(Checkpoint[*stream.Exact]{CurSeq: 1, Open: open}); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := w.Query(5); got != 9 {
+		t.Fatalf("restored open pane state: %v", got)
+	}
+	// Rotate: the fresh open pane must carry the adopted shard count.
+	if err := w.Advance(1); err != nil {
+		t.Fatal(err)
+	}
+	var shards int
+	w.rot.RLock()
+	shards = w.cur.Shards()
+	w.rot.RUnlock()
+	if shards != 4 {
+		t.Fatalf("post-rotation open pane has %d shards, want 4", shards)
+	}
+}
+
+// In clock-driven mode a restore restarts the open pane's deadline at
+// the injected clock's now.
+func TestRestoreRestartsClock(t *testing.T) {
+	now := time.Unix(100, 0)
+	clock := func() time.Time { return now }
+	w, err := New(Config{Panes: 3, Shards: 1, Width: time.Minute, Now: clock}, mkExact, mergeExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	open := concurrent.New(1, mkExact, mergeExact)
+	open.Update(0, 1, 5)
+	// Move the clock far past the original deadline, then restore: the
+	// restored pane must get a fresh full width, not rotate instantly.
+	now = now.Add(10 * time.Minute)
+	if err := w.Restore(Checkpoint[*stream.Exact]{CurSeq: 2, Open: open}); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := w.Query(1); got != 5 {
+		t.Fatalf("restored state: %v", got)
+	}
+	now = now.Add(59 * time.Second)
+	if got, _ := w.Query(1); got != 5 {
+		t.Fatalf("pane rotated before its width elapsed: %v", got)
+	}
+	now = now.Add(2 * time.Second)
+	// The update stays live (now a closed pane) and a query folds the
+	// due rotation in.
+	if got, _ := w.Query(1); got != 5 {
+		t.Fatalf("rotated-out pane lost its mass: %v", got)
+	}
+	if w.Live() != 2 {
+		t.Fatalf("pane should have rotated after its width: live=%d", w.Live())
+	}
+}
+
+// Checkpoint must name merge failures rather than panic, and the
+// failing callback's error must surface.
+func TestCheckpointPropagatesCallbackError(t *testing.T) {
+	w := mustWindow(t, Config{Panes: 2, Shards: 1})
+	err := w.Checkpoint(func(Checkpoint[*stream.Exact]) error {
+		return errFor("checkpoint sink full")
+	})
+	if err == nil || !strings.Contains(err.Error(), "sink full") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+type errFor string
+
+func (e errFor) Error() string { return string(e) }

@@ -5,7 +5,7 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/sketchio"
+	"repro/internal/codec"
 )
 
 // Defaults applied by New when the corresponding option is omitted —
@@ -129,7 +129,7 @@ func buildConfig(opts []Option) (newConfig, error) {
 	// Enforce the wire format's descriptor bounds at construction time,
 	// so every sketch New builds can be marshaled AND unmarshaled — a
 	// site must never produce packets the coordinator rejects.
-	desc := sketchio.Desc{N: cfg.dim, S: cfg.words, D: cfg.depth, Seed: cfg.seed}
+	desc := codec.Desc{N: cfg.dim, S: cfg.words, D: cfg.depth, Seed: cfg.seed}
 	if err := desc.Validate(); err != nil {
 		return cfg, fmt.Errorf("%w: configuration outside wire-format bounds (dim ≤ 2^26, 4 ≤ words ≤ 2^22, depth ≤ 64, words·depth ≤ 2^24): %v", ErrInvalidOption, err)
 	}

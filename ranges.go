@@ -2,9 +2,12 @@ package repro
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 
+	"repro/internal/codec"
 	"repro/internal/rangequery"
+	"repro/internal/registry"
 )
 
 // LevelFactory builds the point sketch for one dyadic level of a
@@ -68,6 +71,60 @@ type nullLevel struct{}
 func (nullLevel) Update(int, float64) {}
 func (nullLevel) Query(int) float64   { return 0 }
 func (nullLevel) Words() int          { return 0 }
+
+// Checkpoint writes the RangeSketch's full state to w as a wire-format
+// v2 checkpoint container: the base dimension, then every dyadic
+// level's sketch (descriptor plus state, finest first). Exact levels —
+// the standard build spends exact counters on the small coarse levels
+// — are carried as dense vectors. Every level must have been built by
+// a factory returning repro sketches (repro.New, repro.Exact);
+// checkpointing a stack with foreign level implementations errors.
+func (s *RangeSketch) Checkpoint(w io.Writer) error {
+	var levels []codec.Level
+	err := s.inner.ForEachLevel(func(level, size int, sk rangequery.PointSketch) error {
+		h, ok := sk.(baser)
+		if !ok {
+			return fmt.Errorf("repro: level %d sketch (%T) was not built by repro.New", level, sk)
+		}
+		b := h.base()
+		levels = append(levels, codec.Level{Desc: b.desc, Sk: b.inner})
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if err := codec.EncodeRange(w, s.inner.Dim(), levels); err != nil {
+		return fmt.Errorf("repro: %w", err)
+	}
+	return nil
+}
+
+// RestoreRange reconstructs a RangeSketch from a Checkpoint stream:
+// each level is rebuilt from its own descriptor through the registry
+// and its state restored, then the dyadic stack is reassembled. The
+// restored sketch answers RangeSum/PrefixSum/Total/Quantile
+// bit-identically to the checkpointed original and keeps ingesting.
+func RestoreRange(r io.Reader) (*RangeSketch, error) {
+	n, levels, err := codec.DecodeRange(r)
+	if err != nil {
+		return nil, fmt.Errorf("repro: %w", err)
+	}
+	pts := make([]rangequery.PointSketch, len(levels))
+	for i, l := range levels {
+		e, ok := registry.Lookup(l.Desc.Algo)
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownAlgorithm, l.Desc.Algo)
+		}
+		desc := l.Desc
+		desc.Algo = e.Name
+		pts[i] = wrap(e, l.Sk, desc)
+	}
+	inner, err := rangequery.NewFromLevels(n, pts)
+	if err != nil {
+		return nil, fmt.Errorf("repro: %w", err)
+	}
+	return &RangeSketch{inner: inner}, nil
+}
 
 // Update applies x[i] += delta, propagating to every level.
 func (s *RangeSketch) Update(i int, delta float64) { s.inner.Update(i, delta) }

@@ -4,10 +4,10 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/codec"
 	"repro/internal/heavyhitter"
 	"repro/internal/registry"
 	"repro/internal/sketch"
-	"repro/internal/sketchio"
 	"repro/internal/vecmath"
 )
 
@@ -121,6 +121,10 @@ var (
 	// ErrNotSerializable is returned by Marshal for sketches whose
 	// state the wire format does not carry (exact).
 	ErrNotSerializable = errors.New("repro: sketch is not serializable")
+	// ErrTrailingData is returned by Unmarshal when a buffer holds
+	// bytes beyond the one payload it should contain. Streams carrying
+	// multiple frames decode through UnmarshalFrom/Decode instead.
+	ErrTrailingData = errors.New("repro: trailing data after payload")
 )
 
 // handle is the base facade wrapper: the constructed sketch plus the
@@ -128,7 +132,7 @@ var (
 type handle struct {
 	inner sketch.Sketch
 	entry *registry.Entry
-	desc  sketchio.Desc
+	desc  codec.Desc
 }
 
 func (h *handle) Update(i int, delta float64) { h.inner.Update(i, delta) }
@@ -178,7 +182,7 @@ func (h *biasedHandle) Bias() float64 {
 
 // wrap picks the handle flavor matching the entry's capabilities, so
 // type assertions against Linear/Serializable/Biased are meaningful.
-func wrap(e *registry.Entry, inner sketch.Sketch, desc sketchio.Desc) Sketch {
+func wrap(e *registry.Entry, inner sketch.Sketch, desc codec.Desc) Sketch {
 	h := handle{inner: inner, entry: e, desc: desc}
 	switch {
 	case e.Bias:
@@ -221,7 +225,7 @@ func New(algo string, opts ...Option) (Sketch, error) {
 	if err != nil {
 		return nil, fmt.Errorf("repro: %w", err)
 	}
-	desc := sketchio.Desc{Algo: e.Name, N: cfg.dim, S: cfg.words, D: cfg.depth, Seed: cfg.seed}
+	desc := codec.Desc{Algo: e.Name, N: cfg.dim, S: cfg.words, D: cfg.depth, Seed: cfg.seed}
 	return wrap(e, inner, desc), nil
 }
 

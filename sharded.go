@@ -2,12 +2,13 @@ package repro
 
 import (
 	"fmt"
+	"io"
 
+	"repro/internal/codec"
 	"repro/internal/concurrent"
 	"repro/internal/heavyhitter"
 	"repro/internal/registry"
 	"repro/internal/sketch"
-	"repro/internal/sketchio"
 )
 
 // Sharded is a linear sketch prepared for multi-goroutine ingestion
@@ -29,7 +30,7 @@ import (
 type Sharded struct {
 	inner *concurrent.Sharded[sketch.Sketch]
 	entry *registry.Entry
-	desc  sketchio.Desc
+	desc  codec.Desc
 }
 
 // NewSharded builds a sharded sketch with the given shard count; algo
@@ -59,7 +60,7 @@ func NewSharded(shards int, algo string, opts ...Option) (*Sharded, error) {
 	return &Sharded{
 		inner: inner,
 		entry: e,
-		desc:  sketchio.Desc{Algo: e.Name, N: cfg.dim, S: cfg.words, D: cfg.depth, Seed: cfg.seed},
+		desc:  codec.Desc{Algo: e.Name, N: cfg.dim, S: cfg.words, D: cfg.depth, Seed: cfg.seed},
 	}, nil
 }
 
@@ -79,6 +80,39 @@ func newShards(algo string, shards int, mk func() sketch.Sketch) (s *concurrent.
 // slot is any caller-chosen integer (e.g. a worker id); updates with
 // the same slot serialize, different slots proceed in parallel.
 func (s *Sharded) Update(slot, i int, delta float64) { s.inner.Update(slot, i, delta) }
+
+// Checkpoint writes the Sharded's full state to w as a wire-format v2
+// checkpoint container: the descriptor, then every shard's replica
+// state with its epoch, so RestoreSharded rebuilds a Sharded that
+// answers Query/QueryBatch/TopK bit-identically — same shards, same
+// epochs, same snapshot merge order. Safe under concurrent writers:
+// each shard is captured under its own lock, so the checkpoint is a
+// consistent sum of some interleaving of the updates, exactly the
+// Merged guarantee.
+func (s *Sharded) Checkpoint(w io.Writer) error {
+	if err := codec.EncodeSharded(w, s.desc, s.inner); err != nil {
+		return fmt.Errorf("repro: %w", err)
+	}
+	return nil
+}
+
+// RestoreSharded reconstructs a Sharded from a Checkpoint stream: the
+// replica set is rebuilt from the descriptor through the registry (the
+// shared-randomness protocol — same seed, same hash functions) and
+// every shard's state and epoch is restored. The result ingests,
+// snapshots, and checkpoints like the original.
+func RestoreSharded(r io.Reader) (*Sharded, error) {
+	inner, desc, err := codec.DecodeSharded(r)
+	if err != nil {
+		return nil, fmt.Errorf("repro: %w", err)
+	}
+	e, ok := registry.Lookup(desc.Algo)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownAlgorithm, desc.Algo)
+	}
+	desc.Algo = e.Name
+	return &Sharded{inner: inner, entry: e, desc: desc}, nil
+}
 
 // UpdateBatch applies x[idx[j]] += deltas[j] for every j on the slot's
 // shard under a single lock acquisition — one acquire/release per
@@ -181,7 +215,7 @@ func (s *Sharded) Words() int { return s.inner.Words() }
 type Snapshot struct {
 	view  *concurrent.Snapshot[sketch.Sketch]
 	entry *registry.Entry
-	desc  sketchio.Desc
+	desc  codec.Desc
 }
 
 // Query returns an estimate of x[i] as of the snapshot.

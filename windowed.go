@@ -2,8 +2,10 @@ package repro
 
 import (
 	"fmt"
+	"io"
 	"time"
 
+	"repro/internal/codec"
 	"repro/internal/heavyhitter"
 	"repro/internal/registry"
 	"repro/internal/sketch"
@@ -32,7 +34,7 @@ import (
 type Windowed struct {
 	inner *window.Window[sketch.Sketch]
 	entry *registry.Entry
-	dim   int
+	desc  codec.Desc
 }
 
 // NewWindowed builds a sliding-window sketch with the given
@@ -70,7 +72,58 @@ func NewWindowed(shards int, algo string, opts ...Option) (*Windowed, error) {
 	if err != nil {
 		return nil, fmt.Errorf("repro: %w", err)
 	}
-	return &Windowed{inner: inner, entry: e, dim: cfg.dim}, nil
+	return &Windowed{
+		inner: inner,
+		entry: e,
+		desc:  codec.Desc{Algo: e.Name, N: cfg.dim, S: cfg.words, D: cfg.depth, Seed: cfg.seed},
+	}, nil
+}
+
+// Checkpoint writes the window's full state to w as a wire-format v2
+// checkpoint container: the descriptor, the rotation state (pane
+// count, clock-independent pane width, pane sequences), every closed
+// pane, and the open pane's sharded replica set with its epochs —
+// everything RestoreWindowed needs to answer Query/QueryBatch/TopK
+// bit-identically after a restart. Safe under concurrent writers
+// (rotation is held off, shard capture is per-shard-consistent); in
+// clock-driven mode any due rotation is folded in first. Absolute pane
+// boundaries are not part of the format: on restore the open pane's
+// clock starts fresh, only the width survives.
+func (w *Windowed) Checkpoint(wr io.Writer) error {
+	if err := codec.EncodeWindowed(wr, w.desc, w.inner); err != nil {
+		return fmt.Errorf("repro: %w", err)
+	}
+	return nil
+}
+
+// RestoreWindowed reconstructs a Windowed from a Checkpoint stream:
+// configuration (algorithm, shape, seed, panes, pane width, shard
+// count) and state (closed panes, open pane, rotation sequence) all
+// come from the wire. The restored window ingests, rotates, and
+// checkpoints like the original.
+//
+// Of the options only WithClock is consulted — a checkpointed window
+// carries its own shape, and in clock-driven mode the open pane's
+// width timer restarts at restore time against the given clock
+// (time.Now by default).
+func RestoreWindowed(r io.Reader, opts ...Option) (*Windowed, error) {
+	var cfg newConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.clockSet && cfg.clock == nil {
+		return nil, fmt.Errorf("%w: WithClock must be non-nil", ErrInvalidOption)
+	}
+	inner, desc, err := codec.DecodeWindowed(r, cfg.clock)
+	if err != nil {
+		return nil, fmt.Errorf("repro: %w", err)
+	}
+	e, ok := registry.Lookup(desc.Algo)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownAlgorithm, desc.Algo)
+	}
+	desc.Algo = e.Name
+	return &Windowed{inner: inner, entry: e, desc: desc}, nil
 }
 
 // Advance rotates k panes: the open pane freezes, panes older than the
@@ -153,7 +206,7 @@ func (w *Windowed) TopK(k int) ([]Deviator, error) {
 func (w *Windowed) Algo() string { return w.entry.Name }
 
 // Dim returns the dimension of the summarized vector.
-func (w *Windowed) Dim() int { return w.dim }
+func (w *Windowed) Dim() int { return w.desc.N }
 
 // Panes returns the configured window length in panes.
 func (w *Windowed) Panes() int { return w.inner.Panes() }

@@ -9,6 +9,8 @@ import (
 	"testing"
 
 	"repro"
+	"repro/internal/bench"
+	"repro/internal/codec"
 )
 
 // serializableAlgos is every registry algorithm the wire format
@@ -35,15 +37,39 @@ func mustMarshalSeed(f *testing.F, algo string) []byte {
 	return data
 }
 
+// mustMarshalV1Seed builds a legacy v1 payload for the corpus, so the
+// fuzzer exercises the backward-compatibility path too.
+func mustMarshalV1Seed(f *testing.F, algo string) []byte {
+	f.Helper()
+	desc := codec.Desc{Algo: algo, N: 300, S: 16, D: 3, Seed: 9}
+	sk := bench.Make(desc.Algo, desc.N, desc.S, desc.D, desc.Seed)
+	for i := 0; i < 300; i += 3 {
+		sk.Update(i, float64(1+i%7))
+	}
+	var buf bytes.Buffer
+	if err := codec.EncodeV1(&buf, desc, sk); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
 // FuzzUnmarshal feeds arbitrary bytes to the public loader: it must
 // reject garbage with an error — never panic — and anything it does
 // accept must be a working sketch whose re-marshaled bytes reload.
+// Trailing bytes after a valid payload must be rejected (with
+// ErrTrailingData), never silently swallowed.
 func FuzzUnmarshal(f *testing.F) {
 	for _, algo := range []string{"l2sr", "countmin", "cmlcu"} {
 		f.Add(mustMarshalSeed(f, algo))
+		f.Add(mustMarshalV1Seed(f, algo))
 	}
+	// A valid payload with trailing garbage: historically accepted,
+	// now a typed error — seeded so the boundary stays fuzzed.
+	f.Add(append(mustMarshalSeed(f, "countmin"), "trailing-garbage"...))
+	f.Add(append(mustMarshalV1Seed(f, "countmin"), 0x00, 0xFF))
 	f.Add([]byte{})
 	f.Add([]byte("BAS1"))
+	f.Add([]byte("BAS2"))
 	f.Add([]byte("BAS1\xff\xff\xff\xffgarbage"))
 	f.Add(bytes.Repeat([]byte{0}, 64))
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -61,6 +87,11 @@ func FuzzUnmarshal(f *testing.F) {
 		}
 		if _, err := repro.Unmarshal(re); err != nil {
 			t.Fatalf("re-marshaled payload does not reload: %v", err)
+		}
+		// An accepted buffer plus any trailing byte is no longer one
+		// payload: Unmarshal must reject it.
+		if _, err := repro.Unmarshal(append(append([]byte(nil), data...), 0x5A)); err == nil {
+			t.Fatal("payload with trailing byte accepted")
 		}
 	})
 }
