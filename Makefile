@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: build test race lint bench-json
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -shuffle=on ./...
+
+race:
+	$(GO) test -race ./internal/concurrent/... ./internal/window/... ./internal/codec/...
+
+# lint mirrors CI's lint job: go vet, then the repo's own sketchlint
+# multichecker through the vet -vettool protocol (lock/defer pairing,
+# the //sketch:hotpath zero-allocation contract, bounded decode makes,
+# typed boundary errors). staticcheck and govulncheck run when
+# installed; CI installs pinned versions (see .github/workflows/ci.yml)
+# so a local skip never hides a finding for long.
+lint:
+	$(GO) vet ./...
+	$(GO) vet -vettool="$$($(GO) run ./cmd/sketchlint -print-path)" ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	else echo "staticcheck not installed; skipped (CI runs it pinned)"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
+	else echo "govulncheck not installed; skipped (CI runs it pinned)"; fi
+
+# Regenerate the checked-in benchmark baseline.
+bench-json:
+	$(GO) run ./cmd/benchjson

@@ -1,0 +1,184 @@
+// Command benchjson regenerates the checked-in benchmark baseline
+// (BENCH_6.json): it runs the curated ingestion/serving/codec
+// benchmarks at the paper's §5.1 shape (s=4096, d=9) with -benchmem
+// and writes the parsed results as stable, machine-readable JSON.
+//
+// The update/query benchmarks count one vector element per op, so
+// ns/op is already normalized per element and directly comparable
+// between the element-wise and batched paths; allocs/op on the batched
+// and snapshot serving paths is the number the //sketch:hotpath
+// contract pins to zero (see the AllocsPerRun gates in alloc_test.go
+// files).
+//
+// Usage:
+//
+//	go run ./cmd/benchjson [-out BENCH_6.json] [-benchtime 0.3s] [-bench regexp]
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+)
+
+// defaultBench selects the curated baseline set: per-algorithm update
+// and query paths (element-wise and batched) plus the wire-format
+// encode/decode round trip.
+const defaultBench = "^(BenchmarkUpdate|BenchmarkUpdateBatch|BenchmarkQuery|BenchmarkQueryBatch|BenchmarkEncode|BenchmarkDecode)$"
+
+// defaultPackages are the benchmark homes: internal/bench holds the
+// per-algorithm paths, bench the facade/codec paths.
+var defaultPackages = []string{"./internal/bench", "./bench"}
+
+// Entry is one parsed benchmark result.
+type Entry struct {
+	Package     string  `json:"package"`
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
+}
+
+// Baseline is the BENCH_6.json document.
+type Baseline struct {
+	Note      string  `json:"note"`
+	Shape     Shape   `json:"shape"`
+	Benchtime string  `json:"benchtime"`
+	GoVersion string  `json:"go_version"`
+	Entries   []Entry `json:"entries"`
+}
+
+// Shape records the paper's §5.1 benchmark configuration.
+type Shape struct {
+	N     int `json:"n"`
+	Words int `json:"words"`
+	Depth int `json:"depth"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_6.json", "output file")
+	benchtime := flag.String("benchtime", "0.3s", "go test -benchtime value")
+	benchRe := flag.String("bench", defaultBench, "go test -bench regexp")
+	flag.Parse()
+
+	var entries []Entry
+	for _, pkg := range defaultPackages {
+		es, err := runPackage(pkg, *benchRe, *benchtime)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", pkg, err)
+			os.Exit(1)
+		}
+		entries = append(entries, es...)
+	}
+	if len(entries) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results parsed")
+		os.Exit(1)
+	}
+
+	doc := Baseline{
+		Note: "ns/op on Update/Query paths is per vector element (batched benchmarks consume one element per op); " +
+			"allocs/op on batched and snapshot paths is pinned to 0 by the //sketch:hotpath contract. " +
+			"Regenerate with: go run ./cmd/benchjson",
+		Shape:     Shape{N: 1_000_000, Words: 4096, Depth: 9},
+		Benchtime: *benchtime,
+		GoVersion: goVersion(),
+		Entries:   entries,
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson: wrote %d entries to %s\n", len(entries), *out)
+}
+
+// runPackage runs one package's benchmarks and parses the output.
+func runPackage(pkg, benchRe, benchtime string) ([]Entry, error) {
+	cmd := exec.Command("go", "test", "-run", "^$", "-bench", benchRe,
+		"-benchmem", "-benchtime", benchtime, pkg)
+	var outBuf bytes.Buffer
+	cmd.Stdout = &outBuf
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return nil, err
+	}
+	var entries []Entry
+	sc := bufio.NewScanner(&outBuf)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if e, ok := parseLine(pkg, sc.Text()); ok {
+			entries = append(entries, e)
+		}
+	}
+	return entries, sc.Err()
+}
+
+// parseLine parses one `go test -bench` result line of the form
+//
+//	BenchmarkName/sub-8   12345   678.9 ns/op   0 B/op   0 allocs/op
+func parseLine(pkg, line string) (Entry, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Entry{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Entry{}, false
+	}
+	e := Entry{Package: pkg, Name: trimGOMAXPROCS(fields[0]), Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			e.NsPerOp = v
+		case "B/op":
+			e.BytesPerOp = v
+		case "allocs/op":
+			e.AllocsPerOp = v
+		case "MB/s":
+			e.MBPerSec = v
+		}
+	}
+	if e.NsPerOp == 0 {
+		return Entry{}, false
+	}
+	return e, true
+}
+
+// trimGOMAXPROCS drops the trailing -N processor-count suffix so the
+// baseline diffs cleanly across machines with different core counts.
+func trimGOMAXPROCS(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// goVersion returns the toolchain's version string.
+func goVersion() string {
+	out, err := exec.Command("go", "env", "GOVERSION").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}

@@ -1,0 +1,247 @@
+// Command sketchlint is the repository's static-analysis suite: a
+// multichecker over the four invariant analyzers (lockdefer,
+// hotpathalloc, boundedmake, typederr) built on internal/analysis.
+//
+// Three modes:
+//
+//	sketchlint ./...                 standalone: analyze packages
+//	sketchlint -print-path           build self, print binary path
+//	go vet -vettool=$(go run repro/cmd/sketchlint -print-path) ./...
+//
+// The last runs sketchlint under the go vet unit-checker protocol:
+// vet invokes the tool once per package with a JSON .cfg file naming
+// the sources and the export data of every dependency, plus -V=full
+// and -flags probes for cache keying and flag discovery.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/boundedmake"
+	"repro/internal/analysis/driver"
+	"repro/internal/analysis/hotpathalloc"
+	"repro/internal/analysis/lockdefer"
+	"repro/internal/analysis/typederr"
+)
+
+var analyzers = []*analysis.Analyzer{
+	lockdefer.Analyzer,
+	hotpathalloc.Analyzer,
+	boundedmake.Analyzer,
+	typederr.Analyzer,
+}
+
+func main() {
+	progname := filepath.Base(os.Args[0])
+	// go vet protocol probes come before flag parsing: the tool must
+	// answer -V=full (cache keying) and -flags (flag discovery)
+	// exactly, whatever else its flag set holds.
+	for _, arg := range os.Args[1:] {
+		if arg == "-V=full" || arg == "--V=full" {
+			// A "devel" version line must carry a buildID go vet can
+			// key its action cache on; the hash of the executable
+			// itself changes exactly when the analyzers do.
+			fmt.Printf("%s version devel buildID=%s\n", progname, selfHash())
+			return
+		}
+		if arg == "-flags" || arg == "--flags" {
+			fmt.Println("[]")
+			return
+		}
+	}
+	if len(os.Args) == 2 && strings.HasSuffix(os.Args[1], ".cfg") {
+		os.Exit(vetUnit(os.Args[1]))
+	}
+
+	printPath := flag.Bool("print-path", false, "build sketchlint and print the binary path (for go vet -vettool)")
+	tests := flag.Bool("tests", true, "also analyze _test.go files and test packages")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s [flags] [packages]\n\nAnalyzers:\n", progname)
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *printPath {
+		path, err := buildSelf()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sketchlint:", err)
+			os.Exit(1)
+		}
+		fmt.Println(path)
+		return
+	}
+
+	selected, err := selectAnalyzers(*only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sketchlint:", err)
+		os.Exit(1)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, err := driver.Run(".", *tests, selected, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sketchlint:", err)
+		os.Exit(1)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "sketchlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// selfHash returns the hex SHA-256 of the running binary, a content
+// ID for vet's cache key.
+func selfHash() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
+	if only == "" {
+		return analyzers, nil
+	}
+	byName := make(map[string]*analysis.Analyzer)
+	for _, a := range analyzers {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		a, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// buildSelf compiles the sketchlint binary into the user cache and
+// returns its path, so `go vet -vettool=$(go run repro/cmd/sketchlint
+// -print-path)` works without a checked-in binary. (The `go run`
+// temporary binary itself is deleted when go run exits, so printing
+// os.Executable() would hand vet a dangling path.)
+func buildSelf() (string, error) {
+	dir, err := os.UserCacheDir()
+	if err != nil {
+		dir = os.TempDir()
+	}
+	dir = filepath.Join(dir, "sketchlint")
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return "", err
+	}
+	out := filepath.Join(dir, "sketchlint")
+	cmd := exec.Command("go", "build", "-o", out, "repro/cmd/sketchlint")
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return "", fmt.Errorf("building sketchlint: %w", err)
+	}
+	return out, nil
+}
+
+// vetConfig is the JSON unit description go vet hands the tool.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	SucceedOnTypecheckFailure bool
+	VetxOnly                  bool
+	VetxOutput                string
+}
+
+// vetUnit analyzes one package under the vet unit-checker protocol
+// and returns the process exit code.
+func vetUnit(cfgFile string) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sketchlint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "sketchlint: parsing %s: %v\n", cfgFile, err)
+		return 1
+	}
+	// Facts file: this suite exports none, but vet requires the output
+	// to exist for downstream units.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "sketchlint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if m, ok := cfg.ImportMap[path]; ok {
+			path = m
+		}
+		f, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("sketchlint: no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	findings, err := runUnit(cfg, lookup)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "sketchlint:", err)
+		return 1
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", f.Pos, f.Message)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// runUnit resolves the unit's file names (the protocol may hand them
+// relative to the unit directory) and analyzes the package.
+func runUnit(cfg vetConfig, lookup func(string) (io.ReadCloser, error)) ([]driver.Finding, error) {
+	filenames := make([]string, len(cfg.GoFiles))
+	for i, f := range cfg.GoFiles {
+		if !filepath.IsAbs(f) && cfg.Dir != "" {
+			f = filepath.Join(cfg.Dir, f)
+		}
+		filenames[i] = f
+	}
+	return driver.RunFiles(cfg.ImportPath, filenames, lookup, analyzers)
+}

@@ -1,0 +1,143 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/driver"
+)
+
+// writeModule lays out a throwaway module reintroducing the two bug
+// classes the lint job must catch: the PR 2 unpaired shard lock and
+// an unbounded decode make.
+func writeModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module lintprobe\n\ngo 1.24\n",
+		"internal/concurrent/concurrent.go": `package concurrent
+
+import "sync"
+
+type Shard struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (s *Shard) Update(d int) {
+	s.mu.Lock()
+	s.n += d
+	s.mu.Unlock()
+}
+`,
+		"internal/codec/codec.go": `package codec
+
+import (
+	"encoding/binary"
+	"io"
+)
+
+func DecodePayload(r io.Reader) ([]byte, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint64(hdr[:])
+	buf := make([]byte, n)
+	_, err := io.ReadFull(r, buf)
+	return buf, err
+}
+`,
+	}
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func wantProbeFindings(t *testing.T, out string) {
+	t.Helper()
+	if !strings.Contains(out, "not paired with a deferred") {
+		t.Errorf("reintroduced unpaired lock not flagged; output:\n%s", out)
+	}
+	if !strings.Contains(out, "not dominated by a bound check") {
+		t.Errorf("reintroduced unbounded decode make not flagged; output:\n%s", out)
+	}
+}
+
+// TestReintroducedBugsFailStandalone drives the suite the way `make
+// lint` does and checks both regressions are reported.
+func TestReintroducedBugsFailStandalone(t *testing.T) {
+	dir := writeModule(t)
+	findings, err := driver.Run(dir, false, analyzers, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var msgs []string
+	for _, f := range findings {
+		msgs = append(msgs, f.String())
+	}
+	wantProbeFindings(t, strings.Join(msgs, "\n"))
+}
+
+// TestReintroducedBugsFailUnderVet builds the real binary and runs it
+// behind `go vet -vettool`, exercising the unit-checker protocol end
+// to end.
+func TestReintroducedBugsFailUnderVet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and runs go vet")
+	}
+	bin := filepath.Join(t.TempDir(), "sketchlint")
+	build := exec.Command("go", "build", "-o", bin, "repro/cmd/sketchlint")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building sketchlint: %v\n%s", err, out)
+	}
+
+	dir := writeModule(t)
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	vet.Dir = dir
+	out, err := vet.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet passed on a module with reintroduced bugs:\n%s", out)
+	}
+	wantProbeFindings(t, string(out))
+}
+
+// TestCleanModulePassesUnderVet checks the protocol's happy path: a
+// module with none of the bug classes vets clean.
+func TestCleanModulePassesUnderVet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and runs go vet")
+	}
+	bin := filepath.Join(t.TempDir(), "sketchlint")
+	build := exec.Command("go", "build", "-o", bin, "repro/cmd/sketchlint")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building sketchlint: %v\n%s", err, out)
+	}
+
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module cleanprobe\n\ngo 1.24\n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	src := `package clean
+
+func Double(n int) int { return 2 * n }
+`
+	if err := os.WriteFile(filepath.Join(dir, "clean.go"), []byte(src), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	vet.Dir = dir
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("go vet failed on a clean module: %v\n%s", err, out)
+	}
+}

@@ -1,0 +1,77 @@
+// Package analysis is a minimal, dependency-free mirror of the
+// golang.org/x/tools/go/analysis vocabulary: an Analyzer inspects one
+// type-checked package through a Pass and reports Diagnostics. The
+// repository vendors nothing, so the framework is rebuilt here on the
+// standard library's go/ast and go/types alone — the driver
+// subpackage loads and type-checks packages through `go list -export`
+// plus the gc export-data importer, and cmd/sketchlint fronts the
+// suite both standalone and behind `go vet -vettool`.
+//
+// The analyzers in the subpackages encode this repository's hot-path,
+// lock, and decode invariants; see doc.go at the module root
+// ("Static analysis & invariants") for the catalog and rationale.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one static check: a name diagnostics are
+// attributed to, a doc string explaining the invariant it enforces,
+// and the Run function applied to every package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Pass is one (analyzer, package) unit of work: the parsed files, the
+// type-checked package, and the Report sink diagnostics go to.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf formats and reports a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// BaseName reduces a package path to the base name analyzers scope
+// their rules by: the test-variant suffix `pkg [pkg.test]` that go
+// list attaches, any directory prefix, and an external-test `_test`
+// suffix are all stripped, so "repro/internal/window_test
+// [repro/internal/window.test]" and "repro/internal/window" both
+// reduce to "window".
+func BaseName(path string) string {
+	if i := strings.Index(path, " ["); i >= 0 {
+		path = path[:i]
+	}
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		path = path[i+1:]
+	}
+	return strings.TrimSuffix(path, "_test")
+}
+
+// Inspect walks every file of the pass in depth-first order, calling f
+// for each node; f returning false prunes the subtree — the same
+// contract as ast.Inspect, lifted to the whole package.
+func (p *Pass) Inspect(f func(ast.Node) bool) {
+	for _, file := range p.Files {
+		ast.Inspect(file, f)
+	}
+}

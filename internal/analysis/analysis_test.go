@@ -1,0 +1,23 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+func TestBaseName(t *testing.T) {
+	cases := []struct{ path, want string }{
+		{"repro", "repro"},
+		{"repro/internal/window", "window"},
+		{"repro/internal/window [repro/internal/window.test]", "window"},
+		{"repro/internal/window_test [repro/internal/window.test]", "window"},
+		{"repro_test [repro.test]", "repro"},
+		{"repro/internal/codec", "codec"},
+	}
+	for _, c := range cases {
+		if got := analysis.BaseName(c.path); got != c.want {
+			t.Errorf("BaseName(%q) = %q, want %q", c.path, got, c.want)
+		}
+	}
+}

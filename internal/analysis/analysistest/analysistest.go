@@ -1,0 +1,164 @@
+// Package analysistest runs an analyzer over fixture packages under a
+// testdata directory and checks its diagnostics against `// want`
+// comments in the fixtures — the same convention as x/tools'
+// analysistest, rebuilt on the local driver.
+//
+// A fixture line expecting diagnostics carries a comment of the form
+//
+//	code() // want "first regexp" "second regexp"
+//
+// where each quoted string is a regular expression that must match
+// the message of one diagnostic reported on that line. Lines without
+// a want comment must produce no diagnostics.
+package analysistest
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/driver"
+)
+
+// wantRx pulls the quoted expectations out of a want comment.
+var wantRx = regexp.MustCompile(`//\s*want((?:\s+"(?:[^"\\]|\\.)*")+)`)
+
+var quotedRx = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// Run analyzes each fixture package (a directory under
+// testdata/src/<pkg>) with a and reports any mismatch between the
+// diagnostics produced and the // want expectations as test errors.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		runPackage(t, testdata, a, pkg)
+	}
+}
+
+type expectation struct {
+	rx      *regexp.Regexp
+	matched bool
+}
+
+func runPackage(t *testing.T, testdata string, a *analysis.Analyzer, pkg string) {
+	t.Helper()
+	dir := filepath.Join(testdata, "src", pkg)
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(names) == 0 {
+		t.Fatalf("analysistest: no fixture files in %s (%v)", dir, err)
+	}
+	sort.Strings(names)
+
+	wants, imports, err := collect(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exports, err := stdExports(imports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := driver.RunFiles(pkg, names, driver.Lookup(nil, exports), []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("analysistest: %s: %v", pkg, err)
+	}
+
+	for _, f := range findings {
+		key := fmt.Sprintf("%s:%d", filepath.Base(f.Pos.Filename), f.Pos.Line)
+		if !claim(wants[key], f.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", key, f.Message)
+		}
+	}
+	for key, exps := range wants {
+		for _, e := range exps {
+			if !e.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", key, e.rx)
+			}
+		}
+	}
+}
+
+// claim marks the first unmatched expectation matching msg and reports
+// whether one existed.
+func claim(exps []*expectation, msg string) bool {
+	for _, e := range exps {
+		if !e.matched && e.rx.MatchString(msg) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collect parses the fixtures, gathering want expectations keyed by
+// "file:line" and the set of imported packages.
+func collect(names []string) (map[string][]*expectation, []string, error) {
+	wants := make(map[string][]*expectation)
+	importSet := make(map[string]bool)
+	fset := token.NewFileSet()
+	for _, name := range names {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		f, err := parser.ParseFile(fset, name, src, parser.ParseComments)
+		if err != nil {
+			return nil, nil, fmt.Errorf("analysistest: parsing %s: %w", name, err)
+		}
+		for _, imp := range f.Imports {
+			p, _ := strconv.Unquote(imp.Path.Value)
+			importSet[p] = true
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRx.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				key := fmt.Sprintf("%s:%d", filepath.Base(name), fset.Position(c.Pos()).Line)
+				for _, q := range quotedRx.FindAllString(m[1], -1) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						return nil, nil, fmt.Errorf("analysistest: %s: bad want pattern %s", key, q)
+					}
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, nil, fmt.Errorf("analysistest: %s: %w", key, err)
+					}
+					wants[key] = append(wants[key], &expectation{rx: rx})
+				}
+			}
+		}
+	}
+	imports := make([]string, 0, len(importSet))
+	for p := range importSet {
+		imports = append(imports, p)
+	}
+	sort.Strings(imports)
+	return wants, imports, nil
+}
+
+// stdExports resolves export data for the fixtures' imports (standard
+// library packages — fixtures are self-contained by design).
+func stdExports(imports []string) (map[string]string, error) {
+	if len(imports) == 0 {
+		return nil, nil
+	}
+	pkgs, err := driver.Load(".", false, imports...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}

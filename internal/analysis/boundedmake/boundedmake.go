@@ -1,0 +1,471 @@
+// Package boundedmake enforces the PR 5 hostile-input rule: in the
+// wire-format decode paths, a make() whose size derives from decoded
+// bytes must be dominated by a comparison against a validated bound
+// before it drives an allocation. A length prefix read off the wire
+// and handed straight to make is an OOM primitive — the exact class
+// the v2 codec hardening removed.
+//
+// The analysis is a conservative single-function dataflow over
+// statement order: a size expression is "bounded" when every leaf is
+// a constant, a len/cap of in-memory data, or a variable that was
+// either assigned from a bounded expression, guarded by a comparison
+// in an if whose body terminates (return/panic), or clamped by an
+// `if small < big { big = small }` assignment. Everything else —
+// notably integers decoded via encoding/binary or io — is unbounded
+// until proven otherwise.
+package boundedmake
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Packages lists the package base names holding decode paths the rule
+// applies to.
+var Packages = map[string]bool{"codec": true}
+
+// decodePrefixes mark the functions treated as decode paths.
+var decodePrefixes = []string{"decode", "read", "restore", "unmarshal"}
+
+// Analyzer is the boundedmake analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "boundedmake",
+	Doc:  "decode-path make() sizes must be bounded by a validated descriptor bound before allocating",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !Packages[analysis.BaseName(pass.Pkg.Path())] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !decodeFunc(fn.Name.Name) {
+				continue
+			}
+			st := &state{pass: pass, bounded: map[string]bool{}}
+			st.block(fn.Body)
+		}
+	}
+	return nil
+}
+
+func decodeFunc(name string) bool {
+	lower := strings.ToLower(name)
+	for _, p := range decodePrefixes {
+		if strings.HasPrefix(lower, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// state tracks which variables are currently bounded, keyed by their
+// expression string (idents and field selectors alike).
+type state struct {
+	pass    *analysis.Pass
+	bounded map[string]bool
+}
+
+// block processes statements in source order.
+func (st *state) block(b *ast.BlockStmt) {
+	for _, s := range b.List {
+		st.stmt(s)
+	}
+}
+
+func (st *state) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		st.checkExprs(s.Rhs)
+		st.assign(s, nil)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				st.checkExprs(vs.Values)
+				for i, name := range vs.Names {
+					if i < len(vs.Values) {
+						st.bounded[name.Name] = st.boundedExpr(vs.Values[i])
+					} else {
+						st.bounded[name.Name] = true // zero value
+					}
+				}
+			}
+		}
+	case *ast.IfStmt:
+		st.ifStmt(s)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st.stmt(s.Init)
+		}
+		if s.Cond != nil {
+			st.checkExpr(s.Cond)
+		}
+		st.block(s.Body)
+		if s.Post != nil {
+			st.stmt(s.Post)
+		}
+	case *ast.RangeStmt:
+		st.checkExpr(s.X)
+		st.block(s.Body)
+	case *ast.BlockStmt:
+		st.block(s)
+	case *ast.SwitchStmt:
+		if s.Tag != nil {
+			st.checkExpr(s.Tag)
+		}
+		for _, cl := range s.Body.List {
+			if c, ok := cl.(*ast.CaseClause); ok {
+				for _, cs := range c.Body {
+					st.stmt(cs)
+				}
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, cl := range s.Body.List {
+			if c, ok := cl.(*ast.CaseClause); ok {
+				for _, cs := range c.Body {
+					st.stmt(cs)
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		st.checkExpr(s.X)
+	case *ast.ReturnStmt:
+		st.checkExprs(s.Results)
+	case *ast.DeferStmt:
+		st.checkExpr(s.Call)
+	case *ast.GoStmt:
+		st.checkExpr(s.Call)
+	}
+}
+
+// ifStmt handles guards and clamps. After an if whose body terminates,
+// variables compared against bounded values in its condition become
+// bounded ("if n > max { return err }"). Inside the body, an
+// assignment `big = small` under a condition comparing the two keeps
+// big's bounded status ("if rem < m { m = rem }").
+func (st *state) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		st.stmt(s.Init)
+	}
+	st.checkExpr(s.Cond)
+
+	clamps := comparisons(s.Cond)
+
+	// Then-branch facts: inside the body, an operand compared below a
+	// bounded value is itself bounded ("if n <= chunk { make([]byte,
+	// n) }"). The facts are scoped to the body — restored afterwards,
+	// conservatively clobbering any body assignment to the same names.
+	thenKeys := st.thenFacts(clamps)
+	saved := make(map[string]bool, len(thenKeys))
+	for _, k := range thenKeys {
+		saved[k] = st.bounded[k]
+		st.bounded[k] = true
+	}
+	for _, bs := range s.Body.List {
+		if as, ok := bs.(*ast.AssignStmt); ok {
+			st.checkExprs(as.Rhs)
+			st.assign(as, clamps)
+			continue
+		}
+		st.stmt(bs)
+	}
+	for _, k := range thenKeys {
+		st.bounded[k] = saved[k]
+	}
+
+	if s.Else != nil {
+		st.stmt(s.Else)
+	}
+	if terminates(s.Body) {
+		for _, cmp := range clamps {
+			st.applyGuard(cmp)
+		}
+	}
+}
+
+// thenFacts returns the state keys provably bounded inside the then
+// branch: the small side of an ordered comparison against a bounded
+// value, or either side of an equality with a bounded counterpart.
+// (&&-joined conditions are sound here; a ||-joined one is over-
+// approximate, which this conservative checker accepts.)
+func (st *state) thenFacts(clamps []cmp) []string {
+	var keys []string
+	for _, c := range clamps {
+		xb, yb := st.boundedExpr(c.x), st.boundedExpr(c.y)
+		switch c.op {
+		case token.LSS, token.LEQ: // x < y: x bounded when y is
+			if yb && !xb {
+				keys = append(keys, boundKeys(c.x)...)
+			}
+		case token.GTR, token.GEQ: // x > y: y bounded when x is
+			if xb && !yb {
+				keys = append(keys, boundKeys(c.y)...)
+			}
+		case token.EQL:
+			if yb && !xb {
+				keys = append(keys, boundKeys(c.x)...)
+			}
+			if xb && !yb {
+				keys = append(keys, boundKeys(c.y)...)
+			}
+		}
+	}
+	return keys
+}
+
+// cmp is one ordered comparison a OP b appearing in a condition.
+type cmp struct {
+	x, y ast.Expr
+	op   token.Token
+}
+
+// comparisons flattens a condition into its comparison operands,
+// descending through && and ||.
+func comparisons(e ast.Expr) []cmp {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return comparisons(e.X)
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.LAND, token.LOR:
+			return append(comparisons(e.X), comparisons(e.Y)...)
+		case token.GTR, token.LSS, token.GEQ, token.LEQ, token.NEQ, token.EQL:
+			return []cmp{{x: e.X, y: e.Y, op: e.Op}}
+		}
+	}
+	return nil
+}
+
+// applyGuard marks comparison operands bounded after a terminating
+// guard: in `if n > max { return }`, falling through bounds n when max
+// is bounded (and vice versa).
+func (st *state) applyGuard(c cmp) {
+	xb, yb := st.boundedExpr(c.x), st.boundedExpr(c.y)
+	if yb && !xb {
+		for _, k := range boundKeys(c.x) {
+			st.bounded[k] = true
+		}
+	}
+	if xb && !yb {
+		for _, k := range boundKeys(c.y) {
+			st.bounded[k] = true
+		}
+	}
+}
+
+// boundKeys lists the state keys an expression boundens: the
+// expression itself for idents and selectors, the operand for
+// conversions like uint64(n) in a guard.
+func boundKeys(e ast.Expr) []string {
+	switch e := e.(type) {
+	case *ast.Ident, *ast.SelectorExpr:
+		return []string{types.ExprString(e)}
+	case *ast.CallExpr:
+		if len(e.Args) == 1 {
+			return boundKeys(e.Args[0])
+		}
+	case *ast.ParenExpr:
+		return boundKeys(e.X)
+	}
+	return nil
+}
+
+// assign updates boundedness through an assignment. clamps carries the
+// enclosing if condition's comparisons when the assignment sits
+// directly in a clamp-shaped if body.
+func (st *state) assign(as *ast.AssignStmt, clamps []cmp) {
+	for i, lhs := range as.Lhs {
+		key := types.ExprString(lhs)
+		if i >= len(as.Rhs) {
+			// multi-value assignment (x, err := f()): unbounded results
+			st.bounded[key] = false
+			continue
+		}
+		rhs := as.Rhs[i]
+		if as.Tok != token.ASSIGN && as.Tok != token.DEFINE {
+			// compound ops (+=, *=) on a bounded var may exceed the
+			// bound; conservatively unbound unless rhs is bounded too.
+			st.bounded[key] = st.bounded[key] && st.boundedExpr(rhs)
+			continue
+		}
+		if st.boundedExpr(rhs) {
+			st.bounded[key] = true
+			continue
+		}
+		// Clamp: `if small < big { big = small }` keeps big bounded.
+		if st.bounded[key] && clampedBy(clamps, rhs, lhs) {
+			continue
+		}
+		st.bounded[key] = false
+	}
+}
+
+// clampedBy reports whether the condition contains a comparison
+// proving rhs < lhs (or <=) at the assignment site.
+func clampedBy(clamps []cmp, rhs, lhs ast.Expr) bool {
+	rs, ls := types.ExprString(rhs), types.ExprString(lhs)
+	for _, c := range clamps {
+		xs, ys := types.ExprString(c.x), types.ExprString(c.y)
+		switch c.op {
+		case token.LSS, token.LEQ: // x < y
+			if xs == rs && ys == ls {
+				return true
+			}
+		case token.GTR, token.GEQ: // x > y
+			if xs == ls && ys == rs {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// terminates reports whether a block always exits the function or
+// loop iteration (return, panic, break, continue, goto as last
+// statement).
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkExprs scans expressions for make calls with unbounded sizes.
+func (st *state) checkExprs(es []ast.Expr) {
+	for _, e := range es {
+		st.checkExpr(e)
+	}
+}
+
+func (st *state) checkExpr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if b, ok := st.pass.TypesInfo.Uses[id].(*types.Builtin); !ok || b.Name() != "make" {
+			return true
+		}
+		for _, sz := range call.Args[1:] {
+			if !st.boundedExpr(sz) {
+				st.pass.Reportf(call.Pos(), "make size %s is not dominated by a bound check; a hostile length prefix could drive this allocation", types.ExprString(sz))
+			}
+		}
+		return true
+	})
+}
+
+// boundedExpr reports whether every leaf of e is provably bounded.
+func (st *state) boundedExpr(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.BasicLit:
+		return true
+	case *ast.Ident:
+		if st.isConst(e) {
+			return true
+		}
+		return st.bounded[e.Name]
+	case *ast.SelectorExpr:
+		if st.isConst(e.Sel) {
+			return true
+		}
+		return st.bounded[types.ExprString(e)]
+	case *ast.ParenExpr:
+		return st.boundedExpr(e.X)
+	case *ast.BinaryExpr:
+		return st.boundedExpr(e.X) && st.boundedExpr(e.Y)
+	case *ast.UnaryExpr:
+		return st.boundedExpr(e.X)
+	case *ast.CallExpr:
+		// len/cap of in-memory data are bounded by what was already
+		// read; min() is bounded if any argument is; conversions
+		// follow their operand.
+		if id, ok := e.Fun.(*ast.Ident); ok {
+			if b, ok := st.pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+				switch b.Name() {
+				case "len", "cap":
+					return true
+				case "min":
+					for _, a := range e.Args {
+						if st.boundedExpr(a) {
+							return true
+						}
+					}
+					return false
+				}
+			}
+		}
+		if tv, ok := st.pass.TypesInfo.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+			return st.boundedExpr(e.Args[0])
+		}
+		// A plain function call whose arguments are all bounded
+		// integers yields a value derived from validated data
+		// (chainLen(int(n))). Byte-slice arguments never qualify:
+		// a slice's boundedness covers its length, not its hostile
+		// contents.
+		if id, ok := e.Fun.(*ast.Ident); ok {
+			if _, isFunc := st.pass.TypesInfo.Uses[id].(*types.Func); isFunc && len(e.Args) > 0 {
+				for _, a := range e.Args {
+					if !st.isInt(a) || !st.boundedExpr(a) {
+						return false
+					}
+				}
+				return true
+			}
+		}
+		return false
+	default:
+		if tv, ok := st.pass.TypesInfo.Types[e]; ok && tv.Value != nil {
+			return true
+		}
+		return false
+	}
+}
+
+// isInt reports whether the expression has integer type.
+func (st *state) isInt(e ast.Expr) bool {
+	tv, ok := st.pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// isConst reports whether the identifier denotes a constant.
+func (st *state) isConst(id *ast.Ident) bool {
+	obj := st.pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = st.pass.TypesInfo.Defs[id]
+	}
+	_, ok := obj.(*types.Const)
+	return ok
+}

@@ -1,0 +1,123 @@
+// Fixtures for the boundedmake analyzer. The package base name
+// "codec" and the decode*/read* function names put these inside the
+// rule's scope.
+package codec
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+)
+
+const maxLen = 1 << 20
+
+const chunk = 4096
+
+var errTooBig = errors.New("too big")
+
+// decodeBad hands a wire-derived length straight to make: the classic
+// OOM primitive.
+func decodeBad(r io.Reader) ([]byte, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint64(hdr[:])
+	buf := make([]byte, n) // want "make size n is not dominated by a bound check"
+	_, err := io.ReadFull(r, buf)
+	return buf, err
+}
+
+// decodeGuarded validates the length against a constant bound first.
+func decodeGuarded(r io.Reader) ([]byte, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint64(hdr[:])
+	if n > maxLen {
+		return nil, errTooBig
+	}
+	buf := make([]byte, n)
+	_, err := io.ReadFull(r, buf)
+	return buf, err
+}
+
+// decodeThenBranch allocates inside the body of the comparison that
+// bounds the size.
+func decodeThenBranch(r io.Reader) ([]byte, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint64(hdr[:])
+	if n <= chunk {
+		return make([]byte, n), nil
+	}
+	return nil, errTooBig
+}
+
+// decodeAfterIf shows the then-branch fact does not leak past the if.
+func decodeAfterIf(r io.Reader) []byte {
+	var hdr [8]byte
+	_, _ = io.ReadFull(r, hdr[:])
+	n := binary.LittleEndian.Uint64(hdr[:])
+	if n <= chunk {
+		n++
+	}
+	return make([]byte, n) // want "make size n is not dominated by a bound check"
+}
+
+// readClamped caps the per-iteration allocation with a clamp
+// assignment, the chunked-read idiom.
+func readClamped(r io.Reader, n uint64) ([]byte, error) {
+	out := make([]byte, 0, chunk)
+	for read := uint64(0); read < n; {
+		m := uint64(chunk)
+		if rem := n - read; rem < m {
+			m = rem
+		}
+		buf := make([]byte, m)
+		k, err := io.ReadFull(r, buf)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, buf[:k]...)
+		read += m
+	}
+	return out, nil
+}
+
+// decodeDerived sizes the allocation from a pure integer function of a
+// validated value.
+func decodeDerived(r io.Reader) ([]uint64, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint64(hdr[:])
+	if n > maxLen {
+		return nil, errTooBig
+	}
+	return make([]uint64, levelsFor(int(n))), nil
+}
+
+func levelsFor(n int) int {
+	l := 0
+	for n > 1 {
+		n /= 2
+		l++
+	}
+	return l
+}
+
+// decodeFromLen sizes from in-memory data already read: bounded.
+func decodeFromLen(b []byte) [][]byte {
+	parts := make([][]byte, 0, len(b)/2)
+	return parts
+}
+
+// helper is not a decode path: the rule does not apply.
+func helper(n uint64) []byte {
+	return make([]byte, n)
+}

@@ -1,0 +1,15 @@
+// Package plain is outside the boundedmake scope: an unbounded decode
+// make that fires in the codec fixture stays silent here.
+package plain
+
+import (
+	"encoding/binary"
+	"io"
+)
+
+func decodeRaw(r io.Reader) []byte {
+	var hdr [8]byte
+	_, _ = io.ReadFull(r, hdr[:])
+	n := binary.LittleEndian.Uint64(hdr[:])
+	return make([]byte, n)
+}

@@ -1,0 +1,244 @@
+// Package driver loads, type-checks, and runs analyzers over Go
+// packages using only the standard library and the go tool itself.
+//
+// Loading leans on `go list -export -json -deps`: the go command
+// compiles every dependency into the build cache and hands back the
+// path of each package's gc export data, which go/importer reads
+// through a lookup function. That gives the analyzers fully
+// type-checked packages — the same information x/tools' go/packages
+// would provide — without vendoring anything.
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// ListPackage is the subset of `go list -json` output the driver
+// consumes.
+type ListPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	ForTest    string
+	Standard   bool
+	DepOnly    bool
+	ImportMap  map[string]string
+	Module     *struct{ Path string }
+}
+
+// Load runs `go list -export -json -deps` (plus -test when tests is
+// set) over the patterns and returns every listed package, in
+// dependency order.
+func Load(dir string, tests bool, patterns ...string) ([]*ListPackage, error) {
+	args := []string{"list", "-export", "-json", "-deps"}
+	if tests {
+		args = append(args, "-test")
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("driver: go list: %w\n%s", err, stderr.String())
+	}
+	var pkgs []*ListPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p ListPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("driver: decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// exportIndex maps import paths to gc export-data files across a
+// whole `go list -deps` result set.
+func exportIndex(pkgs []*ListPackage) map[string]string {
+	idx := make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		if p.Export != "" {
+			idx[p.ImportPath] = p.Export
+		}
+	}
+	return idx
+}
+
+// Lookup builds the go/importer lookup function for one package: an
+// import path written in its sources resolves through the package's
+// ImportMap (test-variant and vendor redirections), then to the
+// export-data file the build cache holds for it.
+func Lookup(importMap map[string]string, exports map[string]string) func(string) (io.ReadCloser, error) {
+	return func(path string) (io.ReadCloser, error) {
+		if m, ok := importMap[path]; ok {
+			path = m
+		}
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("driver: no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+}
+
+// TypeCheck parses and type-checks one package from its file list,
+// resolving imports through lookup. It returns the inputs an analysis
+// Pass needs.
+func TypeCheck(path string, filenames []string, lookup func(string) (io.ReadCloser, error)) (*token.FileSet, []*ast.File, *types.Package, *types.Info, error) {
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(filenames))
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, nil, nil, fmt.Errorf("driver: parsing %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, nil, nil, fmt.Errorf("driver: type-checking %s: %w", path, err)
+	}
+	return fset, files, pkg, info, nil
+}
+
+// Finding is one diagnostic with its position resolved and the
+// analyzer that raised it.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Pos, f.Message, f.Analyzer)
+}
+
+// analyzable selects the unit a package contributes to analysis: test
+// variants supersede their base package (same files plus _test.go
+// ones), and only packages of the current module are analyzed.
+func analyzable(pkgs []*ListPackage) []*ListPackage {
+	hasTestVariant := make(map[string]bool)
+	for _, p := range pkgs {
+		// Only the in-package variant `pkg [pkg.test]` carries the base
+		// sources plus _test.go files and supersedes the base package;
+		// an external `pkg_test [pkg.test]` package is its own unit.
+		base := p.ImportPath
+		if i := strings.Index(base, " ["); i >= 0 {
+			base = base[:i]
+		}
+		if p.ForTest != "" && base == p.ForTest {
+			hasTestVariant[p.ForTest] = true
+		}
+	}
+	var out []*ListPackage
+	for _, p := range pkgs {
+		switch {
+		case p.Standard || p.DepOnly || p.Module == nil:
+		case strings.HasSuffix(p.ImportPath, ".test"): // generated test main
+		case p.ForTest == "" && hasTestVariant[p.ImportPath]: // superseded
+		default:
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Run analyzes every module package matched by the patterns with every
+// analyzer and returns the findings, sorted by position. tests selects
+// whether _test.go files (and external test packages) are included.
+func Run(dir string, tests bool, analyzers []*analysis.Analyzer, patterns ...string) ([]Finding, error) {
+	pkgs, err := Load(dir, tests, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	exports := exportIndex(pkgs)
+	var findings []Finding
+	for _, p := range analyzable(pkgs) {
+		if len(p.GoFiles) == 0 {
+			continue
+		}
+		filenames := make([]string, len(p.GoFiles))
+		for i, f := range p.GoFiles {
+			filenames[i] = filepath.Join(p.Dir, f)
+		}
+		fs, err := RunFiles(p.ImportPath, filenames, Lookup(p.ImportMap, exports), analyzers)
+		if err != nil {
+			return nil, err
+		}
+		findings = append(findings, fs...)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// RunFiles type-checks one package from explicit file names and runs
+// the analyzers over it — the unit shared by standalone runs, the
+// vet -vettool protocol, and analysistest.
+func RunFiles(path string, filenames []string, lookup func(string) (io.ReadCloser, error), analyzers []*analysis.Analyzer) ([]Finding, error) {
+	fset, files, pkg, info, err := TypeCheck(path, filenames, lookup)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report: func(d analysis.Diagnostic) {
+				findings = append(findings, Finding{
+					Analyzer: a.Name,
+					Pos:      fset.Position(d.Pos),
+					Message:  d.Message,
+				})
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("driver: %s on %s: %w", a.Name, path, err)
+		}
+	}
+	return findings, nil
+}

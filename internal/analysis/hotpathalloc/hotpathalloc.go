@@ -1,0 +1,250 @@
+// Package hotpathalloc enforces the zero-allocation contract of the
+// batched serving paths: a function whose doc comment carries the
+// //sketch:hotpath tag must not contain allocating constructs. The
+// batch fast paths live or die on zero allocations per operation; the
+// runtime twin of this rule is the testing.AllocsPerRun gates in
+// alloc_test.go files.
+//
+// Flagged constructs: make, new, append, slice/map composite
+// literals, &composite literals, function literals (closure capture),
+// fmt.* calls, string<->[]byte/[]rune conversions, string
+// concatenation, go statements, channel sends, and interface boxing
+// of concrete non-pointer operands. Arguments of panic(...) calls are
+// exempt: a panic is off the hot path by definition, and the
+// validation helpers deliberately build their messages only when
+// dying.
+package hotpathalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Tag is the magic doc-comment marker.
+const Tag = "sketch:hotpath"
+
+// Analyzer is the hotpathalloc analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "functions tagged //sketch:hotpath must not contain allocating constructs",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !tagged(fn) {
+				continue
+			}
+			check(pass, fn)
+		}
+	}
+	return nil
+}
+
+// tagged reports whether the function's doc comment carries the
+// hotpath marker.
+func tagged(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.Contains(c.Text, Tag) {
+			return true
+		}
+	}
+	return false
+}
+
+type checker struct {
+	pass *analysis.Pass
+	fn   *ast.FuncDecl
+}
+
+func check(pass *analysis.Pass, fn *ast.FuncDecl) {
+	c := &checker{pass: pass, fn: fn}
+	ast.Inspect(fn.Body, c.visit)
+}
+
+func (c *checker) report(n ast.Node, what string) {
+	c.pass.Reportf(n.Pos(), "%s in //sketch:hotpath function %s allocates", what, c.fn.Name.Name)
+}
+
+func (c *checker) visit(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.CallExpr:
+		return c.call(n)
+	case *ast.CompositeLit:
+		c.composite(n)
+		// Descend: element expressions may allocate on their own.
+	case *ast.UnaryExpr:
+		if n.Op == token.AND {
+			if cl, ok := n.X.(*ast.CompositeLit); ok {
+				c.report(n, "&composite literal")
+				ast.Inspect(cl, func(m ast.Node) bool { // still scan elements
+					if m == cl {
+						return true
+					}
+					return c.visit(m)
+				})
+				return false
+			}
+		}
+	case *ast.FuncLit:
+		c.report(n, "function literal (closure)")
+		return false
+	case *ast.GoStmt:
+		c.report(n, "go statement")
+	case *ast.SendStmt:
+		c.report(n, "channel send")
+	case *ast.BinaryExpr:
+		if n.Op == token.ADD && c.isString(n.X) {
+			c.report(n, "string concatenation")
+		}
+	}
+	return true
+}
+
+// call classifies one call expression, returning false to prune the
+// walk when its arguments were already handled.
+func (c *checker) call(call *ast.CallExpr) bool {
+	info := c.pass.TypesInfo
+	// panic(...) arguments are off the hot path: never scanned.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+			return false
+		}
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if b, ok := info.Uses[fun].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make", "new", "append":
+				c.report(call, b.Name())
+			}
+		}
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			if pkg, ok := info.Uses[id].(*types.PkgName); ok && pkg.Imported().Path() == "fmt" {
+				c.report(call, "fmt."+fun.Sel.Name+" call")
+			}
+		}
+	}
+	// Type conversions crossing string/[]byte/[]rune allocate.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		if c.stringConversion(tv.Type, call.Args[0]) {
+			c.report(call, "string conversion")
+		}
+		// Conversion into an interface boxes the operand.
+		if types.IsInterface(tv.Type.Underlying()) {
+			c.boxes(call.Args[0], call)
+		}
+		return true
+	}
+	// Interface-typed parameters box concrete non-pointer arguments.
+	if tv, ok := info.Types[call.Fun]; ok {
+		if sig, ok := tv.Type.Underlying().(*types.Signature); ok {
+			c.boxedArgs(sig, call)
+		}
+	}
+	return true
+}
+
+// boxedArgs reports concrete non-pointer arguments passed to
+// interface-typed parameters.
+func (c *checker) boxedArgs(sig *types.Signature, call *ast.CallExpr) {
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue // slice passed through, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if types.IsInterface(pt.Underlying()) {
+			c.boxes(arg, arg)
+		}
+	}
+}
+
+// boxes reports arg if converting it to an interface must heap-box it:
+// a concrete non-pointer, non-interface value that is not a constant.
+// Type parameters are skipped — their instantiations are unknown here.
+func (c *checker) boxes(arg ast.Expr, at ast.Node) {
+	tv, ok := c.pass.TypesInfo.Types[arg]
+	if !ok || tv.Value != nil { // constants are interned by the runtime
+		return
+	}
+	t := tv.Type
+	if t == nil {
+		return
+	}
+	if _, isParam := t.(*types.TypeParam); isParam {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Interface, *types.Signature, *types.Chan, *types.Map:
+		return // single-word values: no heap box for pointers/interfaces
+	}
+	c.pass.Reportf(at.Pos(), "interface boxing of %s operand in //sketch:hotpath function %s allocates", t.String(), c.fn.Name.Name)
+}
+
+// composite flags slice and map literals (heap-backed); plain struct
+// and array literals are value constructions and stay off the heap
+// unless they escape through other flagged constructs.
+func (c *checker) composite(lit *ast.CompositeLit) {
+	tv, ok := c.pass.TypesInfo.Types[lit]
+	if !ok {
+		return
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Slice:
+		c.report(lit, "slice literal")
+	case *types.Map:
+		c.report(lit, "map literal")
+	}
+}
+
+func (c *checker) isString(e ast.Expr) bool {
+	tv, ok := c.pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// stringConversion reports conversions between string and []byte or
+// []rune in either direction.
+func (c *checker) stringConversion(to types.Type, from ast.Expr) bool {
+	fromT := c.pass.TypesInfo.Types[from].Type
+	if fromT == nil {
+		return false
+	}
+	return (isStringT(to) && isByteOrRuneSlice(fromT)) || (isByteOrRuneSlice(to) && isStringT(fromT))
+}
+
+func isStringT(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	e, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (e.Kind() == types.Byte || e.Kind() == types.Rune || e.Kind() == types.Uint8 || e.Kind() == types.Int32)
+}

@@ -1,0 +1,132 @@
+// Fixtures for the hotpathalloc analyzer: only functions tagged
+// //sketch:hotpath are checked, and panic arguments are exempt.
+package hotpath
+
+import "fmt"
+
+type sk struct {
+	rows    []float64
+	scratch []int
+}
+
+// Update is tagged and allocation-free.
+//
+//sketch:hotpath
+func (s *sk) Update(i int, d float64) {
+	s.rows[i] += d
+}
+
+// grow is untagged: allocations are allowed off the hot path.
+func (s *sk) grow() {
+	s.rows = append(s.rows, 0)
+}
+
+//sketch:hotpath
+func (s *sk) badMake(n int) {
+	s.scratch = make([]int, n) // want "make in //sketch:hotpath function badMake allocates"
+}
+
+//sketch:hotpath
+func (s *sk) badNew() *sk {
+	return new(sk) // want "new in //sketch:hotpath function badNew allocates"
+}
+
+//sketch:hotpath
+func (s *sk) badAppend(v float64) {
+	s.rows = append(s.rows, v) // want "append in //sketch:hotpath function badAppend allocates"
+}
+
+//sketch:hotpath
+func (s *sk) badClosure() func() {
+	return func() {} // want "function literal"
+}
+
+//sketch:hotpath
+func (s *sk) badFmt(i int) {
+	fmt.Println(i) // want "fmt.Println call" "interface boxing"
+}
+
+//sketch:hotpath
+func badSliceLit() []int {
+	return []int{1, 2} // want "slice literal"
+}
+
+//sketch:hotpath
+func badMapLit() map[int]int {
+	return map[int]int{} // want "map literal"
+}
+
+//sketch:hotpath
+func badAddrComposite() *sk {
+	return &sk{} // want "&composite literal"
+}
+
+//sketch:hotpath
+func badString(b []byte) string {
+	return string(b) // want "string conversion"
+}
+
+//sketch:hotpath
+func badBytes(s string) []byte {
+	return []byte(s) // want "string conversion"
+}
+
+//sketch:hotpath
+func badConcat(a, b string) string {
+	return a + b // want "string concatenation"
+}
+
+//sketch:hotpath
+func badGo() {
+	go helper() // want "go statement"
+}
+
+//sketch:hotpath
+func badSend(ch chan int) {
+	ch <- 1 // want "channel send"
+}
+
+func helper() {}
+
+type iface interface{ M() }
+
+type impl struct{ x int }
+
+func (impl) M() {}
+
+func use(v iface) { v.M() }
+
+//sketch:hotpath
+func badBox() {
+	var v impl
+	use(v) // want "interface boxing"
+}
+
+//sketch:hotpath
+func goodBoxPointer(v *impl) {
+	usePtr(v)
+}
+
+func usePtr(v iface) { v.M() }
+
+// goodPanic allocates only inside a panic argument, which is off the
+// hot path by definition.
+//
+//sketch:hotpath
+func goodPanic(i, n int) {
+	if i >= n {
+		panic(fmt.Sprintf("index %d out of range %d", i, n))
+	}
+}
+
+// goodArray builds a stack array and does arithmetic: clean.
+//
+//sketch:hotpath
+func goodArray(i int) float64 {
+	var buf [4]float64
+	buf[0] = float64(i)
+	for j := 1; j < len(buf); j++ {
+		buf[j] = buf[j-1] * 2
+	}
+	return buf[3]
+}

@@ -1,0 +1,159 @@
+// Package lockdefer enforces the PR 2 deadlock rule: inside the
+// concurrency-bearing packages, every sync.Mutex/RWMutex Lock() or
+// RLock() must be paired with a matching deferred Unlock()/RUnlock()
+// in the same function. A panicking critical section must never leave
+// a shard locked for every later writer — the exact bug class the
+// shard-lock-leak fix in PR 2 removed.
+package lockdefer
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Packages lists the package base names the rule applies to — the
+// layers that own mutexes guarding shared sketch state.
+var Packages = map[string]bool{
+	"concurrent":  true,
+	"window":      true,
+	"distributed": true,
+}
+
+// Analyzer is the lockdefer analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockdefer",
+	Doc:  "every Lock/RLock in the concurrency packages must be paired with a deferred Unlock/RUnlock in the same function",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !Packages[analysis.BaseName(pass.Pkg.Path())] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkBody(pass, fn.Body)
+				}
+				return false // nested literals are handled by checkBody
+			case *ast.FuncLit: // package-level var initializer
+				checkBody(pass, fn.Body)
+				return false
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// lockCall describes one mutex method call inside a function body.
+type lockCall struct {
+	recv     string // receiver expression, e.g. "sh.mu" or "w.rot"
+	method   string // Lock, RLock, Unlock, RUnlock
+	deferred bool
+	pos      ast.Node
+}
+
+// unlockFor maps an acquire method to the release that must be
+// deferred for it.
+var unlockFor = map[string]string{"Lock": "Unlock", "RLock": "RUnlock"}
+
+// checkBody verifies one function body (treating nested function
+// literals as their own scopes, which the caller visits separately).
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	var calls []lockCall
+	collect(pass, body, false, &calls)
+
+	deferredReleases := make(map[string]bool) // "recv\x00method"
+	for _, c := range calls {
+		if c.deferred && (c.method == "Unlock" || c.method == "RUnlock") {
+			deferredReleases[c.recv+"\x00"+c.method] = true
+		}
+	}
+	for _, c := range calls {
+		want, isAcquire := unlockFor[c.method]
+		if !isAcquire || c.deferred {
+			continue
+		}
+		if !deferredReleases[c.recv+"\x00"+want] {
+			pass.Reportf(c.pos.Pos(), "%s.%s() is not paired with a deferred %s.%s() in this function; a panic in the critical section leaves the lock held",
+				c.recv, c.method, c.recv, want)
+		}
+	}
+}
+
+// collect gathers mutex calls in body. Statements inside a DeferStmt
+// (including bodies of deferred function literals) are marked
+// deferred; nested function literals are additionally checked as
+// scopes of their own.
+func collect(pass *analysis.Pass, n ast.Node, deferred bool, out *[]lockCall) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if fl, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				// Releases inside the deferred closure pair with this
+				// function's acquires; acquires inside it form a scope
+				// of their own.
+				collect(pass, fl.Body, true, out)
+				checkBody(pass, fl.Body)
+			} else {
+				collect(pass, n.Call, true, out)
+			}
+			return false
+		case *ast.FuncLit:
+			checkBody(pass, n.Body)
+			return false
+		case *ast.CallExpr:
+			if c, ok := mutexCall(pass, n, deferred); ok {
+				*out = append(*out, c)
+			}
+		}
+		return true
+	})
+}
+
+// mutexCall reports whether call is sync.Mutex/RWMutex
+// Lock/RLock/Unlock/RUnlock and describes it.
+func mutexCall(pass *analysis.Pass, call *ast.CallExpr, deferred bool) (lockCall, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockCall{}, false
+	}
+	obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return lockCall{}, false
+	}
+	switch obj.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return lockCall{}, false
+	}
+	recv := obj.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return lockCall{}, false
+	}
+	named, ok := deref(recv.Type()).(*types.Named)
+	if !ok {
+		return lockCall{}, false
+	}
+	if name := named.Obj().Name(); name != "Mutex" && name != "RWMutex" {
+		return lockCall{}, false
+	}
+	return lockCall{
+		recv:     types.ExprString(sel.X),
+		method:   obj.Name(),
+		deferred: deferred,
+		pos:      call,
+	}, true
+}
+
+func deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}

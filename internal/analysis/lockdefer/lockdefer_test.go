@@ -1,0 +1,12 @@
+package lockdefer_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/lockdefer"
+)
+
+func TestLockDefer(t *testing.T) {
+	analysistest.Run(t, "testdata", lockdefer.Analyzer, "concurrent", "other")
+}

@@ -1,0 +1,75 @@
+// Fixtures for the lockdefer analyzer. The package base name
+// "concurrent" puts this fixture inside the rule's scope.
+package concurrent
+
+import "sync"
+
+type shard struct {
+	mu sync.Mutex
+	ro sync.RWMutex
+	n  int
+}
+
+func good(s *shard) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+}
+
+func goodRead(s *shard) int {
+	s.ro.RLock()
+	defer s.ro.RUnlock()
+	return s.n
+}
+
+func badInline(s *shard) {
+	s.mu.Lock() // want "not paired with a deferred s.mu.Unlock"
+	s.n++
+	s.mu.Unlock()
+}
+
+func badRead(s *shard) int {
+	s.ro.RLock() // want "not paired with a deferred s.ro.RUnlock"
+	n := s.n
+	s.ro.RUnlock()
+	return n
+}
+
+func badOtherMutex(s, t *shard) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s.mu.Lock() // want "not paired with a deferred s.mu.Unlock"
+	s.n = t.n
+	s.mu.Unlock()
+}
+
+func badWrongKind(s *shard) {
+	s.ro.Lock() // want "not paired with a deferred s.ro.Unlock"
+	defer s.ro.RUnlock()
+	s.n++
+}
+
+func goodDeferredClosure(s *shard) {
+	s.mu.Lock()
+	defer func() {
+		s.n++
+		s.mu.Unlock()
+	}()
+	s.n++
+}
+
+func badNestedLiteral(s *shard) func() {
+	return func() {
+		s.mu.Lock() // want "not paired with a deferred s.mu.Unlock"
+		s.n++
+		s.mu.Unlock()
+	}
+}
+
+func goodNestedLiteral(s *shard) func() int {
+	return func() int {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.n
+	}
+}

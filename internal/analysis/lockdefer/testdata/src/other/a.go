@@ -1,0 +1,16 @@
+// Package other is outside the lockdefer scope: the same unpaired
+// lock that fires in the concurrent fixture stays silent here.
+package other
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	n  int
+}
+
+func inline(b *box) {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+}

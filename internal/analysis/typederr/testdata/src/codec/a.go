@@ -1,0 +1,30 @@
+// Fixtures for typederr rule 3: panic is forbidden anywhere in the
+// decode packages — hostile input must error.
+package codec
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errShort = errors.New("codec: short input")
+
+func decodeStrict(b []byte) error {
+	if len(b) == 0 {
+		panic("empty input") // want "panic in decode package codec"
+	}
+	return nil
+}
+
+func anyHelper(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("negative %d", n)) // want "panic in decode package codec"
+	}
+}
+
+func decodeSafe(b []byte) error {
+	if len(b) == 0 {
+		return errShort
+	}
+	return nil
+}

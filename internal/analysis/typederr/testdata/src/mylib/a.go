@@ -1,0 +1,49 @@
+// Fixtures for typederr outside the boundary packages: only exported
+// constructors fall under rule 1, while rule 2 (%v/%s on an error
+// severs the chain) applies everywhere.
+package mylib
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errBase = errors.New("mylib: base")
+
+type T struct{ n int }
+
+func NewT(n int) (*T, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("mylib: bad n %d", n) // want "untyped fmt.Errorf in API-boundary function NewT"
+	}
+	return &T{n: n}, nil
+}
+
+func NewGood(n int) (*T, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("%w: n %d", errBase, n)
+	}
+	return &T{n: n}, nil
+}
+
+// Exported is not a constructor and mylib is not a boundary package:
+// rule 1 does not apply.
+func Exported(n int) error {
+	return fmt.Errorf("mylib: n %d", n)
+}
+
+func wrapSevered(err error) error {
+	return fmt.Errorf("mylib: %v", err) // want "severs the error chain"
+}
+
+func wrapPrinted(err error) error {
+	return fmt.Errorf("mylib: %s", err) // want "severs the error chain"
+}
+
+func wrapOK(err error) error {
+	return fmt.Errorf("mylib: %w", err)
+}
+
+func formatValue(n int) error {
+	return fmt.Errorf("mylib: %v", n)
+}

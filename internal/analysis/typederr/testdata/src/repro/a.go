@@ -1,0 +1,42 @@
+// Fixtures for typederr rule 1 in a boundary package: every exported
+// function's errors must wrap a sentinel.
+package repro
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBad is the package sentinel the good paths wrap.
+var ErrBad = errors.New("repro: bad input")
+
+func Exported(n int) error {
+	if n < 0 {
+		return fmt.Errorf("repro: negative count %d", n) // want "untyped fmt.Errorf in API-boundary function Exported"
+	}
+	return nil
+}
+
+func ExportedWrapped(n int) error {
+	if n < 0 {
+		return fmt.Errorf("%w: count %d", ErrBad, n)
+	}
+	return nil
+}
+
+func ExportedInline() error {
+	return errors.New("repro: nope") // want "inline errors.New in API-boundary function ExportedInline"
+}
+
+func ExportedRewrap(err error) error {
+	if err != nil {
+		return fmt.Errorf("repro: setup: %w", err)
+	}
+	return nil
+}
+
+// internalHelper is unexported: bare fmt.Errorf is allowed below the
+// boundary.
+func internalHelper(n int) error {
+	return fmt.Errorf("helper: %d", n)
+}

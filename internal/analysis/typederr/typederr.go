@@ -1,0 +1,194 @@
+// Package typederr enforces the error discipline at the API
+// boundary: exported functions of the public facade (package repro),
+// exported functions of the distributed simulation, and exported
+// constructors across internal packages must return typed or
+// sentinel-wrapped errors — a bare fmt.Errorf at the boundary leaves
+// callers nothing to errors.Is against. Three rules:
+//
+//  1. In boundary functions, fmt.Errorf must wrap a sentinel with %w
+//     (and errors.New must not be called inline — sentinels are
+//     package-level vars).
+//  2. Everywhere, an error-typed argument formatted with %v or %s is
+//     flagged: it silently severs the error chain that %w preserves.
+//  3. In the wire-format decode packages, panic is forbidden —
+//     hostile input must error, never crash the process.
+package typederr
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// BoundaryPackages lists package base names whose exported functions
+// are all API boundary (rule 1).
+var BoundaryPackages = map[string]bool{"repro": true, "distributed": true}
+
+// ConstructorPrefixes are the exported-function name prefixes treated
+// as constructors in every other package (rule 1).
+var ConstructorPrefixes = []string{"New", "Open"}
+
+// NoPanicPackages lists package base names where panic is forbidden
+// outright (rule 3).
+var NoPanicPackages = map[string]bool{"codec": true}
+
+// Analyzer is the typederr analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "typederr",
+	Doc:  "API-boundary errors must be typed/sentinel-wrapped; error args need %w; decode paths must not panic",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	base := analysis.BaseName(pass.Pkg.Path())
+	boundaryPkg := BoundaryPackages[base]
+	noPanic := NoPanicPackages[base]
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			boundary := fn.Name.IsExported() && (boundaryPkg || constructor(fn.Name.Name))
+			checkFunc(pass, fn, boundary, noPanic)
+		}
+	}
+	return nil
+}
+
+func constructor(name string) bool {
+	for _, p := range ConstructorPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl, boundary, noPanic bool) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if noPanic {
+			if id, ok := call.Fun.(*ast.Ident); ok {
+				if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+					pass.Reportf(call.Pos(), "panic in decode package %s: hostile input must error, never panic", pass.Pkg.Name())
+					return true
+				}
+			}
+		}
+		switch callee(pass, call) {
+		case "fmt.Errorf":
+			checkErrorf(pass, call, boundary, fn.Name.Name)
+		case "errors.New":
+			if boundary {
+				pass.Reportf(call.Pos(), "inline errors.New in API-boundary function %s: declare a package-level sentinel and wrap it with %%w", fn.Name.Name)
+			}
+		}
+		return true
+	})
+}
+
+// callee names a pkg.Func call, or "".
+func callee(pass *analysis.Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pkg, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pkg.Imported().Path() + "." + sel.Sel.Name
+}
+
+func checkErrorf(pass *analysis.Pass, call *ast.CallExpr, boundary bool, fname string) {
+	if len(call.Args) == 0 {
+		return
+	}
+	format, ok := constString(pass, call.Args[0])
+	if !ok {
+		if boundary {
+			pass.Reportf(call.Pos(), "fmt.Errorf with non-constant format in API-boundary function %s: cannot verify a %%w-wrapped sentinel", fname)
+		}
+		return
+	}
+	verbs := parseVerbs(format)
+	wraps := false
+	argIdx := 1
+	for _, v := range verbs {
+		if argIdx >= len(call.Args) {
+			break
+		}
+		arg := call.Args[argIdx]
+		argIdx++
+		switch v {
+		case 'w':
+			wraps = true
+		case 'v', 's':
+			if isErrorType(pass, arg) {
+				pass.Reportf(arg.Pos(), "error formatted with %%%c severs the error chain; use %%w", v)
+			}
+		}
+	}
+	if boundary && !wraps {
+		pass.Reportf(call.Pos(), "untyped fmt.Errorf in API-boundary function %s: wrap a package sentinel with %%w so callers can errors.Is", fname)
+	}
+}
+
+func constString(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// parseVerbs returns the argument-consuming verbs of a format string
+// in order, with '*' width/precision slots included as pseudo-verbs.
+func parseVerbs(format string) []byte {
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		for i < len(format) {
+			c := format[i]
+			switch {
+			case c == '%':
+				// literal %%
+			case c == '*':
+				verbs = append(verbs, '*')
+				i++
+				continue
+			case (c >= '0' && c <= '9') || c == '+' || c == '-' || c == '#' || c == ' ' || c == '.' || c == '[' || c == ']':
+				i++
+				continue
+			default:
+				verbs = append(verbs, c)
+			}
+			break
+		}
+	}
+	return verbs
+}
+
+func isErrorType(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return types.Implements(tv.Type, errType)
+}

@@ -1,0 +1,44 @@
+// AllocsPerRun gates are meaningless under the race detector: race-
+// instrumented sync.Pool randomly drops Puts, so pooled paths
+// legitimately allocate. The lexical hotpathalloc analyzer still
+// covers these paths in race builds.
+//go:build !race
+
+package concurrent
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Runtime gates of the hot-path zero-allocation contract (the lexical
+// half is the hotpathalloc analyzer) for the lock-free serving path:
+// once a snapshot is published and the replica's query caches are
+// warm, Snapshot.Query and Snapshot.QueryBatch run with zero
+// allocations per call — the point-query buffers and the batched
+// paths' scratch all come from pools.
+func TestSnapshotQueryAllocFree(t *testing.T) {
+	sh := New(4, mkL2(9), mergeL2)
+	r := rand.New(rand.NewSource(10))
+	for u := 0; u < 5000; u++ {
+		sh.Update(u, r.Intn(10000), float64(r.Intn(5)))
+	}
+	snap, err := sh.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := make([]int, 300)
+	out := make([]float64, 300)
+	for j := range idx {
+		idx[j] = r.Intn(10000)
+	}
+	snap.QueryBatch(idx, out) // warm-up: primes the scratch pools
+	_ = snap.Query(idx[0])
+
+	if n := testing.AllocsPerRun(50, func() { _ = snap.Query(idx[0]) }); n != 0 {
+		t.Errorf("Snapshot.Query allocates %.1f per call in steady state", n)
+	}
+	if n := testing.AllocsPerRun(50, func() { snap.QueryBatch(idx, out) }); n != 0 {
+		t.Errorf("Snapshot.QueryBatch allocates %.1f per call in steady state", n)
+	}
+}

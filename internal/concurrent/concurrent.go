@@ -98,6 +98,8 @@ func New[S Mergeable](p int, mk func() S, merge func(dst, src S) error) *Sharded
 // module validate before mutating, but a foreign replica might panic
 // half-applied, and a spurious epoch bump merely costs one refresh
 // while a missed one would hide the partial write from every snapshot.
+//
+//sketch:hotpath
 func (s *Sharded[S]) Update(slot, i int, delta float64) {
 	sh := &s.shards[uint(slot)%uint(len(s.shards))]
 	sh.mu.Lock()
@@ -141,6 +143,8 @@ type readCacheAdopter interface {
 // advances once per batch, by defer — even a batch that panics
 // half-applied (possible only through the element-wise fallback) stays
 // visible to the next refresh.
+//
+//sketch:hotpath
 func (s *Sharded[S]) UpdateBatch(slot int, idx []int, deltas []float64) {
 	if len(idx) != len(deltas) {
 		panic(fmt.Sprintf("concurrent: batch index count %d != delta count %d", len(idx), len(deltas)))
@@ -177,28 +181,42 @@ type Snapshot[S Mergeable] struct {
 // Merged for a mutable copy).
 func (sn *Snapshot[S]) Sketch() S { return sn.sk }
 
+// pointBufs is the pooled one-element batch a Snapshot point query
+// routes through: pooling keeps the buffers off the heap per call even
+// though they escape into the replica's QueryBatch via an interface.
+type pointBufs struct {
+	idx [1]int
+	out [1]float64
+}
+
+var pointPool = sync.Pool{New: func() any { return new(pointBufs) }}
+
 // Query answers a point query against the snapshot, lock-free. It
 // routes through the replica's batched path as a batch of one: the
 // single-element Query methods of most sketches reuse per-sketch
 // scratch, which concurrent readers of a shared snapshot must not
-// touch, while the batched paths allocate scratch per call.
+// touch, while the batched paths borrow their scratch per call.
+//
+//sketch:hotpath
 func (sn *Snapshot[S]) Query(i int) float64 {
-	var (
-		idx = [1]int{i}
-		out [1]float64
-	)
-	sn.QueryBatch(idx[:], out[:])
-	return out[0]
+	pb := pointPool.Get().(*pointBufs)
+	pb.idx[0] = i
+	sn.QueryBatch(pb.idx[:], pb.out[:])
+	v := pb.out[0]
+	pointPool.Put(pb)
+	return v
 }
 
 // QueryBatch answers a batch of point queries against the snapshot,
 // lock-free, through the replica's native batched path when it has one
 // (bit-identical to the Query loop either way). The native batched
-// paths allocate scratch per call, so concurrent QueryBatch calls on
-// one snapshot are safe. (Replicas from outside this module without a
-// QueryBatch fall back to their Query method; whether concurrent
+// paths borrow pooled scratch per call, so concurrent QueryBatch calls
+// on one snapshot are safe. (Replicas from outside this module without
+// a QueryBatch fall back to their Query method; whether concurrent
 // snapshot reads are then safe depends on that Query being
 // scratch-free.)
+//
+//sketch:hotpath
 func (sn *Snapshot[S]) QueryBatch(idx []int, out []float64) {
 	if len(idx) != len(out) {
 		panic(fmt.Sprintf("concurrent: batch index count %d != output count %d", len(idx), len(out)))
@@ -368,6 +386,8 @@ func (s *Sharded[S]) mergeShard(out S, idx int) error {
 // Query answers a point query with every write so far folded in,
 // refreshing the snapshot only if some shard advanced. For query
 // bursts, take one Snapshot and query it directly instead.
+//
+//sketch:hotpath
 func (s *Sharded[S]) Query(i int) (float64, error) {
 	snap, err := s.fresh()
 	if err != nil {
@@ -378,6 +398,8 @@ func (s *Sharded[S]) Query(i int) (float64, error) {
 
 // QueryBatch answers a batch of point queries with every write so far
 // folded in, refreshing the snapshot only if some shard advanced.
+//
+//sketch:hotpath
 func (s *Sharded[S]) QueryBatch(idx []int, out []float64) error {
 	snap, err := s.fresh()
 	if err != nil {

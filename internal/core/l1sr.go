@@ -117,6 +117,8 @@ func NewL1SR(cfg L1Config, r *rand.Rand) *L1SR {
 
 // Update applies x[i] += delta to the CM rows and the sampled
 // coordinates (Algorithm 1 lines 2–3, streaming form).
+//
+//sketch:hotpath
 func (l *L1SR) Update(i int, delta float64) {
 	l.cm.Update(i, delta)
 	l.est.Observe(i, delta)
@@ -126,6 +128,8 @@ func (l *L1SR) Update(i int, delta float64) {
 // coefficient load per row, cache-hot rows) and replays it element-
 // ordered into the bias estimator, leaving exactly the state of the
 // element-wise Update loop.
+//
+//sketch:hotpath
 func (l *L1SR) UpdateBatch(idx []int, deltas []float64) {
 	l.cm.UpdateBatch(idx, deltas)
 	for j, i := range idx {
@@ -140,6 +144,8 @@ func (l *L1SR) Bias() float64 { return l.est.Bias() }
 // (Algorithm 2 lines 2–5, restricted to coordinate i):
 //
 //	x̂_i = median_t( y_t[h_t(i)] − β̂·π_t[h_t(i)] ) + β̂.
+//
+//sketch:hotpath
 func (l *L1SR) Query(i int) float64 {
 	beta := l.est.Bias()
 	for t := 0; t < l.cfg.Depth; t++ {
@@ -157,22 +163,39 @@ func (l *L1SR) Query(i int) float64 {
 // change estimator state, so this matches the per-query Bias() calls
 // of the element-wise loop and results are bit-identical to it. The
 // whole batch is validated before out is written, and scratch is
-// allocated per call, so concurrent QueryBatch calls on a quiescent
-// sketch (e.g. a Sharded snapshot replica) are safe.
+// borrowed from the shared pool per call, so concurrent QueryBatch
+// calls on a quiescent sketch (e.g. a Sharded snapshot replica) are
+// safe.
+//
+//sketch:hotpath
 func (l *L1SR) QueryBatch(idx []int, out []float64) {
 	l.cm.CheckIndexBatch(idx, out)
-	beta := l.est.Bias()
-	hb := make([]int, sketch.TileWidth(len(idx)))
-	sketch.QueryBatchMedian(l.cfg.Depth, idx, out, func(t int, tile []int, o []float64) {
-		l.cm.BucketIndexMany(t, tile, hb)
-		row := l.cm.Row(t)
-		pi := l.cm.ColumnCounts(t)
-		for j, b := range hb[:len(tile)] {
-			o[j] = row[b] - beta*pi[b]
-		}
-	}, func(vals []float64) float64 {
-		return median(vals) + beta
-	})
+	sketch.QueryBatchMedian(l.cfg.Depth, idx, out, l.est.Bias(), l)
+}
+
+// GatherRow implements sketch.BatchRecovery: row t's de-biased bucket
+// values y_t[h_t(i)] − β̂·π_t[h_t(i)] for the tile, with β̂ read from
+// sc.Bias. Used by sketch.QueryBatchMedian, not meant for direct
+// callers.
+//
+//sketch:hotpath
+func (l *L1SR) GatherRow(t int, tile []int, o []float64, sc *sketch.QScratch) {
+	hb := sc.Ints[:len(tile)]
+	l.cm.BucketIndexMany(t, tile, hb)
+	row := l.cm.Row(t)
+	pi := l.cm.ColumnCounts(t)
+	beta := sc.Bias
+	for j, b := range hb {
+		o[j] = row[b] - beta*pi[b]
+	}
+}
+
+// Combine implements sketch.BatchRecovery: the row median plus the β̂
+// add-back of Algorithm 2 line 5.
+//
+//sketch:hotpath
+func (l *L1SR) Combine(vals []float64, sc *sketch.QScratch) float64 {
+	return median(vals) + sc.Bias
 }
 
 // PrepareRead precomputes every lazily built, data-independent cache a
@@ -221,6 +244,8 @@ func (l *L1SR) MergeFrom(other *L1SR) error {
 }
 
 // median returns the Table 1 median of buf, reordering it in place.
+//
+//sketch:hotpath
 func median(buf []float64) float64 {
 	n := len(buf)
 	if n == 0 {

@@ -122,6 +122,8 @@ func NewL2SR(cfg L2Config, r *rand.Rand) *L2SR {
 
 // Update applies x[i] += delta to the CS rows and the bias row
 // (Algorithm 6 lines 4–6).
+//
+//sketch:hotpath
 func (l *L2SR) Update(i int, delta float64) {
 	l.cs.Update(i, delta)
 	l.est.Observe(i, delta)
@@ -131,6 +133,8 @@ func (l *L2SR) Update(i int, delta float64) {
 // coefficient load per row, cache-hot rows) and replays it element-
 // ordered into the bias estimator, leaving exactly the state of the
 // element-wise Update loop.
+//
+//sketch:hotpath
 func (l *L2SR) UpdateBatch(idx []int, deltas []float64) {
 	l.cs.UpdateBatch(idx, deltas)
 	for j, i := range idx {
@@ -146,6 +150,8 @@ func (l *L2SR) Bias() float64 { return l.est.Bias() }
 // (Algorithm 4 lines 3–6 / Algorithm 6 lines 7–10):
 //
 //	x̂_i = median_t( r_t(i)·(y_t[h_t(i)] − β̂·ψ_t[h_t(i)]) ) + β̂.
+//
+//sketch:hotpath
 func (l *L2SR) Query(i int) float64 {
 	beta := l.est.Bias()
 	for t := 0; t < l.cfg.Depth; t++ {
@@ -163,26 +169,41 @@ func (l *L2SR) Query(i int) float64 {
 // front; queries never change estimator state, so this matches the
 // per-query Bias() calls of the element-wise loop and results are
 // bit-identical to it. The whole batch is validated before out is
-// written, and scratch is allocated per call, so concurrent QueryBatch
-// calls on a quiescent sketch (e.g. a Sharded snapshot replica) are
-// safe.
+// written, and scratch is borrowed from the shared pool per call, so
+// concurrent QueryBatch calls on a quiescent sketch (e.g. a Sharded
+// snapshot replica) are safe.
+//
+//sketch:hotpath
 func (l *L2SR) QueryBatch(idx []int, out []float64) {
 	l.cs.CheckIndexBatch(idx, out)
-	beta := l.est.Bias()
-	cw := sketch.TileWidth(len(idx))
-	hb := make([]int, cw)
-	sg := make([]float64, cw)
-	sketch.QueryBatchMedian(l.cfg.Depth, idx, out, func(t int, tile []int, o []float64) {
-		l.cs.BucketIndexMany(t, tile, hb)
-		l.cs.SignOfMany(t, tile, sg)
-		row := l.cs.Row(t)
-		psi := l.cs.SignedColumnSums(t)
-		for j, b := range hb[:len(tile)] {
-			o[j] = sg[j] * (row[b] - beta*psi[b])
-		}
-	}, func(vals []float64) float64 {
-		return median(vals) + beta
-	})
+	sketch.QueryBatchMedian(l.cfg.Depth, idx, out, l.est.Bias(), l)
+}
+
+// GatherRow implements sketch.BatchRecovery: row t's de-biased,
+// sign-corrected bucket values r_t(i)·(y_t[h_t(i)] − β̂·ψ_t[h_t(i)])
+// for the tile, with β̂ read from sc.Bias. Used by
+// sketch.QueryBatchMedian, not meant for direct callers.
+//
+//sketch:hotpath
+func (l *L2SR) GatherRow(t int, tile []int, o []float64, sc *sketch.QScratch) {
+	hb := sc.Ints[:len(tile)]
+	sg := sc.F1[:len(tile)]
+	l.cs.BucketIndexMany(t, tile, hb)
+	l.cs.SignOfMany(t, tile, sg)
+	row := l.cs.Row(t)
+	psi := l.cs.SignedColumnSums(t)
+	beta := sc.Bias
+	for j, b := range hb {
+		o[j] = sg[j] * (row[b] - beta*psi[b])
+	}
+}
+
+// Combine implements sketch.BatchRecovery: the row median plus the β̂
+// add-back of Algorithm 4 line 6.
+//
+//sketch:hotpath
+func (l *L2SR) Combine(vals []float64, sc *sketch.QScratch) float64 {
+	return median(vals) + sc.Bias
 }
 
 // PrepareRead precomputes every lazily built, data-independent cache a

@@ -30,10 +30,10 @@ type MonitorConfig struct {
 // Validate checks the configuration.
 func (c MonitorConfig) Validate() error {
 	if c.Sites <= 0 {
-		return fmt.Errorf("distributed: Sites must be positive, got %d", c.Sites)
+		return fmt.Errorf("%w: Sites must be positive, got %d", ErrBadConfig, c.Sites)
 	}
 	if c.SyncEvery <= 0 {
-		return fmt.Errorf("distributed: SyncEvery must be positive, got %d", c.SyncEvery)
+		return fmt.Errorf("%w: SyncEvery must be positive, got %d", ErrBadConfig, c.SyncEvery)
 	}
 	return nil
 }
@@ -66,11 +66,11 @@ func Monitor(
 		return nil, MonitorStats{}, err
 	}
 	if len(streams) != cfg.Sites {
-		return nil, MonitorStats{}, fmt.Errorf("distributed: %d streams for %d sites", len(streams), cfg.Sites)
+		return nil, MonitorStats{}, fmt.Errorf("%w: %d streams for %d sites", ErrNoSites, len(streams), cfg.Sites)
 	}
 	e, ok := registry.Lookup(desc.Algo)
 	if !ok {
-		return nil, MonitorStats{}, fmt.Errorf("distributed: unknown algorithm %q", desc.Algo)
+		return nil, MonitorStats{}, fmt.Errorf("%w: %q", ErrUnknownAlgorithm, desc.Algo)
 	}
 	if err := shippable(e); err != nil {
 		return nil, MonitorStats{}, err

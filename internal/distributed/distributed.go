@@ -11,11 +11,34 @@ package distributed
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 
 	"repro/internal/codec"
 	"repro/internal/registry"
 	"repro/internal/sketch"
+)
+
+// Typed errors for the simulation entry points, so callers can
+// errors.Is against the failure class instead of matching message
+// strings.
+var (
+	// ErrNoSites is returned when a run is given zero site vectors or
+	// streams.
+	ErrNoSites = errors.New("distributed: no sites")
+	// ErrDimensionMismatch is returned when site vectors disagree in
+	// dimension, or the sketch descriptor does not match them.
+	ErrDimensionMismatch = errors.New("distributed: dimension mismatch")
+	// ErrUnknownAlgorithm is returned for descriptor algorithm names
+	// the registry does not resolve.
+	ErrUnknownAlgorithm = errors.New("distributed: unknown algorithm")
+	// ErrNotShippable is returned for algorithms that cannot play a
+	// site's role: non-linear sketches cannot be summed by the
+	// coordinator, and exact would ship the raw vector.
+	ErrNotShippable = errors.New("distributed: algorithm cannot ship site sketches")
+	// ErrBadConfig is returned by MonitorConfig.Validate for
+	// non-positive sites or synchronization intervals.
+	ErrBadConfig = errors.New("distributed: invalid monitor configuration")
 )
 
 // Stats summarizes one distributed run.
@@ -38,20 +61,20 @@ type Stats struct {
 // vector and is exactly what sketching is here to avoid).
 func Run(desc codec.Desc, locals [][]float64) (sketch.Sketch, Stats, error) {
 	if len(locals) == 0 {
-		return nil, Stats{}, fmt.Errorf("distributed: no sites")
+		return nil, Stats{}, ErrNoSites
 	}
 	n := len(locals[0])
 	for i, l := range locals {
 		if len(l) != n {
-			return nil, Stats{}, fmt.Errorf("distributed: site %d has dimension %d, want %d", i, len(l), n)
+			return nil, Stats{}, fmt.Errorf("%w: site %d has dimension %d, want %d", ErrDimensionMismatch, i, len(l), n)
 		}
 	}
 	if desc.N != n {
-		return nil, Stats{}, fmt.Errorf("distributed: sketch dim %d != vector dim %d", desc.N, n)
+		return nil, Stats{}, fmt.Errorf("%w: sketch dim %d != vector dim %d", ErrDimensionMismatch, desc.N, n)
 	}
 	e, ok := registry.Lookup(desc.Algo)
 	if !ok {
-		return nil, Stats{}, fmt.Errorf("distributed: unknown algorithm %q", desc.Algo)
+		return nil, Stats{}, fmt.Errorf("%w: %q", ErrUnknownAlgorithm, desc.Algo)
 	}
 	if err := shippable(e); err != nil {
 		return nil, Stats{}, err
@@ -88,10 +111,10 @@ func Run(desc codec.Desc, locals [][]float64) (sketch.Sketch, Stats, error) {
 // the codec refuses it as a standalone container anyway).
 func shippable(e *registry.Entry) error {
 	if !e.Linear {
-		return fmt.Errorf("distributed: %s is not linear; site sketches cannot be summed", e.Name)
+		return fmt.Errorf("%w: %s is not linear; site sketches cannot be summed", ErrNotShippable, e.Name)
 	}
 	if e.Name == registry.Exact {
-		return fmt.Errorf("distributed: exact ships the raw vector; use a sketch")
+		return fmt.Errorf("%w: exact ships the raw vector; use a sketch", ErrNotShippable)
 	}
 	return nil
 }

@@ -12,6 +12,7 @@
 package rangequery
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 )
@@ -58,26 +59,30 @@ func New(n int, f Factory, r *rand.Rand) *Sketch {
 	return s
 }
 
+// ErrBadLevels is returned by NewFromLevels when the level sketches
+// do not form the dyadic chain for the requested dimension.
+var ErrBadLevels = errors.New("rangequery: level sketches do not form a dyadic chain")
+
 // NewFromLevels reassembles a Sketch from pre-built level sketches —
 // the checkpoint-restore path of the streaming codec. sks must hold
 // exactly the dyadic chain for n (sizes n, ⌈n/2⌉, …, 1), finest
 // first, each able to answer indices in [0, size) at its level.
 func NewFromLevels(n int, sks []PointSketch) (*Sketch, error) {
 	if n <= 0 {
-		return nil, fmt.Errorf("rangequery: dimension %d must be positive", n)
+		return nil, fmt.Errorf("%w: dimension %d must be positive", ErrBadLevels, n)
 	}
 	want := 1
 	for size := n; size > 1; size = (size + 1) / 2 {
 		want++
 	}
 	if len(sks) != want {
-		return nil, fmt.Errorf("rangequery: %d level sketches for dimension %d, want %d", len(sks), n, want)
+		return nil, fmt.Errorf("%w: %d level sketches for dimension %d, want %d", ErrBadLevels, len(sks), n, want)
 	}
 	s := &Sketch{n: n, levels: make([]level, want)}
 	size := n
 	for lv := range sks {
 		if sks[lv] == nil {
-			return nil, fmt.Errorf("rangequery: nil sketch for level %d", lv)
+			return nil, fmt.Errorf("%w: nil sketch for level %d", ErrBadLevels, lv)
 		}
 		s.levels[lv] = level{size: size, sk: sks[lv]}
 		if size > 1 {

@@ -22,9 +22,19 @@ func NewCMCU(cfg Config, r *rand.Rand) *CMCU {
 	return &CMCU{tb: newTable(cfg, r)}
 }
 
+// growHbuf ensures the row-major bucket-index scratch holds n entries;
+// growth helper kept out of the tagged hot path.
+func (c *CMCU) growHbuf(n int) {
+	if cap(c.hbuf) < n {
+		c.hbuf = make([]int, n)
+	}
+}
+
 // Update applies a conservative increment of delta to coordinate i.
 // Negative deltas are not representable under conservative update
 // (the structure is insert-only); they panic.
+//
+//sketch:hotpath
 func (c *CMCU) Update(i int, delta float64) {
 	c.tb.checkIndex(i)
 	if delta < 0 {
@@ -51,6 +61,8 @@ func (c *CMCU) Update(i int, delta float64) {
 // batch), but the conservative raise stays element-ordered — each
 // element's row-wise minimum depends on every earlier element — so the
 // final counters exactly match the element-wise Update loop.
+//
+//sketch:hotpath
 func (c *CMCU) UpdateBatch(idx []int, deltas []float64) {
 	c.tb.checkBatch(idx, deltas)
 	for _, d := range deltas {
@@ -60,9 +72,7 @@ func (c *CMCU) UpdateBatch(idx []int, deltas []float64) {
 	}
 	m := len(idx)
 	depth := len(c.tb.cells)
-	if cap(c.hbuf) < depth*m {
-		c.hbuf = make([]int, depth*m)
-	}
+	c.growHbuf(depth * m)
 	for t := 0; t < depth; t++ {
 		c.tb.hash.H[t].HashMany(idx, c.hbuf[t*m:(t+1)*m])
 	}
@@ -87,12 +97,16 @@ func (c *CMCU) UpdateBatch(idx []int, deltas []float64) {
 // Queries read counters without the conservative-raise coupling that
 // forces element order on the write side, so the read path is plainly
 // row-major and bit-identical to the element-wise Query loop.
+//
+//sketch:hotpath
 func (c *CMCU) QueryBatch(idx []int, out []float64) {
 	c.tb.checkQueryBatch(idx, out)
 	c.tb.minRows(idx, out)
 }
 
 // Query estimates x[i] as the minimum bucket over rows.
+//
+//sketch:hotpath
 func (c *CMCU) Query(i int) float64 {
 	c.tb.checkIndex(i)
 	u := uint64(i)

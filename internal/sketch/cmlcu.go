@@ -55,8 +55,18 @@ func (c *CMLCU) counter(value float64) float64 {
 	return math.Log1p(value*(c.base-1)) / c.lnB
 }
 
+// growHbuf ensures the row-major bucket-index scratch holds n entries;
+// growth helper kept out of the tagged hot path.
+func (c *CMLCU) growHbuf(n int) {
+	if cap(c.hbuf) < n {
+		c.hbuf = make([]int, n)
+	}
+}
+
 // Update applies a conservative log-domain increment of delta to
 // coordinate i. Negative deltas panic (insert-only structure).
+//
+//sketch:hotpath
 func (c *CMLCU) Update(i int, delta float64) {
 	c.tb.checkIndex(i)
 	if delta < 0 {
@@ -89,6 +99,8 @@ func (c *CMLCU) Update(i int, delta float64) {
 // Hash evaluation is row-major; the conservative raise (and hence the
 // probabilistic-rounding RNG draws) stays element-ordered, so the
 // final counters exactly match the element-wise Update loop.
+//
+//sketch:hotpath
 func (c *CMLCU) UpdateBatch(idx []int, deltas []float64) {
 	c.tb.checkBatch(idx, deltas)
 	for _, d := range deltas {
@@ -98,9 +110,7 @@ func (c *CMLCU) UpdateBatch(idx []int, deltas []float64) {
 	}
 	m := len(idx)
 	depth := len(c.tb.cells)
-	if cap(c.hbuf) < depth*m {
-		c.hbuf = make([]int, depth*m)
-	}
+	c.growHbuf(depth * m)
 	for t := 0; t < depth; t++ {
 		c.tb.hash.H[t].HashMany(idx, c.hbuf[t*m:(t+1)*m])
 	}
@@ -130,6 +140,8 @@ func (c *CMLCU) UpdateBatch(idx []int, deltas []float64) {
 // domain decode per element. Bit-identical to the element-wise Query
 // loop, and — unlike Update — entirely deterministic: queries never
 // touch the probabilistic-rounding RNG.
+//
+//sketch:hotpath
 func (c *CMLCU) QueryBatch(idx []int, out []float64) {
 	c.tb.checkQueryBatch(idx, out)
 	c.tb.minRows(idx, out)
@@ -139,6 +151,8 @@ func (c *CMLCU) QueryBatch(idx []int, out []float64) {
 }
 
 // Query estimates x[i] by decoding the minimum log counter.
+//
+//sketch:hotpath
 func (c *CMLCU) Query(i int) float64 {
 	c.tb.checkIndex(i)
 	u := uint64(i)

@@ -24,6 +24,8 @@ func NewCountMedian(cfg Config, r *rand.Rand) *CountMedian {
 }
 
 // Update applies x[i] += delta.
+//
+//sketch:hotpath
 func (c *CountMedian) Update(i int, delta float64) {
 	c.tb.checkIndex(i)
 	for t := range c.tb.cells {
@@ -35,6 +37,8 @@ func (c *CountMedian) Update(i int, delta float64) {
 // each row's hash runs over the whole batch and the row stays cache-
 // hot while it absorbs every element. Equivalent to the element-wise
 // Update loop (each cell receives the same addends in the same order).
+//
+//sketch:hotpath
 func (c *CountMedian) UpdateBatch(idx []int, deltas []float64) {
 	c.tb.checkBatch(idx, deltas)
 	for t := range c.tb.cells {
@@ -49,21 +53,37 @@ func (c *CountMedian) UpdateBatch(idx []int, deltas []float64) {
 // The bucket gather is row-major (one hash-coefficient load per row,
 // cache-hot rows); the median then runs per element over the gathered
 // column, in the same row order as Query, so results are bit-identical
-// to the element-wise Query loop. Scratch is allocated per call, so
-// concurrent QueryBatch calls on a quiescent sketch are safe.
+// to the element-wise Query loop. Scratch is borrowed from the package
+// pool per call, so concurrent QueryBatch calls on a quiescent sketch
+// are safe.
+//
+//sketch:hotpath
 func (c *CountMedian) QueryBatch(idx []int, out []float64) {
 	c.tb.checkQueryBatch(idx, out)
-	hb := make([]int, TileWidth(len(idx)))
-	QueryBatchMedian(len(c.tb.cells), idx, out, func(t int, tile []int, o []float64) {
-		c.tb.hash.H[t].HashMany(tile, hb)
-		row := c.tb.cells[t]
-		for j, b := range hb[:len(tile)] {
-			o[j] = row[b]
-		}
-	}, medianOf)
+	QueryBatchMedian(len(c.tb.cells), idx, out, 0, c)
 }
 
+// GatherRow implements BatchRecovery: row t's bucket values for the
+// tile. Used by QueryBatchMedian, not meant for direct callers.
+//
+//sketch:hotpath
+func (c *CountMedian) GatherRow(t int, tile []int, o []float64, sc *QScratch) {
+	hb := sc.Ints[:len(tile)]
+	c.tb.hash.H[t].HashMany(tile, hb)
+	row := c.tb.cells[t]
+	for j, b := range hb {
+		o[j] = row[b]
+	}
+}
+
+// Combine implements BatchRecovery: the Table 1 median.
+//
+//sketch:hotpath
+func (c *CountMedian) Combine(vals []float64, _ *QScratch) float64 { return medianOf(vals) }
+
 // Query estimates x[i] as the median over rows of the hashed bucket.
+//
+//sketch:hotpath
 func (c *CountMedian) Query(i int) float64 {
 	c.tb.checkIndex(i)
 	for t := range c.tb.cells {

@@ -19,6 +19,8 @@ func NewCountMin(cfg Config, r *rand.Rand) *CountMin {
 }
 
 // Update applies x[i] += delta.
+//
+//sketch:hotpath
 func (c *CountMin) Update(i int, delta float64) {
 	c.tb.checkIndex(i)
 	for t := range c.tb.cells {
@@ -30,6 +32,8 @@ func (c *CountMin) Update(i int, delta float64) {
 // each row's hash runs over the whole batch and the row stays cache-
 // hot while it absorbs every element. Equivalent to the element-wise
 // Update loop (each cell receives the same addends in the same order).
+//
+//sketch:hotpath
 func (c *CountMin) UpdateBatch(idx []int, deltas []float64) {
 	c.tb.checkBatch(idx, deltas)
 	for t := range c.tb.cells {
@@ -44,12 +48,16 @@ func (c *CountMin) UpdateBatch(idx []int, deltas []float64) {
 // row-major: each row's hash runs over the whole batch (one coefficient
 // load per row) and the per-element minimum folds row by row. Results
 // are bit-identical to the element-wise Query loop.
+//
+//sketch:hotpath
 func (c *CountMin) QueryBatch(idx []int, out []float64) {
 	c.tb.checkQueryBatch(idx, out)
 	c.tb.minRows(idx, out)
 }
 
 // Query estimates x[i] as the minimum bucket over rows.
+//
+//sketch:hotpath
 func (c *CountMin) Query(i int) float64 {
 	c.tb.checkIndex(i)
 	min := c.tb.cells[0][c.tb.hash.H[0].Hash(uint64(i))]

@@ -32,6 +32,8 @@ func NewCountSketch(cfg Config, r *rand.Rand) *CountSketch {
 }
 
 // Update applies x[i] += delta.
+//
+//sketch:hotpath
 func (c *CountSketch) Update(i int, delta float64) {
 	c.tb.checkIndex(i)
 	u := uint64(i)
@@ -40,15 +42,23 @@ func (c *CountSketch) Update(i int, delta float64) {
 	}
 }
 
+// growSbuf ensures the per-row sign scratch covers an n-element batch;
+// growth helper kept out of the tagged hot path.
+func (c *CountSketch) growSbuf(n int) {
+	if cap(c.sbuf) < n {
+		c.sbuf = make([]float64, n)
+	}
+}
+
 // UpdateBatch applies x[idx[j]] += r_t(idx[j])·deltas[j] for every j,
 // row-major: each row's bucket hash and sign function run over the
 // whole batch before the row's counters absorb it. Equivalent to the
 // element-wise Update loop.
+//
+//sketch:hotpath
 func (c *CountSketch) UpdateBatch(idx []int, deltas []float64) {
 	c.tb.checkBatch(idx, deltas)
-	if cap(c.sbuf) < len(idx) {
-		c.sbuf = make([]float64, len(idx))
-	}
+	c.growSbuf(len(idx))
 	sg := c.sbuf[:len(idx)]
 	for t := range c.tb.cells {
 		row := c.tb.cells[t]
@@ -64,24 +74,39 @@ func (c *CountSketch) UpdateBatch(idx []int, deltas []float64) {
 // (one coefficient load per row each) before the signed buckets are
 // gathered; the median then runs per element in the same row order as
 // Query, so results are bit-identical to the element-wise Query loop.
-// Scratch is allocated per call, so concurrent QueryBatch calls on a
-// quiescent sketch are safe.
+// Scratch is borrowed from the package pool per call, so concurrent
+// QueryBatch calls on a quiescent sketch are safe.
+//
+//sketch:hotpath
 func (c *CountSketch) QueryBatch(idx []int, out []float64) {
 	c.tb.checkQueryBatch(idx, out)
-	cw := TileWidth(len(idx))
-	hb := make([]int, cw)
-	sg := make([]float64, cw)
-	QueryBatchMedian(len(c.tb.cells), idx, out, func(t int, tile []int, o []float64) {
-		c.tb.hash.H[t].HashMany(tile, hb)
-		c.signs.S[t].SignFloatMany(tile, sg)
-		row := c.tb.cells[t]
-		for j, b := range hb[:len(tile)] {
-			o[j] = sg[j] * row[b]
-		}
-	}, medianOf)
+	QueryBatchMedian(len(c.tb.cells), idx, out, 0, c)
 }
 
+// GatherRow implements BatchRecovery: row t's sign-corrected bucket
+// values for the tile. Used by QueryBatchMedian, not meant for direct
+// callers.
+//
+//sketch:hotpath
+func (c *CountSketch) GatherRow(t int, tile []int, o []float64, sc *QScratch) {
+	hb := sc.Ints[:len(tile)]
+	sg := sc.F1[:len(tile)]
+	c.tb.hash.H[t].HashMany(tile, hb)
+	c.signs.S[t].SignFloatMany(tile, sg)
+	row := c.tb.cells[t]
+	for j, b := range hb {
+		o[j] = sg[j] * row[b]
+	}
+}
+
+// Combine implements BatchRecovery: the Table 1 median.
+//
+//sketch:hotpath
+func (c *CountSketch) Combine(vals []float64, _ *QScratch) float64 { return medianOf(vals) }
+
 // Query estimates x[i] as the median over rows of the signed bucket.
+//
+//sketch:hotpath
 func (c *CountSketch) Query(i int) float64 {
 	c.tb.checkIndex(i)
 	u := uint64(i)

@@ -36,6 +36,8 @@ func NewDengRafiei(cfg Config, r *rand.Rand) *DengRafiei {
 }
 
 // Update applies x[i] += delta.
+//
+//sketch:hotpath
 func (c *DengRafiei) Update(i int, delta float64) {
 	c.tb.checkIndex(i)
 	c.total += delta
@@ -47,6 +49,8 @@ func (c *DengRafiei) Update(i int, delta float64) {
 // UpdateBatch applies x[idx[j]] += deltas[j] for every j, row-major,
 // folding the batch into the running total once. Equivalent to the
 // element-wise Update loop.
+//
+//sketch:hotpath
 func (c *DengRafiei) UpdateBatch(idx []int, deltas []float64) {
 	c.tb.checkBatch(idx, deltas)
 	for _, d := range deltas {
@@ -62,28 +66,44 @@ func (c *DengRafiei) UpdateBatch(idx []int, deltas []float64) {
 
 // QueryBatch writes the estimate of x[idx[j]] into out[j] for every j:
 // a row-major gather of the noise-corrected bucket values (one hash-
-// coefficient load per row, the row total loaded once per batch), then
-// the per-element median in the same row order as Query — results are
-// bit-identical to the element-wise Query loop. Scratch is allocated
-// per call, so concurrent QueryBatch calls on a quiescent sketch are
-// safe.
+// coefficient load per row), then the per-element median in the same
+// row order as Query — results are bit-identical to the element-wise
+// Query loop. Scratch is borrowed from the package pool per call, so
+// concurrent QueryBatch calls on a quiescent sketch are safe.
+//
+//sketch:hotpath
 func (c *DengRafiei) QueryBatch(idx []int, out []float64) {
 	c.tb.checkQueryBatch(idx, out)
+	QueryBatchMedian(len(c.tb.cells), idx, out, 0, c)
+}
+
+// GatherRow implements BatchRecovery: row t's noise-corrected bucket
+// values for the tile. The running total is re-read per row — the same
+// value every time on the quiescent sketches batched queries require.
+// Used by QueryBatchMedian, not meant for direct callers.
+//
+//sketch:hotpath
+func (c *DengRafiei) GatherRow(t int, tile []int, o []float64, sc *QScratch) {
 	s1 := float64(c.tb.cfg.Rows - 1)
 	total := c.total
-	hb := make([]int, TileWidth(len(idx)))
-	QueryBatchMedian(len(c.tb.cells), idx, out, func(t int, tile []int, o []float64) {
-		c.tb.hash.H[t].HashMany(tile, hb)
-		row := c.tb.cells[t]
-		for j, b := range hb[:len(tile)] {
-			v := row[b]
-			o[j] = v - (total-v)/s1
-		}
-	}, medianOf)
+	hb := sc.Ints[:len(tile)]
+	c.tb.hash.H[t].HashMany(tile, hb)
+	row := c.tb.cells[t]
+	for j, b := range hb {
+		v := row[b]
+		o[j] = v - (total-v)/s1
+	}
 }
+
+// Combine implements BatchRecovery: the Table 1 median.
+//
+//sketch:hotpath
+func (c *DengRafiei) Combine(vals []float64, _ *QScratch) float64 { return medianOf(vals) }
 
 // Query estimates x[i] as the median over rows of the noise-corrected
 // bucket values.
+//
+//sketch:hotpath
 func (c *DengRafiei) Query(i int) float64 {
 	c.tb.checkIndex(i)
 	s1 := float64(c.tb.cfg.Rows - 1)

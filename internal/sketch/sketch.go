@@ -51,6 +51,8 @@ type BatchUpdater interface {
 
 // UpdateBatch feeds a batch through s's native batched path when it
 // has one, or an element-wise loop otherwise.
+//
+//sketch:hotpath
 func UpdateBatch(s Sketch, idx []int, deltas []float64) {
 	if b, ok := s.(BatchUpdater); ok {
 		b.UpdateBatch(idx, deltas)
@@ -86,6 +88,8 @@ type BatchQuerier interface {
 // QueryBatch answers a batch of point queries through s's native
 // batched path when it has one, or an element-wise Query loop
 // otherwise. Both paths produce bit-identical results.
+//
+//sketch:hotpath
 func QueryBatch(s Sketch, idx []int, out []float64) {
 	if len(idx) != len(out) {
 		panic(fmt.Sprintf("sketch: batch index count %d != output count %d", len(idx), len(out)))
@@ -164,6 +168,8 @@ func (c Config) Validate() error {
 
 // medianOf returns the median of buf, reordering buf in place. It uses
 // the paper's Table 1 definition (midpoint average for even length).
+//
+//sketch:hotpath
 func medianOf(buf []float64) float64 {
 	n := len(buf)
 	if n == 0 {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"repro/internal/hashing"
 )
@@ -142,8 +143,8 @@ func (tb *table) hashRow(t int, idx []int) []int {
 const queryChunk = 256
 
 // TileWidth returns the scratch length a QueryBatchMedian gather
-// closure needs for a batch of n elements: the tile width, never more
-// than the batch itself (a batch of one allocates one slot, not a full
+// needs for a batch of n elements: the tile width, never more than
+// the batch itself (a batch of one borrows one slot, not a full
 // tile).
 func TileWidth(n int) int {
 	if n > queryChunk {
@@ -152,22 +153,94 @@ func TileWidth(n int) int {
 	return n
 }
 
+// QScratch bundles the scratch buffers of one batched-query call,
+// recycled through a sync.Pool so the serving paths run
+// allocation-free in steady state. Ints and F1 are tile-width buffers
+// for BatchRecovery.GatherRow implementations (bucket indexes and
+// sign/weight coefficients); Bias carries the caller's bias estimate
+// β̂ into GatherRow and Combine so the bias-aware recoveries need no
+// closure capture. The buffers are valid only between GetQScratch and
+// PutQScratch; they must never be retained past the call.
+type QScratch struct {
+	Ints []int
+	F1   []float64
+	Bias float64
+
+	vb  []float64 // depth×tile row-major gather buffer
+	buf []float64 // depth-length per-element column
+}
+
+// grow resizes the buffers for a depth×width query; growth stays out
+// of the tagged hot paths, which only slice the grown buffers.
+func (sc *QScratch) grow(depth, width int) {
+	if cap(sc.Ints) < width {
+		sc.Ints = make([]int, width)
+	}
+	if cap(sc.F1) < width {
+		sc.F1 = make([]float64, width)
+	}
+	if cap(sc.vb) < depth*width {
+		sc.vb = make([]float64, depth*width)
+	}
+	if cap(sc.buf) < depth {
+		sc.buf = make([]float64, depth)
+	}
+}
+
+var qscratchPool = sync.Pool{New: func() any { return new(QScratch) }}
+
+// GetQScratch returns a pooled scratch with capacity for a
+// depth×width batched query. Pair with PutQScratch.
+func GetQScratch(depth, width int) *QScratch {
+	sc := qscratchPool.Get().(*QScratch)
+	sc.grow(depth, width)
+	return sc
+}
+
+// PutQScratch returns a scratch to the pool. The caller must not
+// touch sc or any slice of its buffers afterwards.
+func PutQScratch(sc *QScratch) {
+	sc.Bias = 0
+	qscratchPool.Put(sc)
+}
+
+// BatchRecovery is the per-algorithm half of QueryBatchMedian: the
+// row-major gather of one row's per-element contributions and the
+// per-element collapse of the gathered column. Implementations are
+// methods on the sketch types themselves (not adapter closures), so
+// the interface value is a plain pointer and the batched paths stay
+// allocation-free.
+type BatchRecovery interface {
+	// GatherRow writes row t's contribution for every element of tile
+	// into o (len(o) == len(tile)), using sc.Ints/sc.F1 as tile-width
+	// scratch and reading the bias estimate from sc.Bias.
+	GatherRow(t int, tile []int, o []float64, sc *QScratch)
+	// Combine collapses one element's depth values (row order) into
+	// the estimate; vals may be reordered in place.
+	Combine(vals []float64, sc *QScratch) float64
+}
+
 // QueryBatchMedian is the shared skeleton of every median-family
 // QueryBatch (Count-Median, Count-Sketch, Deng–Rafiei, and the
 // bias-aware recoveries in internal/core): it walks the batch in
-// L1-resident tiles, calls gather(t, tile, o) to write row t's
-// per-element contribution into o for the whole tile (one
-// hash/sign-coefficient load per row per tile), then reads each
-// element's depth values back in row order and collapses them with
-// combine. Results are bit-identical to the element-wise loop that
-// fills a depth buffer per element, because each element's values
-// reach combine in the same row order. Scratch is allocated per call
-// and sized to the actual batch, so concurrent calls on a quiescent
-// sketch are safe and a batch of one stays cheap.
-func QueryBatchMedian(depth int, idx []int, out []float64, gather func(t int, tile []int, o []float64), combine func(vals []float64) float64) {
+// L1-resident tiles, calls r.GatherRow to write row t's per-element
+// contribution for the whole tile (one hash/sign-coefficient load per
+// row per tile), then reads each element's depth values back in row
+// order and collapses them with r.Combine. Results are bit-identical
+// to the element-wise loop that fills a depth buffer per element,
+// because each element's values reach Combine in the same row order.
+// Scratch comes from the package pool and every call borrows its own,
+// so concurrent calls on a quiescent sketch are safe and the steady
+// state allocates nothing.
+//
+//sketch:hotpath
+func QueryBatchMedian(depth int, idx []int, out []float64, bias float64, r BatchRecovery) {
 	cw := TileWidth(len(idx))
-	vb := make([]float64, depth*cw)
-	buf := make([]float64, depth)
+	sc := GetQScratch(depth, cw)
+	defer PutQScratch(sc)
+	sc.Bias = bias
+	vb := sc.vb[:depth*cw]
+	buf := sc.buf[:depth]
 	for base := 0; base < len(idx); base += queryChunk {
 		m := len(idx) - base
 		if m > queryChunk {
@@ -175,13 +248,13 @@ func QueryBatchMedian(depth int, idx []int, out []float64, gather func(t int, ti
 		}
 		tile := idx[base : base+m]
 		for t := 0; t < depth; t++ {
-			gather(t, tile, vb[t*m:(t+1)*m])
+			r.GatherRow(t, tile, vb[t*m:(t+1)*m], sc)
 		}
 		for j := 0; j < m; j++ {
 			for t := 0; t < depth; t++ {
 				buf[t] = vb[t*m+j]
 			}
-			out[base+j] = combine(buf)
+			out[base+j] = r.Combine(buf, sc)
 		}
 	}
 }
@@ -191,11 +264,15 @@ func QueryBatchMedian(depth int, idx []int, out []float64, gather func(t int, ti
 // Count-Min-family QueryBatch implementations. Per element the
 // comparison sequence is exactly the element-wise Query's (row 0
 // seeds, rows 1..d-1 compare with <), so the result is bit-identical.
-// Scratch is allocated per call, not taken from tb.scratch, so
-// concurrent calls on a table that is no longer being written are
-// safe.
+// Scratch is borrowed from the package pool, not taken from
+// tb.scratch, so concurrent calls on a table that is no longer being
+// written are safe.
+//
+//sketch:hotpath
 func (tb *table) minRows(idx []int, out []float64) {
-	hb := make([]int, len(idx))
+	sc := GetQScratch(0, len(idx))
+	defer PutQScratch(sc)
+	hb := sc.Ints[:len(idx)]
 	for t := range tb.cells {
 		row := tb.cells[t]
 		tb.hash.H[t].HashMany(idx, hb)

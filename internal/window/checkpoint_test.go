@@ -220,10 +220,11 @@ func TestRestoreAdoptsShardCount(t *testing.T) {
 	if err := w.Advance(1); err != nil {
 		t.Fatal(err)
 	}
-	var shards int
-	w.rot.RLock()
-	shards = w.cur.Shards()
-	w.rot.RUnlock()
+	shards := func() int {
+		w.rot.RLock()
+		defer w.rot.RUnlock()
+		return w.cur.Shards()
+	}()
 	if shards != 4 {
 		t.Fatalf("post-rotation open pane has %d shards, want 4", shards)
 	}

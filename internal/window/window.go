@@ -22,6 +22,7 @@
 package window
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -85,19 +86,23 @@ type frozenPane[S any] struct {
 	seq uint64
 }
 
+// ErrBadConfig is returned by New for non-positive pane or shard
+// counts and negative pane widths.
+var ErrBadConfig = errors.New("window: invalid configuration")
+
 // New builds a sliding window whose panes are sketches built by mk and
 // summed by merge — the same (mk, merge) contract as concurrent.New,
 // and mk must likewise build replicas with identical configuration and
 // seeds so panes merge.
 func New[S concurrent.Mergeable](cfg Config, mk func() S, merge func(dst, src S) error) (*Window[S], error) {
 	if cfg.Panes <= 0 {
-		return nil, fmt.Errorf("window: pane count must be positive, got %d", cfg.Panes)
+		return nil, fmt.Errorf("%w: pane count must be positive, got %d", ErrBadConfig, cfg.Panes)
 	}
 	if cfg.Shards <= 0 {
-		return nil, fmt.Errorf("window: shard count must be positive, got %d", cfg.Shards)
+		return nil, fmt.Errorf("%w: shard count must be positive, got %d", ErrBadConfig, cfg.Shards)
 	}
 	if cfg.Width < 0 {
-		return nil, fmt.Errorf("window: pane width must be non-negative, got %v", cfg.Width)
+		return nil, fmt.Errorf("%w: pane width must be non-negative, got %v", ErrBadConfig, cfg.Width)
 	}
 	now := cfg.Now
 	if now == nil {
@@ -363,6 +368,14 @@ func (w *Window[S]) View() (*View[S], error) {
 	return w.refresh()
 }
 
+// rotationState reads the rotation-guarded fields under one read
+// lock: the generation, the open pane, and the closed-pane sum.
+func (w *Window[S]) rotationState() (gen uint64, cur *concurrent.Sharded[S], closedSum S, hasClosed bool) {
+	w.rot.RLock()
+	defer w.rot.RUnlock()
+	return w.gen.Load(), w.cur, w.closedSum, w.hasClosed
+}
+
 // refresh rebuilds and publishes the merged view: closed-pane sum plus
 // a fresh open-pane snapshot — two merges, independent of Panes.
 func (w *Window[S]) refresh() (*View[S], error) {
@@ -373,11 +386,7 @@ func (w *Window[S]) refresh() (*View[S], error) {
 	}
 	// Capture a consistent rotation state; the open pane's snapshot is
 	// taken outside the lock (Refresh locks only changed shards).
-	w.rot.RLock()
-	gen := w.gen.Load()
-	cur := w.cur
-	closedSum, hasClosed := w.closedSum, w.hasClosed
-	w.rot.RUnlock()
+	gen, cur, closedSum, hasClosed := w.rotationState()
 
 	snap, err := cur.Refresh()
 	if err != nil {

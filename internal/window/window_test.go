@@ -289,8 +289,8 @@ func TestClockDrivenRotation(t *testing.T) {
 	}
 	advanceClock := func(d time.Duration) {
 		mu.Lock()
+		defer mu.Unlock()
 		now = now.Add(d)
-		mu.Unlock()
 	}
 	w, err := New(Config{Panes: 3, Shards: 2, Width: time.Second, Now: clock}, mkExact, mergeExact)
 	if err != nil {

@@ -22,7 +22,7 @@ import (
 func Encode(w io.Writer, s Sketch) error {
 	h, ok := s.(baser)
 	if !ok {
-		return fmt.Errorf("repro: %T was not built by repro.New", s)
+		return fmt.Errorf("%w: %T", ErrForeignSketch, s)
 	}
 	b := h.base()
 	if _, err := registry.State(b.inner); err != nil {

@@ -131,7 +131,7 @@ func buildConfig(opts []Option) (newConfig, error) {
 	// site must never produce packets the coordinator rejects.
 	desc := codec.Desc{N: cfg.dim, S: cfg.words, D: cfg.depth, Seed: cfg.seed}
 	if err := desc.Validate(); err != nil {
-		return cfg, fmt.Errorf("%w: configuration outside wire-format bounds (dim ≤ 2^26, 4 ≤ words ≤ 2^22, depth ≤ 64, words·depth ≤ 2^24): %v", ErrInvalidOption, err)
+		return cfg, fmt.Errorf("%w: configuration outside wire-format bounds (dim ≤ 2^26, 4 ≤ words ≤ 2^22, depth ≤ 64, words·depth ≤ 2^24): %w", ErrInvalidOption, err)
 	}
 	return cfg, nil
 }

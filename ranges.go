@@ -55,7 +55,7 @@ func NewRange(n int, f LevelFactory, seed int64) (*RangeSketch, error) {
 		if sk := f(level, size, r.Int63()); sk != nil {
 			return sk
 		}
-		err = fmt.Errorf("repro: level factory returned nil for level %d", level)
+		err = fmt.Errorf("%w: level %d", ErrNilLevel, level)
 		return nullLevel{}
 	}, r)
 	if err != nil {
@@ -84,7 +84,7 @@ func (s *RangeSketch) Checkpoint(w io.Writer) error {
 	err := s.inner.ForEachLevel(func(level, size int, sk rangequery.PointSketch) error {
 		h, ok := sk.(baser)
 		if !ok {
-			return fmt.Errorf("repro: level %d sketch (%T) was not built by repro.New", level, sk)
+			return fmt.Errorf("%w: level %d sketch is %T", ErrForeignSketch, level, sk)
 		}
 		b := h.base()
 		levels = append(levels, codec.Level{Desc: b.desc, Sk: b.inner})

@@ -125,6 +125,18 @@ var (
 	// bytes beyond the one payload it should contain. Streams carrying
 	// multiple frames decode through UnmarshalFrom/Decode instead.
 	ErrTrailingData = errors.New("repro: trailing data after payload")
+	// ErrBadBatch is returned by the batched entry points when the
+	// index slice and its paired delta/output slice differ in length;
+	// nothing is applied or written.
+	ErrBadBatch = errors.New("repro: batch slice lengths differ")
+	// ErrForeignSketch is returned by Encode, Checkpoint, and the
+	// other state-bearing entry points when handed a Sketch
+	// implementation that was not built by this package's
+	// constructors and so carries no serializable state.
+	ErrForeignSketch = errors.New("repro: sketch was not built by repro.New")
+	// ErrNilLevel is returned by NewRange when the level factory
+	// returns nil for some dyadic level.
+	ErrNilLevel = errors.New("repro: level factory returned nil")
 )
 
 // handle is the base facade wrapper: the constructed sketch plus the
@@ -299,7 +311,7 @@ func Recover(s Sketch) []float64 {
 // feeding elements in batches of a few hundred to a few thousand.
 func UpdateBatch(s Sketch, idx []int, deltas []float64) error {
 	if len(idx) != len(deltas) {
-		return fmt.Errorf("repro: batch index count %d != delta count %d", len(idx), len(deltas))
+		return fmt.Errorf("%w: %d indexes, %d deltas", ErrBadBatch, len(idx), len(deltas))
 	}
 	if b, ok := s.(BatchUpdater); ok {
 		b.UpdateBatch(idx, deltas)
@@ -320,7 +332,7 @@ func UpdateBatch(s Sketch, idx []int, deltas []float64) error {
 // estimates in batches of a few hundred to a few thousand.
 func QueryBatch(s Sketch, idx []int, out []float64) error {
 	if len(idx) != len(out) {
-		return fmt.Errorf("repro: batch index count %d != output count %d", len(idx), len(out))
+		return fmt.Errorf("%w: %d indexes, %d outputs", ErrBadBatch, len(idx), len(out))
 	}
 	if b, ok := s.(BatchQuerier); ok {
 		b.QueryBatch(idx, out)

@@ -121,7 +121,7 @@ func RestoreSharded(r io.Reader) (*Sharded, error) {
 // is applied.
 func (s *Sharded) UpdateBatch(slot int, idx []int, deltas []float64) error {
 	if len(idx) != len(deltas) {
-		return fmt.Errorf("repro: batch index count %d != delta count %d", len(idx), len(deltas))
+		return fmt.Errorf("%w: %d indexes, %d deltas", ErrBadBatch, len(idx), len(deltas))
 	}
 	s.inner.UpdateBatch(slot, idx, deltas)
 	return nil
@@ -184,7 +184,7 @@ func (s *Sharded) Query(i int) (float64, error) {
 // before anything is written.
 func (s *Sharded) QueryBatch(idx []int, out []float64) error {
 	if len(idx) != len(out) {
-		return fmt.Errorf("repro: batch index count %d != output count %d", len(idx), len(out))
+		return fmt.Errorf("%w: %d indexes, %d outputs", ErrBadBatch, len(idx), len(out))
 	}
 	if err := s.inner.QueryBatch(idx, out); err != nil {
 		return fmt.Errorf("repro: %w", err)
@@ -227,7 +227,7 @@ func (sn *Snapshot) Query(i int) float64 { return sn.view.Query(i) }
 // returns an error before anything is written.
 func (sn *Snapshot) QueryBatch(idx []int, out []float64) error {
 	if len(idx) != len(out) {
-		return fmt.Errorf("repro: batch index count %d != output count %d", len(idx), len(out))
+		return fmt.Errorf("%w: %d indexes, %d outputs", ErrBadBatch, len(idx), len(out))
 	}
 	sn.view.QueryBatch(idx, out)
 	return nil

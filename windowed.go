@@ -154,7 +154,7 @@ func (w *Windowed) Update(slot, i int, delta float64) error {
 // is applied.
 func (w *Windowed) UpdateBatch(slot int, idx []int, deltas []float64) error {
 	if len(idx) != len(deltas) {
-		return fmt.Errorf("repro: batch index count %d != delta count %d", len(idx), len(deltas))
+		return fmt.Errorf("%w: %d indexes, %d deltas", ErrBadBatch, len(idx), len(deltas))
 	}
 	if err := w.inner.UpdateBatch(slot, idx, deltas); err != nil {
 		return fmt.Errorf("repro: %w", err)
@@ -178,7 +178,7 @@ func (w *Windowed) Query(i int) (float64, error) {
 // mismatch returns an error before anything is written.
 func (w *Windowed) QueryBatch(idx []int, out []float64) error {
 	if len(idx) != len(out) {
-		return fmt.Errorf("repro: batch index count %d != output count %d", len(idx), len(out))
+		return fmt.Errorf("%w: %d indexes, %d outputs", ErrBadBatch, len(idx), len(out))
 	}
 	if err := w.inner.QueryBatch(idx, out); err != nil {
 		return fmt.Errorf("repro: %w", err)
