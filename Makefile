@@ -9,7 +9,7 @@ test:
 	$(GO) test -shuffle=on ./...
 
 race:
-	$(GO) test -race ./internal/concurrent/... ./internal/window/... ./internal/codec/...
+	$(GO) test -race ./internal/concurrent/... ./internal/window/... ./internal/codec/... ./internal/counterbraids/...
 
 # lint mirrors CI's lint job: go vet, then the repo's own sketchlint
 # multichecker through the vet -vettool protocol (lock/defer pairing,

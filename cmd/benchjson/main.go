@@ -1,7 +1,11 @@
 // Command benchjson regenerates the checked-in benchmark baseline
-// (BENCH_6.json): it runs the curated ingestion/serving/codec
+// (BENCH_7.json): it runs the curated ingestion/serving/codec
 // benchmarks at the paper's §5.1 shape (s=4096, d=9) with -benchmem
 // and writes the parsed results as stable, machine-readable JSON.
+// Since PR 7 the set includes the counter-plane backend entries
+// (BenchmarkBackend*): per-backend update/query/restore costs and the
+// time-to-first-query comparison of an mmap open against a full
+// decode of the same checkpoint file.
 //
 // The update/query benchmarks count one vector element per op, so
 // ns/op is already normalized per element and directly comparable
@@ -12,7 +16,7 @@
 //
 // Usage:
 //
-//	go run ./cmd/benchjson [-out BENCH_6.json] [-benchtime 0.3s] [-bench regexp]
+//	go run ./cmd/benchjson [-out BENCH_7.json] [-benchtime 0.3s] [-bench regexp]
 package main
 
 import (
@@ -28,9 +32,10 @@ import (
 )
 
 // defaultBench selects the curated baseline set: per-algorithm update
-// and query paths (element-wise and batched) plus the wire-format
-// encode/decode round trip.
-const defaultBench = "^(BenchmarkUpdate|BenchmarkUpdateBatch|BenchmarkQuery|BenchmarkQueryBatch|BenchmarkEncode|BenchmarkDecode)$"
+// and query paths (element-wise and batched), the wire-format
+// encode/decode round trip, and the counter-plane backend paths
+// (per-backend update/query/restore and time-to-first-query).
+const defaultBench = "^(BenchmarkUpdate|BenchmarkUpdateBatch|BenchmarkQuery|BenchmarkQueryBatch|BenchmarkEncode|BenchmarkDecode|BenchmarkBackendUpdate|BenchmarkBackendQuery|BenchmarkBackendRestore|BenchmarkBackendTimeToFirstQuery)$"
 
 // defaultPackages are the benchmark homes: internal/bench holds the
 // per-algorithm paths, bench the facade/codec paths.
@@ -47,7 +52,7 @@ type Entry struct {
 	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
 }
 
-// Baseline is the BENCH_6.json document.
+// Baseline is the BENCH_7.json document.
 type Baseline struct {
 	Note      string  `json:"note"`
 	Shape     Shape   `json:"shape"`
@@ -64,7 +69,7 @@ type Shape struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_6.json", "output file")
+	out := flag.String("out", "BENCH_7.json", "output file")
 	benchtime := flag.String("benchtime", "0.3s", "go test -benchtime value")
 	benchRe := flag.String("bench", defaultBench, "go test -bench regexp")
 	flag.Parse()
@@ -86,6 +91,8 @@ func main() {
 	doc := Baseline{
 		Note: "ns/op on Update/Query paths is per vector element (batched benchmarks consume one element per op); " +
 			"allocs/op on batched and snapshot paths is pinned to 0 by the //sketch:hotpath contract. " +
+			"BenchmarkBackend* entries compare counter-plane backends (dense/compressed/mmap); " +
+			"BenchmarkBackendTimeToFirstQuery is restart latency from a checkpoint file (full decode vs mmap). " +
 			"Regenerate with: go run ./cmd/benchjson",
 		Shape:     Shape{N: 1_000_000, Words: 4096, Depth: 9},
 		Benchtime: *benchtime,

@@ -104,6 +104,30 @@
 // against the validated descriptor before allocating, so hostile
 // bytes error rather than panic or exhaust memory.
 //
+// # Storage backends
+//
+// The counter plane behind every table-backed algorithm is pluggable:
+// WithBackend selects how the rows are stored without changing what
+// they mean. BackendDense (the default) keeps plain float64 rows —
+// writable, zero-alloc, bit-identical to every prior release.
+// BackendCompressed stores the plane as a Counter Braids structure:
+// insert-only (negative or fractional deltas fail with the typed
+// ErrInsertOnly), decoded at query time (an overloaded braid fails
+// with ErrDecodeBudget rather than answering wrong), and worth it
+// when resident size dominates — Words reports the smaller footprint.
+// BackendMmap is read-only serving: WriteSketchFile writes an
+// 8-byte-aligned wire-v2 checkpoint atomically, OpenMmap maps it and
+// answers queries directly from the mapped cells — time-to-first-query
+// is O(1) in the sketch size, writes fail with ErrReadOnly. Backends
+// are a storage choice, not a sketch identity: a dense and an mmap
+// copy of the same sketch merge and answer identically, DecodeWith
+// restores a checkpoint onto a chosen backend, and Backends reports
+// which backends an algorithm supports (sign-carrying and
+// conservative-update planes reject BackendCompressed with
+// ErrBackendUnsupported). Counter Braids itself is also a first-class
+// registry algorithm ("counterbraids", legend alias "CB") with the
+// same insert-only, decode-at-query contract.
+//
 // # Sliding windows
 //
 // NewWindowed runs any linear algorithm over a pane-based sliding
@@ -149,7 +173,7 @@
 // validated descriptor; typederr requires exported functions and
 // constructors to return typed or %w-wrapped errors and forbids panic
 // in the codec. The suite runs green over the whole module with zero
-// suppressions, and BENCH_6.json is the checked-in ns/op + allocs/op
+// suppressions, and BENCH_7.json is the checked-in ns/op + allocs/op
 // baseline these contracts protect.
 //
 // The subpackages repro/workload (the §5.1 synthetic datasets) and

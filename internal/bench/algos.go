@@ -49,5 +49,5 @@ func Make(algo string, n, s, d int, seed int64) sketch.Sketch {
 	if !ok {
 		panic(fmt.Sprintf("bench: unknown algorithm %q", algo))
 	}
-	return e.New(n, s, d, seed)
+	return e.MustNew(n, s, d, seed)
 }

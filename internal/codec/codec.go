@@ -70,7 +70,12 @@ const (
 	secWindowMeta = 5 // panes, pane width, open-pane sequence, closed-pane sequences
 	secRangeMeta  = 6 // base dimension + level count
 	secNested     = 7 // an embedded v2 container
+	secPad        = 8 // alignment padding (zero bytes) so mmap'd state starts 8-aligned
 )
+
+// maxPad bounds a pad section: padding exists only to 8-align the
+// following state payload, so it is always under 8 bytes.
+const maxPad = 8
 
 // Decode-side bounds. They reject absurd structure counts before any
 // structure-proportional allocation; the per-payload byte bounds come
@@ -107,6 +112,13 @@ type Desc struct {
 	S    int
 	D    int
 	Seed int64
+
+	// Backend records which counter-plane backend the sketch was
+	// reconstructed on. It is in-memory metadata only — never
+	// serialized, always the dense zero value on descriptors read from
+	// a stream — set by DecodeSketchBackend and OpenMmapSketch so
+	// callers can see how a restored sketch is stored.
+	Backend sketch.BackendKind
 }
 
 // Validate bounds the descriptor fields before they reach a
@@ -149,10 +161,18 @@ func (d Desc) lookup() (*registry.Entry, error) {
 // cells returns the counter count one replica of this shape holds —
 // the unit of the restore-side allocation bounds.
 func (d Desc) cells(e *registry.Entry) uint64 {
-	if e.Name == registry.Exact {
+	switch e.Name {
+	case registry.Exact:
 		return uint64(d.N)
+	case registry.CounterBraid:
+		// The braid is sized by N alone (CB design rule): ≈1.5·N
+		// shallow counters plus the deep second layer, each a u64 on
+		// the wire.
+		l1 := uint64(d.N)*3/2 + 8
+		return l1 + l1/4 + 16
+	default:
+		return uint64(d.S) * uint64(d.D+2)
 	}
-	return uint64(d.S) * uint64(d.D+2)
 }
 
 // stateBound is the largest plausible state payload for the shape:
@@ -339,7 +359,11 @@ func captureState(sk sketch.Sketch) (byte, []byte, error) {
 	if err != nil {
 		return 0, nil, fmt.Errorf("codec: %T is not serializable (its state is not carried by the wire format)", sk)
 	}
-	return secState, st.MarshalState(), nil
+	payload, err := st.MarshalState()
+	if err != nil {
+		return 0, nil, fmt.Errorf("codec: capturing %T state: %w", sk, err)
+	}
+	return secState, payload, nil
 }
 
 // readStateSection consumes a state section for a sketch of the given
@@ -460,8 +484,15 @@ func decodeSketchContainer(r io.Reader) (sketch.Sketch, Desc, error) {
 }
 
 func decodeSketchSections(r io.Reader, nsec uint32, allowExact bool) (sketch.Sketch, Desc, error) {
-	if nsec != 2 {
-		return nil, Desc{}, fmt.Errorf("codec: sketch container has %d sections, want 2", nsec)
+	return decodeSketchSectionsBackend(r, nsec, allowExact, sketch.Backend{})
+}
+
+// decodeSketchSectionsBackend is the body shared by DecodeSketch (zero
+// backend = dense) and DecodeSketchBackend: the counter plane of the
+// reconstructed sketch lands on be.
+func decodeSketchSectionsBackend(r io.Reader, nsec uint32, allowExact bool, be sketch.Backend) (sketch.Sketch, Desc, error) {
+	if nsec != 2 && nsec != 3 {
+		return nil, Desc{}, fmt.Errorf("codec: sketch container has %d sections, want 2 or 3", nsec)
 	}
 	desc, e, err := readDescSection(r)
 	if err != nil {
@@ -470,17 +501,30 @@ func decodeSketchSections(r io.Reader, nsec uint32, allowExact bool) (sketch.Ske
 	if e.Name == registry.Exact && !allowExact {
 		return nil, Desc{}, fmt.Errorf("codec: exact sketches are not serializable as standalone containers")
 	}
+	if nsec == 3 {
+		// Aligned containers (WriteSketchFile) interleave a pad section
+		// so the state payload starts 8-aligned in the file; on a
+		// stream decode the padding is just skipped.
+		n, err := readSectionHeader(r, secPad)
+		if err != nil {
+			return nil, Desc{}, err
+		}
+		if _, err := readPayload(r, n, maxPad); err != nil {
+			return nil, Desc{}, err
+		}
+	}
 	tag, payload, err := readStateSection(r, desc, e)
 	if err != nil {
 		return nil, Desc{}, err
 	}
-	sk, err := registry.SafeNew(desc.Algo, desc.N, desc.S, desc.D, desc.Seed)
+	sk, err := registry.SafeNewBackend(desc.Algo, desc.N, desc.S, desc.D, desc.Seed, be)
 	if err != nil {
 		return nil, Desc{}, err
 	}
 	if err := restoreState(sk, tag, payload); err != nil {
 		return nil, Desc{}, err
 	}
+	desc.Backend = be.Kind
 	return sk, desc, nil
 }
 
@@ -508,7 +552,10 @@ func EncodeV1(w io.Writer, desc Desc, sk sketch.Sketch) error {
 	if _, err := w.Write(hdr); err != nil {
 		return err
 	}
-	payload := st.MarshalState()
+	payload, err := st.MarshalState()
+	if err != nil {
+		return fmt.Errorf("codec: capturing %T state: %w", sk, err)
+	}
 	var plen [8]byte
 	binary.LittleEndian.PutUint64(plen[:], uint64(len(payload)))
 	if _, err := w.Write(plen[:]); err != nil {

@@ -401,7 +401,7 @@ func maker(desc Desc, e *registry.Entry) (func() sketch.Sketch, error) {
 		return nil, err
 	}
 	return func() sketch.Sketch {
-		return e.New(desc.N, desc.S, desc.D, desc.Seed)
+		return e.MustNew(desc.N, desc.S, desc.D, desc.Seed)
 	}, nil
 }
 

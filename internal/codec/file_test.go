@@ -1,0 +1,320 @@
+package codec
+
+// Unit tests for the checkpoint-file layer: the aligned writer's
+// layout invariant, the atomic file write, and the in-place parser's
+// rejection surface — every malformed input must come back as an
+// ErrMmap-wrapped error, never a panic, and never an allocation sized
+// by attacker-claimed lengths.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/registry"
+	"repro/internal/sketch"
+)
+
+// fileDesc is the shape used by every test in this file.
+var fileDesc = Desc{Algo: registry.CountMin, N: 300, S: 16, D: 3, Seed: 9}
+
+func fileSketch(t testing.TB) sketch.Sketch {
+	t.Helper()
+	sk, err := registry.SafeNew(fileDesc.Algo, fileDesc.N, fileDesc.S, fileDesc.D, fileDesc.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i += 3 {
+		sk.Update(i, float64(1+i%7))
+	}
+	return sk
+}
+
+// The aligned container must (a) place the state payload at an 8-byte
+// file offset and (b) remain a decodable v2 sketch container for
+// stream readers that have never heard of the alignment.
+func TestEncodeSketchAlignedLayout(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeSketchAligned(&buf, fileDesc, fileSketch(t)); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	desc, _, payload, err := parseMappedSketch(data)
+	if err != nil {
+		t.Fatalf("parse of own output: %v", err)
+	}
+	if desc.Algo != fileDesc.Algo || desc.N != fileDesc.N || desc.Seed != fileDesc.Seed {
+		t.Fatalf("descriptor mismatch: %+v", desc)
+	}
+	stateOff := len(data) - len(payload)
+	if stateOff%8 != 0 {
+		t.Fatalf("state payload at offset %d, want 8-aligned", stateOff)
+	}
+
+	// A stream decoder sees an ordinary container.
+	loaded, ldesc, err := DecodeSketch(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("stream decode of aligned container: %v", err)
+	}
+	if ldesc.Algo != fileDesc.Algo {
+		t.Fatalf("stream decode algo %q", ldesc.Algo)
+	}
+	ref := fileSketch(t)
+	for i := 0; i < fileDesc.N; i += 7 {
+		if loaded.Query(i) != ref.Query(i) {
+			t.Fatalf("Query(%d) disagrees after stream decode", i)
+		}
+	}
+}
+
+// The alignment arithmetic must hold for every descriptor name length,
+// not just the algorithms that happen to exist — drive the section
+// builder directly across name lengths.
+func TestAlignedSectionsForAllNameLengths(t *testing.T) {
+	for nameLen := 1; nameLen <= 24; nameLen++ {
+		desc := fileDesc
+		desc.Algo = string(bytes.Repeat([]byte{'x'}, nameLen))
+		secs := alignedSketchSections(desc, secState, make([]byte, 40))
+		dlen := len(secs[0].payload)
+		padLen := len(secs[1].payload)
+		stateOff := 9 + 9 + dlen + 9 + padLen + 9
+		if stateOff%8 != 0 {
+			t.Errorf("name length %d: state offset %d not aligned (pad %d)", nameLen, stateOff, padLen)
+		}
+		if padLen >= 8 {
+			t.Errorf("name length %d: pad %d is not minimal", nameLen, padLen)
+		}
+	}
+}
+
+func TestWriteSketchFileAtomicAndServable(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sk.bas2")
+	if err := WriteSketchFile(path, fileDesc, fileSketch(t)); err != nil {
+		t.Fatal(err)
+	}
+	// No temp litter after a successful publish.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "sk.bas2" {
+		t.Fatalf("directory holds %v, want just sk.bas2", entries)
+	}
+
+	sk, desc, closeMap, err := OpenMmapSketch(path)
+	if err != nil {
+		t.Fatalf("OpenMmapSketch: %v", err)
+	}
+	defer closeMap()
+	if desc.Backend != sketch.BackendMmap {
+		t.Fatalf("desc backend %v", desc.Backend)
+	}
+	ref := fileSketch(t)
+	for i := 0; i < fileDesc.N; i += 7 {
+		if sk.Query(i) != ref.Query(i) {
+			t.Fatalf("Query(%d): mapped %v, dense %v", i, sk.Query(i), ref.Query(i))
+		}
+	}
+
+	// A failed write must not clobber the published file: an exact
+	// sketch has no standalone container encoding.
+	ex, err := registry.SafeNew(registry.Exact, 50, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSketchFile(path, Desc{Algo: registry.Exact, N: 50}, ex); err == nil {
+		t.Fatal("exact sketch should not be writable as a checkpoint file")
+	}
+	if _, _, cl, err := OpenMmapSketch(path); err != nil {
+		t.Fatalf("published file damaged by failed write: %v", err)
+	} else {
+		cl()
+	}
+	if err := WriteSketchFile(filepath.Join(dir, "missing", "sk.bas2"), fileDesc, fileSketch(t)); err == nil {
+		t.Fatal("unwritable directory should error")
+	}
+}
+
+func TestDirOf(t *testing.T) {
+	cases := map[string]string{
+		"a/b/c.bas2": "a/b",
+		"/c.bas2":    "/",
+		"c.bas2":     ".",
+	}
+	for in, want := range cases {
+		if got := dirOf(in); got != want {
+			t.Errorf("dirOf(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// validAlignedBytes returns a well-formed aligned container to corrupt.
+func validAlignedBytes(t testing.TB) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := EncodeSketchAligned(&buf, fileDesc, fileSketch(t)); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestParseMappedSketchRejections(t *testing.T) {
+	valid := validAlignedBytes(t)
+	mut := func(f func(b []byte) []byte) []byte {
+		return f(append([]byte(nil), valid...))
+	}
+	cases := map[string][]byte{
+		"empty":        {},
+		"short header": valid[:5],
+		"bad magic":    mut(func(b []byte) []byte { b[0] = 'X'; return b }),
+		"v1 magic":     append([]byte(MagicV1), valid[4:]...),
+		"wrong kind":   mut(func(b []byte) []byte { b[4] = KindSharded; return b }),
+		"two sections": mut(func(b []byte) []byte { binary.LittleEndian.PutUint32(b[5:], 2); return b }),
+		"desc tag":     mut(func(b []byte) []byte { b[9] = secState; return b }),
+		"desc oversize": mut(func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[10:], uint64(len(b))) // claims past EOF
+			return b
+		}),
+		"desc huge": mut(func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[10:], 2+maxNameLen+33) // within file, over desc cap
+			return b
+		}),
+		"name overflow":   mut(func(b []byte) []byte { binary.LittleEndian.PutUint16(b[18:], maxNameLen+1); return b }),
+		"unknown algo":    mut(func(b []byte) []byte { b[20] = 'z'; b[21] = 'z'; return b }),
+		"truncated state": valid[:len(valid)-4],
+		"trailing bytes":  append(append([]byte(nil), valid...), 0xAB),
+	}
+	// "desc huge" needs the claimed length to fit in the file; grow it.
+	cases["desc huge"] = append(cases["desc huge"], make([]byte, 2+maxNameLen+64)...)
+	for name, data := range cases {
+		if _, _, _, err := parseMappedSketch(data); !errors.Is(err, ErrMmap) {
+			t.Errorf("%s: err = %v, want ErrMmap", name, err)
+		}
+	}
+	if _, _, _, err := parseMappedSketch(valid); err != nil {
+		t.Errorf("control: valid container rejected: %v", err)
+	}
+}
+
+func TestParseMappedSketchStateBound(t *testing.T) {
+	// A state section larger than the shape bound must be rejected even
+	// when it spans the file exactly: otherwise a tiny descriptor could
+	// make the opener serve gigabytes as one sketch.
+	valid := validAlignedBytes(t)
+	grown := append([]byte(nil), valid...)
+	extra := int(stateBound(fileDesc, mustEntry(t, fileDesc.Algo))) // push well past the bound
+	grown = append(grown, make([]byte, extra)...)
+	// Fix up the state section length to span the grown file.
+	stateLenOff := stateSectionLenOffset(t, valid)
+	binary.LittleEndian.PutUint64(grown[stateLenOff:],
+		binary.LittleEndian.Uint64(valid[stateLenOff:])+uint64(extra))
+	if _, _, _, err := parseMappedSketch(grown); !errors.Is(err, ErrMmap) {
+		t.Errorf("oversized state: err = %v, want ErrMmap", err)
+	}
+}
+
+func mustEntry(t testing.TB, algo string) *registry.Entry {
+	t.Helper()
+	e, ok := registry.Lookup(algo)
+	if !ok {
+		t.Fatalf("no registry entry %q", algo)
+	}
+	return e
+}
+
+// stateSectionLenOffset walks the three headers of a valid aligned
+// container and returns the file offset of the state section's length.
+func stateSectionLenOffset(t testing.TB, data []byte) int {
+	t.Helper()
+	off := 9
+	for s := 0; s < 2; s++ {
+		_, n, err := mappedSectionHeader(data, off)
+		if err != nil {
+			t.Fatal(err)
+		}
+		off += 9 + int(n)
+	}
+	return off + 1
+}
+
+func TestOpenMmapSketchRejectsCapabilityAndFiles(t *testing.T) {
+	dir := t.TempDir()
+	if _, _, _, err := OpenMmapSketch(filepath.Join(dir, "absent")); !errors.Is(err, ErrMmap) {
+		t.Errorf("missing file: %v, want ErrMmap", err)
+	}
+	empty := filepath.Join(dir, "empty")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := OpenMmapSketch(empty); !errors.Is(err, ErrMmap) {
+		t.Errorf("empty file: %v, want ErrMmap", err)
+	}
+
+	// An algorithm without mmap capability: valid file, typed refusal.
+	cbDesc := Desc{Algo: registry.CounterBraid, N: 64, S: 16, D: 3, Seed: 1}
+	cb, err := registry.SafeNew(cbDesc.Algo, cbDesc.N, cbDesc.S, cbDesc.D, cbDesc.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb.Update(3, 5)
+	path := filepath.Join(dir, "cb.bas2")
+	if err := WriteSketchFile(path, cbDesc, cb); err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, err = OpenMmapSketch(path)
+	if !errors.Is(err, ErrMmap) || !errors.Is(err, sketch.ErrBackendUnsupported) {
+		t.Errorf("counterbraids by mmap: %v, want ErrMmap and ErrBackendUnsupported", err)
+	}
+}
+
+func TestDecodeSketchBackend(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeSketch(&buf, fileDesc, fileSketch(t)); err != nil {
+		t.Fatal(err)
+	}
+	stream := buf.Bytes()
+
+	// Compressed restore answers like the dense original.
+	comp, desc, err := DecodeSketchBackend(bytes.NewReader(stream),
+		sketch.Backend{Kind: sketch.BackendCompressed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if desc.Backend != sketch.BackendCompressed {
+		t.Fatalf("desc backend %v", desc.Backend)
+	}
+	ref := fileSketch(t)
+	for i := 0; i < fileDesc.N; i += 7 {
+		if comp.Query(i) != ref.Query(i) {
+			t.Fatalf("Query(%d) disagrees after compressed restore", i)
+		}
+	}
+
+	// Mmap needs a file, not a stream.
+	if _, _, err := DecodeSketchBackend(bytes.NewReader(stream),
+		sketch.Backend{Kind: sketch.BackendMmap}); !errors.Is(err, ErrMmap) {
+		t.Errorf("mmap from stream: %v, want ErrMmap", err)
+	}
+
+	// v1 payloads restore dense-only.
+	var v1 bytes.Buffer
+	if err := EncodeV1(&v1, fileDesc, fileSketch(t)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := DecodeSketchBackend(bytes.NewReader(v1.Bytes()),
+		sketch.Backend{Kind: sketch.BackendCompressed}); err == nil {
+		t.Error("v1 payload on compressed backend should error")
+	}
+	v1dense, _, err := DecodeSketchBackend(bytes.NewReader(v1.Bytes()), sketch.Backend{})
+	if err != nil {
+		t.Fatalf("v1 dense restore: %v", err)
+	}
+	if v1dense.Query(3) != ref.Query(3) {
+		t.Error("v1 dense restore disagrees")
+	}
+}

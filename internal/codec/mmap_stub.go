@@ -1,0 +1,13 @@
+//go:build !unix
+
+package codec
+
+import "fmt"
+
+// mapFile on platforms without memory mapping: always a typed error,
+// so OpenMmapSketch degrades to "unsupported" instead of failing to
+// build. Restores still work through DecodeSketch on these platforms —
+// they just pay the full decode.
+func mapFile(path string) ([]byte, func() error, error) {
+	return nil, nil, fmt.Errorf("%w: %s", ErrMmapUnsupported, path)
+}

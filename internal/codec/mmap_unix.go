@@ -1,0 +1,42 @@
+//go:build unix
+
+package codec
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// maxMmapBytes bounds the file size mapFile will map: far above any
+// real checkpoint (the codec's shape bounds cap state payloads in the
+// hundreds of megabytes), far below anything that could wedge the
+// address space.
+const maxMmapBytes = 1 << 38
+
+// mapFile maps the whole file at path read-only and returns the bytes
+// plus the unmap closer. The descriptor is closed before returning —
+// the mapping keeps the pages alive on its own.
+func mapFile(path string) ([]byte, func() error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %w", ErrMmap, err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %w", ErrMmap, err)
+	}
+	size := fi.Size()
+	if size <= 0 {
+		return nil, nil, fmt.Errorf("%w: %s is empty", ErrMmap, path)
+	}
+	if size > maxMmapBytes {
+		return nil, nil, fmt.Errorf("%w: %s is %d bytes, over the %d-byte mapping bound", ErrMmap, path, size, int64(maxMmapBytes))
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: mapping %s: %w", ErrMmap, path, err)
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

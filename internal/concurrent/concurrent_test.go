@@ -144,7 +144,7 @@ func TestQueryAndAccessors(t *testing.T) {
 func TestShardedCountSketch(t *testing.T) {
 	cfg := sketch.Config{N: 5000, Rows: 128, Depth: 7}
 	mk := func() *sketch.CountSketch {
-		return sketch.NewCountSketch(cfg, rand.New(rand.NewSource(7)))
+		return must(sketch.NewCountSketch(cfg, rand.New(rand.NewSource(7))))
 	}
 	sh := New(2, mk, func(d, s *sketch.CountSketch) error { return d.MergeFrom(s) })
 	plain := mk()

@@ -290,7 +290,7 @@ func TestPartialFallbackBatchStaysVisibleToSnapshots(t *testing.T) {
 func TestSnapshotMatchesMergedForSketches(t *testing.T) {
 	cfg := sketch.Config{N: 5000, Rows: 128, Depth: 7}
 	mk := func() sketch.Sketch {
-		return sketch.NewCountSketch(cfg, rand.New(rand.NewSource(21)))
+		return must(sketch.NewCountSketch(cfg, rand.New(rand.NewSource(21))))
 	}
 	merge := func(dst, src sketch.Sketch) error {
 		return dst.(sketch.Linear).MergeFrom(src.(sketch.Linear))

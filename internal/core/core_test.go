@@ -147,8 +147,8 @@ func TestBiasAwareBeatsClassicalOnBiasedGaussian(t *testing.T) {
 
 	l1 := NewL1SR(L1Config{N: n, K: k, SampleCount: 4 * k}, rand.New(rand.NewSource(seedA)))
 	l2 := NewL2SR(L2Config{N: n, K: k}, rand.New(rand.NewSource(seedB)))
-	cm := sketch.NewCountMedian(sketch.Config{N: n, Rows: 4 * k, Depth: 10}, rand.New(rand.NewSource(seedA)))
-	cs := sketch.NewCountSketch(sketch.Config{N: n, Rows: 4 * k, Depth: 10}, rand.New(rand.NewSource(seedB)))
+	cm := must(sketch.NewCountMedian(sketch.Config{N: n, Rows: 4 * k, Depth: 10}, rand.New(rand.NewSource(seedA))))
+	cs := must(sketch.NewCountSketch(sketch.Config{N: n, Rows: 4 * k, Depth: 10}, rand.New(rand.NewSource(seedB))))
 	for _, s := range []sketch.Sketch{l1, l2, cm, cs} {
 		feed(s, x)
 	}

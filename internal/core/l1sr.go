@@ -101,9 +101,13 @@ func NewL1SR(cfg L1Config, r *rand.Rand) *L1SR {
 		panic(err)
 	}
 	scfg := sketch.Config{N: cfg.N, Rows: cfg.Cs * cfg.K, Depth: cfg.Depth}
+	cm, err := sketch.NewCountMedian(scfg, r)
+	if err != nil {
+		panic(err)
+	}
 	l := &L1SR{
 		cfg: cfg,
-		cm:  sketch.NewCountMedian(scfg, r),
+		cm:  cm,
 		buf: make([]float64, cfg.Depth),
 	}
 	switch cfg.Estimator {

@@ -104,9 +104,13 @@ func NewL2SR(cfg L2Config, r *rand.Rand) *L2SR {
 		panic(err)
 	}
 	scfg := sketch.Config{N: cfg.N, Rows: cfg.Cs * cfg.K, Depth: cfg.Depth}
+	cs, err := sketch.NewCountSketch(scfg, r)
+	if err != nil {
+		panic(err)
+	}
 	l := &L2SR{
 		cfg: cfg,
-		cs:  sketch.NewCountSketch(scfg, r),
+		cs:  cs,
 		buf: make([]float64, cfg.Depth),
 	}
 	switch cfg.Estimator {

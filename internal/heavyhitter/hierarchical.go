@@ -28,7 +28,11 @@ type Hierarchical struct {
 // threshold can never hide a heavy descendant.
 func NewHierarchical(n, s, d int, r *rand.Rand) *Hierarchical {
 	factory := func(_, size int, rr *rand.Rand) rangequery.PointSketch {
-		return sketch.NewCountMin(sketch.Config{N: size, Rows: s, Depth: d}, rr)
+		cm, err := sketch.NewCountMin(sketch.Config{N: size, Rows: s, Depth: d}, rr)
+		if err != nil {
+			panic(err)
+		}
+		return cm
 	}
 	return &Hierarchical{rq: rangequery.New(n, factory, r)}
 }

@@ -22,7 +22,7 @@ func cmFactory(s, d int) Factory {
 		// Rows stay at s even when the level is smaller: small top
 		// levels are dense (all mass aggregated into few coordinates),
 		// so shrinking the row width there causes heavy collisions.
-		return sketch.NewCountMedian(sketch.Config{N: size, Rows: s, Depth: d}, r)
+		return must(sketch.NewCountMedian(sketch.Config{N: size, Rows: s, Depth: d}, r))
 	}
 }
 

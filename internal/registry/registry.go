@@ -3,14 +3,16 @@
 // bench harness's legend-name dispatch, and the sketchio wire-format
 // loader all resolve through the one table here. Each entry carries
 // the canonical public name, the paper's legend name, the accepted
-// aliases, the capability flags (linear / bias-aware), and the
-// constructor implementing the paper's equal-words sizing protocol
-// (§5.1): the bias-aware sketches use depth d with s extra words for
-// bias estimation, the baselines use depth d+1, so every algorithm
-// consumes (d+1)·s words at the same (s, d) setting.
+// aliases, the capability flags (linear / bias-aware / supported
+// counter-plane backends), and the constructor implementing the
+// paper's equal-words sizing protocol (§5.1): the bias-aware sketches
+// use depth d with s extra words for bias estimation, the baselines
+// use depth d+1, so every algorithm consumes (d+1)·s words at the same
+// (s, d) setting.
 package registry
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -24,18 +26,30 @@ import (
 // Canonical algorithm names — the strings the public API accepts and
 // the wire format writes.
 const (
-	L1SR        = "l1sr"
-	L2SR        = "l2sr"
-	L1Mean      = "l1mean"
-	L2Mean      = "l2mean"
-	CountMin    = "countmin"
-	CountMedian = "countmedian"
-	CountSketch = "countsketch"
-	CMCU        = "cmcu"
-	CMLCU       = "cmlcu"
-	DengRafiei  = "dengrafiei"
-	Exact       = "exact"
+	L1SR         = "l1sr"
+	L2SR         = "l2sr"
+	L1Mean       = "l1mean"
+	L2Mean       = "l2mean"
+	CountMin     = "countmin"
+	CountMedian  = "countmedian"
+	CountSketch  = "countsketch"
+	CMCU         = "cmcu"
+	CMLCU        = "cmlcu"
+	DengRafiei   = "dengrafiei"
+	CounterBraid = "counterbraids"
+	Exact        = "exact"
 )
+
+// ErrNotLinear is returned when a merge is requested for an algorithm
+// without the linearity property Φ(x+y) = Φx + Φy (cmcu, cmlcu):
+// conservative update loses it, which is exactly the drawback §2 of
+// the paper points out for the distributed setting.
+var ErrNotLinear = errors.New("registry: algorithm is not linear")
+
+// ErrBackendUnsupported re-exports the sketch package's capability
+// error so callers holding only a registry entry can classify backend
+// rejections with one errors.Is target.
+var ErrBackendUnsupported = sketch.ErrBackendUnsupported
 
 // Entry describes one constructible algorithm.
 type Entry struct {
@@ -48,29 +62,51 @@ type Entry struct {
 	Linear bool
 	// Bias marks the bias-aware sketches exposing a Bias() estimate.
 	Bias bool
+	// Compressed marks algorithms whose counter plane can live in a
+	// Counter-Braids-compressed backend (linear, insert-only integer
+	// streams only).
+	Compressed bool
+	// Mmap marks algorithms whose counter plane can be served read-only
+	// straight out of a mapped checkpoint file.
+	Mmap bool
 
 	// New constructs the sketch for dimension n, row width s, depth d,
-	// and hash seed. It panics on unusable parameters (constructors
-	// validate); callers with untrusted inputs go through SafeNew.
-	New func(n, s, d int, seed int64) sketch.Sketch
+	// hash seed, and counter-plane backend. Unusable parameters return
+	// an error (backend rejections wrap sketch.ErrBackendUnsupported);
+	// a constructor may still panic on programmer-error misuse, which
+	// SafeNew converts. The zero Backend is the dense plane.
+	New func(n, s, d int, seed int64, be sketch.Backend) (sketch.Sketch, error)
+}
+
+// MustNew constructs with the dense backend and panics on error — for
+// the replica factories (shards, window panes, range levels) whose
+// shape was already validated by a successful probe construction.
+func (e *Entry) MustNew(n, s, d int, seed int64) sketch.Sketch {
+	sk, err := e.New(n, s, d, seed, sketch.Backend{})
+	if err != nil {
+		panic(err)
+	}
+	return sk
 }
 
 // Stateful is the capture/restore surface a sketch must offer to be
-// serializable (the sketchio payload body).
+// serializable (the sketchio payload body). MarshalState may fail:
+// a compressed counter plane loaded past its decoding threshold has
+// no exact cell matrix to write.
 type Stateful interface {
-	MarshalState() []byte
+	MarshalState() ([]byte, error)
 	UnmarshalState([]byte) error
 }
 
 // marshaler is the simpler state surface of the table-based sketches.
 type marshaler interface {
-	Marshal() []byte
+	Marshal() ([]byte, error)
 	Unmarshal([]byte) error
 }
 
 type marshalAdapter struct{ m marshaler }
 
-func (a marshalAdapter) MarshalState() []byte          { return a.m.Marshal() }
+func (a marshalAdapter) MarshalState() ([]byte, error) { return a.m.Marshal() }
 func (a marshalAdapter) UnmarshalState(b []byte) error { return a.m.Unmarshal(b) }
 
 var (
@@ -114,20 +150,43 @@ func Names() []string {
 	return out
 }
 
-// SafeNew constructs the named algorithm, converting constructor
-// panics (parameter combinations an algorithm rejects) into errors —
-// the entry point for descriptors read off the network.
-func SafeNew(name string, n, s, d int, seed int64) (sk sketch.Sketch, err error) {
+// SafeNew constructs the named algorithm on the dense backend,
+// additionally converting constructor panics (parameter combinations
+// an algorithm rejects at runtime) into errors — the entry point for
+// descriptors read off the network.
+func SafeNew(name string, n, s, d int, seed int64) (sketch.Sketch, error) {
+	return SafeNewBackend(name, n, s, d, seed, sketch.Backend{})
+}
+
+// SafeNewBackend is SafeNew with an explicit counter-plane backend.
+// Algorithms whose capability flags exclude the requested backend are
+// rejected with an ErrBackendUnsupported-wrapped error before the
+// constructor runs.
+func SafeNewBackend(name string, n, s, d int, seed int64, be sketch.Backend) (sk sketch.Sketch, err error) {
 	e, ok := Lookup(name)
 	if !ok {
 		return nil, fmt.Errorf("registry: unknown algorithm %q", name)
+	}
+	switch be.Kind {
+	case sketch.BackendCompressed:
+		if !e.Compressed {
+			return nil, fmt.Errorf("%w: %s has no compressed counter plane", ErrBackendUnsupported, e.Name)
+		}
+	case sketch.BackendMmap:
+		if !e.Mmap {
+			return nil, fmt.Errorf("%w: %s cannot be served from a mapped checkpoint", ErrBackendUnsupported, e.Name)
+		}
 	}
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("registry: constructing %s: %v", e.Name, r)
 		}
 	}()
-	return e.New(n, s, d, seed), nil
+	sk, err = e.New(n, s, d, seed, be)
+	if err != nil {
+		return nil, fmt.Errorf("registry: constructing %s: %w", e.Name, err)
+	}
+	return sk, nil
 }
 
 // State adapts sk to the capture/restore surface, or reports that the
@@ -146,8 +205,7 @@ func State(sk sketch.Sketch) (Stateful, error) {
 // Merge adds src's state into dst. Both must come from the same entry
 // with identical shape and seeds; non-linear sketches (or mismatched
 // pairs) return sketch.ErrIncompatible from the concrete MergeFrom,
-// and types with no merge surface at all report an error naming the
-// type.
+// and types with no merge surface at all return ErrNotLinear.
 func Merge(dst, src sketch.Sketch) error {
 	switch d := dst.(type) {
 	case *core.L1SR:
@@ -180,7 +238,7 @@ func Merge(dst, src sketch.Sketch) error {
 		}
 		return nil
 	default:
-		return fmt.Errorf("registry: %T is not mergeable", dst)
+		return fmt.Errorf("%w: %T has no merge surface", ErrNotLinear, dst)
 	}
 }
 
@@ -200,77 +258,91 @@ func init() {
 	Register(Entry{
 		Name: L1SR, Legend: "l1-S/R", Aliases: []string{"l1-sr", "l1s/r"},
 		Linear: true, Bias: true,
-		New: func(n, s, d int, seed int64) sketch.Sketch {
+		New: func(n, s, d int, seed int64, _ sketch.Backend) (sketch.Sketch, error) {
 			return core.NewL1SR(core.L1Config{
 				N: n, K: kOf(s), Cs: 4, Depth: d, SampleCount: s,
-			}, rand.New(rand.NewSource(seed)))
+			}, rand.New(rand.NewSource(seed))), nil
 		},
 	})
 	Register(Entry{
 		Name: L2SR, Legend: "l2-S/R", Aliases: []string{"l2-sr", "l2s/r"},
 		Linear: true, Bias: true,
-		New: func(n, s, d int, seed int64) sketch.Sketch {
+		New: func(n, s, d int, seed int64, _ sketch.Backend) (sketch.Sketch, error) {
 			return core.NewL2SR(core.L2Config{
 				N: n, K: kOf(s), Cs: 4, Depth: d, UseBiasHeap: true,
-			}, rand.New(rand.NewSource(seed)))
+			}, rand.New(rand.NewSource(seed))), nil
 		},
 	})
 	Register(Entry{
 		Name: L1Mean, Legend: "l1-mean",
 		Linear: true, Bias: true,
-		New: func(n, s, d int, seed int64) sketch.Sketch {
+		New: func(n, s, d int, seed int64, _ sketch.Backend) (sketch.Sketch, error) {
 			return core.NewL1SR(core.L1Config{
 				N: n, K: kOf(s), Cs: 4, Depth: d, SampleCount: 1, Estimator: core.EstimatorMean,
-			}, rand.New(rand.NewSource(seed)))
+			}, rand.New(rand.NewSource(seed))), nil
 		},
 	})
 	Register(Entry{
 		Name: L2Mean, Legend: "l2-mean",
 		Linear: true, Bias: true,
-		New: func(n, s, d int, seed int64) sketch.Sketch {
+		New: func(n, s, d int, seed int64, _ sketch.Backend) (sketch.Sketch, error) {
 			return core.NewL2SR(core.L2Config{
 				N: n, K: kOf(s), Cs: 4, Depth: d, Estimator: core.EstimatorMean,
-			}, rand.New(rand.NewSource(seed)))
+			}, rand.New(rand.NewSource(seed))), nil
 		},
 	})
 	Register(Entry{
 		Name: CountMedian, Legend: "CM", Aliases: []string{"count-median"},
-		Linear: true,
-		New: func(n, s, d int, seed int64) sketch.Sketch {
-			return sketch.NewCountMedian(baseCfg(n, s, d), rand.New(rand.NewSource(seed)))
+		Linear: true, Compressed: true, Mmap: true,
+		New: func(n, s, d int, seed int64, be sketch.Backend) (sketch.Sketch, error) {
+			return sketch.NewCountMedianBackend(baseCfg(n, s, d), be, rand.New(rand.NewSource(seed)))
 		},
 	})
 	Register(Entry{
 		Name: CountSketch, Legend: "CS", Aliases: []string{"count-sketch"},
-		Linear: true,
-		New: func(n, s, d int, seed int64) sketch.Sketch {
-			return sketch.NewCountSketch(baseCfg(n, s, d), rand.New(rand.NewSource(seed)))
+		Linear: true, Mmap: true,
+		New: func(n, s, d int, seed int64, be sketch.Backend) (sketch.Sketch, error) {
+			return sketch.NewCountSketchBackend(baseCfg(n, s, d), be, rand.New(rand.NewSource(seed)))
 		},
 	})
 	Register(Entry{
 		Name: CountMin, Legend: "Count-Min", Aliases: []string{"count-min"},
-		Linear: true,
-		New: func(n, s, d int, seed int64) sketch.Sketch {
-			return sketch.NewCountMin(baseCfg(n, s, d), rand.New(rand.NewSource(seed)))
+		Linear: true, Compressed: true, Mmap: true,
+		New: func(n, s, d int, seed int64, be sketch.Backend) (sketch.Sketch, error) {
+			return sketch.NewCountMinBackend(baseCfg(n, s, d), be, rand.New(rand.NewSource(seed)))
 		},
 	})
 	Register(Entry{
 		Name: CMCU, Legend: "CM-CU",
-		New: func(n, s, d int, seed int64) sketch.Sketch {
-			return sketch.NewCMCU(baseCfg(n, s, d), rand.New(rand.NewSource(seed)))
+		Mmap: true,
+		New: func(n, s, d int, seed int64, be sketch.Backend) (sketch.Sketch, error) {
+			return sketch.NewCMCUBackend(baseCfg(n, s, d), be, rand.New(rand.NewSource(seed)))
 		},
 	})
 	Register(Entry{
 		Name: CMLCU, Legend: "CML-CU",
-		New: func(n, s, d int, seed int64) sketch.Sketch {
-			return sketch.NewCMLCU(baseCfg(n, s, d), sketch.DefaultCMLBase, rand.New(rand.NewSource(seed)))
+		Mmap: true,
+		New: func(n, s, d int, seed int64, be sketch.Backend) (sketch.Sketch, error) {
+			return sketch.NewCMLCUBackend(baseCfg(n, s, d), sketch.DefaultCMLBase, be, rand.New(rand.NewSource(seed)))
 		},
 	})
 	Register(Entry{
 		Name: DengRafiei, Legend: "Deng-Rafiei", Aliases: []string{"deng-rafiei"},
+		Linear: true, Compressed: true, Mmap: true,
+		New: func(n, s, d int, seed int64, be sketch.Backend) (sketch.Sketch, error) {
+			return sketch.NewDengRafieiBackend(baseCfg(n, s, d), be, rand.New(rand.NewSource(seed)))
+		},
+	})
+	// Counter Braids (the §2 related work): sized by the dimension n
+	// alone — the braid's layers follow the CB design rule, not the
+	// equal-words (s, d) protocol, so s and d are accepted and ignored.
+	// The braid is natively its own compressed representation; it has
+	// no flat cell plane to map, so only the default backend applies.
+	Register(Entry{
+		Name: CounterBraid, Legend: "CB", Aliases: []string{"cb", "counter-braids"},
 		Linear: true,
-		New: func(n, s, d int, seed int64) sketch.Sketch {
-			return sketch.NewDengRafiei(baseCfg(n, s, d), rand.New(rand.NewSource(seed)))
+		New: func(n, _, _ int, seed int64, _ sketch.Backend) (sketch.Sketch, error) {
+			return sketch.NewCounterBraids(n, rand.New(rand.NewSource(seed)))
 		},
 	})
 	// Exact is the ground-truth "sketch": a plain dense vector. It is
@@ -279,8 +351,8 @@ func init() {
 	Register(Entry{
 		Name: Exact, Legend: "Exact",
 		Linear: true,
-		New: func(n, _, _ int, _ int64) sketch.Sketch {
-			return stream.NewExact(n)
+		New: func(n, _, _ int, _ int64, _ sketch.Backend) (sketch.Sketch, error) {
+			return stream.NewExact(n), nil
 		},
 	})
 }

@@ -41,15 +41,15 @@ func TestLookupResolvesCanonicalLegendAndAliases(t *testing.T) {
 
 func TestNamesSortedAndComplete(t *testing.T) {
 	names := Names()
-	if len(names) != 11 {
-		t.Fatalf("Names() has %d entries, want 11: %v", len(names), names)
+	if len(names) != 12 {
+		t.Fatalf("Names() has %d entries, want 12: %v", len(names), names)
 	}
 	for i := 1; i < len(names); i++ {
 		if names[i-1] >= names[i] {
 			t.Fatalf("Names() not sorted: %v", names)
 		}
 	}
-	for _, want := range append(append([]string{}, paperAlgos...), L1Mean, L2Mean, Exact) {
+	for _, want := range append(append([]string{}, paperAlgos...), L1Mean, L2Mean, Exact, CounterBraid) {
 		found := false
 		for _, n := range names {
 			if n == want {
@@ -105,7 +105,10 @@ func TestStateCoversAllPaperAlgorithms(t *testing.T) {
 		}
 		sk.Update(7, 3)
 		sk.Update(7, 2)
-		blob := st.MarshalState()
+		blob, err := st.MarshalState()
+		if err != nil {
+			t.Fatalf("%s: MarshalState: %v", algo, err)
+		}
 		fresh, err := SafeNew(algo, 5000, 64, 5, 9)
 		if err != nil {
 			t.Fatal(err)

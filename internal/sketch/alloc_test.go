@@ -25,12 +25,12 @@ const (
 func allocSketches(r *rand.Rand) map[string]Sketch {
 	cfg := Config{N: allocDim, Rows: 128, Depth: 5}
 	return map[string]Sketch{
-		"countmin":    NewCountMin(cfg, r),
-		"countmedian": NewCountMedian(cfg, r),
-		"countsketch": NewCountSketch(cfg, r),
-		"cmcu":        NewCMCU(cfg, r),
-		"cmlcu":       NewCMLCU(cfg, DefaultCMLBase, r),
-		"dengrafiei":  NewDengRafiei(cfg, r),
+		"countmin":    must(NewCountMin(cfg, r)),
+		"countmedian": must(NewCountMedian(cfg, r)),
+		"countsketch": must(NewCountSketch(cfg, r)),
+		"cmcu":        must(NewCMCU(cfg, r)),
+		"cmlcu":       must(NewCMLCU(cfg, DefaultCMLBase, r)),
+		"dengrafiei":  must(NewDengRafiei(cfg, r)),
 	}
 }
 
@@ -76,7 +76,7 @@ func TestQueryBatchAllocFree(t *testing.T) {
 func TestDispatchHelpersAllocFree(t *testing.T) {
 	r := rand.New(rand.NewSource(7))
 	idx, deltas, out := allocBatchData(r)
-	s := Sketch(NewCountMedian(Config{N: allocDim, Rows: 128, Depth: 5}, r))
+	s := Sketch(must(NewCountMedian(Config{N: allocDim, Rows: 128, Depth: 5}, r)))
 	UpdateBatch(s, idx, deltas)
 	QueryBatch(s, idx, out)
 	if n := testing.AllocsPerRun(50, func() { UpdateBatch(s, idx, deltas) }); n != 0 {

@@ -21,12 +21,12 @@ func batchCases(seed int64) []struct {
 		mk         func() Sketch
 		insertOnly bool
 	}{
-		{"countmin", func() Sketch { return NewCountMin(cfg, rand.New(rand.NewSource(seed))) }, false},
-		{"countmedian", func() Sketch { return NewCountMedian(cfg, rand.New(rand.NewSource(seed))) }, false},
-		{"countsketch", func() Sketch { return NewCountSketch(cfg, rand.New(rand.NewSource(seed))) }, false},
-		{"dengrafiei", func() Sketch { return NewDengRafiei(cfg, rand.New(rand.NewSource(seed))) }, false},
-		{"cmcu", func() Sketch { return NewCMCU(cfg, rand.New(rand.NewSource(seed))) }, true},
-		{"cmlcu", func() Sketch { return NewCMLCU(cfg, DefaultCMLBase, rand.New(rand.NewSource(seed))) }, true},
+		{"countmin", func() Sketch { return must(NewCountMin(cfg, rand.New(rand.NewSource(seed)))) }, false},
+		{"countmedian", func() Sketch { return must(NewCountMedian(cfg, rand.New(rand.NewSource(seed)))) }, false},
+		{"countsketch", func() Sketch { return must(NewCountSketch(cfg, rand.New(rand.NewSource(seed)))) }, false},
+		{"dengrafiei", func() Sketch { return must(NewDengRafiei(cfg, rand.New(rand.NewSource(seed)))) }, false},
+		{"cmcu", func() Sketch { return must(NewCMCU(cfg, rand.New(rand.NewSource(seed)))) }, true},
+		{"cmlcu", func() Sketch { return must(NewCMLCU(cfg, DefaultCMLBase, rand.New(rand.NewSource(seed)))) }, true},
 	}
 }
 
@@ -59,7 +59,7 @@ func TestUpdateBatchMatchesElementwise(t *testing.T) {
 					seq.Update(idx[j], deltas[j])
 				}
 			}
-			a, b := batched.(marshaler).Marshal(), seq.(marshaler).Marshal()
+			a, b := must(batched.(marshaler).Marshal()), must(seq.(marshaler).Marshal())
 			if !bytes.Equal(a, b) {
 				t.Fatal("batched and element-wise counter state differ")
 			}
@@ -74,7 +74,7 @@ func TestUpdateBatchMatchesElementwise(t *testing.T) {
 
 // marshaler mirrors the registry's state surface for the exactness
 // check above.
-type marshaler interface{ Marshal() []byte }
+type marshaler interface{ Marshal() ([]byte, error) }
 
 // A batch is all-or-nothing: an invalid element (bad index, mismatched
 // lengths, negative delta on an insert-only sketch) must panic before
@@ -115,8 +115,8 @@ func TestUpdateBatchValidatesBeforeTouchingState(t *testing.T) {
 // fall back to a loop otherwise.
 func TestUpdateBatchHelperFallback(t *testing.T) {
 	cfg := Config{N: 100, Rows: 16, Depth: 3}
-	native := NewCountMin(cfg, rand.New(rand.NewSource(54)))
-	plain := &loopOnly{NewCountMin(cfg, rand.New(rand.NewSource(54)))}
+	native := must(NewCountMin(cfg, rand.New(rand.NewSource(54))))
+	plain := &loopOnly{must(NewCountMin(cfg, rand.New(rand.NewSource(54))))}
 	idx := []int{3, 7, 3, 99}
 	deltas := []float64{1, 2, 3, 4}
 	UpdateBatch(native, idx, deltas)

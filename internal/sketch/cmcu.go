@@ -1,6 +1,9 @@
 package sketch
 
-import "math/rand"
+import (
+	"fmt"
+	"math/rand"
+)
 
 // CMCU is Count-Min with conservative update (Estan–Varghese [17],
 // Goyal et al. [21]): on an increment, only the buckets that would
@@ -17,10 +20,30 @@ type CMCU struct {
 	hbuf []int // d×batch bucket indexes, row-major, reused across UpdateBatch calls
 }
 
-// NewCMCU creates a conservative-update Count-Min sketch.
-func NewCMCU(cfg Config, r *rand.Rand) *CMCU {
-	return &CMCU{tb: newTable(cfg, r)}
+// NewCMCU creates a dense conservative-update Count-Min sketch.
+// Invalid configurations return an ErrConfig-wrapped error.
+func NewCMCU(cfg Config, r *rand.Rand) (*CMCU, error) {
+	return NewCMCUBackend(cfg, Backend{}, r)
 }
+
+// NewCMCUBackend creates a conservative-update Count-Min sketch on the
+// chosen counter plane. The conservative raise sets buckets to a
+// target value — not a linear add — which the compressed plane cannot
+// represent: BackendCompressed returns ErrBackendUnsupported. Dense
+// and mmap (read-only) are supported.
+func NewCMCUBackend(cfg Config, be Backend, r *rand.Rand) (*CMCU, error) {
+	if be.Kind == BackendCompressed {
+		return nil, fmt.Errorf("%w: cmcu's conservative raise sets buckets in place, the compressed plane only adds", ErrBackendUnsupported)
+	}
+	tb, err := newTable(cfg, r, be)
+	if err != nil {
+		return nil, err
+	}
+	return &CMCU{tb: tb}, nil
+}
+
+// Backend reports the counter plane's storage backend.
+func (c *CMCU) Backend() BackendKind { return c.tb.backend() }
 
 // growHbuf ensures the row-major bucket-index scratch holds n entries;
 // growth helper kept out of the tagged hot path.
@@ -40,18 +63,19 @@ func (c *CMCU) Update(i int, delta float64) {
 	if delta < 0 {
 		panic("sketch: CMCU does not support negative updates (insert-only)")
 	}
+	cells := c.tb.writable()
 	u := uint64(i)
-	min := c.tb.cells[0][c.tb.hash.H[0].Hash(u)]
-	for t := 1; t < len(c.tb.cells); t++ {
-		if v := c.tb.cells[t][c.tb.hash.H[t].Hash(u)]; v < min {
+	min := cells[0][c.tb.hash.H[0].Hash(u)]
+	for t := 1; t < len(cells); t++ {
+		if v := cells[t][c.tb.hash.H[t].Hash(u)]; v < min {
 			min = v
 		}
 	}
 	target := min + delta
-	for t := range c.tb.cells {
+	for t := range cells {
 		b := c.tb.hash.H[t].Hash(u)
-		if c.tb.cells[t][b] < target {
-			c.tb.cells[t][b] = target
+		if cells[t][b] < target {
+			cells[t][b] = target
 		}
 	}
 }
@@ -70,24 +94,25 @@ func (c *CMCU) UpdateBatch(idx []int, deltas []float64) {
 			panic("sketch: CMCU does not support negative updates (insert-only)")
 		}
 	}
+	cells := c.tb.writable()
 	m := len(idx)
-	depth := len(c.tb.cells)
+	depth := len(cells)
 	c.growHbuf(depth * m)
 	for t := 0; t < depth; t++ {
 		c.tb.hash.H[t].HashMany(idx, c.hbuf[t*m:(t+1)*m])
 	}
 	for j := 0; j < m; j++ {
-		min := c.tb.cells[0][c.hbuf[j]]
+		min := cells[0][c.hbuf[j]]
 		for t := 1; t < depth; t++ {
-			if v := c.tb.cells[t][c.hbuf[t*m+j]]; v < min {
+			if v := cells[t][c.hbuf[t*m+j]]; v < min {
 				min = v
 			}
 		}
 		target := min + deltas[j]
 		for t := 0; t < depth; t++ {
 			b := c.hbuf[t*m+j]
-			if c.tb.cells[t][b] < target {
-				c.tb.cells[t][b] = target
+			if cells[t][b] < target {
+				cells[t][b] = target
 			}
 		}
 	}
@@ -109,10 +134,11 @@ func (c *CMCU) QueryBatch(idx []int, out []float64) {
 //sketch:hotpath
 func (c *CMCU) Query(i int) float64 {
 	c.tb.checkIndex(i)
+	cells := c.tb.rows()
 	u := uint64(i)
-	min := c.tb.cells[0][c.tb.hash.H[0].Hash(u)]
-	for t := 1; t < len(c.tb.cells); t++ {
-		if v := c.tb.cells[t][c.tb.hash.H[t].Hash(u)]; v < min {
+	min := cells[0][c.tb.hash.H[0].Hash(u)]
+	for t := 1; t < len(cells); t++ {
+		if v := cells[t][c.tb.hash.H[t].Hash(u)]; v < min {
 			min = v
 		}
 	}
@@ -127,7 +153,7 @@ func (c *CMCU) Words() int { return c.tb.words() }
 
 // Marshal serializes the counter matrix. CM-CU is not linear — a
 // restored sketch resumes local ingestion, it cannot be merged.
-func (c *CMCU) Marshal() []byte { return c.tb.marshalCells() }
+func (c *CMCU) Marshal() ([]byte, error) { return c.tb.marshalCells() }
 
 // Unmarshal restores state captured by Marshal on a sketch built with
 // the same configuration and seeds.

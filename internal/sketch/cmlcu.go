@@ -1,6 +1,7 @@
 package sketch
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 )
@@ -31,19 +32,39 @@ type CMLCU struct {
 	hbuf []int // d×batch bucket indexes, row-major, reused across UpdateBatch calls
 }
 
-// NewCMLCU creates a Count-Min-Log sketch with the given shape and
-// base. Pass DefaultCMLBase to mirror the paper's configuration.
-func NewCMLCU(cfg Config, base float64, r *rand.Rand) *CMLCU {
+// NewCMLCU creates a dense Count-Min-Log sketch with the given shape
+// and base. Pass DefaultCMLBase to mirror the paper's configuration.
+// Invalid configurations (including base ≤ 1) return an
+// ErrConfig-wrapped error.
+func NewCMLCU(cfg Config, base float64, r *rand.Rand) (*CMLCU, error) {
+	return NewCMLCUBackend(cfg, base, Backend{}, r)
+}
+
+// NewCMLCUBackend creates a Count-Min-Log sketch on the chosen counter
+// plane. Like CM-CU the conservative raise sets buckets in place, so
+// BackendCompressed returns ErrBackendUnsupported; dense and mmap
+// (read-only) are supported.
+func NewCMLCUBackend(cfg Config, base float64, be Backend, r *rand.Rand) (*CMLCU, error) {
 	if base <= 1 {
-		panic("sketch: CMLCU base must exceed 1")
+		return nil, fmt.Errorf("%w: CMLCU base must exceed 1, got %v", ErrConfig, base)
+	}
+	if be.Kind == BackendCompressed {
+		return nil, fmt.Errorf("%w: cmlcu's conservative raise sets buckets in place, the compressed plane only adds", ErrBackendUnsupported)
+	}
+	tb, err := newTable(cfg, r, be)
+	if err != nil {
+		return nil, err
 	}
 	return &CMLCU{
-		tb:   newTable(cfg, r),
+		tb:   tb,
 		base: base,
 		lnB:  math.Log(base),
 		rng:  rand.New(rand.NewSource(r.Int63())),
-	}
+	}, nil
 }
+
+// Backend reports the counter plane's storage backend.
+func (c *CMLCU) Backend() BackendKind { return c.tb.backend() }
 
 // value decodes a log counter into a linear-scale estimate.
 func (c *CMLCU) value(counter float64) float64 {
@@ -72,10 +93,11 @@ func (c *CMLCU) Update(i int, delta float64) {
 	if delta < 0 {
 		panic("sketch: CMLCU does not support negative updates (insert-only)")
 	}
+	cells := c.tb.writable()
 	u := uint64(i)
-	min := c.tb.cells[0][c.tb.hash.H[0].Hash(u)]
-	for t := 1; t < len(c.tb.cells); t++ {
-		if v := c.tb.cells[t][c.tb.hash.H[t].Hash(u)]; v < min {
+	min := cells[0][c.tb.hash.H[0].Hash(u)]
+	for t := 1; t < len(cells); t++ {
+		if v := cells[t][c.tb.hash.H[t].Hash(u)]; v < min {
 			min = v
 		}
 	}
@@ -87,10 +109,10 @@ func (c *CMLCU) Update(i int, delta float64) {
 	if c.rng.Float64() < exact-target {
 		target++
 	}
-	for t := range c.tb.cells {
+	for t := range cells {
 		b := c.tb.hash.H[t].Hash(u)
-		if c.tb.cells[t][b] < target {
-			c.tb.cells[t][b] = target
+		if cells[t][b] < target {
+			cells[t][b] = target
 		}
 	}
 }
@@ -108,16 +130,17 @@ func (c *CMLCU) UpdateBatch(idx []int, deltas []float64) {
 			panic("sketch: CMLCU does not support negative updates (insert-only)")
 		}
 	}
+	cells := c.tb.writable()
 	m := len(idx)
-	depth := len(c.tb.cells)
+	depth := len(cells)
 	c.growHbuf(depth * m)
 	for t := 0; t < depth; t++ {
 		c.tb.hash.H[t].HashMany(idx, c.hbuf[t*m:(t+1)*m])
 	}
 	for j := 0; j < m; j++ {
-		min := c.tb.cells[0][c.hbuf[j]]
+		min := cells[0][c.hbuf[j]]
 		for t := 1; t < depth; t++ {
-			if v := c.tb.cells[t][c.hbuf[t*m+j]]; v < min {
+			if v := cells[t][c.hbuf[t*m+j]]; v < min {
 				min = v
 			}
 		}
@@ -128,8 +151,8 @@ func (c *CMLCU) UpdateBatch(idx []int, deltas []float64) {
 		}
 		for t := 0; t < depth; t++ {
 			b := c.hbuf[t*m+j]
-			if c.tb.cells[t][b] < target {
-				c.tb.cells[t][b] = target
+			if cells[t][b] < target {
+				cells[t][b] = target
 			}
 		}
 	}
@@ -155,10 +178,11 @@ func (c *CMLCU) QueryBatch(idx []int, out []float64) {
 //sketch:hotpath
 func (c *CMLCU) Query(i int) float64 {
 	c.tb.checkIndex(i)
+	cells := c.tb.rows()
 	u := uint64(i)
-	min := c.tb.cells[0][c.tb.hash.H[0].Hash(u)]
-	for t := 1; t < len(c.tb.cells); t++ {
-		if v := c.tb.cells[t][c.tb.hash.H[t].Hash(u)]; v < min {
+	min := cells[0][c.tb.hash.H[0].Hash(u)]
+	for t := 1; t < len(cells); t++ {
+		if v := cells[t][c.tb.hash.H[t].Hash(u)]; v < min {
 			min = v
 		}
 	}
@@ -178,7 +202,7 @@ func (c *CMLCU) Words() int { return c.tb.words() }
 // rounding RNG is not part of the state: queries never touch it, and a
 // restored sketch that keeps ingesting just continues with the fresh
 // seed-derived stream.
-func (c *CMLCU) Marshal() []byte { return c.tb.marshalCells() }
+func (c *CMLCU) Marshal() ([]byte, error) { return c.tb.marshalCells() }
 
 // Unmarshal restores state captured by Marshal on a sketch built with
 // the same configuration, base, and seeds.

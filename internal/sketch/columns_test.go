@@ -1,6 +1,7 @@
 package sketch
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -10,7 +11,7 @@ import (
 // CM-matrix each have exactly one 1).
 func TestColumnCountsSumToN(t *testing.T) {
 	cfg := Config{N: 5000, Rows: 64, Depth: 4}
-	cm := NewCountMedian(cfg, rand.New(rand.NewSource(1)))
+	cm := must(NewCountMedian(cfg, rand.New(rand.NewSource(1))))
 	for tr := 0; tr < cfg.Depth; tr++ {
 		pi := cm.ColumnCounts(tr)
 		if len(pi) != cfg.Rows {
@@ -34,7 +35,7 @@ func TestColumnCountsSumToN(t *testing.T) {
 // lands in bucket BucketIndex(t, i), and that bucket's π counts i.
 func TestColumnCountsMatchBucketIndex(t *testing.T) {
 	cfg := Config{N: 300, Rows: 16, Depth: 3}
-	cm := NewCountMedian(cfg, rand.New(rand.NewSource(2)))
+	cm := must(NewCountMedian(cfg, rand.New(rand.NewSource(2))))
 	for tr := 0; tr < cfg.Depth; tr++ {
 		counts := make([]float64, cfg.Rows)
 		for i := 0; i < cfg.N; i++ {
@@ -53,7 +54,7 @@ func TestColumnCountsMatchBucketIndex(t *testing.T) {
 // Π(h)·1 = π by definition.
 func TestColumnCountsViaAllOnes(t *testing.T) {
 	cfg := Config{N: 1000, Rows: 32, Depth: 5}
-	cm := NewCountMedian(cfg, rand.New(rand.NewSource(3)))
+	cm := must(NewCountMedian(cfg, rand.New(rand.NewSource(3))))
 	for i := 0; i < cfg.N; i++ {
 		cm.Update(i, 1)
 	}
@@ -70,7 +71,7 @@ func TestColumnCountsViaAllOnes(t *testing.T) {
 // Likewise Ψ(h,r)·1 = ψ for the Count-Sketch.
 func TestSignedColumnSumsViaAllOnes(t *testing.T) {
 	cfg := Config{N: 1000, Rows: 32, Depth: 5}
-	cs := NewCountSketch(cfg, rand.New(rand.NewSource(4)))
+	cs := must(NewCountSketch(cfg, rand.New(rand.NewSource(4))))
 	for i := 0; i < cfg.N; i++ {
 		cs.Update(i, 1)
 	}
@@ -90,7 +91,7 @@ func TestSignedColumnSumsViaAllOnes(t *testing.T) {
 // ψ must be consistent with SignOf and BucketIndex.
 func TestSignedColumnSumsMatchSigns(t *testing.T) {
 	cfg := Config{N: 500, Rows: 16, Depth: 3}
-	cs := NewCountSketch(cfg, rand.New(rand.NewSource(5)))
+	cs := must(NewCountSketch(cfg, rand.New(rand.NewSource(5))))
 	for tr := 0; tr < cfg.Depth; tr++ {
 		sums := make([]float64, cfg.Rows)
 		for i := 0; i < cfg.N; i++ {
@@ -110,12 +111,12 @@ func TestSignedColumnSumsMatchSigns(t *testing.T) {
 
 func TestCountMinMarshalRoundTrip(t *testing.T) {
 	cfg := Config{N: 200, Rows: 16, Depth: 3}
-	a := NewCountMin(cfg, rand.New(rand.NewSource(6)))
+	a := must(NewCountMin(cfg, rand.New(rand.NewSource(6))))
 	for i := 0; i < 500; i++ {
 		a.Update(i%cfg.N, 2)
 	}
-	b := NewCountMin(cfg, rand.New(rand.NewSource(6)))
-	if err := b.Unmarshal(a.Marshal()); err != nil {
+	b := must(NewCountMin(cfg, rand.New(rand.NewSource(6))))
+	if err := b.Unmarshal(must(a.Marshal())); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < cfg.N; i++ {
@@ -132,9 +133,9 @@ func TestDimAccessors(t *testing.T) {
 	cfg := Config{N: 77, Rows: 8, Depth: 2}
 	r := rand.New(rand.NewSource(7))
 	for name, s := range map[string]Sketch{
-		"cmcu":  NewCMCU(cfg, r),
-		"cmlcu": NewCMLCU(cfg, DefaultCMLBase, r),
-		"cs":    NewCountSketch(cfg, r),
+		"cmcu":  must(NewCMCU(cfg, r)),
+		"cmlcu": must(NewCMLCU(cfg, DefaultCMLBase, r)),
+		"cs":    must(NewCountSketch(cfg, r)),
 	} {
 		if s.Dim() != 77 {
 			t.Errorf("%s: Dim = %d", name, s.Dim())
@@ -145,11 +146,8 @@ func TestDimAccessors(t *testing.T) {
 	}
 }
 
-func TestDengRafieiPanicsOnOneRow(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	NewDengRafiei(Config{N: 10, Rows: 1, Depth: 2}, rand.New(rand.NewSource(8)))
+func TestDengRafieiRejectsOneRow(t *testing.T) {
+	if _, err := NewDengRafiei(Config{N: 10, Rows: 1, Depth: 2}, rand.New(rand.NewSource(8))); !errors.Is(err, ErrConfig) {
+		t.Fatalf("Rows < 2: got %v, want ErrConfig", err)
+	}
 }

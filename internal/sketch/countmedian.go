@@ -17,20 +17,40 @@ type CountMedian struct {
 	pis atomic.Pointer[[][]float64] // cached per-row column counts π (see columns.go)
 }
 
-// NewCountMedian creates a Count-Median sketch with the given shape,
-// drawing hash functions from r.
-func NewCountMedian(cfg Config, r *rand.Rand) *CountMedian {
-	return &CountMedian{tb: newTable(cfg, r), buf: make([]float64, cfg.Depth)}
+// NewCountMedian creates a dense Count-Median sketch with the given
+// shape, drawing hash functions from r. Invalid configurations return
+// an ErrConfig-wrapped error.
+func NewCountMedian(cfg Config, r *rand.Rand) (*CountMedian, error) {
+	return NewCountMedianBackend(cfg, Backend{}, r)
 }
+
+// NewCountMedianBackend creates a Count-Median sketch on the chosen
+// counter plane. Updates are plain linear adds, so every backend is
+// supported: dense, compressed (insert-only integer streams), and
+// mmap (read-only).
+func NewCountMedianBackend(cfg Config, be Backend, r *rand.Rand) (*CountMedian, error) {
+	tb, err := newTable(cfg, r, be)
+	if err != nil {
+		return nil, err
+	}
+	return &CountMedian{tb: tb, buf: make([]float64, cfg.Depth)}, nil
+}
+
+// Backend reports the counter plane's storage backend.
+func (c *CountMedian) Backend() BackendKind { return c.tb.backend() }
 
 // Update applies x[i] += delta.
 //
 //sketch:hotpath
 func (c *CountMedian) Update(i int, delta float64) {
 	c.tb.checkIndex(i)
-	for t := range c.tb.cells {
-		c.tb.cells[t][c.tb.hash.H[t].Hash(uint64(i))] += delta
+	if w := c.tb.wrows; w != nil {
+		for t := range w {
+			w[t][c.tb.hash.H[t].Hash(uint64(i))] += delta
+		}
+		return
 	}
+	c.tb.addSlow(i, delta)
 }
 
 // UpdateBatch applies x[idx[j]] += deltas[j] for every j, row-major:
@@ -41,12 +61,16 @@ func (c *CountMedian) Update(i int, delta float64) {
 //sketch:hotpath
 func (c *CountMedian) UpdateBatch(idx []int, deltas []float64) {
 	c.tb.checkBatch(idx, deltas)
-	for t := range c.tb.cells {
-		row := c.tb.cells[t]
-		for j, b := range c.tb.hashRow(t, idx) {
-			row[b] += deltas[j]
+	if w := c.tb.wrows; w != nil {
+		for t := range w {
+			row := w[t]
+			for j, b := range c.tb.hashRow(t, idx) {
+				row[b] += deltas[j]
+			}
 		}
+		return
 	}
+	c.tb.addBatchSlow(idx, deltas)
 }
 
 // QueryBatch writes the estimate of x[idx[j]] into out[j] for every j.
@@ -60,7 +84,7 @@ func (c *CountMedian) UpdateBatch(idx []int, deltas []float64) {
 //sketch:hotpath
 func (c *CountMedian) QueryBatch(idx []int, out []float64) {
 	c.tb.checkQueryBatch(idx, out)
-	QueryBatchMedian(len(c.tb.cells), idx, out, 0, c)
+	QueryBatchMedian(len(c.tb.hash.H), idx, out, 0, c)
 }
 
 // GatherRow implements BatchRecovery: row t's bucket values for the
@@ -70,7 +94,7 @@ func (c *CountMedian) QueryBatch(idx []int, out []float64) {
 func (c *CountMedian) GatherRow(t int, tile []int, o []float64, sc *QScratch) {
 	hb := sc.Ints[:len(tile)]
 	c.tb.hash.H[t].HashMany(tile, hb)
-	row := c.tb.cells[t]
+	row := c.tb.rows()[t]
 	for j, b := range hb {
 		o[j] = row[b]
 	}
@@ -86,8 +110,9 @@ func (c *CountMedian) Combine(vals []float64, _ *QScratch) float64 { return medi
 //sketch:hotpath
 func (c *CountMedian) Query(i int) float64 {
 	c.tb.checkIndex(i)
-	for t := range c.tb.cells {
-		c.buf[t] = c.tb.cells[t][c.tb.hash.H[t].Hash(uint64(i))]
+	cells := c.tb.rows()
+	for t := range cells {
+		c.buf[t] = cells[t][c.tb.hash.H[t].Hash(uint64(i))]
 	}
 	return medianOf(c.buf)
 }
@@ -99,19 +124,20 @@ func (c *CountMedian) Dim() int { return c.tb.dim() }
 func (c *CountMedian) Words() int { return c.tb.words() }
 
 // MergeFrom adds another CountMedian with identical shape and seeds.
+// Backends may differ wherever the values admit it; read-only
+// receivers return ErrReadOnlyPlane.
 func (c *CountMedian) MergeFrom(other Linear) error {
 	o, ok := other.(*CountMedian)
 	if !ok || !c.tb.sameShape(&o.tb) {
 		return ErrIncompatible
 	}
-	c.tb.mergeFrom(&o.tb)
-	return nil
+	return c.tb.mergeFrom(&o.tb)
 }
 
 // Marshal serializes the counter state (not the hash seeds; in the
 // distributed model hash functions are shared up front by the
 // coordinator, §5.5 footnote 4).
-func (c *CountMedian) Marshal() []byte { return c.tb.marshalCells() }
+func (c *CountMedian) Marshal() ([]byte, error) { return c.tb.marshalCells() }
 
 // Unmarshal restores counter state written by Marshal.
 func (c *CountMedian) Unmarshal(b []byte) error { return c.tb.unmarshalCells(b) }

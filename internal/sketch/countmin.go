@@ -13,19 +13,39 @@ type CountMin struct {
 	tb table
 }
 
-// NewCountMin creates a Count-Min sketch with the given shape.
-func NewCountMin(cfg Config, r *rand.Rand) *CountMin {
-	return &CountMin{tb: newTable(cfg, r)}
+// NewCountMin creates a dense Count-Min sketch with the given shape.
+// Invalid configurations return an ErrConfig-wrapped error.
+func NewCountMin(cfg Config, r *rand.Rand) (*CountMin, error) {
+	return NewCountMinBackend(cfg, Backend{}, r)
 }
+
+// NewCountMinBackend creates a Count-Min sketch on the chosen counter
+// plane. Count-Min's updates are plain non-negative-leaning linear
+// adds, so every backend is supported: dense, compressed (insert-only
+// integer streams), and mmap (read-only).
+func NewCountMinBackend(cfg Config, be Backend, r *rand.Rand) (*CountMin, error) {
+	tb, err := newTable(cfg, r, be)
+	if err != nil {
+		return nil, err
+	}
+	return &CountMin{tb: tb}, nil
+}
+
+// Backend reports the counter plane's storage backend.
+func (c *CountMin) Backend() BackendKind { return c.tb.backend() }
 
 // Update applies x[i] += delta.
 //
 //sketch:hotpath
 func (c *CountMin) Update(i int, delta float64) {
 	c.tb.checkIndex(i)
-	for t := range c.tb.cells {
-		c.tb.cells[t][c.tb.hash.H[t].Hash(uint64(i))] += delta
+	if w := c.tb.wrows; w != nil {
+		for t := range w {
+			w[t][c.tb.hash.H[t].Hash(uint64(i))] += delta
+		}
+		return
 	}
+	c.tb.addSlow(i, delta)
 }
 
 // UpdateBatch applies x[idx[j]] += deltas[j] for every j, row-major:
@@ -36,12 +56,16 @@ func (c *CountMin) Update(i int, delta float64) {
 //sketch:hotpath
 func (c *CountMin) UpdateBatch(idx []int, deltas []float64) {
 	c.tb.checkBatch(idx, deltas)
-	for t := range c.tb.cells {
-		row := c.tb.cells[t]
-		for j, b := range c.tb.hashRow(t, idx) {
-			row[b] += deltas[j]
+	if w := c.tb.wrows; w != nil {
+		for t := range w {
+			row := w[t]
+			for j, b := range c.tb.hashRow(t, idx) {
+				row[b] += deltas[j]
+			}
 		}
+		return
 	}
+	c.tb.addBatchSlow(idx, deltas)
 }
 
 // QueryBatch writes the estimate of x[idx[j]] into out[j] for every j,
@@ -60,9 +84,10 @@ func (c *CountMin) QueryBatch(idx []int, out []float64) {
 //sketch:hotpath
 func (c *CountMin) Query(i int) float64 {
 	c.tb.checkIndex(i)
-	min := c.tb.cells[0][c.tb.hash.H[0].Hash(uint64(i))]
-	for t := 1; t < len(c.tb.cells); t++ {
-		if v := c.tb.cells[t][c.tb.hash.H[t].Hash(uint64(i))]; v < min {
+	cells := c.tb.rows()
+	min := cells[0][c.tb.hash.H[0].Hash(uint64(i))]
+	for t := 1; t < len(cells); t++ {
+		if v := cells[t][c.tb.hash.H[t].Hash(uint64(i))]; v < min {
 			min = v
 		}
 	}
@@ -76,17 +101,21 @@ func (c *CountMin) Dim() int { return c.tb.dim() }
 func (c *CountMin) Words() int { return c.tb.words() }
 
 // MergeFrom adds another CountMin with identical shape and seeds.
+// Backends may differ wherever the values admit it (a compressed
+// receiver re-inserts a dense source's cells); read-only receivers
+// return ErrReadOnlyPlane.
 func (c *CountMin) MergeFrom(other Linear) error {
 	o, ok := other.(*CountMin)
 	if !ok || !c.tb.sameShape(&o.tb) {
 		return ErrIncompatible
 	}
-	c.tb.mergeFrom(&o.tb)
-	return nil
+	return c.tb.mergeFrom(&o.tb)
 }
 
-// Marshal serializes the counter state.
-func (c *CountMin) Marshal() []byte { return c.tb.marshalCells() }
+// Marshal serializes the counter state in the backend-independent wire
+// cell layout. A compressed plane loaded past its decoding threshold
+// cannot serialize (ErrPlaneDecode).
+func (c *CountMin) Marshal() ([]byte, error) { return c.tb.marshalCells() }
 
 // Unmarshal restores counter state written by Marshal.
 func (c *CountMin) Unmarshal(b []byte) error { return c.tb.unmarshalCells(b) }

@@ -1,6 +1,7 @@
 package sketch
 
 import (
+	"fmt"
 	"math/rand"
 	"sync/atomic"
 
@@ -21,24 +22,44 @@ type CountSketch struct {
 	psis atomic.Pointer[[][]float64] // cached per-row signed column sums ψ (see columns.go)
 }
 
-// NewCountSketch creates a Count-Sketch with the given shape.
-func NewCountSketch(cfg Config, r *rand.Rand) *CountSketch {
-	tb := newTable(cfg, r)
+// NewCountSketch creates a dense Count-Sketch with the given shape.
+// Invalid configurations return an ErrConfig-wrapped error.
+func NewCountSketch(cfg Config, r *rand.Rand) (*CountSketch, error) {
+	return NewCountSketchBackend(cfg, Backend{}, r)
+}
+
+// NewCountSketchBackend creates a Count-Sketch on the chosen counter
+// plane. The signed updates r_t(i)·delta go negative on every second
+// coordinate, which the insert-only compressed plane cannot represent —
+// BackendCompressed returns ErrBackendUnsupported. Dense and mmap
+// (read-only) are supported.
+func NewCountSketchBackend(cfg Config, be Backend, r *rand.Rand) (*CountSketch, error) {
+	if be.Kind == BackendCompressed {
+		return nil, fmt.Errorf("%w: countsketch writes signed cell values, the compressed plane is insert-only", ErrBackendUnsupported)
+	}
+	tb, err := newTable(cfg, r, be)
+	if err != nil {
+		return nil, err
+	}
 	return &CountSketch{
 		tb:    tb,
 		signs: hashing.NewSignFamily(r, cfg.Depth),
 		buf:   make([]float64, cfg.Depth),
-	}
+	}, nil
 }
+
+// Backend reports the counter plane's storage backend.
+func (c *CountSketch) Backend() BackendKind { return c.tb.backend() }
 
 // Update applies x[i] += delta.
 //
 //sketch:hotpath
 func (c *CountSketch) Update(i int, delta float64) {
 	c.tb.checkIndex(i)
+	cells := c.tb.writable()
 	u := uint64(i)
-	for t := range c.tb.cells {
-		c.tb.cells[t][c.tb.hash.H[t].Hash(u)] += c.signs.S[t].SignFloat(u) * delta
+	for t := range cells {
+		cells[t][c.tb.hash.H[t].Hash(u)] += c.signs.S[t].SignFloat(u) * delta
 	}
 }
 
@@ -58,10 +79,11 @@ func (c *CountSketch) growSbuf(n int) {
 //sketch:hotpath
 func (c *CountSketch) UpdateBatch(idx []int, deltas []float64) {
 	c.tb.checkBatch(idx, deltas)
+	cells := c.tb.writable()
 	c.growSbuf(len(idx))
 	sg := c.sbuf[:len(idx)]
-	for t := range c.tb.cells {
-		row := c.tb.cells[t]
+	for t := range cells {
+		row := cells[t]
 		c.signs.S[t].SignFloatMany(idx, sg)
 		for j, b := range c.tb.hashRow(t, idx) {
 			row[b] += sg[j] * deltas[j]
@@ -80,7 +102,7 @@ func (c *CountSketch) UpdateBatch(idx []int, deltas []float64) {
 //sketch:hotpath
 func (c *CountSketch) QueryBatch(idx []int, out []float64) {
 	c.tb.checkQueryBatch(idx, out)
-	QueryBatchMedian(len(c.tb.cells), idx, out, 0, c)
+	QueryBatchMedian(len(c.tb.hash.H), idx, out, 0, c)
 }
 
 // GatherRow implements BatchRecovery: row t's sign-corrected bucket
@@ -93,7 +115,7 @@ func (c *CountSketch) GatherRow(t int, tile []int, o []float64, sc *QScratch) {
 	sg := sc.F1[:len(tile)]
 	c.tb.hash.H[t].HashMany(tile, hb)
 	c.signs.S[t].SignFloatMany(tile, sg)
-	row := c.tb.cells[t]
+	row := c.tb.rows()[t]
 	for j, b := range hb {
 		o[j] = sg[j] * row[b]
 	}
@@ -109,9 +131,10 @@ func (c *CountSketch) Combine(vals []float64, _ *QScratch) float64 { return medi
 //sketch:hotpath
 func (c *CountSketch) Query(i int) float64 {
 	c.tb.checkIndex(i)
+	cells := c.tb.rows()
 	u := uint64(i)
-	for t := range c.tb.cells {
-		c.buf[t] = c.signs.S[t].SignFloat(u) * c.tb.cells[t][c.tb.hash.H[t].Hash(u)]
+	for t := range cells {
+		c.buf[t] = c.signs.S[t].SignFloat(u) * cells[t][c.tb.hash.H[t].Hash(u)]
 	}
 	return medianOf(c.buf)
 }
@@ -123,6 +146,7 @@ func (c *CountSketch) Dim() int { return c.tb.dim() }
 func (c *CountSketch) Words() int { return c.tb.words() }
 
 // MergeFrom adds another CountSketch with identical shape and seeds.
+// Read-only receivers return ErrReadOnlyPlane.
 func (c *CountSketch) MergeFrom(other Linear) error {
 	o, ok := other.(*CountSketch)
 	if !ok || !c.tb.sameShape(&o.tb) {
@@ -133,12 +157,11 @@ func (c *CountSketch) MergeFrom(other Linear) error {
 			return ErrIncompatible
 		}
 	}
-	c.tb.mergeFrom(&o.tb)
-	return nil
+	return c.tb.mergeFrom(&o.tb)
 }
 
 // Marshal serializes the counter state.
-func (c *CountSketch) Marshal() []byte { return c.tb.marshalCells() }
+func (c *CountSketch) Marshal() ([]byte, error) { return c.tb.marshalCells() }
 
 // Unmarshal restores counter state written by Marshal.
 func (c *CountSketch) Unmarshal(b []byte) error { return c.tb.unmarshalCells(b) }

@@ -27,23 +27,59 @@ type DengRafiei struct {
 	buf   []float64
 }
 
-// NewDengRafiei creates a Deng–Rafiei corrected Count-Min sketch.
-func NewDengRafiei(cfg Config, r *rand.Rand) *DengRafiei {
-	if cfg.Rows < 2 {
-		panic("sketch: DengRafiei needs at least 2 buckets per row")
-	}
-	return &DengRafiei{tb: newTable(cfg, r), buf: make([]float64, cfg.Depth)}
+// NewDengRafiei creates a dense Deng–Rafiei corrected Count-Min
+// sketch. Invalid configurations (including Rows < 2, which the
+// noise-averaging denominator s−1 cannot tolerate) return an
+// ErrConfig-wrapped error.
+func NewDengRafiei(cfg Config, r *rand.Rand) (*DengRafiei, error) {
+	return NewDengRafieiBackend(cfg, Backend{}, r)
 }
+
+// NewDengRafieiBackend creates a Deng–Rafiei sketch on the chosen
+// counter plane. Updates are plain linear adds, so every backend is
+// supported: dense, compressed (insert-only integer streams), and
+// mmap (read-only).
+//
+// The sketch carries one scalar of state beyond the cell matrix — the
+// running total — so a mapped backend's byte region is the Marshal
+// layout: 8·Depth·Rows cell bytes followed by an 8-byte total.
+func NewDengRafieiBackend(cfg Config, be Backend, r *rand.Rand) (*DengRafiei, error) {
+	if cfg.Rows < 2 {
+		return nil, fmt.Errorf("%w: DengRafiei needs at least 2 buckets per row", ErrConfig)
+	}
+	var total float64
+	if be.Kind == BackendMmap {
+		cellBytes := 8 * cfg.Depth * cfg.Rows
+		if len(be.Mapped) != cellBytes+8 {
+			return nil, fmt.Errorf("%w: DengRafiei mapped state is %d bytes, want %d cell bytes + 8-byte total", ErrBackendState, len(be.Mapped), cellBytes)
+		}
+		total = math.Float64frombits(binary.LittleEndian.Uint64(be.Mapped[cellBytes:]))
+		be.Mapped = be.Mapped[:cellBytes]
+	}
+	tb, err := newTable(cfg, r, be)
+	if err != nil {
+		return nil, err
+	}
+	return &DengRafiei{tb: tb, total: total, buf: make([]float64, cfg.Depth)}, nil
+}
+
+// Backend reports the counter plane's storage backend.
+func (c *DengRafiei) Backend() BackendKind { return c.tb.backend() }
 
 // Update applies x[i] += delta.
 //
 //sketch:hotpath
 func (c *DengRafiei) Update(i int, delta float64) {
 	c.tb.checkIndex(i)
-	c.total += delta
-	for t := range c.tb.cells {
-		c.tb.cells[t][c.tb.hash.H[t].Hash(uint64(i))] += delta
+	if w := c.tb.wrows; w != nil {
+		c.total += delta
+		for t := range w {
+			w[t][c.tb.hash.H[t].Hash(uint64(i))] += delta
+		}
+		return
 	}
+	c.tb.addSlow(i, delta)
+	c.total += delta
 }
 
 // UpdateBatch applies x[idx[j]] += deltas[j] for every j, row-major,
@@ -53,14 +89,21 @@ func (c *DengRafiei) Update(i int, delta float64) {
 //sketch:hotpath
 func (c *DengRafiei) UpdateBatch(idx []int, deltas []float64) {
 	c.tb.checkBatch(idx, deltas)
+	if w := c.tb.wrows; w != nil {
+		for _, d := range deltas {
+			c.total += d
+		}
+		for t := range w {
+			row := w[t]
+			for j, b := range c.tb.hashRow(t, idx) {
+				row[b] += deltas[j]
+			}
+		}
+		return
+	}
+	c.tb.addBatchSlow(idx, deltas)
 	for _, d := range deltas {
 		c.total += d
-	}
-	for t := range c.tb.cells {
-		row := c.tb.cells[t]
-		for j, b := range c.tb.hashRow(t, idx) {
-			row[b] += deltas[j]
-		}
 	}
 }
 
@@ -74,7 +117,7 @@ func (c *DengRafiei) UpdateBatch(idx []int, deltas []float64) {
 //sketch:hotpath
 func (c *DengRafiei) QueryBatch(idx []int, out []float64) {
 	c.tb.checkQueryBatch(idx, out)
-	QueryBatchMedian(len(c.tb.cells), idx, out, 0, c)
+	QueryBatchMedian(len(c.tb.hash.H), idx, out, 0, c)
 }
 
 // GatherRow implements BatchRecovery: row t's noise-corrected bucket
@@ -88,7 +131,7 @@ func (c *DengRafiei) GatherRow(t int, tile []int, o []float64, sc *QScratch) {
 	total := c.total
 	hb := sc.Ints[:len(tile)]
 	c.tb.hash.H[t].HashMany(tile, hb)
-	row := c.tb.cells[t]
+	row := c.tb.rows()[t]
 	for j, b := range hb {
 		v := row[b]
 		o[j] = v - (total-v)/s1
@@ -107,8 +150,9 @@ func (c *DengRafiei) Combine(vals []float64, _ *QScratch) float64 { return media
 func (c *DengRafiei) Query(i int) float64 {
 	c.tb.checkIndex(i)
 	s1 := float64(c.tb.cfg.Rows - 1)
-	for t := range c.tb.cells {
-		b := c.tb.cells[t][c.tb.hash.H[t].Hash(uint64(i))]
+	cells := c.tb.rows()
+	for t := range cells {
+		b := cells[t][c.tb.hash.H[t].Hash(uint64(i))]
 		c.buf[t] = b - (c.total-b)/s1
 	}
 	return medianOf(c.buf)
@@ -122,19 +166,22 @@ func (c *DengRafiei) Words() int { return c.tb.words() + 1 }
 
 // Marshal serializes the counter matrix followed by the running total
 // (8 bytes, little endian).
-func (c *DengRafiei) Marshal() []byte {
-	cells := c.tb.marshalCells()
+func (c *DengRafiei) Marshal() ([]byte, error) {
+	cells, err := c.tb.marshalCells()
+	if err != nil {
+		return nil, err
+	}
 	out := make([]byte, len(cells)+8)
 	copy(out, cells)
 	binary.LittleEndian.PutUint64(out[len(cells):], math.Float64bits(c.total))
-	return out
+	return out, nil
 }
 
 // Unmarshal restores state captured by Marshal on a sketch built with
 // the same configuration and seeds.
 func (c *DengRafiei) Unmarshal(b []byte) error {
 	if len(b) < 8 {
-		return fmt.Errorf("sketch: DengRafiei payload %d bytes, want at least 8", len(b))
+		return fmt.Errorf("%w: DengRafiei payload %d bytes, want at least 8", ErrBackendState, len(b))
 	}
 	if err := c.tb.unmarshalCells(b[:len(b)-8]); err != nil {
 		return err
@@ -150,7 +197,9 @@ func (c *DengRafiei) MergeFrom(other Linear) error {
 	if !ok || !c.tb.sameShape(&o.tb) {
 		return ErrIncompatible
 	}
-	c.tb.mergeFrom(&o.tb)
+	if err := c.tb.mergeFrom(&o.tb); err != nil {
+		return err
+	}
 	c.total += o.total
 	return nil
 }

@@ -1,0 +1,10 @@
+package sketch
+
+// must unwraps a (value, error) constructor result for test setup
+// whose configurations are statically valid.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}

@@ -1,0 +1,152 @@
+package sketch
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/counterbraids"
+)
+
+// cbDecodeIters bounds the min-sum iterations per braid layer when the
+// compressed plane materializes its view. Below the decoding threshold
+// the message passing settles in a handful of rounds; 32 matches the
+// guidance on counterbraids.Decode.
+const cbDecodeIters = 32
+
+// cbPlane is the compressed backend: the d×s counter matrix lives in a
+// Counter Braids structure over the flattened cell universe
+// (cell (t,b) ↦ flow t·rows+b), at a fraction of the bits of the dense
+// layout. The braid inherits Counter Braids' contract wholesale —
+// updates must be non-negative integers (ErrInsertOnly otherwise), and
+// reads decode the whole plane by message passing, exact below the
+// braid's load threshold and ErrPlaneDecode beyond it. The decoded
+// view is cached until the next Add, so query bursts against a
+// quiescent sketch pay for one decode.
+type cbPlane struct {
+	depth, rows int
+	braid       *counterbraids.Braid
+
+	view  [][]float64 // cached decoded rows
+	fresh bool        // view matches the braid state
+}
+
+func newCBPlane(depth, rows int, r *rand.Rand) *cbPlane {
+	return &cbPlane{
+		depth: depth,
+		rows:  rows,
+		braid: counterbraids.New(counterbraids.Config{N: depth * rows}, r),
+	}
+}
+
+func (p *cbPlane) Kind() BackendKind         { return BackendCompressed }
+func (p *cbPlane) WritableRows() [][]float64 { return nil }
+func (p *cbPlane) Bits() int                 { return p.braid.Bits() }
+
+func (p *cbPlane) ValidateAdd(delta float64) error {
+	if delta < 0 || float64(uint64(delta)) != delta {
+		return fmt.Errorf("%w: delta %v", ErrInsertOnly, delta)
+	}
+	return nil
+}
+
+func (p *cbPlane) Add(t, b int, delta float64) error {
+	if err := p.ValidateAdd(delta); err != nil {
+		return err
+	}
+	p.braid.Update(t*p.rows+b, delta)
+	p.fresh = false
+	return nil
+}
+
+// View decodes the braid into per-row slices, reusing the cached
+// decode when no Add intervened.
+func (p *cbPlane) View() ([][]float64, error) {
+	if p.fresh {
+		return p.view, nil
+	}
+	flat, err := p.braid.Decode(cbDecodeIters)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrPlaneDecode, err)
+	}
+	if p.view == nil {
+		p.view = make([][]float64, p.depth)
+	}
+	for t := range p.view {
+		p.view[t] = flat[t*p.rows : (t+1)*p.rows]
+	}
+	p.fresh = true
+	return p.view, nil
+}
+
+// MergeFrom adds o's counters into the braid. A same-shape compressed
+// plane merges braid-to-braid — exact and without decoding either
+// side. Any other readable plane is decoded and re-inserted cell by
+// cell, which requires its values to satisfy the insert-only contract.
+func (p *cbPlane) MergeFrom(o Plane) error {
+	if ocb, ok := o.(*cbPlane); ok && p.braid.SameShape(ocb.braid) {
+		if err := p.braid.MergeFrom(ocb.braid); err != nil {
+			return err
+		}
+		p.fresh = false
+		return nil
+	}
+	ov, err := o.View()
+	if err != nil {
+		return err
+	}
+	for t := range ov {
+		for b, v := range ov[t] {
+			if v == 0 {
+				continue
+			}
+			if err := p.Add(t, b, v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// MarshalCells decodes the plane and emits the shared wire cell
+// layout, so a compressed checkpoint restores into any backend. Past
+// the braid threshold the state is unrecoverable and so unserializable
+// (ErrPlaneDecode).
+func (p *cbPlane) MarshalCells() ([]byte, error) {
+	v, err := p.View()
+	if err != nil {
+		return nil, err
+	}
+	return marshalRows(v, p.rows), nil
+}
+
+// UnmarshalCells rebuilds the braid from a wire cell payload by
+// re-inserting every non-zero cell total. The braid state is a
+// deterministic additive function of the per-cell totals, so this
+// reproduces bit-identical braid state for any payload a compressed
+// plane produced; payloads with negative or fractional cells (a dense
+// checkpoint of a signed sketch) are rejected with ErrInsertOnly.
+func (p *cbPlane) UnmarshalCells(buf []byte) error {
+	if err := checkCellPayload(buf, p.depth, p.rows); err != nil {
+		return err
+	}
+	for off := 0; off < len(buf); off += 8 {
+		if err := p.ValidateAdd(math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))); err != nil {
+			return err
+		}
+	}
+	p.braid.Reset()
+	p.fresh = false
+	off := 0
+	for t := 0; t < p.depth; t++ {
+		for b := 0; b < p.rows; b++ {
+			v := math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+			off += 8
+			if v != 0 {
+				p.braid.Update(t*p.rows+b, v)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,57 @@
+package sketch
+
+import (
+	"fmt"
+	"unsafe"
+)
+
+// mmapPlane is the read-only backend: the counter matrix is the state
+// payload of a wire-v2 checkpoint, served in place. The backing bytes
+// typically come from syscall.Mmap (internal/codec's OpenMmapSketch),
+// so nothing is decoded into the heap — the plane is row slices aliased
+// onto the mapped region and a query's first page faults pull in only
+// the buckets it touches. All writes, merges, and restores return
+// ErrReadOnlyPlane.
+//
+// The payload must be 8-byte aligned: the float64 row views are built
+// with unsafe.Slice, and a misaligned base is undefined behavior (and
+// rejected by checkptr under -race). codec.WriteSketchFile pads its
+// containers so the state payload lands aligned.
+type mmapPlane struct {
+	rows  int
+	data  []byte      // the raw cell payload, aliased, never written
+	cells [][]float64 // row views into data
+}
+
+func newMmapPlane(depth, rows int, data []byte) (*mmapPlane, error) {
+	if want := 8 * depth * rows; len(data) != want {
+		return nil, fmt.Errorf("%w: mmap payload %d bytes, want %d", ErrBackendState, len(data), want)
+	}
+	if uintptr(unsafe.Pointer(unsafe.SliceData(data)))%8 != 0 {
+		return nil, fmt.Errorf("%w: mmap payload is not 8-byte aligned (write checkpoints with codec.WriteSketchFile)", ErrBackendState)
+	}
+	flat := unsafe.Slice((*float64)(unsafe.Pointer(unsafe.SliceData(data))), depth*rows)
+	cells := make([][]float64, depth)
+	for t := range cells {
+		cells[t] = flat[t*rows : (t+1)*rows]
+	}
+	return &mmapPlane{rows: rows, data: data, cells: cells}, nil
+}
+
+func (p *mmapPlane) Kind() BackendKind           { return BackendMmap }
+func (p *mmapPlane) View() ([][]float64, error)  { return p.cells, nil }
+func (p *mmapPlane) WritableRows() [][]float64   { return nil }
+func (p *mmapPlane) ValidateAdd(float64) error   { return ErrReadOnlyPlane }
+func (p *mmapPlane) Add(int, int, float64) error { return ErrReadOnlyPlane }
+func (p *mmapPlane) MergeFrom(Plane) error       { return ErrReadOnlyPlane }
+func (p *mmapPlane) UnmarshalCells([]byte) error { return ErrReadOnlyPlane }
+func (p *mmapPlane) Bits() int                   { return 8 * len(p.data) }
+
+// MarshalCells copies the mapped payload out — re-checkpointing a
+// mapped sketch is just a byte copy; the wire layout and the mapped
+// layout are the same.
+func (p *mmapPlane) MarshalCells() ([]byte, error) {
+	out := make([]byte, len(p.data))
+	copy(out, p.data)
+	return out, nil
+}

@@ -54,7 +54,7 @@ func TestQueryBatchValidatesAndDoesNotMutate(t *testing.T) {
 			for u := 0; u < 5000; u++ {
 				sk.Update(r.Intn(20000), float64(1+r.Intn(5)))
 			}
-			before := sk.(marshaler).Marshal()
+			before := must(sk.(marshaler).Marshal())
 
 			bad := []struct {
 				idx []int
@@ -84,7 +84,7 @@ func TestQueryBatchValidatesAndDoesNotMutate(t *testing.T) {
 			idx := []int{0, 5, 19999}
 			out := make([]float64, 3)
 			bq.QueryBatch(idx, out)
-			after := sk.(marshaler).Marshal()
+			after := must(sk.(marshaler).Marshal())
 			if string(before) != string(after) {
 				t.Fatal("QueryBatch mutated counter state")
 			}
@@ -96,8 +96,8 @@ func TestQueryBatchValidatesAndDoesNotMutate(t *testing.T) {
 // fall back to a Query loop otherwise.
 func TestQueryBatchHelperFallback(t *testing.T) {
 	cfg := Config{N: 100, Rows: 16, Depth: 3}
-	native := NewCountMin(cfg, rand.New(rand.NewSource(75)))
-	plain := &queryLoopOnly{NewCountMin(cfg, rand.New(rand.NewSource(75)))}
+	native := must(NewCountMin(cfg, rand.New(rand.NewSource(75))))
+	plain := &queryLoopOnly{must(NewCountMin(cfg, rand.New(rand.NewSource(75))))}
 	for i := 0; i < 100; i++ {
 		native.Update(i, float64(i%7))
 		plain.CountMin.Update(i, float64(i%7))

@@ -1,6 +1,7 @@
 package sketch
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -63,11 +64,11 @@ func TestExactOnVerySparse(t *testing.T) {
 	cfg := Config{N: 1000, Rows: 512, Depth: 9}
 	r := rand.New(rand.NewSource(1))
 	sketches := map[string]Sketch{
-		"countmin":    NewCountMin(cfg, r),
-		"countmedian": NewCountMedian(cfg, r),
-		"countsketch": NewCountSketch(cfg, r),
-		"cmcu":        NewCMCU(cfg, r),
-		"dengrafiei":  NewDengRafiei(cfg, r),
+		"countmin":    must(NewCountMin(cfg, r)),
+		"countmedian": must(NewCountMedian(cfg, r)),
+		"countsketch": must(NewCountSketch(cfg, r)),
+		"cmcu":        must(NewCMCU(cfg, r)),
+		"dengrafiei":  must(NewDengRafiei(cfg, r)),
 	}
 	for name, s := range sketches {
 		s.Update(7, 42)
@@ -84,7 +85,7 @@ func TestExactOnVerySparse(t *testing.T) {
 func TestCountMinNeverUnderestimates(t *testing.T) {
 	cfg := Config{N: 5000, Rows: 64, Depth: 5}
 	r := rand.New(rand.NewSource(2))
-	cm := NewCountMin(cfg, r)
+	cm := must(NewCountMin(cfg, r))
 	x := make([]float64, cfg.N)
 	for i := 0; i < 20000; i++ {
 		j := r.Intn(cfg.N)
@@ -101,8 +102,8 @@ func TestCountMinNeverUnderestimates(t *testing.T) {
 func TestCMCUNeverUnderestimatesAndBeatsCM(t *testing.T) {
 	cfg := Config{N: 5000, Rows: 64, Depth: 5}
 	r := rand.New(rand.NewSource(3))
-	cm := NewCountMin(cfg, rand.New(rand.NewSource(4)))
-	cu := NewCMCU(cfg, rand.New(rand.NewSource(4)))
+	cm := must(NewCountMin(cfg, rand.New(rand.NewSource(4))))
+	cu := must(NewCMCU(cfg, rand.New(rand.NewSource(4))))
 	x := make([]float64, cfg.N)
 	zipf := rand.NewZipf(r, 1.3, 1, uint64(cfg.N-1))
 	for i := 0; i < 50000; i++ {
@@ -130,7 +131,7 @@ func TestCMCURejectsNegative(t *testing.T) {
 			t.Fatal("expected panic on negative update")
 		}
 	}()
-	NewCMCU(testCfg(), rand.New(rand.NewSource(5))).Update(0, -1)
+	must(NewCMCU(testCfg(), rand.New(rand.NewSource(5)))).Update(0, -1)
 }
 
 func TestCMLCURejectsNegative(t *testing.T) {
@@ -139,22 +140,19 @@ func TestCMLCURejectsNegative(t *testing.T) {
 			t.Fatal("expected panic on negative update")
 		}
 	}()
-	NewCMLCU(testCfg(), DefaultCMLBase, rand.New(rand.NewSource(5))).Update(0, -1)
+	must(NewCMLCU(testCfg(), DefaultCMLBase, rand.New(rand.NewSource(5)))).Update(0, -1)
 }
 
 func TestCMLCURejectsBadBase(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic on base <= 1")
-		}
-	}()
-	NewCMLCU(testCfg(), 1.0, rand.New(rand.NewSource(5)))
+	if _, err := NewCMLCU(testCfg(), 1.0, rand.New(rand.NewSource(5))); !errors.Is(err, ErrConfig) {
+		t.Fatalf("base <= 1: got %v, want ErrConfig", err)
+	}
 }
 
 func TestCMLCUApproximatesCounts(t *testing.T) {
 	cfg := Config{N: 2000, Rows: 512, Depth: 7}
 	r := rand.New(rand.NewSource(6))
-	cml := NewCMLCU(cfg, DefaultCMLBase, r)
+	cml := must(NewCMLCU(cfg, DefaultCMLBase, r))
 	// Large-ish counts on a few coordinates; base 1.00025 counters are
 	// near-linear so relative error should be small.
 	counts := map[int]float64{3: 1000, 77: 5000, 500: 250}
@@ -173,8 +171,8 @@ func TestCMLCUApproximatesCounts(t *testing.T) {
 
 func TestCMLCUWeightedMatchesUnit(t *testing.T) {
 	cfg := Config{N: 100, Rows: 64, Depth: 5}
-	unit := NewCMLCU(cfg, DefaultCMLBase, rand.New(rand.NewSource(7)))
-	weighted := NewCMLCU(cfg, DefaultCMLBase, rand.New(rand.NewSource(7)))
+	unit := must(NewCMLCU(cfg, DefaultCMLBase, rand.New(rand.NewSource(7))))
+	weighted := must(NewCMLCU(cfg, DefaultCMLBase, rand.New(rand.NewSource(7))))
 	for j := 0; j < 2000; j++ {
 		unit.Update(5, 1)
 	}
@@ -199,7 +197,7 @@ func TestCountMedianErrorBound(t *testing.T) {
 	for i := 0; i < n/10; i++ {
 		x[r.Intn(n)] += 1
 	}
-	cm := NewCountMedian(cfg, r)
+	cm := must(NewCountMedian(cfg, r))
 	SketchVector(cm, x)
 	xhat := Recover(cm)
 	bound := vecmath.ErrK(x, k, 1) / float64(k)
@@ -228,7 +226,7 @@ func TestCountSketchErrorBound(t *testing.T) {
 	for i := range x {
 		x[i] += math.Round(r.Float64() * 3)
 	}
-	cs := NewCountSketch(cfg, r)
+	cs := must(NewCountSketch(cfg, r))
 	SketchVector(cs, x)
 	xhat := Recover(cs)
 	bound := vecmath.ErrK(x, k, 2) / math.Sqrt(float64(k))
@@ -250,10 +248,10 @@ func TestLinearityMergeEqualsWhole(t *testing.T) {
 		name string
 		mk   func(int64) Linear
 	}{
-		{"countmin", func(s int64) Linear { return NewCountMin(cfg, rand.New(rand.NewSource(s))) }},
-		{"countmedian", func(s int64) Linear { return NewCountMedian(cfg, rand.New(rand.NewSource(s))) }},
-		{"countsketch", func(s int64) Linear { return NewCountSketch(cfg, rand.New(rand.NewSource(s))) }},
-		{"dengrafiei", func(s int64) Linear { return NewDengRafiei(cfg, rand.New(rand.NewSource(s))) }},
+		{"countmin", func(s int64) Linear { return must(NewCountMin(cfg, rand.New(rand.NewSource(s)))) }},
+		{"countmedian", func(s int64) Linear { return must(NewCountMedian(cfg, rand.New(rand.NewSource(s)))) }},
+		{"countsketch", func(s int64) Linear { return must(NewCountSketch(cfg, rand.New(rand.NewSource(s)))) }},
+		{"dengrafiei", func(s int64) Linear { return must(NewDengRafiei(cfg, rand.New(rand.NewSource(s)))) }},
 	}
 	r := rand.New(rand.NewSource(11))
 	type upd struct {
@@ -289,18 +287,18 @@ func TestLinearityMergeEqualsWhole(t *testing.T) {
 
 func TestMergeIncompatible(t *testing.T) {
 	cfg := testCfg()
-	a := NewCountMedian(cfg, rand.New(rand.NewSource(12)))
-	b := NewCountMedian(cfg, rand.New(rand.NewSource(13))) // different seeds
+	a := must(NewCountMedian(cfg, rand.New(rand.NewSource(12))))
+	b := must(NewCountMedian(cfg, rand.New(rand.NewSource(13)))) // different seeds
 	if err := a.MergeFrom(b); err != ErrIncompatible {
 		t.Errorf("merging different hash seeds should fail, got %v", err)
 	}
-	cs := NewCountSketch(cfg, rand.New(rand.NewSource(12)))
+	cs := must(NewCountSketch(cfg, rand.New(rand.NewSource(12))))
 	if err := a.MergeFrom(cs); err != ErrIncompatible {
 		t.Errorf("merging different types should fail, got %v", err)
 	}
 	cfg2 := cfg
 	cfg2.Rows *= 2
-	c := NewCountMedian(cfg2, rand.New(rand.NewSource(12)))
+	c := must(NewCountMedian(cfg2, rand.New(rand.NewSource(12))))
 	if err := a.MergeFrom(c); err != ErrIncompatible {
 		t.Errorf("merging different shapes should fail, got %v", err)
 	}
@@ -308,12 +306,12 @@ func TestMergeIncompatible(t *testing.T) {
 
 func TestMarshalRoundTrip(t *testing.T) {
 	cfg := Config{N: 500, Rows: 32, Depth: 5}
-	a := NewCountMedian(cfg, rand.New(rand.NewSource(14)))
+	a := must(NewCountMedian(cfg, rand.New(rand.NewSource(14))))
 	for i := 0; i < 1000; i++ {
 		a.Update(i%cfg.N, float64(i%7))
 	}
-	b := NewCountMedian(cfg, rand.New(rand.NewSource(14)))
-	if err := b.Unmarshal(a.Marshal()); err != nil {
+	b := must(NewCountMedian(cfg, rand.New(rand.NewSource(14))))
+	if err := b.Unmarshal(must(a.Marshal())); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < cfg.N; i++ {
@@ -328,12 +326,12 @@ func TestMarshalRoundTrip(t *testing.T) {
 
 func TestCountSketchMarshalRoundTrip(t *testing.T) {
 	cfg := Config{N: 500, Rows: 32, Depth: 5}
-	a := NewCountSketch(cfg, rand.New(rand.NewSource(15)))
+	a := must(NewCountSketch(cfg, rand.New(rand.NewSource(15))))
 	for i := 0; i < 1000; i++ {
 		a.Update(i%cfg.N, 1)
 	}
-	b := NewCountSketch(cfg, rand.New(rand.NewSource(15)))
-	if err := b.Unmarshal(a.Marshal()); err != nil {
+	b := must(NewCountSketch(cfg, rand.New(rand.NewSource(15))))
+	if err := b.Unmarshal(must(a.Marshal())); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < cfg.N; i += 13 {
@@ -346,16 +344,16 @@ func TestCountSketchMarshalRoundTrip(t *testing.T) {
 func TestWords(t *testing.T) {
 	cfg := Config{N: 100, Rows: 64, Depth: 9}
 	r := rand.New(rand.NewSource(16))
-	if w := NewCountMedian(cfg, r).Words(); w != 576 {
+	if w := must(NewCountMedian(cfg, r)).Words(); w != 576 {
 		t.Errorf("CountMedian.Words = %d, want 576", w)
 	}
-	if w := NewDengRafiei(cfg, r).Words(); w != 577 {
+	if w := must(NewDengRafiei(cfg, r)).Words(); w != 577 {
 		t.Errorf("DengRafiei.Words = %d, want 577", w)
 	}
 }
 
 func TestIndexOutOfRangePanics(t *testing.T) {
-	s := NewCountMedian(Config{N: 10, Rows: 8, Depth: 3}, rand.New(rand.NewSource(17)))
+	s := must(NewCountMedian(Config{N: 10, Rows: 8, Depth: 3}, rand.New(rand.NewSource(17))))
 	for _, idx := range []int{-1, 10, 999} {
 		func() {
 			defer func() {
@@ -369,7 +367,7 @@ func TestIndexOutOfRangePanics(t *testing.T) {
 }
 
 func TestSketchVectorLengthMismatchErrors(t *testing.T) {
-	cm := NewCountMin(Config{N: 10, Rows: 8, Depth: 3}, rand.New(rand.NewSource(18)))
+	cm := must(NewCountMin(Config{N: 10, Rows: 8, Depth: 3}, rand.New(rand.NewSource(18))))
 	if err := SketchVector(cm, make([]float64, 5)); err == nil {
 		t.Fatal("length mismatch should return an error")
 	}
@@ -390,8 +388,8 @@ func TestDengRafieiBeatsCountMinOnBias(t *testing.T) {
 	n := 20000
 	cfg := Config{N: n, Rows: 256, Depth: 9}
 	x := gaussianVector(n, 100, 15, 19)
-	cm := NewCountMin(cfg, rand.New(rand.NewSource(20)))
-	dr := NewDengRafiei(cfg, rand.New(rand.NewSource(20)))
+	cm := must(NewCountMin(cfg, rand.New(rand.NewSource(20))))
+	dr := must(NewDengRafiei(cfg, rand.New(rand.NewSource(20))))
 	SketchVector(cm, x)
 	SketchVector(dr, x)
 	cmErr := vecmath.AvgAbsErr(x, Recover(cm))
@@ -402,7 +400,7 @@ func TestDengRafieiBeatsCountMinOnBias(t *testing.T) {
 }
 
 func BenchmarkCountMedianUpdate(b *testing.B) {
-	s := NewCountMedian(Config{N: 1 << 20, Rows: 1024, Depth: 9}, rand.New(rand.NewSource(1)))
+	s := must(NewCountMedian(Config{N: 1 << 20, Rows: 1024, Depth: 9}, rand.New(rand.NewSource(1))))
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -411,7 +409,7 @@ func BenchmarkCountMedianUpdate(b *testing.B) {
 }
 
 func BenchmarkCountSketchUpdate(b *testing.B) {
-	s := NewCountSketch(Config{N: 1 << 20, Rows: 1024, Depth: 9}, rand.New(rand.NewSource(1)))
+	s := must(NewCountSketch(Config{N: 1 << 20, Rows: 1024, Depth: 9}, rand.New(rand.NewSource(1))))
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -420,7 +418,7 @@ func BenchmarkCountSketchUpdate(b *testing.B) {
 }
 
 func BenchmarkCountSketchQuery(b *testing.B) {
-	s := NewCountSketch(Config{N: 1 << 20, Rows: 1024, Depth: 9}, rand.New(rand.NewSource(1)))
+	s := must(NewCountSketch(Config{N: 1 << 20, Rows: 1024, Depth: 9}, rand.New(rand.NewSource(1))))
 	for i := 0; i < 1<<16; i++ {
 		s.Update(i, 1)
 	}
@@ -432,7 +430,7 @@ func BenchmarkCountSketchQuery(b *testing.B) {
 }
 
 func BenchmarkCMCUUpdate(b *testing.B) {
-	s := NewCMCU(Config{N: 1 << 20, Rows: 1024, Depth: 9}, rand.New(rand.NewSource(1)))
+	s := must(NewCMCU(Config{N: 1 << 20, Rows: 1024, Depth: 9}, rand.New(rand.NewSource(1))))
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -52,7 +52,10 @@ func NewSharded(shards int, algo string, opts ...Option) (*Sharded, error) {
 	if err != nil {
 		return nil, err
 	}
-	mk := func() sketch.Sketch { return e.New(cfg.dim, cfg.words, cfg.depth, cfg.seed) }
+	if cfg.backend != BackendDense {
+		return nil, fmt.Errorf("%w: WithBackend(%v) — sharded and windowed replicas are mutable merge targets, so they are dense-only", ErrInvalidOption, cfg.backend)
+	}
+	mk := func() sketch.Sketch { return e.MustNew(cfg.dim, cfg.words, cfg.depth, cfg.seed) }
 	inner, err := newShards(e.Name, shards, mk)
 	if err != nil {
 		return nil, err

@@ -56,13 +56,16 @@ func NewWindowed(shards int, algo string, opts ...Option) (*Windowed, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.backend != BackendDense {
+		return nil, fmt.Errorf("%w: WithBackend(%v) — sharded and windowed replicas are mutable merge targets, so they are dense-only", ErrInvalidOption, cfg.backend)
+	}
 	// Probe the constructor once so a parameter combination the
 	// algorithm rejects surfaces here as an error, not as a panic from
 	// the first pane rotation.
 	if _, err := registry.SafeNew(e.Name, cfg.dim, cfg.words, cfg.depth, cfg.seed); err != nil {
 		return nil, fmt.Errorf("repro: %w", err)
 	}
-	mk := func() sketch.Sketch { return e.New(cfg.dim, cfg.words, cfg.depth, cfg.seed) }
+	mk := func() sketch.Sketch { return e.MustNew(cfg.dim, cfg.words, cfg.depth, cfg.seed) }
 	inner, err := window.New(window.Config{
 		Panes:  cfg.panes,
 		Shards: shards,

@@ -17,7 +17,7 @@ import (
 // carries — all of them except exact.
 var serializableAlgos = []string{
 	"l1sr", "l2sr", "l1mean", "l2mean", "countmin", "countmedian",
-	"countsketch", "cmcu", "cmlcu", "dengrafiei",
+	"countsketch", "cmcu", "cmlcu", "dengrafiei", "counterbraids",
 }
 
 // mustMarshalSeed builds a valid wire payload for the fuzz corpus.
