@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint bench-json
+.PHONY: build test race lint bench-json serve-smoke
 
 build:
 	$(GO) build ./...
@@ -9,7 +9,14 @@ test:
 	$(GO) test -shuffle=on ./...
 
 race:
-	$(GO) test -race ./internal/concurrent/... ./internal/window/... ./internal/codec/... ./internal/counterbraids/...
+	$(GO) test -race ./internal/concurrent/... ./internal/window/... ./internal/codec/... ./internal/counterbraids/... ./internal/server/...
+
+# serve-smoke is the end-to-end sketchd drill: build the real binary,
+# boot it on an ephemeral port with a checkpoint directory, ingest and
+# query over TCP, kill -TERM it mid-ingest, and assert a clean drain
+# (exit 0, final checkpoint) plus a bit-identical restart.
+serve-smoke:
+	$(GO) test -run TestServeSmokeProcess -v -count=1 ./internal/server
 
 # lint mirrors CI's lint job: go vet, then the repo's own sketchlint
 # multichecker through the vet -vettool protocol (lock/defer pairing,

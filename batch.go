@@ -1,0 +1,46 @@
+package repro
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/codec"
+)
+
+// MaxBatchLen bounds the element count one wire-v2 update-batch frame
+// may carry; see EncodeBatch.
+const MaxBatchLen = codec.MaxBatchLen
+
+// EncodeBatch writes an (idx, deltas) update batch to w as a wire-v2
+// batch container — the frame a sketch server's ingest endpoint
+// accepts and routes straight into UpdateBatch. The slices must have
+// equal length (else ErrBadBatch) and at most MaxBatchLen elements;
+// indexes must be non-negative and deltas must not be NaN.
+//
+// The frame carries no sketch descriptor: the receiver already knows
+// which sketch the batch targets and validates indexes against that
+// sketch's dimension when it calls DecodeBatch.
+func EncodeBatch(w io.Writer, idx []int, deltas []float64) error {
+	if len(idx) != len(deltas) {
+		return fmt.Errorf("%w: %d indexes, %d deltas", ErrBadBatch, len(idx), len(deltas))
+	}
+	if err := codec.EncodeBatch(w, idx, deltas); err != nil {
+		return fmt.Errorf("repro: %w", err)
+	}
+	return nil
+}
+
+// DecodeBatch reads one wire-v2 update-batch container from r,
+// validating every index against dim — the dimension of the sketch
+// the batch targets. Malformed framing, an implausible element count,
+// an index at or beyond dim, or a NaN delta all error before a single
+// update could be applied, so a hostile payload can never drive an
+// out-of-range update. Trailing bytes after the container are left
+// unread; batch frames compose on a stream.
+func DecodeBatch(r io.Reader, dim int) (idx []int, deltas []float64, err error) {
+	idx, deltas, err = codec.DecodeBatch(r, dim)
+	if err != nil {
+		return nil, nil, fmt.Errorf("repro: %w", err)
+	}
+	return idx, deltas, nil
+}

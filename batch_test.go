@@ -1,0 +1,57 @@
+package repro_test
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+func TestFacadeBatchRoundTripIntoSketch(t *testing.T) {
+	idx := []int{1, 5, 9, 5}
+	deltas := []float64{2, 3, -1, 4}
+	var buf bytes.Buffer
+	if err := repro.EncodeBatch(&buf, idx, deltas); err != nil {
+		t.Fatal(err)
+	}
+
+	gi, gd, err := repro.DecodeBatch(&buf, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk, err := repro.New("countmin", repro.WithDim(10), repro.WithWords(64), repro.WithDepth(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := repro.UpdateBatch(sk, gi, gd); err != nil {
+		t.Fatal(err)
+	}
+	if got := sk.Query(5); got != 7 {
+		t.Fatalf("Query(5) = %v after decoded batch, want 7", got)
+	}
+}
+
+func TestFacadeBatchErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := repro.EncodeBatch(&buf, []int{1, 2}, []float64{1}); !errors.Is(err, repro.ErrBadBatch) {
+		t.Errorf("length mismatch: got %v, want ErrBadBatch", err)
+	}
+
+	buf.Reset()
+	if err := repro.EncodeBatch(&buf, []int{3}, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	// Index 3 is out of range for a dim-2 sketch: the decode must fail
+	// closed with a repro-prefixed error.
+	if _, _, err := repro.DecodeBatch(&buf, 2); err == nil {
+		t.Error("out-of-range index decoded without error")
+	} else if !strings.HasPrefix(err.Error(), "repro: ") {
+		t.Errorf("boundary error %q lacks repro prefix", err)
+	}
+
+	if _, _, err := repro.DecodeBatch(bytes.NewReader([]byte("garbage")), 2); err == nil {
+		t.Error("garbage decoded without error")
+	}
+}

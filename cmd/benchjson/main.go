@@ -1,11 +1,14 @@
 // Command benchjson regenerates the checked-in benchmark baseline
-// (BENCH_7.json): it runs the curated ingestion/serving/codec
+// (BENCH_8.json): it runs the curated ingestion/serving/codec
 // benchmarks at the paper's §5.1 shape (s=4096, d=9) with -benchmem
 // and writes the parsed results as stable, machine-readable JSON.
 // Since PR 7 the set includes the counter-plane backend entries
 // (BenchmarkBackend*): per-backend update/query/restore costs and the
 // time-to-first-query comparison of an mmap open against a full
-// decode of the same checkpoint file.
+// decode of the same checkpoint file. Since PR 8 it also includes the
+// served ingestion path (BenchmarkIngestEndpoint): one wire-v2 batch
+// per op through the sketchd HTTP handler stack, so the serving tax
+// over the in-process batched path stays visible.
 //
 // The update/query benchmarks count one vector element per op, so
 // ns/op is already normalized per element and directly comparable
@@ -16,7 +19,7 @@
 //
 // Usage:
 //
-//	go run ./cmd/benchjson [-out BENCH_7.json] [-benchtime 0.3s] [-bench regexp]
+//	go run ./cmd/benchjson [-out BENCH_8.json] [-benchtime 0.3s] [-bench regexp]
 package main
 
 import (
@@ -35,11 +38,12 @@ import (
 // and query paths (element-wise and batched), the wire-format
 // encode/decode round trip, and the counter-plane backend paths
 // (per-backend update/query/restore and time-to-first-query).
-const defaultBench = "^(BenchmarkUpdate|BenchmarkUpdateBatch|BenchmarkQuery|BenchmarkQueryBatch|BenchmarkEncode|BenchmarkDecode|BenchmarkBackendUpdate|BenchmarkBackendQuery|BenchmarkBackendRestore|BenchmarkBackendTimeToFirstQuery)$"
+const defaultBench = "^(BenchmarkUpdate|BenchmarkUpdateBatch|BenchmarkQuery|BenchmarkQueryBatch|BenchmarkEncode|BenchmarkDecode|BenchmarkBackendUpdate|BenchmarkBackendQuery|BenchmarkBackendRestore|BenchmarkBackendTimeToFirstQuery|BenchmarkIngestEndpoint)$"
 
 // defaultPackages are the benchmark homes: internal/bench holds the
-// per-algorithm paths, bench the facade/codec paths.
-var defaultPackages = []string{"./internal/bench", "./bench"}
+// per-algorithm paths, bench the facade/codec paths, internal/server
+// the served ingestion path.
+var defaultPackages = []string{"./internal/bench", "./bench", "./internal/server"}
 
 // Entry is one parsed benchmark result.
 type Entry struct {
@@ -52,7 +56,7 @@ type Entry struct {
 	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
 }
 
-// Baseline is the BENCH_7.json document.
+// Baseline is the BENCH_8.json document.
 type Baseline struct {
 	Note      string  `json:"note"`
 	Shape     Shape   `json:"shape"`
@@ -69,7 +73,7 @@ type Shape struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_7.json", "output file")
+	out := flag.String("out", "BENCH_8.json", "output file")
 	benchtime := flag.String("benchtime", "0.3s", "go test -benchtime value")
 	benchRe := flag.String("bench", defaultBench, "go test -bench regexp")
 	flag.Parse()
@@ -93,6 +97,8 @@ func main() {
 			"allocs/op on batched and snapshot paths is pinned to 0 by the //sketch:hotpath contract. " +
 			"BenchmarkBackend* entries compare counter-plane backends (dense/compressed/mmap); " +
 			"BenchmarkBackendTimeToFirstQuery is restart latency from a checkpoint file (full decode vs mmap). " +
+			"BenchmarkIngestEndpoint is one 512-element wire-v2 batch per op through the sketchd HTTP stack " +
+			"(divide ns/op by 512 for the per-element serving cost). " +
 			"Regenerate with: go run ./cmd/benchjson",
 		Shape:     Shape{N: 1_000_000, Words: 4096, Depth: 9},
 		Benchtime: *benchtime,

@@ -143,6 +143,22 @@
 // window take zero locks; TopK serves windowed deviation heavy
 // hitters the same way. Non-linear algorithms return ErrNotLinear.
 //
+// # Serving
+//
+// cmd/sketchd serves the stack over HTTP (stdlib net/http): named
+// sketches per tenant — plain, sharded, or windowed, on any supported
+// backend — created from a JSON spec mirroring the facade options,
+// ingested as wire-v2 batch frames (EncodeBatch client-side,
+// DecodeBatch's hostile-input validation server-side), and queried
+// through the same point/range/top-k paths as the library. A
+// background scheduler checkpoints every sketch atomically to a data
+// directory and the server restores them on boot; SIGTERM drains —
+// in-flight requests finish, one final checkpoint lands — so a
+// restart answers bit-identically to the process that was killed.
+// Per-tenant in-flight caps shed overload with 429 rather than
+// queueing, and a panicking handler is a 500, not a crash. The logic
+// lives in internal/server; the binary is a thin flag-parsing skin.
+//
 // # Accuracy guarantees under test
 //
 // Beyond bit-identity (batch ≡ element-wise, snapshot ≡ sequential,
@@ -173,7 +189,7 @@
 // validated descriptor; typederr requires exported functions and
 // constructors to return typed or %w-wrapped errors and forbids panic
 // in the codec. The suite runs green over the whole module with zero
-// suppressions, and BENCH_7.json is the checked-in ns/op + allocs/op
+// suppressions, and BENCH_8.json is the checked-in ns/op + allocs/op
 // baseline these contracts protect.
 //
 // The subpackages repro/workload (the §5.1 synthetic datasets) and

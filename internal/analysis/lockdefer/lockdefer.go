@@ -19,6 +19,7 @@ var Packages = map[string]bool{
 	"concurrent":  true,
 	"window":      true,
 	"distributed": true,
+	"server":      true,
 }
 
 // Analyzer is the lockdefer analysis.

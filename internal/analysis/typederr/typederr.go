@@ -25,7 +25,7 @@ import (
 
 // BoundaryPackages lists package base names whose exported functions
 // are all API boundary (rule 1).
-var BoundaryPackages = map[string]bool{"repro": true, "distributed": true}
+var BoundaryPackages = map[string]bool{"repro": true, "distributed": true, "server": true}
 
 // ConstructorPrefixes are the exported-function name prefixes treated
 // as constructors in every other package (rule 1).

@@ -1,0 +1,115 @@
+package codec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// This file defines the ingest-batch frame: a v2 container carrying a
+// (idx, delta) update batch — the unit a sketch server's ingest
+// endpoint accepts and routes straight into UpdateBatch. The frame is
+// deliberately sketch-agnostic (no descriptor section): the receiver
+// already knows which sketch the batch targets and validates every
+// index against that sketch's dimension at decode time, so a hostile
+// payload can never drive an out-of-range update.
+//
+// Layout: the v2 magic, KindBatch, one section (secBatch) whose
+// payload is a u32 element count followed by count × (u64 index,
+// f64 delta), all little-endian.
+
+// MaxBatchLen bounds the element count one batch frame may carry.
+// Ingest pipelines amortize per-batch costs at a few hundred to a few
+// thousand elements; a million-element frame is either a unit mistake
+// or a hostile length, and bounding it keeps the decode-side
+// allocation proportional to real traffic.
+const MaxBatchLen = 1 << 20
+
+// batchBound is the largest well-formed secBatch payload: the count
+// prefix plus 16 bytes per element.
+const batchBound = 4 + 16*MaxBatchLen
+
+// EncodeBatch writes the update batch (idx, deltas) to w as a v2 batch
+// container. The slices must have equal length, at most MaxBatchLen
+// elements, and every index must be non-negative; deltas may be any
+// float64 (the turnstile model), but NaN is rejected — no sketch
+// accepts it and a reject at encode time beats a poisoned counter.
+func EncodeBatch(w io.Writer, idx []int, deltas []float64) error {
+	if len(idx) != len(deltas) {
+		return fmt.Errorf("codec: batch index count %d != delta count %d", len(idx), len(deltas))
+	}
+	if len(idx) > MaxBatchLen {
+		return fmt.Errorf("codec: batch length %d exceeds MaxBatchLen %d", len(idx), MaxBatchLen)
+	}
+	payload := make([]byte, 0, 4+16*len(idx))
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(len(idx)))
+	for j, i := range idx {
+		if i < 0 {
+			return fmt.Errorf("codec: batch index %d is negative", i)
+		}
+		if math.IsNaN(deltas[j]) {
+			return fmt.Errorf("codec: batch delta %d is NaN", j)
+		}
+		payload = binary.LittleEndian.AppendUint64(payload, uint64(i))
+		payload = binary.LittleEndian.AppendUint64(payload, math.Float64bits(deltas[j]))
+	}
+	return writeContainer(w, KindBatch, []section{{secBatch, payload}})
+}
+
+// DecodeBatch reads one batch container from r, validating every index
+// against dim: the caller names the dimension of the sketch the batch
+// targets, and any index at or beyond it — or any malformed framing,
+// implausible count, or NaN delta — errors before a single update
+// could be applied. Trailing bytes after the container are left
+// unread, so batch frames compose on a stream.
+func DecodeBatch(r io.Reader, dim int) (idx []int, deltas []float64, err error) {
+	if dim <= 0 {
+		return nil, nil, fmt.Errorf("codec: batch target dimension %d must be positive", dim)
+	}
+	version, kind, nsec, err := readHeader(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	if version != 2 || kind != KindBatch {
+		return nil, nil, fmt.Errorf("codec: container holds a %s, not an update batch", kindName(kind))
+	}
+	if nsec != 1 {
+		return nil, nil, fmt.Errorf("codec: batch container has %d sections, want 1", nsec)
+	}
+	n, err := readSectionHeader(r, secBatch)
+	if err != nil {
+		return nil, nil, err
+	}
+	payload, err := readPayload(r, n, batchBound)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(payload) < 4 {
+		return nil, nil, fmt.Errorf("codec: batch section truncated")
+	}
+	count := binary.LittleEndian.Uint32(payload)
+	if count > MaxBatchLen {
+		return nil, nil, fmt.Errorf("codec: batch length %d exceeds MaxBatchLen %d", count, MaxBatchLen)
+	}
+	if uint64(len(payload)) != 4+16*uint64(count) {
+		return nil, nil, fmt.Errorf("codec: batch section is %d bytes for %d elements, want %d",
+			len(payload), count, 4+16*uint64(count))
+	}
+	idx = make([]int, count)
+	deltas = make([]float64, count)
+	for j := range idx {
+		off := 4 + 16*j
+		i := binary.LittleEndian.Uint64(payload[off:])
+		if i >= uint64(dim) {
+			return nil, nil, fmt.Errorf("codec: batch index %d out of range [0,%d)", i, dim)
+		}
+		d := math.Float64frombits(binary.LittleEndian.Uint64(payload[off+8:]))
+		if math.IsNaN(d) {
+			return nil, nil, fmt.Errorf("codec: batch delta %d is NaN", j)
+		}
+		idx[j] = int(i)
+		deltas[j] = d
+	}
+	return idx, deltas, nil
+}

@@ -1,0 +1,162 @@
+package codec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestBatchRoundTrip(t *testing.T) {
+	idx := []int{0, 7, 99, 7}
+	deltas := []float64{1, -2.5, 1e12, 0}
+	var buf bytes.Buffer
+	if err := EncodeBatch(&buf, idx, deltas); err != nil {
+		t.Fatal(err)
+	}
+	gi, gd, err := DecodeBatch(&buf, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gi) != len(idx) {
+		t.Fatalf("decoded %d elements, want %d", len(gi), len(idx))
+	}
+	for j := range idx {
+		if gi[j] != idx[j] || math.Float64bits(gd[j]) != math.Float64bits(deltas[j]) {
+			t.Fatalf("element %d: (%d, %v), want (%d, %v)", j, gi[j], gd[j], idx[j], deltas[j])
+		}
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("%d bytes left unread after one batch", buf.Len())
+	}
+}
+
+func TestBatchRoundTripEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeBatch(&buf, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	gi, gd, err := DecodeBatch(&buf, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gi) != 0 || len(gd) != 0 {
+		t.Fatalf("empty batch decoded to %d/%d elements", len(gi), len(gd))
+	}
+}
+
+func TestEncodeBatchRejects(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeBatch(&buf, []int{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if err := EncodeBatch(&buf, []int{-1}, []float64{1}); err == nil {
+		t.Error("negative index accepted")
+	}
+	if err := EncodeBatch(&buf, []int{1}, []float64{math.NaN()}); err == nil {
+		t.Error("NaN delta accepted")
+	}
+	if err := EncodeBatch(&buf, make([]int, MaxBatchLen+1), make([]float64, MaxBatchLen+1)); err == nil {
+		t.Error("over-length batch accepted")
+	}
+}
+
+// validBatchBytes returns a well-formed one-element batch frame.
+func validBatchBytes(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := EncodeBatch(&buf, []int{5}, []float64{2}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestDecodeBatchHostile(t *testing.T) {
+	valid := validBatchBytes(t)
+
+	overCount := func() []byte {
+		// Claimed element count over MaxBatchLen with a matching huge
+		// section length: must be rejected by the count bound, not
+		// allocated.
+		payload := binary.LittleEndian.AppendUint32(nil, MaxBatchLen+1)
+		var buf bytes.Buffer
+		buf.WriteString(MagicV2)
+		buf.WriteByte(KindBatch)
+		var nsec [4]byte
+		binary.LittleEndian.PutUint32(nsec[:], 1)
+		buf.Write(nsec[:])
+		var sh [9]byte
+		sh[0] = secBatch
+		binary.LittleEndian.PutUint64(sh[1:], 4+16*uint64(MaxBatchLen+1))
+		buf.Write(sh[:])
+		buf.Write(payload)
+		return buf.Bytes()
+	}()
+
+	cases := []struct {
+		name string
+		data []byte
+		dim  int
+		want string // substring of the error
+	}{
+		{"garbage magic", []byte("NOPE....."), 100, "bad magic"},
+		{"truncated", valid[:len(valid)-3], 100, "reading"},
+		{"wrong kind", func() []byte {
+			b := append([]byte(nil), valid...)
+			b[4] = KindSketch
+			return b
+		}(), 100, "not an update batch"},
+		{"wrong section tag", func() []byte {
+			b := append([]byte(nil), valid...)
+			b[9] = secState
+			return b
+		}(), 100, "section tag"},
+		{"index out of range", valid, 5, "out of range"},
+		{"count/length mismatch", func() []byte {
+			b := append([]byte(nil), valid...)
+			// bump the element count without extending the payload
+			binary.LittleEndian.PutUint32(b[18:], 2)
+			return b
+		}(), 100, "want"},
+		{"NaN delta", func() []byte {
+			b := append([]byte(nil), valid...)
+			binary.LittleEndian.PutUint64(b[len(b)-8:], math.Float64bits(math.NaN()))
+			return b
+		}(), 100, "NaN"},
+		{"implausible count", overCount, 100, "exceeds"},
+		{"bad dim", valid, 0, "dimension"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := DecodeBatch(bytes.NewReader(tc.data), tc.dim)
+			if err == nil {
+				t.Fatal("hostile batch decoded without error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// A batch frame is framed like every other v2 container, so frames
+// compose back to back on one stream.
+func TestBatchFramesCompose(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeBatch(&buf, []int{1}, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := EncodeBatch(&buf, []int{2}, []float64{4}); err != nil {
+		t.Fatal(err)
+	}
+	for want := 1; want <= 2; want++ {
+		gi, _, err := DecodeBatch(&buf, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gi[0] != want {
+			t.Fatalf("frame decoded index %d, want %d", gi[0], want)
+		}
+	}
+}

@@ -59,6 +59,7 @@ const (
 	KindSharded  = 2 // concurrent.Sharded checkpoint: desc + epochs + per-shard states
 	KindWindowed = 3 // window checkpoint: desc + rotation state + panes + nested open pane
 	KindRange    = 4 // rangequery checkpoint: dimension + nested per-level sketches
+	KindBatch    = 5 // ingest frame: one (idx, delta) update batch (see batch.go)
 )
 
 // Section tags.
@@ -71,6 +72,7 @@ const (
 	secRangeMeta  = 6 // base dimension + level count
 	secNested     = 7 // an embedded v2 container
 	secPad        = 8 // alignment padding (zero bytes) so mmap'd state starts 8-aligned
+	secBatch      = 9 // u32 element count + count × (u64 index, f64 delta)
 )
 
 // maxPad bounds a pad section: padding exists only to 8-align the
@@ -248,6 +250,8 @@ func kindName(kind byte) string {
 		return "windowed checkpoint"
 	case KindRange:
 		return "range checkpoint"
+	case KindBatch:
+		return "update batch"
 	default:
 		return fmt.Sprintf("unknown kind %d", kind)
 	}

@@ -200,11 +200,14 @@ var pointPool = sync.Pool{New: func() any { return new(pointBufs) }}
 //sketch:hotpath
 func (sn *Snapshot[S]) Query(i int) float64 {
 	pb := pointPool.Get().(*pointBufs)
+	// Returned by defer: a panicking replica QueryBatch (an
+	// out-of-range index, a poisoned foreign replica) must not leak the
+	// pooled buffers — callers that recover the panic (a server turning
+	// it into a 500) would otherwise bleed one allocation per recovery.
+	defer pointPool.Put(pb)
 	pb.idx[0] = i
 	sn.QueryBatch(pb.idx[:], pb.out[:])
-	v := pb.out[0]
-	pointPool.Put(pb)
-	return v
+	return pb.out[0]
 }
 
 // QueryBatch answers a batch of point queries against the snapshot,
@@ -324,7 +327,15 @@ func (s *Sharded[S]) Refresh() (*Snapshot[S], error) {
 	return snap, nil
 }
 
+// equalEpochs compares two per-shard epoch vectors. A length mismatch
+// is "not equal" — fail closed as stale: the vectors can only diverge
+// in length through a bug (say, a restore path swapping in a replica
+// set of a different shard count), and silently comparing a prefix
+// would let a snapshot built for the wrong shard set stay published.
 func equalEpochs(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
 	for i := range a {
 		if a[i] != b[i] {
 			return false

@@ -320,3 +320,86 @@ func TestSnapshotMatchesMergedForSketches(t *testing.T) {
 		}
 	}
 }
+
+// recordingExact is an Exact whose batched query path records the
+// batch buffer it was handed and panics on an out-of-range index —
+// the shape of a poisoned request a serving layer recovers from.
+type recordingExact struct {
+	*stream.Exact
+	last *int // &idx[0] of the most recent QueryBatch call
+}
+
+func (r *recordingExact) QueryBatch(idx []int, out []float64) {
+	r.last = &idx[0]
+	for j, i := range idx {
+		if i < 0 || i >= r.Dim() {
+			panic("recordingExact: index out of range")
+		}
+		out[j] = r.Exact.Query(i)
+	}
+}
+
+// A panicking replica QueryBatch must not leak the pooled point-query
+// buffers: Snapshot.Query returns them by defer, so the next query on
+// the same goroutine reuses the very same buffer instead of allocating
+// a fresh one (observable through the batch pointer the replica saw).
+// sync.Pool intentionally drops a random fraction of Puts under the
+// race detector (and a goroutine can migrate off the P holding the
+// private slot), so one iteration proving reuse is enough while a
+// single miss proves nothing — with the pre-fix leak the recorded
+// pointer keeps the buffer alive, its address can never be recycled,
+// and no amount of retrying would ever see it again.
+func TestSnapshotQueryReturnsPooledBuffersOnPanic(t *testing.T) {
+	mk := func() *recordingExact { return &recordingExact{Exact: stream.NewExact(8)} }
+	merge := func(dst, src *recordingExact) error { return mergeExact(dst.Exact, src.Exact) }
+	sh := New(1, mk, merge)
+	sh.Update(0, 1, 5)
+	snap, err := sh.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := snap.Sketch()
+
+	for attempt := 0; attempt < 50; attempt++ {
+		if got := snap.Query(1); got != 5 {
+			t.Fatalf("Query(1) = %v, want 5", got)
+		}
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("out-of-range snapshot Query did not panic")
+				}
+			}()
+			snap.Query(99)
+		}()
+		leaked := rec.last
+		if got := snap.Query(2); got != 0 {
+			t.Fatalf("Query(2) = %v, want 0", got)
+		}
+		if rec.last == leaked {
+			return
+		}
+	}
+	t.Fatal("panicking QueryBatch leaked the pooled point buffers: no later Query ever saw the same buffer again")
+}
+
+// equalEpochs must fail closed on a length mismatch: a shard-count
+// divergence (e.g. a restore-path regression swapping in a different
+// replica set) must read as "stale", never as a silent prefix match.
+func TestEqualEpochsLengthMismatch(t *testing.T) {
+	if equalEpochs([]uint64{1}, []uint64{1, 2}) {
+		t.Fatal("prefix of a longer vector compared equal")
+	}
+	if equalEpochs([]uint64{1, 2}, []uint64{1}) {
+		t.Fatal("longer vector compared equal to its prefix")
+	}
+	if !equalEpochs([]uint64{3, 4}, []uint64{3, 4}) {
+		t.Fatal("identical vectors compared unequal")
+	}
+	if equalEpochs([]uint64{3, 4}, []uint64{3, 5}) {
+		t.Fatal("differing vectors compared equal")
+	}
+	if !equalEpochs(nil, nil) {
+		t.Fatal("two empty vectors compared unequal")
+	}
+}

@@ -133,7 +133,15 @@ func Monitor(
 		}
 	}
 	if st.Rounds == 0 {
-		coordinator, _ = registry.SafeNew(desc.Algo, desc.N, desc.S, desc.D, desc.Seed)
+		// Every stream was empty, so no synchronization ever built a
+		// coordinator: hand back an empty one. The constructor error must
+		// propagate — discarding it could return (nil, nil) and move the
+		// crash to the caller's first Query.
+		fresh, err := registry.SafeNew(desc.Algo, desc.N, desc.S, desc.D, desc.Seed)
+		if err != nil {
+			return nil, st, fmt.Errorf("distributed: %w", err)
+		}
+		coordinator = fresh
 	}
 	return coordinator, st, nil
 }

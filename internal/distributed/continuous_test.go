@@ -187,3 +187,26 @@ func TestMonitorUnevenStreams(t *testing.T) {
 		t.Errorf("total recovered mass %f, want ≈2600", total)
 	}
 }
+
+// The zero-round path (every stream empty) must hand back a usable
+// empty coordinator and must propagate — not discard — a constructor
+// error: the old `coordinator, _ = SafeNew(...)` could return a nil
+// coordinator with a nil error and move the crash to the caller's
+// first Query.
+func TestMonitorEmptyStreamsCoordinatorNeverNil(t *testing.T) {
+	desc := codec.Desc{Algo: "countmin", N: 100, S: 16, D: 2, Seed: 1}
+	coord, st, err := Monitor(MonitorConfig{Sites: 2, SyncEvery: 10},
+		desc, make([][]stream.Update, 2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rounds != 0 || st.UpdatesApplied != 0 || st.CommBytes != 0 {
+		t.Fatalf("empty streams ran work: %+v", st)
+	}
+	if coord == nil {
+		t.Fatal("zero-round path returned a nil coordinator with a nil error")
+	}
+	if got := coord.Query(3); got != 0 {
+		t.Fatalf("empty coordinator Query(3) = %v, want 0", got)
+	}
+}

@@ -1,0 +1,71 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro"
+)
+
+// BenchmarkIngestEndpoint measures the served ingestion path end to
+// end — HTTP round trip, wire-v2 batch decode with full validation,
+// and the sharded UpdateBatch — for one 512-element batch per op.
+// Divide ns/op by 512 to compare against the in-process
+// BenchmarkUpdateBatch numbers: the difference is the serving tax
+// (transport + framing + validation).
+func BenchmarkIngestEndpoint(b *testing.B) {
+	const batchLen = 512
+	s, err := New(Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	create := `{"name":"bench","kind":"sharded","algo":"l2sr","dim":1000000,"words":4096,"shards":4,"seed":1}`
+	resp, err := http.Post(ts.URL+"/v1/bench/sketches", "application/json", bytes.NewReader([]byte(create)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 201 {
+		b.Fatalf("create status %d", resp.StatusCode)
+	}
+
+	idx := make([]int, batchLen)
+	deltas := make([]float64, batchLen)
+	for j := range idx {
+		idx[j] = (j * 7919) % 1000000
+		deltas[j] = float64(1 + j%5)
+	}
+	var frame bytes.Buffer
+	if err := repro.EncodeBatch(&frame, idx, deltas); err != nil {
+		b.Fatal(err)
+	}
+	payload := frame.Bytes()
+	url := ts.URL + "/v1/bench/sketches/bench/ingest"
+	client := ts.Client()
+
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req, err := http.NewRequest("POST", fmt.Sprintf("%s?slot=%d", url, i%4), bytes.NewReader(payload))
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			b.Fatalf("ingest status %d", resp.StatusCode)
+		}
+	}
+}

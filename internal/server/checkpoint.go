@@ -1,0 +1,167 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro"
+)
+
+// Checkpoint layout under DataDir:
+//
+//	<data>/<tenant>/<name>.ckpt   wire-v2 container (sketch, sharded,
+//	                              or windowed checkpoint)
+//	<data>/<tenant>/<name>.json   Spec sidecar — how to rebuild the
+//	                              serving wrapper around the container
+//
+// Both files are written to a temp name in the same directory and
+// renamed into place, so a reader (or a crash) sees either the old
+// checkpoint or the new one, never a torn file. Tenant and sketch
+// names are validated to [A-Za-z0-9_-]{1,64}, so they are safe as
+// path components by construction.
+
+// writeEntry checkpoints one sketch: container first, sidecar second,
+// each atomically. The container is staged in memory so the handle's
+// checkpoint lock is held for the encode only, not the disk write.
+func writeEntry(dir string, e *entry) error {
+	var buf bytes.Buffer
+	if err := e.h.checkpoint(&buf); err != nil {
+		return err
+	}
+	tdir := filepath.Join(dir, e.tenant)
+	if err := os.MkdirAll(tdir, 0o755); err != nil {
+		return err
+	}
+	if err := writeAtomic(filepath.Join(tdir, e.name+".ckpt"), buf.Bytes()); err != nil {
+		return err
+	}
+	spec, err := json.Marshal(e.spec)
+	if err != nil {
+		return err
+	}
+	return writeAtomic(filepath.Join(tdir, e.name+".json"), spec)
+}
+
+// writeAtomic writes data to path via a temp file in the same
+// directory and a rename.
+func writeAtomic(path string, data []byte) error {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// loadAll restores every checkpointed sketch under dir into reg. A
+// missing directory is a fresh start. Each sidecar names its sketch;
+// the paired .ckpt container is restored through the facade, so the
+// rebuilt handle answers bit-identically to the one that wrote it.
+func loadAll(dir string, reg *registry) error {
+	tenants, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	for _, td := range tenants {
+		if !td.IsDir() || !validName(td.Name()) {
+			continue
+		}
+		tenant := td.Name()
+		files, err := os.ReadDir(filepath.Join(dir, tenant))
+		if err != nil {
+			return err
+		}
+		for _, f := range files {
+			name, ok := strings.CutSuffix(f.Name(), ".json")
+			if !ok || !validName(name) {
+				continue
+			}
+			e, err := loadEntry(dir, tenant, name)
+			if err != nil {
+				return fmt.Errorf("restore %s/%s: %w", tenant, name, err)
+			}
+			if !reg.put(e, false) {
+				return fmt.Errorf("restore %s/%s: duplicate registration", tenant, name)
+			}
+		}
+	}
+	return nil
+}
+
+// loadEntry restores one sketch from its sidecar + container pair.
+func loadEntry(dir, tenant, name string) (*entry, error) {
+	base := filepath.Join(dir, tenant, name)
+	sidecar, err := os.ReadFile(base + ".json")
+	if err != nil {
+		return nil, err
+	}
+	var spec Spec
+	if err := json.Unmarshal(sidecar, &spec); err != nil {
+		return nil, err
+	}
+	f, err := os.Open(base + ".ckpt")
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	h, err := restoreHandle(spec, f)
+	if err != nil {
+		return nil, err
+	}
+	return &entry{tenant: tenant, name: name, spec: spec, h: h}, nil
+}
+
+// restoreHandle rebuilds the serving handle a checkpoint container
+// holds, dispatching on the sidecar's kind.
+func restoreHandle(spec Spec, r io.Reader) (handle, error) {
+	switch spec.Kind {
+	case "sharded":
+		sh, err := repro.RestoreSharded(r)
+		if err != nil {
+			return nil, err
+		}
+		return &shardedHandle{s: sh}, nil
+	case "windowed":
+		wd, err := repro.RestoreWindowed(r)
+		if err != nil {
+			return nil, err
+		}
+		return &windowedHandle{w: wd}, nil
+	case "plain":
+		be, err := backendOf(spec.Backend)
+		if err != nil {
+			return nil, err
+		}
+		data, err := io.ReadAll(r)
+		if err != nil {
+			return nil, err
+		}
+		sk, err := repro.DecodeWith(data, be)
+		if err != nil {
+			return nil, err
+		}
+		return &plainHandle{sk: sk, insertOnly: be == repro.BackendCompressed}, nil
+	}
+	return nil, fmt.Errorf("%w: unknown kind %q in checkpoint sidecar", ErrBadSpec, spec.Kind)
+}

@@ -1,0 +1,43 @@
+package server
+
+import "sync"
+
+// limiter bounds in-flight requests per tenant. One mutex over a
+// small map is deliberate: acquire/release bracket whole HTTP
+// requests (micro- to milliseconds of work), so the critical section
+// — a map read and an increment — is never the bottleneck, and a
+// single lock keeps the shed decision exact rather than approximate.
+type limiter struct {
+	mu       sync.Mutex
+	max      int // <= 0 means unlimited
+	inflight map[string]int
+}
+
+// acquire reserves a slot for the tenant, reporting false when the
+// tenant is at its cap — the caller sheds the request with 429 and
+// must NOT call release.
+func (l *limiter) acquire(tenant string) bool {
+	if l.max <= 0 {
+		return true
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.inflight[tenant] >= l.max {
+		return false
+	}
+	l.inflight[tenant]++
+	return true
+}
+
+// release returns a slot acquired by a successful acquire. Entries
+// drop out of the map at zero so an idle tenant costs nothing.
+func (l *limiter) release(tenant string) {
+	if l.max <= 0 {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.inflight[tenant]--; l.inflight[tenant] <= 0 {
+		delete(l.inflight, tenant)
+	}
+}

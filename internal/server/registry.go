@@ -1,0 +1,131 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// entry is one registered sketch: identity, the spec that built it
+// (persisted as the checkpoint sidecar), and the serving handle.
+type entry struct {
+	tenant, name string
+	spec         Spec
+	h            handle
+}
+
+// registry maps tenant → sketch name → entry under one RWMutex. The
+// lock guards only the maps: handles are internally synchronized, so
+// ingest and queries proceed without it once the entry is resolved.
+type registry struct {
+	mu      sync.RWMutex
+	tenants map[string]map[string]*entry
+}
+
+func newRegistry() *registry {
+	return &registry{tenants: make(map[string]map[string]*entry)}
+}
+
+// create validates the names, builds the handle, and registers it.
+// The handle is built outside the lock — constructors can be costly —
+// and a losing race with a concurrent identical create returns
+// ErrExists rather than replacing live state.
+func (r *registry) create(tenant, name string, spec Spec) (*entry, error) {
+	if !validName(tenant) || !validName(name) {
+		return nil, fmt.Errorf("%w: %q/%q", ErrBadName, tenant, name)
+	}
+	if exists := r.lookup(tenant, name) != nil; exists {
+		return nil, fmt.Errorf("%w: %s/%s", ErrExists, tenant, name)
+	}
+	h, err := buildHandle(spec)
+	if err != nil {
+		return nil, err
+	}
+	e := &entry{tenant: tenant, name: name, spec: spec, h: h}
+	if !r.put(e, false) {
+		return nil, fmt.Errorf("%w: %s/%s", ErrExists, tenant, name)
+	}
+	return e, nil
+}
+
+// put registers e, returning false when the slot is already taken and
+// replace is false. Restore-on-boot uses replace=false too: two
+// sidecars can't collide (filenames are unique), so a collision there
+// means loadAll was fed overlapping directories.
+func (r *registry) put(e *entry, replace bool) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	byName := r.tenants[e.tenant]
+	if byName == nil {
+		byName = make(map[string]*entry)
+		r.tenants[e.tenant] = byName
+	}
+	if _, taken := byName[e.name]; taken && !replace {
+		return false
+	}
+	byName[e.name] = e
+	return true
+}
+
+// lookup returns the entry or nil.
+func (r *registry) lookup(tenant, name string) *entry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.tenants[tenant][name]
+}
+
+// get is lookup with a typed error for the HTTP layer.
+func (r *registry) get(tenant, name string) (*entry, error) {
+	if e := r.lookup(tenant, name); e != nil {
+		return e, nil
+	}
+	return nil, fmt.Errorf("%w: %s/%s", ErrNotFound, tenant, name)
+}
+
+// remove deletes the entry, reporting whether it existed.
+func (r *registry) remove(tenant, name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	byName := r.tenants[tenant]
+	if _, ok := byName[name]; !ok {
+		return false
+	}
+	delete(byName, name)
+	if len(byName) == 0 {
+		delete(r.tenants, tenant)
+	}
+	return true
+}
+
+// list returns the tenant's entries sorted by name (a stable order
+// for the list endpoint and the tests).
+func (r *registry) list(tenant string) []*entry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	es := make([]*entry, 0, len(r.tenants[tenant]))
+	for _, e := range r.tenants[tenant] {
+		es = append(es, e)
+	}
+	sort.Slice(es, func(i, j int) bool { return es[i].name < es[j].name })
+	return es
+}
+
+// all returns every entry across every tenant, sorted by tenant then
+// name — the checkpoint pass order.
+func (r *registry) all() []*entry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var es []*entry
+	for _, byName := range r.tenants {
+		for _, e := range byName {
+			es = append(es, e)
+		}
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].tenant != es[j].tenant {
+			return es[i].tenant < es[j].tenant
+		}
+		return es[i].name < es[j].name
+	})
+	return es
+}

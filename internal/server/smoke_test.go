@@ -1,0 +1,279 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// TestServeSmokeProcess is the end-to-end drill `make serve-smoke`
+// runs: build the real sketchd binary, boot it on an ephemeral port,
+// create/ingest/query over real TCP, kill -TERM it while an ingest
+// loop is still firing, and assert (a) it drains cleanly — exit 0,
+// final checkpoint on disk — and (b) a second boot from the data
+// directory answers bit-identically to a reference twin built from
+// the acknowledged batches (plus at most the one in-flight batch
+// whose ack the drain may have torn away — see below). Skipped under
+// -short: it shells out to the go tool.
+func TestServeSmokeProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the sketchd binary; skipped in -short lanes")
+	}
+	const dim = 10_000
+
+	bin := filepath.Join(t.TempDir(), "sketchd")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/sketchd")
+	build.Dir = repoRoot(t)
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/sketchd: %v\n%s", err, out)
+	}
+
+	dataDir := t.TempDir()
+	addr, proc, wait := startSketchd(t, bin, dataDir)
+	base := "http://" + addr
+
+	create := `{"name":"flows","kind":"sharded","algo":"l2sr","dim":10000,"words":1024,"shards":2,"seed":11}`
+	resp, err := http.Post(base+"/v1/acme/sketches", "application/json", strings.NewReader(create))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 201 {
+		t.Fatalf("create: %s: %s", resp.Status, body)
+	}
+
+	// Ingest loop: fires deterministic batches until the server goes
+	// away, reporting how many were acknowledged. Batch b targets
+	// coordinate groups derived from b, integer deltas.
+	acked := make(chan int, 1)
+	go func() {
+		n := 0
+		defer func() { acked <- n }()
+		for b := 0; ; b++ {
+			idx, deltas := smokeBatch(b, dim)
+			var buf bytes.Buffer
+			if err := repro.EncodeBatch(&buf, idx, deltas); err != nil {
+				return
+			}
+			resp, err := http.Post(fmt.Sprintf("%s/v1/acme/sketches/flows/ingest?slot=%d", base, b%2),
+				"application/octet-stream", &buf)
+			if err != nil {
+				return // drain tore the connection; batch b is the one ambiguous batch
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != 200 {
+				return // 503 during drain; this batch was not applied
+			}
+			n++
+		}
+	}()
+
+	// Let the soak run, then TERM mid-flight.
+	time.Sleep(300 * time.Millisecond)
+	if err := proc.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	out, err := wait()
+	if err != nil {
+		t.Fatalf("sketchd did not exit cleanly after SIGTERM: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "drained cleanly") {
+		t.Fatalf("no clean-drain marker in output:\n%s", out)
+	}
+	applied := <-acked
+	if applied == 0 {
+		t.Fatal("soak acknowledged zero batches before the TERM")
+	}
+	if _, err := os.Stat(filepath.Join(dataDir, "acme", "flows.ckpt")); err != nil {
+		t.Fatalf("final checkpoint missing: %v", err)
+	}
+
+	// Second boot from the same data directory.
+	addr2, proc2, wait2 := startSketchd(t, bin, dataDir)
+	defer func() { proc2.Signal(syscall.SIGTERM); wait2() }()
+
+	probe := make([]int, 0, 200)
+	for i := 0; i < dim; i += 53 {
+		probe = append(probe, i)
+	}
+	var url bytes.Buffer
+	fmt.Fprintf(&url, "http://%s/v1/acme/sketches/flows/query?", addr2)
+	for j, i := range probe {
+		if j > 0 {
+			url.WriteByte('&')
+		}
+		fmt.Fprintf(&url, "i=%d", i)
+	}
+	resp, err = http.Get(url.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("restored query: %s: %s", resp.Status, body)
+	}
+	var q struct{ Estimates []float64 }
+	if err := json.Unmarshal(body, &q); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference twin: the acknowledged prefix of the same batch
+	// sequence, applied in-process. Integer deltas make the sums — and
+	// therefore the estimates — exact, so the restored server must
+	// match bit for bit. One inherent ambiguity: the terminal request
+	// may have been applied server-side with its 200 lost when the
+	// drain tore the connection (the client saw EOF/reset after the
+	// handler ran). TCP cannot tell "not applied" from "ack lost", so
+	// the restored state must equal the acked prefix either exactly or
+	// with exactly that one in-flight batch on top — anything else
+	// (a lost acked batch, a double apply) is a real durability bug.
+	ref, err := repro.NewSharded(2, "l2sr",
+		repro.WithDim(dim), repro.WithWords(1024), repro.WithSeed(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < applied; b++ {
+		idx, deltas := smokeBatch(b, dim)
+		if err := ref.UpdateBatch(b%2, idx, deltas); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := make([]float64, len(probe))
+	if err := ref.QueryBatch(probe, want); err != nil {
+		t.Fatal(err)
+	}
+	if !bitIdentical(want, q.Estimates) {
+		idx, deltas := smokeBatch(applied, dim)
+		if err := ref.UpdateBatch(applied%2, idx, deltas); err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.QueryBatch(probe, want); err != nil {
+			t.Fatal(err)
+		}
+		if bitIdentical(want, q.Estimates) {
+			t.Logf("terminal batch %d was applied but its ack was lost to the drain", applied)
+		} else {
+			t.Fatalf("restored process matches neither the %d acked batches nor them plus the one in-flight batch", applied)
+		}
+	}
+}
+
+// bitIdentical reports whether two estimate vectors match bit for bit
+// (math.Float64bits equality via ==, which is exact for these sums).
+func bitIdentical(want, got []float64) bool {
+	if len(want) != len(got) {
+		return false
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// smokeBatch derives batch b deterministically: 100 updates with
+// integer deltas, a few hot keys plus a spread tail.
+func smokeBatch(b, dim int) ([]int, []float64) {
+	idx := make([]int, 100)
+	deltas := make([]float64, 100)
+	for j := range idx {
+		if j%5 == 0 {
+			idx[j] = (b + j) % 10
+		} else {
+			idx[j] = (b*131 + j*7919) % dim
+		}
+		deltas[j] = float64(1 + (b+j)%4)
+	}
+	return idx, deltas
+}
+
+// repoRoot walks up from the package directory to the go.mod.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above the test directory")
+		}
+		dir = parent
+	}
+}
+
+// startSketchd boots the binary against dataDir on an ephemeral port,
+// parses the announced address, and returns the process plus a wait
+// function yielding its combined output.
+func startSketchd(t *testing.T, bin, dataDir string) (addr string, proc *os.Process, wait func() (string, error)) {
+	t.Helper()
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0", "-data", dataDir,
+		"-checkpoint-every", "50ms", "-max-inflight", "0")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	lines := bufio.NewScanner(stdout)
+	addrc := make(chan string, 1)
+	donec := make(chan error, 1)
+	go func() {
+		announced := false
+		for lines.Scan() {
+			buf.WriteString(lines.Text())
+			buf.WriteByte('\n')
+			if !announced {
+				if rest, ok := strings.CutPrefix(lines.Text(), "listening on "); ok {
+					announced = true
+					addrc <- rest
+				}
+			}
+		}
+		donec <- cmd.Wait()
+	}()
+
+	select {
+	case addr = <-addrc:
+	case err := <-donec:
+		t.Fatalf("sketchd exited before announcing: %v\n%s", err, buf.String())
+	case <-time.After(10 * time.Second):
+		cmd.Process.Kill()
+		t.Fatalf("sketchd never announced its address\n%s", buf.String())
+	}
+	waitErr := func() (string, error) {
+		select {
+		case err := <-donec:
+			return buf.String(), err
+		case <-time.After(30 * time.Second):
+			cmd.Process.Kill()
+			return buf.String(), fmt.Errorf("sketchd did not exit within 30s of SIGTERM")
+		}
+	}
+	return addr, cmd.Process, waitErr
+}

@@ -1,0 +1,194 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"sync"
+	"testing"
+
+	"repro"
+)
+
+// TestDrainRestoreSoak hammers a live server with concurrent tenants,
+// drains it, boots a twin server from the checkpoint directory, and
+// asserts the restored answers are bit-identical — both to the
+// pre-drain server and to an in-process reference built from the same
+// update log. Deltas are small integers, so per-shard counter sums
+// are exact regardless of interleaving and bit-identity is a fair
+// demand, not a flaky one. Run under -race this doubles as the
+// concurrency check on registry, limiter, and handles.
+func TestDrainRestoreSoak(t *testing.T) {
+	const (
+		tenants     = 3
+		workers     = 4 // one slot each => disjoint shards
+		batches     = 20
+		batchLen    = 200
+		dim         = 20_000
+		probeStride = 97
+	)
+	dir := t.TempDir()
+	s, ts := newTestServer(t, Config{DataDir: dir, MaxInflight: 0})
+
+	for ten := 0; ten < tenants; ten++ {
+		mustCreate(t, ts.URL, fmt.Sprintf("t%d", ten), fmt.Sprintf(
+			`{"name":"flows","kind":"sharded","algo":"l2sr","dim":%d,"words":1024,"shards":%d,"seed":%d}`,
+			dim, workers, 100+ten))
+	}
+
+	// genBatch derives worker w of tenant ten's b-th batch
+	// deterministically, so the reference twin can replay the exact
+	// same updates without any cross-goroutine bookkeeping.
+	genBatch := func(ten, w, b int) ([]int, []float64) {
+		r := rand.New(rand.NewSource(int64(ten*1000 + w*100 + b)))
+		idx := make([]int, batchLen)
+		deltas := make([]float64, batchLen)
+		for j := range idx {
+			if r.Intn(8) == 0 {
+				idx[j] = r.Intn(20) // hot keys
+			} else {
+				idx[j] = r.Intn(dim)
+			}
+			deltas[j] = float64(1 + r.Intn(7))
+		}
+		return idx, deltas
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, tenants*workers)
+	for ten := 0; ten < tenants; ten++ {
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(ten, w int) {
+				defer wg.Done()
+				url := fmt.Sprintf("%s/v1/t%d/sketches/flows/ingest?slot=%d", ts.URL, ten, w)
+				for b := 0; b < batches; b++ {
+					idx, deltas := genBatch(ten, w, b)
+					var buf bytes.Buffer
+					if err := repro.EncodeBatch(&buf, idx, deltas); err != nil {
+						errs <- err
+						return
+					}
+					resp, err := http.Post(url, "application/octet-stream", &buf)
+					if err != nil {
+						errs <- err
+						return
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != 200 {
+						errs <- ingestStatusErr(url, resp.StatusCode)
+						return
+					}
+				}
+			}(ten, w)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	probes := probeURL(ts.URL, dim, probeStride)
+	before := make([][]float64, tenants)
+	for ten := range before {
+		before[ten] = queryEstimates(t, fmt.Sprintf(probes, ten))
+	}
+
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	_, ts2 := newTestServer(t, Config{DataDir: dir})
+	probes2 := probeURL(ts2.URL, dim, probeStride)
+	for ten := 0; ten < tenants; ten++ {
+		after := queryEstimates(t, fmt.Sprintf(probes2, ten))
+		assertBitIdentical(t, fmt.Sprintf("t%d drained vs restored", ten), before[ten], after)
+	}
+
+	// Reference twin: same spec, same updates, same slots, applied
+	// in-process without a server in sight.
+	for ten := 0; ten < tenants; ten++ {
+		ref, err := repro.NewSharded(workers, "l2sr",
+			repro.WithDim(dim), repro.WithWords(1024), repro.WithSeed(int64(100+ten)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for w := 0; w < workers; w++ {
+			for b := 0; b < batches; b++ {
+				idx, deltas := genBatch(ten, w, b)
+				if err := ref.UpdateBatch(w, idx, deltas); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		idx := make([]int, 0, dim/probeStride+1)
+		for i := 0; i < dim; i += probeStride {
+			idx = append(idx, i)
+		}
+		out := make([]float64, len(idx))
+		if err := ref.QueryBatch(idx, out); err != nil {
+			t.Fatal(err)
+		}
+		assertBitIdentical(t, fmt.Sprintf("t%d server vs reference", ten), out, before[ten])
+	}
+}
+
+// probeURL returns a query URL template (one %d for the tenant) that
+// probes every probeStride-th coordinate.
+// ingestStatusErr builds the soak workers' non-200 report (unexported
+// so the typederr boundary rule doesn't ask a test goroutine to wrap
+// a package sentinel).
+func ingestStatusErr(url string, code int) error {
+	return fmt.Errorf("ingest %s: status %d", url, code)
+}
+
+func probeURL(base string, dim, stride int) string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "%s/v1/t%%d/sketches/flows/query?", base)
+	for i := 0; i < dim; i += stride {
+		if i > 0 {
+			b.WriteByte('&')
+		}
+		fmt.Fprintf(&b, "i=%d", i)
+	}
+	return b.String()
+}
+
+func queryEstimates(t *testing.T, url string) []float64 {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("query: %s: %s", resp.Status, body)
+	}
+	var q struct{ Estimates []float64 }
+	if err := json.Unmarshal(body, &q); err != nil {
+		t.Fatal(err)
+	}
+	return q.Estimates
+}
+
+func assertBitIdentical(t *testing.T, label string, want, got []float64) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d vs %d estimates", label, len(want), len(got))
+	}
+	for j := range want {
+		if math.Float64bits(want[j]) != math.Float64bits(got[j]) {
+			t.Fatalf("%s: probe %d differs: %v (%x) vs %v (%x)",
+				label, j, want[j], math.Float64bits(want[j]), got[j], math.Float64bits(got[j]))
+		}
+	}
+}

@@ -133,8 +133,13 @@ func (w *Window[S]) Width() time.Duration { return w.width }
 // Live returns the number of panes currently holding data: the open
 // pane plus the closed panes that have not expired. At most Panes;
 // less when the stream is younger than the window or recent panes were
-// write-idle.
+// write-idle. In clock-driven mode any due rotation is folded in
+// first, exactly as for Update and Query: a write-idle window must not
+// keep reporting expired panes as live. (A rotation-merge failure —
+// possible only with a caller-supplied merge function — leaves the
+// pre-rotation count; the next Update or Query surfaces the error.)
 func (w *Window[S]) Live() int {
+	_ = w.maybeAdvance()
 	w.rot.RLock()
 	defer w.rot.RUnlock()
 	return len(w.closed) + 1
@@ -442,8 +447,11 @@ func (w *Window[S]) QueryBatch(idx []int, out []float64) error {
 
 // Words returns the total live memory in 64-bit words: the open pane's
 // shards, every closed pane, and the cached closed-pane sum. The
-// published view adds one more single-sketch replica.
+// published view adds one more single-sketch replica. In clock-driven
+// mode any due rotation is folded in first (see Live), so expired
+// panes stop counting without waiting for the next Update or Query.
 func (w *Window[S]) Words() int {
+	_ = w.maybeAdvance()
 	w.rot.RLock()
 	defer w.rot.RUnlock()
 	t := w.cur.Words()

@@ -478,3 +478,54 @@ func TestAccessors(t *testing.T) {
 		t.Fatalf("accessors: Panes=%d Width=%v Live=%d", w.Panes(), w.Width(), w.Live())
 	}
 }
+
+// Live and Words must fold clock-driven rotations in before reporting,
+// exactly as Update and Query do: a write-idle window whose panes have
+// all expired reports one live pane (the open one) and open-pane-only
+// memory, without waiting for some Update or Query to land first.
+func TestLiveWordsFoldClockRotations(t *testing.T) {
+	now := time.Unix(2000, 0)
+	var mu sync.Mutex
+	clock := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}
+	advanceClock := func(d time.Duration) {
+		mu.Lock()
+		defer mu.Unlock()
+		now = now.Add(d)
+	}
+	cfg := Config{Panes: 3, Shards: 1, Width: time.Second, Now: clock}
+	w, err := New(cfg, mkExact, mergeExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pristine, err := New(cfg, mkExact, mergeExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freshWords := pristine.Words()
+
+	if err := w.Update(0, 5, 10); err != nil {
+		t.Fatal(err)
+	}
+	advanceClock(1100 * time.Millisecond)
+	if got := w.Live(); got != 2 { // rotation folded in by Live itself
+		t.Fatalf("Live = %d after one pane closed, want 2", got)
+	}
+	if got := w.Words(); got <= freshWords {
+		t.Fatalf("Words = %d with a closed pane live, want > pristine %d", got, freshWords)
+	}
+
+	advanceClock(10 * time.Second) // far future: every pane expired, no Update/Query lands
+	if got := w.Live(); got != 1 {
+		t.Fatalf("Live = %d after full expiry on a write-idle window, want 1", got)
+	}
+	if got := w.Words(); got != freshWords {
+		t.Fatalf("Words = %d after full expiry, want pristine %d", got, freshWords)
+	}
+	if got, err := w.Query(5); err != nil || got != 0 {
+		t.Fatalf("Query(5) = %v, %v after full expiry, want 0", got, err)
+	}
+}

@@ -6,6 +6,7 @@ package repro_test
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 
 	"repro"
@@ -106,6 +107,19 @@ func FuzzMarshalRoundTrip(f *testing.F) {
 	f.Add(uint8(9), int64(7), uint16(8), uint8(1), uint16(1))
 	f.Fuzz(func(t *testing.T, algoRaw uint8, seed int64, sRaw uint16, dRaw uint8, updRaw uint16) {
 		algo := serializableAlgos[int(algoRaw)%len(serializableAlgos)]
+		// A fuzzed counterbraids shape can be legitimately overloaded
+		// (too much mass for the braid): Query then panics with the
+		// documented ErrDecodeBudget instead of answering wrong. The
+		// round trip is still exercised up to the query; skip only
+		// that documented outcome, re-panic anything else.
+		defer func() {
+			if v := recover(); v != nil {
+				if err, ok := v.(error); ok && errors.Is(err, repro.ErrDecodeBudget) {
+					t.Skipf("%s: braid overloaded at fuzzed shape: %v", algo, err)
+				}
+				panic(v)
+			}
+		}()
 		n := 400
 		s := 8 + int(sRaw)%256
 		d := 1 + int(dRaw)%10
