@@ -15,7 +15,7 @@ import (
 )
 
 // backendShape matches the baseline shape (s=4096, d=9) so backend
-// entries in BENCH_8.json are comparable with the per-algorithm paths.
+// entries in BENCH_9.json are comparable with the per-algorithm paths.
 func backendSketch(b *testing.B, be repro.Backend, feed int) repro.Sketch {
 	b.Helper()
 	sk, err := repro.New("countmin",

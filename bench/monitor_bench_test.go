@@ -1,0 +1,68 @@
+// Distributed-monitoring fabric benchmarks: one op is a complete
+// continuous-monitoring run over a fixed skewed workload, and the
+// number that matters is the custom comm-B/round metric — encoded
+// frame bytes per synchronization round across every tree edge —
+// reported for delta shipping against the full-state baseline the
+// paper's sites × sketch-size budget describes.
+package bench_test
+
+import (
+	"testing"
+
+	"repro"
+)
+
+// monitorWorkload builds the benchmark's skewed site streams: a few
+// hot sites dominate while the tail goes quiet after the first round,
+// which is where delta shipping pulls away from the baseline.
+func monitorWorkload(sites, dim int) [][]repro.SiteUpdate {
+	streams := make([][]repro.SiteUpdate, sites)
+	for p := 0; p < sites; p++ {
+		n := 64
+		if p%8 == 0 {
+			n = 4096 // hot site
+		}
+		us := make([]repro.SiteUpdate, n)
+		for u := range us {
+			us[u] = repro.SiteUpdate{I: (p*7919 + u*131) % dim, Delta: float64(1 + u%3)}
+		}
+		streams[p] = us
+	}
+	return streams
+}
+
+func BenchmarkMonitorRound(b *testing.B) {
+	const (
+		sites = 64
+		dim   = 50_000
+	)
+	streams := monitorWorkload(sites, dim)
+	opts := []repro.Option{
+		repro.WithDim(dim), repro.WithWords(512), repro.WithDepth(3), repro.WithSeed(7),
+	}
+	for _, mode := range []struct {
+		name string
+		full bool
+	}{{"delta", false}, {"full", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := repro.MonitorConfig{
+				SyncEvery: 512, FanIn: 4, Shards: 4, FullState: mode.full,
+			}
+			var rep repro.MonitorReport
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var err error
+				_, rep, err = repro.Monitor("l2sr", cfg, streams, nil, opts...)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if rep.Rounds == 0 {
+				b.Fatal("no synchronization rounds ran")
+			}
+			b.ReportMetric(float64(rep.CommBytes)/float64(rep.Rounds), "comm-B/round")
+			b.ReportMetric(float64(rep.CommWords)/float64(rep.Rounds), "comm-words/round")
+		})
+	}
+}

@@ -1,5 +1,5 @@
 // Command benchjson regenerates the checked-in benchmark baseline
-// (BENCH_8.json): it runs the curated ingestion/serving/codec
+// (BENCH_9.json): it runs the curated ingestion/serving/codec
 // benchmarks at the paper's §5.1 shape (s=4096, d=9) with -benchmem
 // and writes the parsed results as stable, machine-readable JSON.
 // Since PR 7 the set includes the counter-plane backend entries
@@ -8,7 +8,11 @@
 // decode of the same checkpoint file. Since PR 8 it also includes the
 // served ingestion path (BenchmarkIngestEndpoint): one wire-v2 batch
 // per op through the sketchd HTTP handler stack, so the serving tax
-// over the in-process batched path stays visible.
+// over the in-process batched path stays visible. Since PR 9 it also
+// includes the distributed-monitoring fabric (BenchmarkMonitorRound):
+// one complete continuous-monitoring run per op, with the custom
+// comm-B/round and comm-words/round metrics comparing delta shipping
+// against the full-state baseline.
 //
 // The update/query benchmarks count one vector element per op, so
 // ns/op is already normalized per element and directly comparable
@@ -19,7 +23,7 @@
 //
 // Usage:
 //
-//	go run ./cmd/benchjson [-out BENCH_8.json] [-benchtime 0.3s] [-bench regexp]
+//	go run ./cmd/benchjson [-out BENCH_9.json] [-benchtime 0.3s] [-bench regexp]
 package main
 
 import (
@@ -38,7 +42,7 @@ import (
 // and query paths (element-wise and batched), the wire-format
 // encode/decode round trip, and the counter-plane backend paths
 // (per-backend update/query/restore and time-to-first-query).
-const defaultBench = "^(BenchmarkUpdate|BenchmarkUpdateBatch|BenchmarkQuery|BenchmarkQueryBatch|BenchmarkEncode|BenchmarkDecode|BenchmarkBackendUpdate|BenchmarkBackendQuery|BenchmarkBackendRestore|BenchmarkBackendTimeToFirstQuery|BenchmarkIngestEndpoint)$"
+const defaultBench = "^(BenchmarkUpdate|BenchmarkUpdateBatch|BenchmarkQuery|BenchmarkQueryBatch|BenchmarkEncode|BenchmarkDecode|BenchmarkBackendUpdate|BenchmarkBackendQuery|BenchmarkBackendRestore|BenchmarkBackendTimeToFirstQuery|BenchmarkIngestEndpoint|BenchmarkMonitorRound)$"
 
 // defaultPackages are the benchmark homes: internal/bench holds the
 // per-algorithm paths, bench the facade/codec paths, internal/server
@@ -54,9 +58,13 @@ type Entry struct {
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
+	// Monitoring-fabric metrics (BenchmarkMonitorRound): encoded frame
+	// bytes / sketch words shipped per synchronization round.
+	CommBytesPerRound float64 `json:"comm_bytes_per_round,omitempty"`
+	CommWordsPerRound float64 `json:"comm_words_per_round,omitempty"`
 }
 
-// Baseline is the BENCH_8.json document.
+// Baseline is the BENCH_9.json document.
 type Baseline struct {
 	Note      string  `json:"note"`
 	Shape     Shape   `json:"shape"`
@@ -73,7 +81,7 @@ type Shape struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_8.json", "output file")
+	out := flag.String("out", "BENCH_9.json", "output file")
 	benchtime := flag.String("benchtime", "0.3s", "go test -benchtime value")
 	benchRe := flag.String("bench", defaultBench, "go test -bench regexp")
 	flag.Parse()
@@ -99,6 +107,8 @@ func main() {
 			"BenchmarkBackendTimeToFirstQuery is restart latency from a checkpoint file (full decode vs mmap). " +
 			"BenchmarkIngestEndpoint is one 512-element wire-v2 batch per op through the sketchd HTTP stack " +
 			"(divide ns/op by 512 for the per-element serving cost). " +
+			"BenchmarkMonitorRound is one complete distributed-monitoring run per op on a skewed 64-site workload; " +
+			"comm_bytes_per_round compares delta shipping against the full-state baseline. " +
 			"Regenerate with: go run ./cmd/benchjson",
 		Shape:     Shape{N: 1_000_000, Words: 4096, Depth: 9},
 		Benchtime: *benchtime,
@@ -166,6 +176,10 @@ func parseLine(pkg, line string) (Entry, bool) {
 			e.AllocsPerOp = v
 		case "MB/s":
 			e.MBPerSec = v
+		case "comm-B/round":
+			e.CommBytesPerRound = v
+		case "comm-words/round":
+			e.CommWordsPerRound = v
 		}
 	}
 	if e.NsPerOp == 0 {

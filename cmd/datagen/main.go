@@ -25,6 +25,18 @@
 // additionally reports how much of the stream's mass is still live in
 // the window — the monitoring shape where only recent traffic counts.
 //
+// With -monitor the ingestion instead drives the continuous
+// distributed-monitoring fabric: the update stream is dealt round-robin
+// across that many sites, each site sketches locally, and the sketches
+// flow up a fan-in -fanin aggregation tree as delta frames every -sync
+// updates (-full ships complete state every round instead — the
+// communication baseline). -mshards sets the per-site replica shard
+// count, -site-checkpoint-every the site checkpoint cadence, and
+// -churn a comma-separated round:site list of mid-run site restarts.
+// The summary reports rounds, per-round communication against the
+// theoretical sites × sketch-size budget, and verifies the coordinator
+// against a single reference sketch fed the whole stream.
+//
 // With -checkpoint the ingested state is written to the named file
 // after the stream drains — the wire-format v2 checkpoint of the
 // sliding window in windowed mode, the encoded sketch otherwise. With
@@ -44,6 +56,7 @@ import (
 	"math/rand"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro"
@@ -71,6 +84,13 @@ func run(args []string, stdout io.Writer) error {
 	rotate := fs.Int("rotate", 0, "updates per pane in windowed mode (0 = stream length / panes)")
 	checkpoint := fs.String("checkpoint", "", "write the ingested state to this file after the stream drains (requires -ingest)")
 	resume := fs.String("resume", "", "start ingestion from this checkpoint file instead of an empty sketch (requires -ingest)")
+	monitor := fs.Int("monitor", 0, "deal the stream across this many sites and run the distributed-monitoring fabric (requires -ingest)")
+	fanIn := fs.Int("fanin", 4, "aggregation-tree fan-in for -monitor")
+	mshards := fs.Int("mshards", 4, "per-site replica shards for -monitor")
+	sync := fs.Int("sync", 1024, "updates each site ingests between synchronization rounds for -monitor")
+	full := fs.Bool("full", false, "ship full site state every round instead of deltas (-monitor baseline)")
+	siteCkptEvery := fs.Int("site-checkpoint-every", 4, "site checkpoint cadence in rounds for -monitor (0 = replay from scratch on restart)")
+	churn := fs.String("churn", "", "comma-separated round:site restart schedule for -monitor, e.g. 3:1,5:0")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -98,6 +118,21 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if (*checkpoint != "" || *resume != "") && *ingest == "" {
 		return fmt.Errorf("-checkpoint and -resume require -ingest")
+	}
+	if *monitor < 0 {
+		return fmt.Errorf("monitor must be non-negative, got %d", *monitor)
+	}
+	if *monitor > 0 {
+		if *ingest == "" {
+			return fmt.Errorf("-monitor requires -ingest")
+		}
+		if *panes != 0 || *checkpoint != "" || *resume != "" {
+			return fmt.Errorf("-monitor is incompatible with -panes, -checkpoint, and -resume")
+		}
+	}
+	restarts, err := parseChurn(*churn)
+	if err != nil {
+		return err
 	}
 
 	var w *bufio.Writer
@@ -164,6 +199,13 @@ func run(args []string, stdout io.Writer) error {
 	if *ingest == "" {
 		return nil
 	}
+	if *monitor > 0 {
+		cfg := repro.MonitorConfig{
+			Sites: *monitor, SyncEvery: *sync, FanIn: *fanIn, Shards: *mshards,
+			FullState: *full, CheckpointEvery: *siteCkptEvery, Restarts: restarts,
+		}
+		return ingestMonitor(stdout, *ingest, *n, cfg, idx, deltas)
+	}
 	windowed := *panes > 0
 	if !windowed && *resume != "" {
 		// Without -panes, let the checkpoint file pick the mode: a
@@ -179,6 +221,73 @@ func run(args []string, stdout io.Writer) error {
 		return ingestWindowed(stdout, *ingest, *n, *batch, *panes, *rotate, *checkpoint, *resume, idx, deltas)
 	}
 	return ingestStream(stdout, *ingest, *n, *batch, *checkpoint, *resume, idx, deltas)
+}
+
+// parseChurn parses the -churn schedule: comma-separated round:site
+// pairs.
+func parseChurn(s string) ([]repro.MonitorRestart, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []repro.MonitorRestart
+	for _, part := range strings.Split(s, ",") {
+		var r repro.MonitorRestart
+		if _, err := fmt.Sscanf(part, "%d:%d", &r.Round, &r.Site); err != nil {
+			return nil, fmt.Errorf("churn entry %q is not round:site", part)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// ingestMonitor deals the update stream round-robin across the
+// configured sites and runs the delta-shipping aggregation tree,
+// reporting round count and communication against the theoretical
+// sites × sketch-size budget, then verifies the coordinator against a
+// single sketch fed the whole stream.
+func ingestMonitor(out io.Writer, algo string, dim int, cfg repro.MonitorConfig, idx []int, deltas []float64) error {
+	streams := make([][]repro.SiteUpdate, cfg.Sites)
+	for j := range idx {
+		p := j % cfg.Sites
+		streams[p] = append(streams[p], repro.SiteUpdate{I: idx[j], Delta: deltas[j]})
+	}
+	start := time.Now()
+	coord, rep, err := repro.Monitor(algo, cfg, streams, nil, repro.WithDim(dim))
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	single, err := repro.New(algo, repro.WithDim(dim))
+	if err != nil {
+		return err
+	}
+	if err := repro.UpdateBatch(single, idx, deltas); err != nil {
+		return err
+	}
+	diverged := 0
+	for i := 0; i < dim; i++ {
+		if coord.Query(i) != single.Query(i) {
+			diverged++
+		}
+	}
+	mode := "delta"
+	if cfg.FullState {
+		mode = "full-state"
+	}
+	fmt.Fprintf(out, "monitored %d updates across %d sites (%s shipping, fan-in %d, %d shards, sync every %d, %d restarts): %d rounds in %v\n",
+		rep.UpdatesApplied, cfg.Sites, mode, cfg.FanIn, cfg.Shards, cfg.SyncEvery, rep.Restarts, rep.Rounds, elapsed.Round(time.Microsecond))
+	perRound := 0
+	if rep.Rounds > 0 {
+		perRound = rep.CommWords / rep.Rounds
+	}
+	fmt.Fprintf(out, "communication: %d bytes, %d words total; %d words/round against the %d words/round budget (%d sites × %d-word sketch)\n",
+		rep.CommBytes, rep.CommWords, perRound, rep.BudgetWordsPerRound, cfg.Sites, rep.SketchWords)
+	if diverged != 0 {
+		return fmt.Errorf("coordinator diverges from the single-sketch reference at %d of %d coordinates", diverged, dim)
+	}
+	fmt.Fprintf(out, "coordinator verified bit-identical to a single sketch over all %d coordinates\n", dim)
+	return nil
 }
 
 // checkpointIsWindowed sniffs a checkpoint file's container header:

@@ -276,3 +276,56 @@ func TestRunCheckpointValidation(t *testing.T) {
 		t.Errorf("algorithm mismatch should name the checkpointed algo, got %v", err)
 	}
 }
+
+// -monitor deals the stream across sites and reports communication
+// against the budget, with the coordinator verified bit-identical to
+// a single reference sketch.
+func TestRunMonitorMode(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "edges.txt")
+	var out bytes.Buffer
+	err := run([]string{"-dataset", "hudong", "-n", "400", "-seed", "3", "-out", path,
+		"-ingest", "countmin", "-monitor", "6", "-sync", "40", "-fanin", "3",
+		"-mshards", "2", "-site-checkpoint-every", "1", "-churn", "2:1"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"across 6 sites", "delta shipping", "1 restarts",
+		"words/round budget", "verified bit-identical",
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("monitor summary missing %q, got: %q", want, s)
+		}
+	}
+
+	// The full-state baseline runs through the same path.
+	out.Reset()
+	err = run([]string{"-dataset", "hudong", "-n", "400", "-seed", "3", "-out", path,
+		"-ingest", "countmin", "-monitor", "6", "-sync", "40", "-full"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "full-state shipping") {
+		t.Fatalf("full-state summary missing, got: %q", out.String())
+	}
+}
+
+func TestRunMonitorValidation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v.txt")
+	if err := run([]string{"-n", "10", "-monitor", "2"}, &bytes.Buffer{}); err == nil {
+		t.Error("-monitor without -ingest should fail")
+	}
+	if err := run([]string{"-n", "10", "-out", path, "-ingest", "l2sr", "-monitor", "-2"}, &bytes.Buffer{}); err == nil {
+		t.Error("negative -monitor should fail")
+	}
+	if err := run([]string{"-n", "10", "-out", path, "-ingest", "l2sr", "-monitor", "2", "-panes", "2"}, &bytes.Buffer{}); err == nil {
+		t.Error("-monitor with -panes should fail")
+	}
+	if err := run([]string{"-n", "10", "-out", path, "-ingest", "l2sr", "-monitor", "2", "-churn", "oops"}, &bytes.Buffer{}); err == nil {
+		t.Error("malformed -churn should fail")
+	}
+	if err := run([]string{"-n", "10", "-out", path, "-ingest", "cmcu", "-monitor", "2"}, &bytes.Buffer{}); err == nil {
+		t.Error("non-linear algorithm in -monitor should fail")
+	}
+}

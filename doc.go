@@ -159,6 +159,20 @@
 // queueing, and a panicking handler is a 500, not a crash. The logic
 // lives in internal/server; the binary is a thin flag-parsing skin.
 //
+// # Continuous distributed monitoring
+//
+// Monitor runs §1's distributed model continuously: sites ingest
+// local streams and synchronize through a fan-in-k aggregation tree,
+// each hop shipping a wire-v2 delta frame that carries only the
+// replica shards whose epoch advanced since the last acknowledged
+// sync — quiet sites cost nothing in steady state, and MonitorReport
+// ledgers the realized communication against the paper's theoretical
+// sites × sketch-size per-round budget (§5.5). Interior nodes cache
+// per-child shard states and aggregate by linearity, so the
+// coordinator's answers are bit-identical to a single sketch fed
+// every update, even when sites crash mid-run and rejoin from their
+// last checkpoint with one full-state resynchronization frame.
+//
 // # Accuracy guarantees under test
 //
 // Beyond bit-identity (batch ≡ element-wise, snapshot ≡ sequential,
@@ -189,7 +203,7 @@
 // validated descriptor; typederr requires exported functions and
 // constructors to return typed or %w-wrapped errors and forbids panic
 // in the codec. The suite runs green over the whole module with zero
-// suppressions, and BENCH_8.json is the checked-in ns/op + allocs/op
+// suppressions, and BENCH_9.json is the checked-in ns/op + allocs/op
 // baseline these contracts protect.
 //
 // The subpackages repro/workload (the §5.1 synthetic datasets) and

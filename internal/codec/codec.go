@@ -60,19 +60,21 @@ const (
 	KindWindowed = 3 // window checkpoint: desc + rotation state + panes + nested open pane
 	KindRange    = 4 // rangequery checkpoint: dimension + nested per-level sketches
 	KindBatch    = 5 // ingest frame: one (idx, delta) update batch (see batch.go)
+	KindDelta    = 6 // delta frame: changed-shard sections for one monitoring hop (see delta.go)
 )
 
 // Section tags.
 const (
-	secDesc       = 1 // algorithm name + (n, s, d, seed)
-	secState      = 2 // registry Stateful payload (MarshalState bytes)
-	secExact      = 3 // dense exact vector: n float64s (composite members only)
-	secShardMeta  = 4 // shard count + per-shard epochs
-	secWindowMeta = 5 // panes, pane width, open-pane sequence, closed-pane sequences
-	secRangeMeta  = 6 // base dimension + level count
-	secNested     = 7 // an embedded v2 container
-	secPad        = 8 // alignment padding (zero bytes) so mmap'd state starts 8-aligned
-	secBatch      = 9 // u32 element count + count × (u64 index, f64 delta)
+	secDesc       = 1  // algorithm name + (n, s, d, seed)
+	secState      = 2  // registry Stateful payload (MarshalState bytes)
+	secExact      = 3  // dense exact vector: n float64s (composite members only)
+	secShardMeta  = 4  // shard count + per-shard epochs
+	secWindowMeta = 5  // panes, pane width, open-pane sequence, closed-pane sequences
+	secRangeMeta  = 6  // base dimension + level count
+	secNested     = 7  // an embedded v2 container
+	secPad        = 8  // alignment padding (zero bytes) so mmap'd state starts 8-aligned
+	secBatch      = 9  // u32 element count + count × (u64 index, f64 delta)
+	secDeltaMeta  = 10 // delta frame: flags + shard count + entry count + (shard, epoch) pairs
 )
 
 // maxPad bounds a pad section: padding exists only to 8-align the
@@ -252,6 +254,8 @@ func kindName(kind byte) string {
 		return "range checkpoint"
 	case KindBatch:
 		return "update batch"
+	case KindDelta:
+		return "delta frame"
 	default:
 		return fmt.Sprintf("unknown kind %d", kind)
 	}

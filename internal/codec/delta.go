@@ -1,0 +1,249 @@
+package codec
+
+// Delta frames: the wire unit of the delta-shipping distributed
+// fabric (internal/distributed). A site's replica set is a
+// concurrent.Sharded whose per-shard epochs advance on every write;
+// a delta frame carries only the shards whose epoch advanced since
+// the last acknowledged hop — the sections of a sharded checkpoint,
+// filtered by staleness — so a site whose stream went quiet ships
+// nothing at all. Interior aggregation-tree nodes merge child frames
+// (linearity: per-shard states sum) and forward one frame upward, so
+// the per-edge cost is bounded by the sketch size, not the subtree's
+// site count.
+//
+// Two frame flavors share the layout, distinguished by a flag bit:
+//
+//   - delta: Entries holds the changed shards only, each with the
+//     sender's per-shard epoch, which must advance monotonically on
+//     one edge (insert-only per epoch: an epoch is shipped at most
+//     once and never regresses inside delta frames).
+//   - full: Entries holds every shard — the resynchronization frame a
+//     site ships when it rejoins after a restart from checkpoint, and
+//     the only frame kind allowed to regress epochs (the receiver
+//     resets its tracking wholesale).
+//
+// Layout (v2 container, KindDelta): a desc section, a delta-meta
+// section (flags byte, shard count, entry count, then one
+// (shard, epoch) pair per entry), then one state section per entry in
+// entry order. Decode validates every count, index, and epoch rule
+// before any structure-proportional allocation; garbage errors, it
+// never panics.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/registry"
+	"repro/internal/sketch"
+)
+
+// deltaFlagFull marks a full-state (resynchronization) frame.
+const deltaFlagFull = 1
+
+// deltaMetaFixed is the fixed prefix of a delta-meta payload: flags
+// byte + u64 shard count + u64 entry count.
+const deltaMetaFixed = 17
+
+// DeltaEntry is one shard section of a delta frame: the shard's
+// replica state as of the given epoch.
+type DeltaEntry struct {
+	Shard int
+	Epoch uint64
+	// Sk is the shard replica. EncodeDelta serializes its state;
+	// DecodeDelta reconstructs it through the registry.
+	Sk sketch.Sketch
+}
+
+// DeltaFrame is one hop's payload in the delta-shipping fabric.
+type DeltaFrame struct {
+	Desc Desc
+	// Full marks a resynchronization frame: Entries covers every
+	// shard and the receiver resets its epoch tracking to the carried
+	// values instead of enforcing monotonicity.
+	Full bool
+	// Shards is the sender's replica-set width; entry shard indices
+	// are positions in [0, Shards).
+	Shards  int
+	Entries []DeltaEntry
+}
+
+// deltaEntryRule checks the per-entry invariants shared by encode and
+// decode: indices strictly increasing within [0, shards), and — in
+// delta frames — a nonzero epoch (epoch 0 means "never written",
+// which a changed shard cannot be; full frames carry unwritten shards
+// too, so there 0 is legal).
+func deltaEntryRule(shard, prevShard int, epoch uint64, shards int, full bool) error {
+	if shard < 0 || shard >= shards {
+		return fmt.Errorf("codec: delta entry shard %d out of range [0,%d)", shard, shards)
+	}
+	if shard <= prevShard {
+		return fmt.Errorf("codec: delta entry shards must be strictly increasing (%d after %d)", shard, prevShard)
+	}
+	if !full && epoch == 0 {
+		return fmt.Errorf("codec: delta entry for shard %d carries epoch 0", shard)
+	}
+	return nil
+}
+
+// deltaLookup resolves and gates the frame's algorithm: delta frames
+// exist to be merged through the tree, so the algorithm must be
+// linear, and exact would ship the raw vector.
+func deltaLookup(d Desc) (*registry.Entry, error) {
+	e, err := d.lookup()
+	if err != nil {
+		return nil, err
+	}
+	if !e.Linear {
+		return nil, fmt.Errorf("codec: %s is not linear; delta frames cannot be aggregated", e.Name)
+	}
+	if e.Name == registry.Exact {
+		return nil, fmt.Errorf("codec: exact ships the raw vector; delta frames carry sketches only")
+	}
+	return e, nil
+}
+
+// EncodeDelta writes f as a v2 delta-frame container. Entries must be
+// sorted by strictly increasing shard index; full frames must cover
+// every shard, delta frames must carry nonzero epochs.
+func EncodeDelta(w io.Writer, f DeltaFrame) error {
+	if _, err := deltaLookup(f.Desc); err != nil {
+		return err
+	}
+	if f.Shards < 1 || f.Shards > MaxShards {
+		return fmt.Errorf("codec: implausible delta shard count %d", f.Shards)
+	}
+	if len(f.Entries) > f.Shards {
+		return fmt.Errorf("codec: %d delta entries for %d shards", len(f.Entries), f.Shards)
+	}
+	if f.Full && len(f.Entries) != f.Shards {
+		return fmt.Errorf("codec: full frame carries %d of %d shards", len(f.Entries), f.Shards)
+	}
+	var flags byte
+	if f.Full {
+		flags = deltaFlagFull
+	}
+	meta := make([]byte, 0, deltaMetaFixed+16*len(f.Entries))
+	meta = append(meta, flags)
+	meta = binary.LittleEndian.AppendUint64(meta, uint64(f.Shards))
+	meta = binary.LittleEndian.AppendUint64(meta, uint64(len(f.Entries)))
+	prev := -1
+	states := make([]section, 0, len(f.Entries))
+	for _, e := range f.Entries {
+		if err := deltaEntryRule(e.Shard, prev, e.Epoch, f.Shards, f.Full); err != nil {
+			return err
+		}
+		prev = e.Shard
+		meta = binary.LittleEndian.AppendUint64(meta, uint64(e.Shard))
+		meta = binary.LittleEndian.AppendUint64(meta, e.Epoch)
+		tag, payload, err := captureState(e.Sk)
+		if err != nil {
+			return err
+		}
+		if tag == secExact {
+			return fmt.Errorf("codec: exact state in a delta frame")
+		}
+		states = append(states, section{tag, payload})
+	}
+	secs := append([]section{
+		{secDesc, descPayload(f.Desc)},
+		{secDeltaMeta, meta},
+	}, states...)
+	return writeContainer(w, KindDelta, secs)
+}
+
+// DecodeDelta reads one delta frame written by EncodeDelta,
+// reconstructing every carried shard replica through the registry.
+// Trailing bytes after the container are left unread, so frames
+// compose on a stream. Hostile input — truncated metadata, duplicated
+// or out-of-range shard indices, zero epochs in delta frames, counts
+// that disagree with the section count — errors; it never panics.
+func DecodeDelta(r io.Reader) (DeltaFrame, error) {
+	version, kind, nsec, err := readHeader(r)
+	if err != nil {
+		return DeltaFrame{}, err
+	}
+	if version != 2 || kind != KindDelta {
+		return DeltaFrame{}, wrongKindError(version, kind, "delta frame")
+	}
+	desc, e, err := readDescSection(r)
+	if err != nil {
+		return DeltaFrame{}, err
+	}
+	if _, err := deltaLookup(desc); err != nil {
+		return DeltaFrame{}, err
+	}
+	metaLen, err := readSectionHeader(r, secDeltaMeta)
+	if err != nil {
+		return DeltaFrame{}, err
+	}
+	meta, err := readPayload(r, metaLen, deltaMetaFixed+16*MaxShards)
+	if err != nil {
+		return DeltaFrame{}, err
+	}
+	if len(meta) < deltaMetaFixed {
+		return DeltaFrame{}, fmt.Errorf("codec: delta metadata section truncated (%d bytes)", len(meta))
+	}
+	flags := meta[0]
+	if flags&^byte(deltaFlagFull) != 0 {
+		return DeltaFrame{}, fmt.Errorf("codec: unknown delta flags %#x", flags)
+	}
+	full := flags&deltaFlagFull != 0
+	shards := binary.LittleEndian.Uint64(meta[1:])
+	count := binary.LittleEndian.Uint64(meta[9:])
+	if shards < 1 || shards > MaxShards {
+		return DeltaFrame{}, fmt.Errorf("codec: implausible delta shard count %d", shards)
+	}
+	if count > shards {
+		return DeltaFrame{}, fmt.Errorf("codec: %d delta entries for %d shards", count, shards)
+	}
+	if full && count != shards {
+		return DeltaFrame{}, fmt.Errorf("codec: full frame carries %d of %d shards", count, shards)
+	}
+	if uint64(len(meta)) != deltaMetaFixed+16*count {
+		return DeltaFrame{}, fmt.Errorf("codec: delta metadata is %d bytes for %d entries", len(meta), count)
+	}
+	if uint64(nsec) != 2+count {
+		return DeltaFrame{}, fmt.Errorf("codec: delta container has %d sections for %d entries", nsec, count)
+	}
+	if count*desc.cells(e) > maxCheckpointCells {
+		return DeltaFrame{}, fmt.Errorf("codec: delta frame implies %d cells across %d entries, over the %d bound",
+			count*desc.cells(e), count, uint64(maxCheckpointCells))
+	}
+	f := DeltaFrame{Desc: desc, Full: full, Shards: int(shards)}
+	f.Entries = make([]DeltaEntry, 0, count)
+	prev := -1
+	for i := uint64(0); i < count; i++ {
+		shard := binary.LittleEndian.Uint64(meta[deltaMetaFixed+16*i:])
+		epoch := binary.LittleEndian.Uint64(meta[deltaMetaFixed+16*i+8:])
+		if shard > uint64(MaxShards) {
+			return DeltaFrame{}, fmt.Errorf("codec: delta entry shard %d out of range [0,%d)", shard, shards)
+		}
+		if err := deltaEntryRule(int(shard), prev, epoch, int(shards), full); err != nil {
+			return DeltaFrame{}, err
+		}
+		prev = int(shard)
+		f.Entries = append(f.Entries, DeltaEntry{Shard: int(shard), Epoch: epoch})
+	}
+	// Read every entry's state bytes, then build replicas: the input
+	// pays for the allocations it is about to cause.
+	states := make([]section, count)
+	for i := range states {
+		tag, payload, err := readStateSection(r, desc, e)
+		if err != nil {
+			return DeltaFrame{}, fmt.Errorf("codec: delta entry %d: %w", i, err)
+		}
+		states[i] = section{tag, payload}
+	}
+	for i := range f.Entries {
+		sk, err := registry.SafeNew(desc.Algo, desc.N, desc.S, desc.D, desc.Seed)
+		if err != nil {
+			return DeltaFrame{}, err
+		}
+		if err := restoreState(sk, states[i].tag, states[i].payload); err != nil {
+			return DeltaFrame{}, fmt.Errorf("codec: delta entry %d: %w", i, err)
+		}
+		f.Entries[i].Sk = sk
+	}
+	return f, nil
+}

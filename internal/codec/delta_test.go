@@ -1,0 +1,217 @@
+package codec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/registry"
+	"repro/internal/sketch"
+)
+
+func deltaDesc() Desc {
+	return Desc{Algo: "l2sr", N: 500, S: 16, D: 2, Seed: 11}
+}
+
+func mkReplica(t testing.TB, d Desc, feed int) sketch.Sketch {
+	t.Helper()
+	sk, err := registry.SafeNew(d.Algo, d.N, d.S, d.D, d.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < feed; u++ {
+		sk.Update((u*7+3)%d.N, float64(1+u%5))
+	}
+	return sk
+}
+
+func encodeDeltaOK(t testing.TB, f DeltaFrame) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := EncodeDelta(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestDeltaRoundTrip(t *testing.T) {
+	d := deltaDesc()
+	f := DeltaFrame{Desc: d, Shards: 8, Entries: []DeltaEntry{
+		{Shard: 1, Epoch: 3, Sk: mkReplica(t, d, 40)},
+		{Shard: 5, Epoch: 9, Sk: mkReplica(t, d, 7)},
+	}}
+	data := encodeDeltaOK(t, f)
+	got, err := DecodeDelta(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Full || got.Shards != 8 || len(got.Entries) != 2 {
+		t.Fatalf("frame header mismatch: %+v", got)
+	}
+	for k, e := range got.Entries {
+		want := f.Entries[k]
+		if e.Shard != want.Shard || e.Epoch != want.Epoch {
+			t.Fatalf("entry %d: got (%d,%d) want (%d,%d)", k, e.Shard, e.Epoch, want.Shard, want.Epoch)
+		}
+		for i := 0; i < d.N; i += 13 {
+			if a, b := e.Sk.Query(i), want.Sk.Query(i); math.Float64bits(a) != math.Float64bits(b) {
+				t.Fatalf("entry %d query %d: decoded %v want %v", k, i, a, b)
+			}
+		}
+	}
+	// Re-encode must be byte-identical: the frame is a fixed point.
+	again := encodeDeltaOK(t, got)
+	if !bytes.Equal(data, again) {
+		t.Fatal("delta frame re-encode is not byte-identical")
+	}
+}
+
+func TestDeltaFullFrameRoundTrip(t *testing.T) {
+	d := deltaDesc()
+	f := DeltaFrame{Desc: d, Full: true, Shards: 3, Entries: []DeltaEntry{
+		{Shard: 0, Epoch: 0, Sk: mkReplica(t, d, 0)}, // never-written shard: epoch 0 is legal in full frames
+		{Shard: 1, Epoch: 4, Sk: mkReplica(t, d, 10)},
+		{Shard: 2, Epoch: 1, Sk: mkReplica(t, d, 3)},
+	}}
+	got, err := DecodeDelta(bytes.NewReader(encodeDeltaOK(t, f)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Full || got.Shards != 3 || len(got.Entries) != 3 {
+		t.Fatalf("full frame mismatch: %+v", got)
+	}
+}
+
+func TestEncodeDeltaRejects(t *testing.T) {
+	d := deltaDesc()
+	rep := mkReplica(t, d, 5)
+	exDesc := d
+	exDesc.Algo = "exact"
+	cuDesc := d
+	cuDesc.Algo = "cmcu"
+	for name, f := range map[string]DeltaFrame{
+		"exact algorithm":      {Desc: exDesc, Shards: 2, Entries: nil},
+		"non-linear algorithm": {Desc: cuDesc, Shards: 2, Entries: nil},
+		"zero shards":          {Desc: d, Shards: 0},
+		"too many shards":      {Desc: d, Shards: MaxShards + 1},
+		"more entries than shards": {Desc: d, Shards: 1, Entries: []DeltaEntry{
+			{Shard: 0, Epoch: 1, Sk: rep}, {Shard: 1, Epoch: 1, Sk: rep}}},
+		"partial full frame": {Desc: d, Full: true, Shards: 2, Entries: []DeltaEntry{
+			{Shard: 0, Epoch: 1, Sk: rep}}},
+		"out-of-range shard": {Desc: d, Shards: 4, Entries: []DeltaEntry{
+			{Shard: 4, Epoch: 1, Sk: rep}}},
+		"duplicate shard": {Desc: d, Shards: 4, Entries: []DeltaEntry{
+			{Shard: 2, Epoch: 1, Sk: rep}, {Shard: 2, Epoch: 2, Sk: rep}}},
+		"unsorted shards": {Desc: d, Shards: 4, Entries: []DeltaEntry{
+			{Shard: 3, Epoch: 1, Sk: rep}, {Shard: 1, Epoch: 1, Sk: rep}}},
+		"zero epoch in delta": {Desc: d, Shards: 4, Entries: []DeltaEntry{
+			{Shard: 0, Epoch: 0, Sk: rep}}},
+	} {
+		var buf bytes.Buffer
+		if err := EncodeDelta(&buf, f); err == nil {
+			t.Errorf("%s: EncodeDelta accepted", name)
+		}
+	}
+}
+
+// corrupt returns data with one mutation applied through f.
+func corrupt(data []byte, f func(b []byte)) []byte {
+	b := append([]byte(nil), data...)
+	f(b)
+	return b
+}
+
+func TestDecodeDeltaHostile(t *testing.T) {
+	d := deltaDesc()
+	data := encodeDeltaOK(t, DeltaFrame{Desc: d, Shards: 8, Entries: []DeltaEntry{
+		{Shard: 1, Epoch: 3, Sk: mkReplica(t, d, 20)},
+		{Shard: 5, Epoch: 9, Sk: mkReplica(t, d, 4)},
+	}})
+	// The delta-meta section starts right after the 9-byte container
+	// header and the desc section; locate it by scanning for the tag.
+	metaOff := -1
+	for i := 9; i+9 < len(data); i++ {
+		if data[i] == secDeltaMeta {
+			metaOff = i
+			break
+		}
+	}
+	if metaOff < 0 {
+		t.Fatal("delta-meta section not found")
+	}
+	body := metaOff + 9 // section payload: flags, shards u64, count u64, pairs
+
+	cases := map[string][]byte{
+		"empty":            {},
+		"magic only":       data[:4],
+		"truncated header": data[:7],
+		"truncated meta":   data[:body+5],
+		"truncated state":  data[:len(data)-11],
+		"wrong kind": corrupt(data, func(b []byte) {
+			b[4] = KindSharded
+		}),
+		"unknown kind": corrupt(data, func(b []byte) {
+			b[4] = 99
+		}),
+		"unknown flags": corrupt(data, func(b []byte) {
+			b[body] = 0x80
+		}),
+		"zero shards": corrupt(data, func(b []byte) {
+			binary.LittleEndian.PutUint64(b[body+1:], 0)
+		}),
+		"huge shards": corrupt(data, func(b []byte) {
+			binary.LittleEndian.PutUint64(b[body+1:], uint64(MaxShards)+1)
+		}),
+		"count over shards": corrupt(data, func(b []byte) {
+			binary.LittleEndian.PutUint64(b[body+9:], 9)
+		}),
+		"count under sections": corrupt(data, func(b []byte) {
+			// count=1 no longer matches the container's section count.
+			binary.LittleEndian.PutUint64(b[body+9:], 1)
+		}),
+		"out-of-range entry shard": corrupt(data, func(b []byte) {
+			binary.LittleEndian.PutUint64(b[body+17:], 8)
+		}),
+		"duplicate entry shard": corrupt(data, func(b []byte) {
+			binary.LittleEndian.PutUint64(b[body+17+16:], 1)
+		}),
+		"zero entry epoch": corrupt(data, func(b []byte) {
+			binary.LittleEndian.PutUint64(b[body+17+8:], 0)
+		}),
+	}
+	for name, in := range cases {
+		if _, err := DecodeDelta(bytes.NewReader(in)); err == nil {
+			t.Errorf("%s: DecodeDelta accepted hostile input", name)
+		}
+	}
+}
+
+func TestDecodeDeltaWrongContainer(t *testing.T) {
+	// A sharded checkpoint is not a delta frame, and the error names
+	// what the container actually holds.
+	d := deltaDesc()
+	var buf bytes.Buffer
+	if err := EncodeSketch(&buf, d, mkReplica(t, d, 5)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := DecodeDelta(bytes.NewReader(buf.Bytes()))
+	if err == nil || !strings.Contains(err.Error(), "sketch") {
+		t.Fatalf("want container-kind error naming a sketch, got %v", err)
+	}
+}
+
+func TestDeltaTrailingBytesLeftUnread(t *testing.T) {
+	d := deltaDesc()
+	data := encodeDeltaOK(t, DeltaFrame{Desc: d, Shards: 2, Entries: []DeltaEntry{
+		{Shard: 0, Epoch: 1, Sk: mkReplica(t, d, 3)},
+	}})
+	r := bytes.NewReader(append(append([]byte(nil), data...), "tail"...))
+	if _, err := DecodeDelta(r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 4 {
+		t.Fatalf("decode consumed into the trailing bytes: %d left", r.Len())
+	}
+}

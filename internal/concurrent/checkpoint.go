@@ -34,6 +34,36 @@ func (s *Sharded[S]) checkpointShard(i int, f func(int, uint64, S) error) error 
 	return f(i, sh.epoch.Load(), sh.sk)
 }
 
+// CheckpointShard is the single-shard form of CheckpointShards: f runs
+// once against shard i under its lock, with the same capture contract.
+// The delta-shipping fabric uses it to serialize only the shards whose
+// epoch advanced since the last acknowledged hop, instead of walking
+// (and locking) the whole replica set.
+func (s *Sharded[S]) CheckpointShard(i int, f func(epoch uint64, sk S) error) error {
+	if i < 0 || i >= len(s.shards) {
+		return fmt.Errorf("concurrent: shard %d out of range [0,%d)", i, len(s.shards))
+	}
+	if err := s.checkpointShard(i, func(_ int, epoch uint64, sk S) error {
+		return f(epoch, sk)
+	}); err != nil {
+		return fmt.Errorf("concurrent: checkpointing shard %d: %w", i, err)
+	}
+	return nil
+}
+
+// Epochs appends every shard's current epoch to dst and returns it —
+// an atomic scan, no locks, so writers are never stalled by a staleness
+// probe. Pass a slice with spare capacity to avoid the allocation. A
+// shard whose epoch differs from an earlier reading has absorbed
+// writes in between; under concurrent writers the vector is a
+// momentary reading, exactly like Stale.
+func (s *Sharded[S]) Epochs(dst []uint64) []uint64 {
+	for i := range s.shards {
+		dst = append(dst, s.shards[i].epoch.Load())
+	}
+	return dst
+}
+
 // RestoreShards rebuilds every shard from checkpointed state: f is
 // invoked once per shard in shard order with the shard's replica to
 // mutate in place, and returns the epoch to install — the value

@@ -181,3 +181,64 @@ func TestCheckpointUnderWriters(t *testing.T) {
 	close(stop)
 	wg.Wait()
 }
+
+// counters is a tiny Mergeable Sharded for the single-shard capture
+// and epoch-scan tests: per-shard plainCounter replicas.
+func newCounters(p int) *Sharded[*plainCounter] {
+	return New(p,
+		func() *plainCounter { return &plainCounter{x: make([]float64, 16)} },
+		func(dst, src *plainCounter) error {
+			for i, v := range src.x {
+				dst.x[i] += v
+			}
+			return nil
+		})
+}
+
+func TestCheckpointShardSingle(t *testing.T) {
+	s := newCounters(4)
+	s.Update(2, 7, 1)
+	s.Update(2, 7, 1)
+	var gotEpoch uint64
+	var got float64
+	if err := s.CheckpointShard(2, func(epoch uint64, sk *plainCounter) error {
+		gotEpoch = epoch
+		got = sk.Query(7)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if gotEpoch != 2 || got != 2 {
+		t.Fatalf("shard 2: epoch %d value %v, want 2 and 2", gotEpoch, got)
+	}
+	if err := s.CheckpointShard(-1, func(uint64, *plainCounter) error { return nil }); err == nil {
+		t.Error("negative shard index accepted")
+	}
+	if err := s.CheckpointShard(4, func(uint64, *plainCounter) error { return nil }); err == nil {
+		t.Error("out-of-range shard index accepted")
+	}
+	wantErr := errors.New("capture failed")
+	err := s.CheckpointShard(1, func(uint64, *plainCounter) error { return wantErr })
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("capture error not propagated: %v", err)
+	}
+}
+
+func TestEpochsLockFreeScan(t *testing.T) {
+	s := newCounters(3)
+	if got := s.Epochs(nil); len(got) != 3 || got[0]|got[1]|got[2] != 0 {
+		t.Fatalf("fresh epochs = %v, want zeros", got)
+	}
+	s.Update(0, 1, 1)
+	s.Update(0, 1, 1)
+	s.Update(1, 2, 1)
+	got := s.Epochs(make([]uint64, 0, 3))
+	if got[0] != 2 || got[1] != 1 || got[2] != 0 {
+		t.Fatalf("epochs = %v, want [2 1 0]", got)
+	}
+	// Appends to dst, preserving its prefix.
+	pre := s.Epochs([]uint64{99})
+	if pre[0] != 99 || len(pre) != 4 {
+		t.Fatalf("Epochs must append to dst: %v", pre)
+	}
+}

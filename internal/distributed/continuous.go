@@ -42,8 +42,18 @@ func (c MonitorConfig) Validate() error {
 type MonitorStats struct {
 	Rounds         int
 	UpdatesApplied int
-	CommWords      int // total words shipped site→coordinator
-	CommBytes      int // total encoded bytes shipped site→coordinator
+	CommWords      int // total words shipped toward the coordinator
+	CommBytes      int // total encoded bytes shipped toward the coordinator
+
+	// SketchWords is the single-sketch size for the run's descriptor,
+	// and BudgetWordsPerRound the paper's theoretical per-round budget:
+	// sites × sketch size (§5.5) — what a full-state synchronization
+	// ships. Delta rounds are measured against it.
+	SketchWords         int
+	BudgetWordsPerRound int
+
+	Restarts int          // churn events applied (tree fabric only)
+	PerRound []RoundStats // per-synchronization communication ledger
 }
 
 // Monitor runs the simulation: streams[p] is site p's update sequence,
@@ -86,14 +96,21 @@ func Monitor(
 		sites[p] = sk
 	}
 
-	var st MonitorStats
+	st := MonitorStats{
+		SketchWords:         sites[0].Words(),
+		BudgetWordsPerRound: cfg.Sites * sites[0].Words(),
+	}
 	var coordinator sketch.Sketch
 	for {
+		rs := RoundStats{Round: st.Rounds + 1}
 		progressed := false
 		for p := 0; p < cfg.Sites; p++ {
 			end := pos[p] + cfg.SyncEvery
 			if end > len(streams[p]) {
 				end = len(streams[p])
+			}
+			if end > pos[p] {
+				rs.ActiveSites++
 			}
 			for ; pos[p] < end; pos[p]++ {
 				u := streams[p][pos[p]]
@@ -117,8 +134,9 @@ func Monitor(
 			if err := codec.EncodeSketch(&pkt, desc, sites[p]); err != nil {
 				return nil, st, fmt.Errorf("distributed: round %d site %d encode: %w", st.Rounds, p, err)
 			}
-			st.CommWords += sites[p].Words()
-			st.CommBytes += pkt.Len()
+			rs.CommWords += sites[p].Words()
+			rs.CommBytes += pkt.Len()
+			rs.FullFrames++
 			shipped, _, err := codec.DecodeSketch(&pkt)
 			if err != nil {
 				return nil, st, fmt.Errorf("distributed: round %d site %d decode: %w", st.Rounds, p, err)
@@ -128,6 +146,9 @@ func Monitor(
 			}
 		}
 		st.Rounds++
+		st.CommWords += rs.CommWords
+		st.CommBytes += rs.CommBytes
+		st.PerRound = append(st.PerRound, rs)
 		if onSync != nil {
 			onSync(st.Rounds, coordinator)
 		}

@@ -36,9 +36,20 @@ var (
 	// site's role: non-linear sketches cannot be summed by the
 	// coordinator, and exact would ship the raw vector.
 	ErrNotShippable = errors.New("distributed: algorithm cannot ship site sketches")
-	// ErrBadConfig is returned by MonitorConfig.Validate for
-	// non-positive sites or synchronization intervals.
+	// ErrBadConfig is returned by MonitorConfig.Validate and
+	// TreeConfig.Validate for unusable knob values — non-positive
+	// sites, synchronization intervals, fan-in, or shard counts, and
+	// churn events naming sites that do not exist.
 	ErrBadConfig = errors.New("distributed: invalid monitor configuration")
+	// ErrStaleFrame is returned when a delta frame regresses or
+	// repeats an acknowledged epoch on an aggregation-tree edge —
+	// the insert-only-per-epoch protocol violation. Only full-state
+	// frames (a site rejoining after a restart) may reset epochs.
+	ErrStaleFrame = errors.New("distributed: delta frame regresses an acknowledged epoch")
+	// ErrFrameMismatch is returned when a frame's descriptor or shard
+	// count disagrees with the fabric configuration the tree was built
+	// with — a foreign or corrupted hop payload.
+	ErrFrameMismatch = errors.New("distributed: frame does not match the fabric configuration")
 )
 
 // Stats summarizes one distributed run.
@@ -157,12 +168,16 @@ func Split(global []float64, sites int) [][]float64 {
 		// Deterministic uneven split: site (i mod sites) gets the
 		// remainder so mass distribution varies across sites.
 		share := v / float64(sites)
+		rem := i % sites
 		var assigned float64
-		for p := 0; p < sites-1; p++ {
+		for p := range parts {
+			if p == rem {
+				continue
+			}
 			parts[p][i] = share
 			assigned += share
 		}
-		parts[sites-1][i] = v - assigned
+		parts[rem][i] = v - assigned
 	}
 	return parts
 }

@@ -2,6 +2,8 @@ package server
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -14,20 +16,56 @@ import (
 
 // Checkpoint layout under DataDir:
 //
-//	<data>/<tenant>/<name>.ckpt   wire-v2 container (sketch, sharded,
-//	                              or windowed checkpoint)
-//	<data>/<tenant>/<name>.json   Spec sidecar — how to rebuild the
-//	                              serving wrapper around the container
+//	<data>/<tenant>/<name>.g<gen>.ckpt  wire-v2 container (sketch,
+//	                                    sharded, or windowed checkpoint)
+//	                                    for generation <gen>
+//	<data>/<tenant>/<name>.json         sidecar — the client-facing Spec
+//	                                    plus the crash-consistency
+//	                                    envelope: which generation is
+//	                                    current, its SHA-256, and the
+//	                                    previous pair to fall back to
 //
-// Both files are written to a temp name in the same directory and
-// renamed into place, so a reader (or a crash) sees either the old
-// checkpoint or the new one, never a torn file. Tenant and sketch
-// names are validated to [A-Za-z0-9_-]{1,64}, so they are safe as
-// path components by construction.
+// Every file is written to a temp name in the same directory, fsynced,
+// and renamed into place, with the directory synced after the rename —
+// so the pair survives not just a reader racing a writer but a power
+// cut mid-checkpoint. The container for a new generation lands under a
+// brand-new name *before* the sidecar starts pointing at it; a crash
+// between the two renames leaves the sidecar referencing the previous,
+// fully-written pair. The checksum closes the remaining hole: a
+// sidecar that does point at a generation whose container is missing
+// or torn falls back to the previous generation at boot. Legacy
+// pre-generation checkpoints (<name>.ckpt, plain-Spec sidecar) are
+// still readable and upgrade on their next checkpoint pass.
+//
+// Tenant and sketch names are validated to [A-Za-z0-9_-]{1,64}, so
+// they are safe as path components by construction.
 
-// writeEntry checkpoints one sketch: container first, sidecar second,
-// each atomically. The container is staged in memory so the handle's
-// checkpoint lock is held for the encode only, not the disk write.
+// sidecarDoc is the on-disk .json document. Spec embeds so legacy
+// sidecars — a bare Spec — unmarshal with zero Gen and empty Sum,
+// which readContainer treats as the unversioned layout.
+type sidecarDoc struct {
+	Spec
+	Gen     uint64 `json:"gen,omitempty"`
+	Sum     string `json:"sum,omitempty"`
+	PrevGen uint64 `json:"prev_gen,omitempty"`
+	PrevSum string `json:"prev_sum,omitempty"`
+}
+
+// containerPath names the container file of one generation; generation
+// zero is the legacy unversioned layout.
+func containerPath(base string, gen uint64) string {
+	if gen == 0 {
+		return base + ".ckpt"
+	}
+	return fmt.Sprintf("%s.g%d.ckpt", base, gen)
+}
+
+// writeEntry checkpoints one sketch crash-consistently: the container
+// for the next generation first, then the sidecar that makes it
+// current (still naming the previous pair as fallback), then a
+// best-effort prune of generations the sidecar no longer references.
+// The container is staged in memory so the handle's checkpoint lock is
+// held for the encode only, not the disk writes.
 func writeEntry(dir string, e *entry) error {
 	var buf bytes.Buffer
 	if err := e.h.checkpoint(&buf); err != nil {
@@ -37,18 +75,77 @@ func writeEntry(dir string, e *entry) error {
 	if err := os.MkdirAll(tdir, 0o755); err != nil {
 		return err
 	}
-	if err := writeAtomic(filepath.Join(tdir, e.name+".ckpt"), buf.Bytes()); err != nil {
+	base := filepath.Join(tdir, e.name)
+	gen := e.gen + 1
+	sum := sha256.Sum256(buf.Bytes())
+	cur := hex.EncodeToString(sum[:])
+	if err := writeAtomic(containerPath(base, gen), buf.Bytes()); err != nil {
 		return err
 	}
-	spec, err := json.Marshal(e.spec)
+	doc, err := json.Marshal(sidecarDoc{
+		Spec: e.spec, Gen: gen, Sum: cur, PrevGen: e.gen, PrevSum: e.sum,
+	})
 	if err != nil {
 		return err
 	}
-	return writeAtomic(filepath.Join(tdir, e.name+".json"), spec)
+	if err := writeAtomic(base+".json", doc); err != nil {
+		return err
+	}
+	pruneContainers(tdir, e.name, gen, e.gen)
+	e.gen, e.sum = gen, cur
+	return nil
 }
 
-// writeAtomic writes data to path via a temp file in the same
-// directory and a rename.
+// pruneContainers removes container files of generations the sidecar
+// no longer references — everything but keep and prev. Best effort:
+// a leftover file costs disk, never correctness (boot only opens what
+// the sidecar names).
+func pruneContainers(tdir, name string, keep, prev uint64) {
+	files, err := os.ReadDir(tdir)
+	if err != nil {
+		return
+	}
+	for _, f := range files {
+		rest, ok := strings.CutPrefix(f.Name(), name+".")
+		if !ok {
+			continue
+		}
+		var gen uint64
+		if rest != "ckpt" { // "ckpt" alone is the legacy generation 0
+			if _, err := fmt.Sscanf(rest, "g%d.ckpt", &gen); err != nil || containerPath(name, gen) != name+"."+rest {
+				continue
+			}
+		}
+		if gen == keep || gen == prev {
+			continue
+		}
+		os.Remove(filepath.Join(tdir, f.Name()))
+	}
+}
+
+// syncFile and syncDir are the durability syscalls behind writeAtomic,
+// indirected so tests can fault-inject a failing fsync.
+var (
+	syncFile = func(f *os.File) error { return f.Sync() }
+	syncDir  = func(dir string) error {
+		d, err := os.Open(dir)
+		if err != nil {
+			return err
+		}
+		if err := d.Sync(); err != nil {
+			d.Close()
+			return err
+		}
+		return d.Close()
+	}
+)
+
+// writeAtomic writes data to path durably: temp file in the same
+// directory, fsync, rename, then fsync of the directory so the rename
+// itself survives a power cut. Without the file sync the rename could
+// publish a name whose bytes were never forced to disk — the classic
+// zero-length-file-after-crash bug; without the directory sync the
+// rename may simply not be there after a crash.
 func writeAtomic(path string, data []byte) error {
 	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
 	if err != nil {
@@ -56,6 +153,11 @@ func writeAtomic(path string, data []byte) error {
 	}
 	tmp := f.Name()
 	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := syncFile(f); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err
@@ -68,13 +170,13 @@ func writeAtomic(path string, data []byte) error {
 		os.Remove(tmp)
 		return err
 	}
-	return nil
+	return syncDir(filepath.Dir(path))
 }
 
 // loadAll restores every checkpointed sketch under dir into reg. A
 // missing directory is a fresh start. Each sidecar names its sketch;
-// the paired .ckpt container is restored through the facade, so the
-// rebuilt handle answers bit-identically to the one that wrote it.
+// the newest consistent container is restored through the facade, so
+// the rebuilt handle answers bit-identically to the one that wrote it.
 func loadAll(dir string, reg *registry) error {
 	tenants, err := os.ReadDir(dir)
 	if os.IsNotExist(err) {
@@ -109,27 +211,66 @@ func loadAll(dir string, reg *registry) error {
 	return nil
 }
 
-// loadEntry restores one sketch from its sidecar + container pair.
+// loadEntry restores one sketch from its sidecar + container pair,
+// falling back to the previous generation when the current one is
+// missing or fails its checksum (the crash window between the two
+// checkpoint renames, or torn container bytes).
 func loadEntry(dir, tenant, name string) (*entry, error) {
 	base := filepath.Join(dir, tenant, name)
-	sidecar, err := os.ReadFile(base + ".json")
+	raw, err := os.ReadFile(base + ".json")
 	if err != nil {
 		return nil, err
 	}
-	var spec Spec
-	if err := json.Unmarshal(sidecar, &spec); err != nil {
+	var doc sidecarDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
 		return nil, err
 	}
-	f, err := os.Open(base + ".ckpt")
+	data, gen, sum, err := readContainer(base, doc)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	h, err := restoreHandle(spec, f)
+	h, err := restoreHandle(doc.Spec, bytes.NewReader(data))
 	if err != nil {
 		return nil, err
 	}
-	return &entry{tenant: tenant, name: name, spec: spec, h: h}, nil
+	return &entry{tenant: tenant, name: name, spec: doc.Spec, h: h, gen: gen, sum: sum}, nil
+}
+
+// readContainer picks the newest consistent container the sidecar
+// names. Legacy sidecars (no generation envelope) read the unversioned
+// container unverified — there is no recorded checksum to hold it to.
+func readContainer(base string, doc sidecarDoc) ([]byte, uint64, string, error) {
+	if doc.Gen == 0 && doc.Sum == "" {
+		data, err := os.ReadFile(containerPath(base, 0))
+		return data, 0, "", err
+	}
+	data, curErr := verifyContainer(containerPath(base, doc.Gen), doc.Sum)
+	if curErr == nil {
+		return data, doc.Gen, doc.Sum, nil
+	}
+	prev, prevErr := verifyContainer(containerPath(base, doc.PrevGen), doc.PrevSum)
+	if prevErr != nil {
+		return nil, 0, "", fmt.Errorf("generation %d unusable (%w); generation %d fallback unusable (%w)",
+			doc.Gen, curErr, doc.PrevGen, prevErr)
+	}
+	return prev, doc.PrevGen, doc.PrevSum, nil
+}
+
+// verifyContainer reads a container file and holds it to the sidecar's
+// recorded checksum. An empty wantSum is the legacy generation, which
+// predates checksums and is accepted as read.
+func verifyContainer(path, wantSum string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if wantSum != "" {
+		sum := sha256.Sum256(data)
+		if hex.EncodeToString(sum[:]) != wantSum {
+			return nil, fmt.Errorf("container %s fails its recorded checksum", filepath.Base(path))
+		}
+	}
+	return data, nil
 }
 
 // restoreHandle rebuilds the serving handle a checkpoint container

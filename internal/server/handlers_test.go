@@ -377,10 +377,9 @@ func TestCheckpointSchedulerAndRestore(t *testing.T) {
 		t.Fatalf("ingest: %d (%s)", resp.StatusCode, body)
 	}
 
-	ckpt := filepath.Join(dir, "acme", "s.ckpt")
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		if _, err := os.Stat(ckpt); err == nil {
+		if m, _ := filepath.Glob(filepath.Join(dir, "acme", "s.g*.ckpt")); len(m) > 0 {
 			if _, err := os.Stat(filepath.Join(dir, "acme", "s.json")); err == nil {
 				break
 			}
@@ -498,7 +497,7 @@ func TestManualCheckpointAndTopKKinds(t *testing.T) {
 		t.Fatalf("manual checkpoint: %s %s", resp.Status, body)
 	}
 	for _, name := range []string{"p", "w", "nb"} {
-		if _, err := os.Stat(filepath.Join(dir, "acme", name+".ckpt")); err != nil {
+		if _, err := os.Stat(filepath.Join(dir, "acme", name+".g1.ckpt")); err != nil {
 			t.Errorf("checkpoint for %s missing: %v", name, err)
 		}
 	}

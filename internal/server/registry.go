@@ -8,10 +8,16 @@ import (
 
 // entry is one registered sketch: identity, the spec that built it
 // (persisted as the checkpoint sidecar), and the serving handle.
+// gen/sum track the last durably written checkpoint generation and its
+// container checksum — mutated only under the server's checkpoint
+// mutex (or at boot, before any concurrency).
 type entry struct {
 	tenant, name string
 	spec         Spec
 	h            handle
+
+	gen uint64
+	sum string
 }
 
 // registry maps tenant → sketch name → entry under one RWMutex. The

@@ -71,6 +71,11 @@ type Server struct {
 	stopOnce sync.Once
 	wg       sync.WaitGroup
 
+	// ckptMu serializes checkpoint passes: the scheduler goroutine,
+	// POST /v1/checkpoint, and Drain can all trigger one, and the
+	// per-entry generation numbering (entry.gen/entry.sum) must advance
+	// atomically with the files it describes.
+	ckptMu sync.Mutex
 	// ckptErr holds the last scheduler checkpoint failure (nil when
 	// the last pass succeeded); surfaced by POST /v1/checkpoint.
 	ckptErr atomic.Value // error
@@ -122,13 +127,18 @@ func (s *Server) checkpointLoop() {
 type errBox struct{ err error }
 
 // CheckpointAll writes every registered sketch to the data directory
-// — atomic per sketch (temp file + rename), so a crash mid-pass
-// leaves each sketch with either its old or its new checkpoint, never
-// a torn one. No data directory configured is a no-op.
+// — durable and atomic per sketch (fsynced temp file + rename into a
+// fresh generation, then the sidecar), so a crash mid-pass leaves each
+// sketch with either its old or its new checkpoint pair, never a torn
+// or mismatched one. Passes are serialized: concurrent callers queue
+// rather than interleave generation numbering. No data directory
+// configured is a no-op.
 func (s *Server) CheckpointAll() error {
 	if s.cfg.DataDir == "" {
 		return nil
 	}
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
 	for _, e := range s.reg.all() {
 		if err := writeEntry(s.cfg.DataDir, e); err != nil {
 			return fmt.Errorf("server: checkpoint %s/%s: %w", e.tenant, e.name, err)
