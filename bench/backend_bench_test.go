@@ -32,9 +32,10 @@ func backendSketch(b *testing.B, be repro.Backend, feed int) repro.Sketch {
 
 // BenchmarkBackendUpdate measures one element-wise update per op on
 // the writable backends. The compressed plane pays the braid's hash
-// cascade per add; the dense plane is the zero-alloc baseline.
+// cascade per add; the dense plane is the zero-alloc baseline; the
+// tiled plane writes one tile column instead of d scattered rows.
 func BenchmarkBackendUpdate(b *testing.B) {
-	for _, be := range []repro.Backend{repro.BackendDense, repro.BackendCompressed} {
+	for _, be := range []repro.Backend{repro.BackendDense, repro.BackendCompressed, repro.BackendTiled} {
 		b.Run(be.String(), func(b *testing.B) {
 			sk := backendSketch(b, be, 0)
 			b.ResetTimer()
@@ -58,7 +59,7 @@ func BenchmarkBackendQuery(b *testing.B) {
 			sk.Query((i * 31) % 1_000_000)
 		}
 	}
-	for _, be := range []repro.Backend{repro.BackendDense, repro.BackendCompressed} {
+	for _, be := range []repro.Backend{repro.BackendDense, repro.BackendCompressed, repro.BackendTiled} {
 		b.Run(be.String(), func(b *testing.B) {
 			serve(b, backendSketch(b, be, feed))
 		})
@@ -87,7 +88,7 @@ func BenchmarkBackendRestore(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	for _, be := range []repro.Backend{repro.BackendDense, repro.BackendCompressed} {
+	for _, be := range []repro.Backend{repro.BackendDense, repro.BackendCompressed, repro.BackendTiled} {
 		b.Run(be.String(), func(b *testing.B) {
 			b.SetBytes(int64(len(blob)))
 			b.ResetTimer()

@@ -169,17 +169,24 @@ func BenchmarkAblationHash(b *testing.B) {
 			case "fourwise":
 				hs := make([]hashing.FourWise, d)
 				for t := range hs {
-					hs[t] = hashing.NewFourWise(rr, s)
+					h, err := hashing.NewFourWise(rr, s)
+					if err != nil {
+						b.Fatal(err)
+					}
+					hs[t] = h
 				}
 				hash = func(t int, i uint64) int { return hs[t].Hash(i) }
 			case "tabulation":
-				hs := make([]*hashing.Tabulation, d)
-				for t := range hs {
-					hs[t] = hashing.NewTabulation(rr, s)
+				f, err := hashing.NewTabFamily(rr, d, s)
+				if err != nil {
+					b.Fatal(err)
 				}
-				hash = func(t int, i uint64) int { return hs[t].Hash(i) }
+				hash = func(t int, i uint64) int { return f.T[t].Hash(i) }
 			default:
-				f := hashing.NewFamily(rr, d, s)
+				f, err := hashing.NewFamily(rr, d, s)
+				if err != nil {
+					b.Fatal(err)
+				}
 				hash = func(t int, i uint64) int { return f.H[t].Hash(i) }
 			}
 			signs := hashing.NewSignFamily(rr, d)

@@ -23,7 +23,15 @@
 //
 // Usage:
 //
-//	go run ./cmd/benchjson [-out BENCH_9.json] [-benchtime 0.3s] [-bench regexp]
+//	go run ./cmd/benchjson [-out BENCH_10.json] [-benchtime 0.3s] [-bench regexp]
+//	go run ./cmd/benchjson -diff [-threshold 10] OLD.json NEW.json
+//
+// The -diff mode compares two committed baselines: it prints the
+// per-benchmark ns/op delta for every entry present in both files
+// (plus entries that appeared or disappeared) and exits non-zero if
+// any shared benchmark slowed down by more than -threshold percent —
+// the regression gate the CI baseline-diff step runs non-blocking on
+// every PR.
 package main
 
 import (
@@ -36,6 +44,7 @@ import (
 	"os/exec"
 	"strconv"
 	"strings"
+	"text/tabwriter"
 )
 
 // defaultBench selects the curated baseline set: per-algorithm update
@@ -81,10 +90,20 @@ type Shape struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_9.json", "output file")
+	out := flag.String("out", "BENCH_10.json", "output file")
 	benchtime := flag.String("benchtime", "0.3s", "go test -benchtime value")
 	benchRe := flag.String("bench", defaultBench, "go test -bench regexp")
+	diff := flag.Bool("diff", false, "compare two baseline files (OLD.json NEW.json) instead of running benchmarks")
+	threshold := flag.Float64("threshold", 10, "with -diff: exit non-zero if any benchmark's ns/op regresses by more than this percentage")
 	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -diff needs exactly two baseline files: benchjson -diff OLD.json NEW.json")
+			os.Exit(2)
+		}
+		os.Exit(runDiff(flag.Arg(0), flag.Arg(1), *threshold))
+	}
 
 	var entries []Entry
 	for _, pkg := range defaultPackages {
@@ -199,6 +218,84 @@ func trimGOMAXPROCS(name string) string {
 		return name
 	}
 	return name[:i]
+}
+
+// loadBaseline reads one committed baseline document.
+func loadBaseline(path string) (Baseline, error) {
+	var doc Baseline
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return doc, err
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return doc, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc, nil
+}
+
+// benchKey identifies a benchmark across baselines.
+type benchKey struct{ Pkg, Name string }
+
+// runDiff compares two baselines and returns the process exit code:
+// 0 when no shared benchmark regressed past the threshold, 1 when one
+// did, 2 on unreadable input.
+func runDiff(oldPath, newPath string, threshold float64) int {
+	oldDoc, err := loadBaseline(oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 2
+	}
+	newDoc, err := loadBaseline(newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 2
+	}
+	oldBy := map[benchKey]Entry{}
+	for _, e := range oldDoc.Entries {
+		oldBy[benchKey{e.Package, e.Name}] = e
+	}
+	newBy := map[benchKey]Entry{}
+	for _, e := range newDoc.Entries {
+		newBy[benchKey{e.Package, e.Name}] = e
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintf(w, "benchmark\told ns/op\tnew ns/op\tdelta\n")
+	var shared, added, removed int
+	var regressions []string
+	// Walk the new file in its committed order so the report is stable.
+	for _, e := range newDoc.Entries {
+		o, ok := oldBy[benchKey{e.Package, e.Name}]
+		if !ok {
+			added++
+			fmt.Fprintf(w, "%s\t-\t%.2f\tnew\n", e.Name, e.NsPerOp)
+			continue
+		}
+		shared++
+		pct := (e.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
+		fmt.Fprintf(w, "%s\t%.2f\t%.2f\t%+.1f%%\n", e.Name, o.NsPerOp, e.NsPerOp, pct)
+		if pct > threshold {
+			regressions = append(regressions, fmt.Sprintf("%s: %.2f -> %.2f ns/op (%+.1f%% > %.1f%%)",
+				e.Name, o.NsPerOp, e.NsPerOp, pct, threshold))
+		}
+	}
+	for _, e := range oldDoc.Entries {
+		if _, ok := newBy[benchKey{e.Package, e.Name}]; !ok {
+			removed++
+			fmt.Fprintf(w, "%s\t%.2f\t-\tremoved\n", e.Name, e.NsPerOp)
+		}
+	}
+	w.Flush()
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed past %.1f%%:\n", len(regressions), threshold)
+		for _, r := range regressions {
+			fmt.Fprintf(os.Stderr, "  %s\n", r)
+		}
+		return 1
+	}
+	fmt.Printf("benchjson: no regression past %.1f%% (%d shared, %d new, %d removed)\n",
+		threshold, shared, added, removed)
+	return 0
 }
 
 // goVersion returns the toolchain's version string.

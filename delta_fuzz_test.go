@@ -25,7 +25,7 @@ func deltaFuzzSeed(f *testing.F, full bool) []byte {
 		if !full && sh == 1 {
 			continue // delta frames carry only changed shards
 		}
-		sk, err := registry.SafeNew(d.Algo, d.N, d.S, d.D, d.Seed)
+		sk, err := registry.SafeNew(d.Algo, d.Shape())
 		if err != nil {
 			f.Fatal(err)
 		}

@@ -1,0 +1,62 @@
+package repro
+
+import (
+	"repro/internal/registry"
+	"repro/internal/sketch"
+)
+
+// Hashing names the hash family a sketch's rows draw from. Select one
+// at construction with WithHashing; the family is part of a sketch's
+// identity — it is recorded in checkpoints, and merges require both
+// sides to use the same family under the same seed.
+type Hashing = sketch.HashKind
+
+// The two hash families.
+const (
+	// HashPairwise is the default: the Carter–Wegman pairwise family
+	// over the Mersenne prime 2^61−1, the construction the paper's
+	// theorems assume. Bit-identical to every prior release — a sketch
+	// built without WithHashing behaves exactly as before.
+	HashPairwise = sketch.HashPairwise
+	// HashTabulation is simple tabulation hashing (Pǎtraşcu–Thorup):
+	// 8 lookup tables of 256 words per function (~16 KiB each, ~2 KiB
+	// for a sign function), 3-wise independent, and substantially
+	// faster per element because the Mersenne reduction's hardware
+	// division is replaced by table lookups and a multiply-shift range
+	// reduction. Estimates differ from the pairwise family's (different
+	// randomness, same accuracy bounds).
+	HashTabulation = sketch.HashTabulation
+)
+
+// ErrHashUnsupported is returned by New (and the codec restore paths)
+// for an algorithm/hashing pair that does not exist — the bias-aware
+// S/R schemes pin the paper's pairwise construction. Hashings lists
+// the valid pairs.
+var ErrHashUnsupported = sketch.ErrHashUnsupported
+
+// Hashings returns the hash families the named algorithm supports (nil
+// for unknown names). Every algorithm supports HashPairwise; the table
+// sketches (countmin, countmedian, countsketch, cmcu, cmlcu,
+// dengrafiei) also support HashTabulation. The bias-aware core
+// algorithms and the related-work baselines are pairwise-only.
+func Hashings(algo string) []Hashing {
+	e, ok := registry.Lookup(algo)
+	if !ok {
+		return nil
+	}
+	hs := []Hashing{HashPairwise}
+	if e.Tabulation {
+		hs = append(hs, HashTabulation)
+	}
+	return hs
+}
+
+// HashingOf reports which hash family s draws from. Foreign Sketch
+// implementations report HashPairwise.
+func HashingOf(s Sketch) Hashing {
+	b, ok := s.(baser)
+	if !ok {
+		return HashPairwise
+	}
+	return b.base().desc.Hash
+}

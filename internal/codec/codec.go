@@ -117,6 +117,12 @@ type Desc struct {
 	D    int
 	Seed int64
 
+	// Hash is the hash family the sketch's rows draw from. The zero
+	// value is the pairwise family, which is also what the wire format
+	// assumes when a container carries no family byte — so descriptors
+	// decoded from any pre-existing checkpoint come back pairwise.
+	Hash sketch.HashKind
+
 	// Backend records which counter-plane backend the sketch was
 	// reconstructed on. It is in-memory metadata only — never
 	// serialized, always the dense zero value on descriptors read from
@@ -145,7 +151,15 @@ func (d Desc) Validate() error {
 	if d.Seed < 0 {
 		return fmt.Errorf("codec: negative seed")
 	}
+	if d.Hash > sketch.HashTabulation {
+		return fmt.Errorf("codec: unknown hash family %v", d.Hash)
+	}
 	return nil
+}
+
+// Shape returns the registry construction shape the descriptor names.
+func (d Desc) Shape() registry.Shape {
+	return registry.Shape{N: d.N, S: d.S, D: d.D, Seed: d.Seed, Hash: d.Hash}
 }
 
 // lookup resolves the descriptor's algorithm and validates its shape —
@@ -305,14 +319,20 @@ func readPayload(r io.Reader, n, max uint64) ([]byte, error) {
 	return buf, nil
 }
 
-// descPayload serializes a descriptor section body.
+// descPayload serializes a descriptor section body. The hash-family
+// byte is appended only when the family is not pairwise: a pairwise
+// sketch's descriptor is byte-identical to what every earlier build
+// wrote, and decoders treat the absent byte as pairwise.
 func descPayload(d Desc) []byte {
 	name := []byte(d.Algo)
-	buf := make([]byte, 0, 2+len(name)+32)
+	buf := make([]byte, 0, 2+len(name)+33)
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(name)))
 	buf = append(buf, name...)
 	for _, v := range []uint64{uint64(d.N), uint64(d.S), uint64(d.D), uint64(d.Seed)} {
 		buf = binary.LittleEndian.AppendUint64(buf, v)
+	}
+	if d.Hash != sketch.HashPairwise {
+		buf = append(buf, byte(d.Hash))
 	}
 	return buf
 }
@@ -324,15 +344,17 @@ func readDescSection(r io.Reader) (Desc, *registry.Entry, error) {
 	if err != nil {
 		return Desc{}, nil, err
 	}
-	payload, err := readPayload(r, n, 2+maxNameLen+32)
+	payload, err := readPayload(r, n, 2+maxNameLen+33)
 	if err != nil {
 		return Desc{}, nil, err
 	}
 	if len(payload) < 2 {
 		return Desc{}, nil, fmt.Errorf("codec: descriptor section truncated")
 	}
+	// Two valid lengths: the classic 32-byte number block, or the same
+	// plus one trailing hash-family byte (absent means pairwise).
 	nameLen := int(binary.LittleEndian.Uint16(payload))
-	if nameLen > maxNameLen || len(payload) != 2+nameLen+32 {
+	if nameLen > maxNameLen || (len(payload) != 2+nameLen+32 && len(payload) != 2+nameLen+33) {
 		return Desc{}, nil, fmt.Errorf("codec: malformed descriptor section (%d bytes, name length %d)", len(payload), nameLen)
 	}
 	nums := payload[2+nameLen:]
@@ -342,6 +364,9 @@ func readDescSection(r io.Reader) (Desc, *registry.Entry, error) {
 		S:    int(binary.LittleEndian.Uint64(nums[8:])),
 		D:    int(binary.LittleEndian.Uint64(nums[16:])),
 		Seed: int64(binary.LittleEndian.Uint64(nums[24:])),
+	}
+	if len(nums) == 33 {
+		d.Hash = sketch.HashKind(nums[32])
 	}
 	e, err := d.lookup()
 	if err != nil {
@@ -525,7 +550,7 @@ func decodeSketchSectionsBackend(r io.Reader, nsec uint32, allowExact bool, be s
 	if err != nil {
 		return nil, Desc{}, err
 	}
-	sk, err := registry.SafeNewBackend(desc.Algo, desc.N, desc.S, desc.D, desc.Seed, be)
+	sk, err := registry.SafeNewBackend(desc.Algo, desc.Shape(), be)
 	if err != nil {
 		return nil, Desc{}, err
 	}
@@ -541,6 +566,9 @@ func decodeSketchSectionsBackend(r io.Reader, nsec uint32, allowExact bool, be s
 // the v1 golden vectors) so compatibility tooling and tests can still
 // produce v1 bytes; new code writes v2 via EncodeSketch.
 func EncodeV1(w io.Writer, desc Desc, sk sketch.Sketch) error {
+	if desc.Hash != sketch.HashPairwise {
+		return fmt.Errorf("codec: %w: the v1 container predates hash families and can only carry pairwise sketches, not %v", sketch.ErrHashUnsupported, desc.Hash)
+	}
 	st, err := registry.State(sk)
 	if err != nil {
 		return fmt.Errorf("codec: %T is not serializable (its state is not carried by the wire format)", sk)
@@ -614,7 +642,7 @@ func decodeV1Body(r io.Reader) (sketch.Sketch, Desc, error) {
 	if err != nil {
 		return nil, desc, err
 	}
-	sk, err := registry.SafeNew(desc.Algo, desc.N, desc.S, desc.D, desc.Seed)
+	sk, err := registry.SafeNew(desc.Algo, desc.Shape())
 	if err != nil {
 		return nil, desc, err
 	}

@@ -3,6 +3,7 @@ package codec
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"math"
 	"math/rand"
 	"strings"
@@ -82,6 +83,56 @@ func TestRoundTripLegendNames(t *testing.T) {
 		if loaded.Query(3) != orig.Query(3) {
 			t.Errorf("%s: query mismatch", algo)
 		}
+	}
+}
+
+// The v2 container records the hash family; v1 predates it and must
+// refuse anything but pairwise rather than silently dropping the
+// family (a pairwise restore of a tabulation plane would answer
+// queries from the wrong buckets).
+func TestHashFamilyOnTheWire(t *testing.T) {
+	desc := Desc{Algo: "countmin", N: 20000, S: 256, D: 7, Seed: 99, Hash: sketch.HashTabulation}
+	sk, err := registry.SafeNew(desc.Algo, desc.Shape())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(1))
+	for u := 0; u < 30000; u++ {
+		sk.Update(r.Intn(desc.N), float64(1+r.Intn(5)))
+	}
+
+	var buf bytes.Buffer
+	if err := EncodeV1(&buf, desc, sk); !errors.Is(err, sketch.ErrHashUnsupported) {
+		t.Errorf("EncodeV1(tabulation): got %v, want ErrHashUnsupported", err)
+	}
+
+	buf.Reset()
+	if err := EncodeSketch(&buf, desc, sk); err != nil {
+		t.Fatalf("EncodeSketch: %v", err)
+	}
+	loaded, gotDesc, err := DecodeSketch(&buf)
+	if err != nil {
+		t.Fatalf("DecodeSketch: %v", err)
+	}
+	if gotDesc != desc {
+		t.Fatalf("desc round-trip %+v != %+v", gotDesc, desc)
+	}
+	for i := 0; i < desc.N; i += 97 {
+		if a, b := sk.Query(i), loaded.Query(i); a != b {
+			t.Fatalf("query %d: %f != %f", i, a, b)
+		}
+	}
+
+	// A hostile descriptor claiming tabulation for a pairwise-only
+	// algorithm must be rejected on decode, not constructed anyway.
+	hostile := Desc{Algo: "l1sr", N: 500, S: 16, D: 3, Seed: 4, Hash: sketch.HashTabulation}
+	hsk := bench.Make("l1sr", hostile.N, hostile.S, hostile.D, hostile.Seed)
+	var crafted bytes.Buffer
+	if err := EncodeSketch(&crafted, hostile, hsk); err != nil {
+		t.Fatalf("crafting hostile container: %v", err)
+	}
+	if _, _, err := DecodeSketch(&crafted); !errors.Is(err, sketch.ErrHashUnsupported) {
+		t.Errorf("hostile tabulation l1sr container: got %v, want ErrHashUnsupported", err)
 	}
 }
 

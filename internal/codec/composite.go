@@ -397,11 +397,11 @@ func decodeNested[T any](r io.Reader, decode func(io.Reader) (T, Desc, error)) (
 // probing it once so a parameter combination the algorithm rejects
 // surfaces as an error instead of a panic from the first replica.
 func maker(desc Desc, e *registry.Entry) (func() sketch.Sketch, error) {
-	if _, err := registry.SafeNew(desc.Algo, desc.N, desc.S, desc.D, desc.Seed); err != nil {
+	if _, err := registry.SafeNew(desc.Algo, desc.Shape()); err != nil {
 		return nil, err
 	}
 	return func() sketch.Sketch {
-		return e.MustNew(desc.N, desc.S, desc.D, desc.Seed)
+		return e.MustNew(desc.Shape())
 	}, nil
 }
 

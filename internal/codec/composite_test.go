@@ -20,7 +20,7 @@ func mkFor(t testing.TB, desc Desc) func() sketch.Sketch {
 	if !ok {
 		t.Fatalf("unknown algo %q", desc.Algo)
 	}
-	return func() sketch.Sketch { return e.MustNew(desc.N, desc.S, desc.D, desc.Seed) }
+	return func() sketch.Sketch { return e.MustNew(desc.Shape()) }
 }
 
 // Sharded checkpoints must restore shard-for-shard: same per-shard

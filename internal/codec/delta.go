@@ -236,7 +236,7 @@ func DecodeDelta(r io.Reader) (DeltaFrame, error) {
 		states[i] = section{tag, payload}
 	}
 	for i := range f.Entries {
-		sk, err := registry.SafeNew(desc.Algo, desc.N, desc.S, desc.D, desc.Seed)
+		sk, err := registry.SafeNew(desc.Algo, desc.Shape())
 		if err != nil {
 			return DeltaFrame{}, err
 		}

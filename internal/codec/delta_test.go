@@ -17,7 +17,7 @@ func deltaDesc() Desc {
 
 func mkReplica(t testing.TB, d Desc, feed int) sketch.Sketch {
 	t.Helper()
-	sk, err := registry.SafeNew(d.Algo, d.N, d.S, d.D, d.Seed)
+	sk, err := registry.SafeNew(d.Algo, d.Shape())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -129,15 +129,17 @@ func parseMappedSketch(data []byte) (Desc, *registry.Entry, []byte, error) {
 	if tag != secDesc {
 		return Desc{}, nil, nil, fmt.Errorf("%w: section tag %d where descriptor expected", ErrMmap, tag)
 	}
-	if n > 2+maxNameLen+32 {
+	if n > 2+maxNameLen+33 {
 		return Desc{}, nil, nil, fmt.Errorf("%w: descriptor section of %d bytes", ErrMmap, n)
 	}
 	payload := data[off+9 : off+9+int(n)]
 	if len(payload) < 2 {
 		return Desc{}, nil, nil, fmt.Errorf("%w: descriptor section truncated", ErrMmap)
 	}
+	// As in readDescSection, an optional trailing byte carries the hash
+	// family; its absence means pairwise.
 	nameLen := int(binary.LittleEndian.Uint16(payload))
-	if nameLen > maxNameLen || len(payload) != 2+nameLen+32 {
+	if nameLen > maxNameLen || (len(payload) != 2+nameLen+32 && len(payload) != 2+nameLen+33) {
 		return Desc{}, nil, nil, fmt.Errorf("%w: malformed descriptor section (%d bytes, name length %d)", ErrMmap, len(payload), nameLen)
 	}
 	nums := payload[2+nameLen:]
@@ -147,6 +149,9 @@ func parseMappedSketch(data []byte) (Desc, *registry.Entry, []byte, error) {
 		S:    int(binary.LittleEndian.Uint64(nums[8:])),
 		D:    int(binary.LittleEndian.Uint64(nums[16:])),
 		Seed: int64(binary.LittleEndian.Uint64(nums[24:])),
+	}
+	if len(nums) == 33 {
+		desc.Hash = sketch.HashKind(nums[32])
 	}
 	e, err := desc.lookup()
 	if err != nil {
@@ -224,7 +229,7 @@ func OpenMmapSketch(path string) (sk sketch.Sketch, desc Desc, close func() erro
 	if err != nil {
 		return nil, Desc{}, nil, err
 	}
-	sk, err = registry.SafeNewBackend(desc.Algo, desc.N, desc.S, desc.D, desc.Seed,
+	sk, err = registry.SafeNewBackend(desc.Algo, desc.Shape(),
 		sketch.Backend{Kind: sketch.BackendMmap, Mapped: payload})
 	if err != nil {
 		return nil, Desc{}, nil, fmt.Errorf("%w: %w", ErrMmap, err)

@@ -23,7 +23,7 @@ var fileDesc = Desc{Algo: registry.CountMin, N: 300, S: 16, D: 3, Seed: 9}
 
 func fileSketch(t testing.TB) sketch.Sketch {
 	t.Helper()
-	sk, err := registry.SafeNew(fileDesc.Algo, fileDesc.N, fileDesc.S, fileDesc.D, fileDesc.Seed)
+	sk, err := registry.SafeNew(fileDesc.Algo, fileDesc.Shape())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +123,7 @@ func TestWriteSketchFileAtomicAndServable(t *testing.T) {
 
 	// A failed write must not clobber the published file: an exact
 	// sketch has no standalone container encoding.
-	ex, err := registry.SafeNew(registry.Exact, 50, 0, 0, 0)
+	ex, err := registry.SafeNew(registry.Exact, registry.Shape{N: 50})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -257,7 +257,7 @@ func TestOpenMmapSketchRejectsCapabilityAndFiles(t *testing.T) {
 
 	// An algorithm without mmap capability: valid file, typed refusal.
 	cbDesc := Desc{Algo: registry.CounterBraid, N: 64, S: 16, D: 3, Seed: 1}
-	cb, err := registry.SafeNew(cbDesc.Algo, cbDesc.N, cbDesc.S, cbDesc.D, cbDesc.Seed)
+	cb, err := registry.SafeNew(cbDesc.Algo, cbDesc.Shape())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -244,8 +244,13 @@ func newMedianBucketEstimator(n, s, k int, useHeap bool, r *rand.Rand) *medianBu
 	if s < 2*k {
 		panic(fmt.Sprintf("core: bucket count s=%d must be at least 2k=%d", s, 2*k))
 	}
+	// s ≥ 2k ≥ 2 is checked above, so the range error is unreachable.
+	g, err := hashing.NewPairwise(r, s)
+	if err != nil {
+		panic(err)
+	}
 	e := &medianBucketEstimator{
-		g:       hashing.NewPairwise(r, s),
+		g:       g,
 		w:       make([]float64, s),
 		pi:      make([]float64, s),
 		k:       k,

@@ -88,10 +88,11 @@ func (c L1Config) Validate() error {
 // implementation of §4.4: point queries are answered in O(d + log t)
 // without any post-processing pass.
 type L1SR struct {
-	cfg L1Config
-	cm  *sketch.CountMedian
-	est Estimator
-	buf []float64
+	cfg  L1Config
+	cm   *sketch.CountMedian
+	est  Estimator
+	buf  []float64
+	hbuf []int // per-row bucket indices, reused across Query calls
 }
 
 // NewL1SR creates an ℓ1-S/R sketch, drawing all randomness from r.
@@ -106,9 +107,10 @@ func NewL1SR(cfg L1Config, r *rand.Rand) *L1SR {
 		panic(err)
 	}
 	l := &L1SR{
-		cfg: cfg,
-		cm:  cm,
-		buf: make([]float64, cfg.Depth),
+		cfg:  cfg,
+		cm:   cm,
+		buf:  make([]float64, cfg.Depth),
+		hbuf: make([]int, cfg.Depth),
 	}
 	switch cfg.Estimator {
 	case EstimatorSampledMedian:
@@ -152,8 +154,8 @@ func (l *L1SR) Bias() float64 { return l.est.Bias() }
 //sketch:hotpath
 func (l *L1SR) Query(i int) float64 {
 	beta := l.est.Bias()
-	for t := 0; t < l.cfg.Depth; t++ {
-		b := l.cm.BucketIndex(t, i)
+	l.cm.BucketIndexes(i, l.hbuf)
+	for t, b := range l.hbuf {
 		l.buf[t] = l.cm.Bucket(t, b) - beta*l.cm.ColumnCounts(t)[b]
 	}
 	return median(l.buf) + beta
@@ -247,25 +249,9 @@ func (l *L1SR) MergeFrom(other *L1SR) error {
 	return l.est.Merge(other.est)
 }
 
-// median returns the Table 1 median of buf, reordering it in place.
+// median returns the Table 1 median of buf, reordering it in place. It
+// delegates to the sketch package's median so the recovery combine
+// step shares its branchless sorting networks.
 //
 //sketch:hotpath
-func median(buf []float64) float64 {
-	n := len(buf)
-	if n == 0 {
-		return 0
-	}
-	for i := 1; i < n; i++ {
-		v := buf[i]
-		j := i - 1
-		for j >= 0 && buf[j] > v {
-			buf[j+1] = buf[j]
-			j--
-		}
-		buf[j+1] = v
-	}
-	if n%2 == 1 {
-		return buf[n/2]
-	}
-	return (buf[n/2-1] + buf[n/2]) / 2
-}
+func median(buf []float64) float64 { return sketch.Median(buf) }

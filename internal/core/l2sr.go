@@ -91,10 +91,12 @@ func (c L2Config) Validate() error {
 // the Bias-Heap (Algorithms 5–6), making every point query O(d) after
 // O(log s) per update — the paper's real-time streaming mode.
 type L2SR struct {
-	cfg L2Config
-	cs  *sketch.CountSketch
-	est Estimator
-	buf []float64
+	cfg  L2Config
+	cs   *sketch.CountSketch
+	est  Estimator
+	buf  []float64
+	hbuf []int     // per-row bucket indices, reused across Query calls
+	sbuf []float64 // per-row signs, reused across Query calls
 }
 
 // NewL2SR creates an ℓ2-S/R sketch, drawing all randomness from r.
@@ -109,9 +111,11 @@ func NewL2SR(cfg L2Config, r *rand.Rand) *L2SR {
 		panic(err)
 	}
 	l := &L2SR{
-		cfg: cfg,
-		cs:  cs,
-		buf: make([]float64, cfg.Depth),
+		cfg:  cfg,
+		cs:   cs,
+		buf:  make([]float64, cfg.Depth),
+		hbuf: make([]int, cfg.Depth),
+		sbuf: make([]float64, cfg.Depth),
 	}
 	switch cfg.Estimator {
 	case EstimatorMedianBucket:
@@ -158,9 +162,10 @@ func (l *L2SR) Bias() float64 { return l.est.Bias() }
 //sketch:hotpath
 func (l *L2SR) Query(i int) float64 {
 	beta := l.est.Bias()
-	for t := 0; t < l.cfg.Depth; t++ {
-		b := l.cs.BucketIndex(t, i)
-		l.buf[t] = l.cs.SignOf(t, i) * (l.cs.Bucket(t, b) - beta*l.cs.SignedColumnSums(t)[b])
+	l.cs.BucketIndexes(i, l.hbuf)
+	l.cs.SignsOf(i, l.sbuf)
+	for t, b := range l.hbuf {
+		l.buf[t] = l.sbuf[t] * (l.cs.Bucket(t, b) - beta*l.cs.SignedColumnSums(t)[b])
 	}
 	return median(l.buf) + beta
 }

@@ -103,11 +103,21 @@ func New(cfg Config, r *rand.Rand) *Braid {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
+	// Validate has ensured both layer sizes are positive, so the family
+	// constructors cannot fail on range.
+	h1, err := hashing.NewFamily(r, cfg.D, cfg.Layer1)
+	if err != nil {
+		panic(err)
+	}
+	h2, err := hashing.NewFamily(r, cfg.D, cfg.Layer2)
+	if err != nil {
+		panic(err)
+	}
 	return &Braid{
 		cfg:  cfg,
 		cap1: (1 << uint(cfg.Layer1Bits)) - 1,
-		h1:   hashing.NewFamily(r, cfg.D, cfg.Layer1),
-		h2:   hashing.NewFamily(r, cfg.D, cfg.Layer2),
+		h1:   h1,
+		h2:   h2,
 		c1:   make([]uint64, cfg.Layer1),
 		c2:   make([]uint64, cfg.Layer2),
 	}

@@ -89,7 +89,7 @@ func Monitor(
 	sites := make([]sketch.Sketch, cfg.Sites)
 	pos := make([]int, cfg.Sites)
 	for p := range sites {
-		sk, err := registry.SafeNew(desc.Algo, desc.N, desc.S, desc.D, desc.Seed)
+		sk, err := registry.SafeNew(desc.Algo, desc.Shape())
 		if err != nil {
 			return nil, MonitorStats{}, fmt.Errorf("distributed: %w", err)
 		}
@@ -124,7 +124,7 @@ func Monitor(
 		}
 		// Synchronization: every site encodes and ships its sketch; the
 		// coordinator decodes each payload and merges them fresh.
-		fresh, err := registry.SafeNew(desc.Algo, desc.N, desc.S, desc.D, desc.Seed)
+		fresh, err := registry.SafeNew(desc.Algo, desc.Shape())
 		if err != nil {
 			return nil, st, fmt.Errorf("distributed: %w", err)
 		}
@@ -158,7 +158,7 @@ func Monitor(
 		// coordinator: hand back an empty one. The constructor error must
 		// propagate — discarding it could return (nil, nil) and move the
 		// crash to the caller's first Query.
-		fresh, err := registry.SafeNew(desc.Algo, desc.N, desc.S, desc.D, desc.Seed)
+		fresh, err := registry.SafeNew(desc.Algo, desc.Shape())
 		if err != nil {
 			return nil, st, fmt.Errorf("distributed: %w", err)
 		}

@@ -63,7 +63,7 @@ func TestMonitorMatchesCentralized(t *testing.T) {
 		t.Errorf("no bytes shipped: %+v", st)
 	}
 
-	central, err := registry.SafeNew(desc.Algo, desc.N, desc.S, desc.D, desc.Seed)
+	central, err := registry.SafeNew(desc.Algo, desc.Shape())
 	if err != nil {
 		t.Fatal(err)
 	}

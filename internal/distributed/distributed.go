@@ -91,7 +91,7 @@ func Run(desc codec.Desc, locals [][]float64) (sketch.Sketch, Stats, error) {
 		return nil, Stats{}, err
 	}
 
-	coordinator, err := registry.SafeNew(desc.Algo, desc.N, desc.S, desc.D, desc.Seed)
+	coordinator, err := registry.SafeNew(desc.Algo, desc.Shape())
 	if err != nil {
 		return nil, Stats{}, fmt.Errorf("distributed: %w", err)
 	}
@@ -134,7 +134,7 @@ func shippable(e *registry.Entry) error {
 // trips it through the codec — the site→coordinator hop. The returned
 // sketch was reconstructed purely from the encoded payload.
 func shipSite(desc codec.Desc, local []float64) (sketch.Sketch, int, error) {
-	site, err := registry.SafeNew(desc.Algo, desc.N, desc.S, desc.D, desc.Seed)
+	site, err := registry.SafeNew(desc.Algo, desc.Shape())
 	if err != nil {
 		return nil, 0, err
 	}

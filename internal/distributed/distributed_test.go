@@ -92,7 +92,7 @@ func TestDistributedEqualsCentralized(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			central, err := registry.SafeNew(tc.desc.Algo, tc.desc.N, tc.desc.S, tc.desc.D, tc.desc.Seed)
+			central, err := registry.SafeNew(tc.desc.Algo, tc.desc.Shape())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -122,7 +122,7 @@ func TestDistributedEqualsCentralized(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		central, err := registry.SafeNew(desc.Algo, desc.N, desc.S, desc.D, desc.Seed)
+		central, err := registry.SafeNew(desc.Algo, desc.Shape())
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -65,10 +65,10 @@ func newSite(id int, desc codec.Desc, e *registry.Entry, shards int, updates []s
 // newReplicaSet builds a Sharded replica set of the fabric's shape,
 // converting a constructor panic into an error once up front.
 func newReplicaSet(desc codec.Desc, e *registry.Entry, shards int) (*concurrent.Sharded[sketch.Sketch], error) {
-	if _, err := registry.SafeNew(desc.Algo, desc.N, desc.S, desc.D, desc.Seed); err != nil {
+	if _, err := registry.SafeNew(desc.Algo, desc.Shape()); err != nil {
 		return nil, fmt.Errorf("distributed: %w", err)
 	}
-	mk := func() sketch.Sketch { return e.MustNew(desc.N, desc.S, desc.D, desc.Seed) }
+	mk := func() sketch.Sketch { return e.MustNew(desc.Shape()) }
 	return concurrent.New(shards, mk, registry.Merge), nil
 }
 
@@ -156,7 +156,7 @@ func (s *site) emit(desc codec.Desc, e *registry.Entry, mode ShipMode) (*codec.D
 		// Capture a private copy under the shard lock: the frame must
 		// stay stable while it is encoded, merged, and forwarded.
 		copyErr := s.rep.CheckpointShard(i, func(epoch uint64, sk sketch.Sketch) error {
-			cp := e.MustNew(desc.N, desc.S, desc.D, desc.Seed)
+			cp := e.MustNew(desc.Shape())
 			if err := registry.Merge(cp, sk); err != nil {
 				return err
 			}

@@ -171,7 +171,7 @@ func (n *node) absorb(c int, f *codec.DeltaFrame, desc codec.Desc, shards int) e
 // aggregate sums shard s across the node's children in child order into
 // a fresh replica.
 func (n *node) aggregate(sh int, desc codec.Desc, e *registry.Entry) (sketch.Sketch, uint64, error) {
-	sum := e.MustNew(desc.N, desc.S, desc.D, desc.Seed)
+	sum := e.MustNew(desc.Shape())
 	var epoch uint64
 	for c := range n.childAgg {
 		epoch += n.seen[c][sh]
@@ -220,7 +220,7 @@ func (n *node) emit(desc codec.Desc, e *registry.Entry, shards int, mode ShipMod
 // global merges the node's per-shard aggregates, in shard order, into a
 // fresh sketch — the coordinator's answer when the node is the root.
 func (n *node) global(shards int, desc codec.Desc, e *registry.Entry) (sketch.Sketch, error) {
-	out := e.MustNew(desc.N, desc.S, desc.D, desc.Seed)
+	out := e.MustNew(desc.Shape())
 	for sh := 0; sh < shards; sh++ {
 		sum, _, err := n.aggregate(sh, desc, e)
 		if err != nil {
@@ -311,7 +311,7 @@ func MonitorTree(
 		}
 	}
 
-	probe := e.MustNew(desc.N, desc.S, desc.D, desc.Seed)
+	probe := e.MustNew(desc.Shape())
 	st := MonitorStats{
 		SketchWords:         probe.Words(),
 		BudgetWordsPerRound: cfg.Sites * probe.Words(),
@@ -388,7 +388,7 @@ func MonitorTree(
 		}
 	}
 	if coordinator == nil {
-		coordinator = e.MustNew(desc.N, desc.S, desc.D, desc.Seed)
+		coordinator = e.MustNew(desc.Shape())
 	}
 	return coordinator, st, nil
 }

@@ -167,7 +167,7 @@ func TestTreeBitIdenticalAcrossShippingModes(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			single, err := registry.SafeNew(desc.Algo, desc.N, desc.S, desc.D, desc.Seed)
+			single, err := registry.SafeNew(desc.Algo, desc.Shape())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -302,7 +302,7 @@ func TestTreeDeltaCommSavings200Sites(t *testing.T) {
 func TestNodeRejectsProtocolViolations(t *testing.T) {
 	desc := codec.Desc{Algo: "l2sr", N: 100, S: 8, D: 1, Seed: 1}
 	e, _ := registry.Lookup(desc.Algo)
-	mk := func() sketch.Sketch { return e.MustNew(desc.N, desc.S, desc.D, desc.Seed) }
+	mk := func() sketch.Sketch { return e.MustNew(desc.Shape()) }
 	nd := newNode(2, 4)
 
 	fresh := &codec.DeltaFrame{Desc: desc, Shards: 4, Entries: []codec.DeltaEntry{
@@ -373,7 +373,7 @@ func TestTreeChurnAfterDrain(t *testing.T) {
 	if st.Restarts != 1 {
 		t.Fatalf("restarts = %d", st.Restarts)
 	}
-	single, err := registry.SafeNew(desc.Algo, desc.N, desc.S, desc.D, desc.Seed)
+	single, err := registry.SafeNew(desc.Algo, desc.Shape())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -407,7 +407,7 @@ func TestTreeRestartWithoutCheckpoint(t *testing.T) {
 	if st.Restarts != 1 {
 		t.Fatalf("restarts = %d", st.Restarts)
 	}
-	single, err := registry.SafeNew(desc.Algo, desc.N, desc.S, desc.D, desc.Seed)
+	single, err := registry.SafeNew(desc.Algo, desc.Shape())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,50 @@
+// AllocsPerRun gates are meaningless under the race detector (see
+// internal/sketch/alloc_test.go for the rationale).
+//go:build !race
+
+package hashing
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The batched kernels are the per-row inner loops of every sketch's
+// hot path: they must stay allocation-free for both arms of the
+// family dispatch (pairwise and tabulation).
+func TestBatchedKernelsAllocFree(t *testing.T) {
+	const rang, n = 4096, 600
+	r := rand.New(rand.NewSource(7))
+	xs := make([]int, n)
+	for i := range xs {
+		xs[i] = r.Intn(1 << 20)
+	}
+	hout := make([]int, n)
+	sout := make([]float64, n)
+
+	for name, f := range map[string]Family{
+		"pairwise":   mustFamily(NewFamily(r, 3, rang)),
+		"tabulation": mustFamily(NewTabFamily(r, 3, rang)),
+	} {
+		f := f
+		if a := testing.AllocsPerRun(50, func() { f.HashMany(1, xs, hout) }); a != 0 {
+			t.Errorf("%s Family.HashMany allocates %.1f per call", name, a)
+		}
+	}
+	for name, f := range map[string]SignFamily{
+		"pairwise":   NewSignFamily(r, 3),
+		"tabulation": NewTabSignFamily(r, 3),
+	} {
+		f := f
+		if a := testing.AllocsPerRun(50, func() { f.SignFloatMany(1, xs, sout) }); a != 0 {
+			t.Errorf("%s SignFamily.SignFloatMany allocates %.1f per call", name, a)
+		}
+	}
+}
+
+func mustFamily(f Family, err error) Family {
+	if err != nil {
+		panic(err)
+	}
+	return f
+}

@@ -6,13 +6,28 @@
 // suffice and each costs O(1) words to store. We implement the classic
 // Carter–Wegman construction over the Mersenne prime p = 2^61 - 1, which
 // gives exact pairwise independence over [p], plus a degree-3 polynomial
-// variant (4-wise) used by the hashing ablation benchmark.
+// variant (4-wise) used by the hashing ablation benchmark, plus simple
+// tabulation hashing (tabulation.go) — 3-wise independent, no division
+// on the evaluation path — as the cheaper-per-evaluation hot-path
+// alternative the sketches select with sketch.HashTabulation.
 package hashing
 
 import (
+	"errors"
+	"fmt"
+	"math"
 	"math/bits"
 	"math/rand"
 )
+
+// oneBits is the IEEE-754 encoding of +1.0. ORing a hash bit into the
+// sign position yields ±1.0 without a data-dependent branch — random
+// signs are coin flips, so an if/else mispredicts half the time.
+const oneBits = uint64(0x3FF0000000000000)
+
+// ErrRange is wrapped by every hash constructor handed a non-positive
+// codomain size. Check with errors.Is(err, hashing.ErrRange).
+var ErrRange = errors.New("hashing: range must be positive")
 
 // MersennePrime is 2^61 - 1, the field size for all polynomial hash
 // families in this package. Universe elements must be < MersennePrime.
@@ -49,13 +64,14 @@ type Pairwise struct {
 }
 
 // NewPairwise draws a random pairwise hash with codomain [0, rng).
-func NewPairwise(r *rand.Rand, rang int) Pairwise {
+// A non-positive range returns an ErrRange-wrapped error.
+func NewPairwise(r *rand.Rand, rang int) (Pairwise, error) {
 	if rang <= 0 {
-		panic("hashing: NewPairwise range must be positive")
+		return Pairwise{}, fmt.Errorf("%w: NewPairwise got %d", ErrRange, rang)
 	}
 	a := uint64(r.Int63n(int64(MersennePrime-1))) + 1 // a in [1, p)
 	b := uint64(r.Int63n(int64(MersennePrime)))       // b in [0, p)
-	return Pairwise{A: a, B: b, Range: uint64(rang)}
+	return Pairwise{A: a, B: b, Range: uint64(rang)}, nil
 }
 
 // Hash maps x into [0, Range).
@@ -121,11 +137,8 @@ func (s Sign) SignFloatMany(xs []int, out []float64) {
 	a, b := s.A, s.B
 	out = out[:len(xs)]
 	for j, x := range xs {
-		if addModP(mulModP(a, uint64(x)), b)&1 == 0 {
-			out[j] = 1
-		} else {
-			out[j] = -1
-		}
+		v := addModP(mulModP(a, uint64(x)), b) & 1
+		out[j] = math.Float64frombits(oneBits | v<<63)
 	}
 }
 
@@ -138,17 +151,17 @@ type FourWise struct {
 }
 
 // NewFourWise draws a random 4-wise independent hash with codomain
-// [0, rng).
-func NewFourWise(r *rand.Rand, rang int) FourWise {
+// [0, rng). A non-positive range returns an ErrRange-wrapped error.
+func NewFourWise(r *rand.Rand, rang int) (FourWise, error) {
 	if rang <= 0 {
-		panic("hashing: NewFourWise range must be positive")
+		return FourWise{}, fmt.Errorf("%w: NewFourWise got %d", ErrRange, rang)
 	}
 	var c [4]uint64
 	for i := 0; i < 3; i++ {
 		c[i] = uint64(r.Int63n(int64(MersennePrime)))
 	}
 	c[3] = uint64(r.Int63n(int64(MersennePrime-1))) + 1
-	return FourWise{C: c, Range: uint64(rang)}
+	return FourWise{C: c, Range: uint64(rang)}, nil
 }
 
 // Hash maps x into [0, Range) by Horner evaluation of the polynomial.
@@ -160,29 +173,102 @@ func (h FourWise) Hash(x uint64) int {
 	return int(v % h.Range)
 }
 
-// Family bundles d independent pairwise hash functions with a common
-// codomain, as used for the d rows of every sketch (h_1..h_d in
-// Theorems 1 and 2).
+// Family bundles d independent hash functions with a common codomain,
+// as used for the d rows of every sketch (h_1..h_d in Theorems 1 and
+// 2). Exactly one arm is populated: H for a Carter–Wegman pairwise
+// family (the default, the paper's §4.4 choice), T for a tabulation
+// family. The sketches' hot paths branch on T once per row and then
+// run the arm's batched kernel directly, so dispatch never costs an
+// interface call per element.
 type Family struct {
 	H []Pairwise
+	T []*Tabulation
 }
 
 // NewFamily draws d independent pairwise hashes into [0, rng).
-func NewFamily(r *rand.Rand, d, rang int) Family {
+// A non-positive range returns an ErrRange-wrapped error.
+func NewFamily(r *rand.Rand, d, rang int) (Family, error) {
 	hs := make([]Pairwise, d)
 	for i := range hs {
-		hs[i] = NewPairwise(r, rang)
+		h, err := NewPairwise(r, rang)
+		if err != nil {
+			return Family{}, err
+		}
+		hs[i] = h
 	}
-	return Family{H: hs}
+	return Family{H: hs}, nil
+}
+
+// NewTabFamily draws d independent tabulation hashes into [0, rng).
+// A non-positive range returns an ErrRange-wrapped error.
+func NewTabFamily(r *rand.Rand, d, rang int) (Family, error) {
+	ts := make([]*Tabulation, d)
+	for i := range ts {
+		t, err := NewTabulation(r, rang)
+		if err != nil {
+			return Family{}, err
+		}
+		ts[i] = t
+	}
+	return Family{T: ts}, nil
 }
 
 // Depth returns the number of hash functions in the family.
-func (f Family) Depth() int { return len(f.H) }
+func (f Family) Depth() int {
+	if f.T != nil {
+		return len(f.T)
+	}
+	return len(f.H)
+}
 
-// SignFamily bundles d independent pairwise sign functions
-// (r_1..r_d in Theorem 2).
+// Hash maps x into [0, Range) with the family's row-t function. Cold
+// callers only — the hot paths branch on the arm once and call the
+// concrete function's kernels directly.
+func (f Family) Hash(t int, x uint64) int {
+	if f.T != nil {
+		return f.T[t].Hash(x)
+	}
+	return f.H[t].Hash(x)
+}
+
+// HashMany maps each coordinate xs[j] into [0, Range) with the
+// family's row-t function, writing results into out[j] — the batched
+// row kernel of UpdateBatch/QueryBatch, dispatched once per row.
+//
+//sketch:hotpath
+func (f Family) HashMany(t int, xs []int, out []int) {
+	if f.T != nil {
+		f.T[t].HashMany(xs, out)
+		return
+	}
+	f.H[t].HashMany(xs, out)
+}
+
+// Equal reports whether two families draw the same functions — the
+// shared-randomness precondition for merging sketches.
+func (f Family) Equal(o Family) bool {
+	if len(f.H) != len(o.H) || len(f.T) != len(o.T) {
+		return false
+	}
+	for i := range f.H {
+		if f.H[i] != o.H[i] {
+			return false
+		}
+	}
+	for i := range f.T {
+		if f.T[i].Range != o.T[i].Range || f.T[i].T != o.T[i].T {
+			return false
+		}
+	}
+	return true
+}
+
+// SignFamily bundles d independent sign functions (r_1..r_d in
+// Theorem 2). Like Family, exactly one arm is populated: S for
+// pairwise sign functions, T for tabulation signs.
 type SignFamily struct {
 	S []Sign
+	T []*TabSign
 }
 
 // NewSignFamily draws d independent pairwise sign functions.
@@ -194,5 +280,58 @@ func NewSignFamily(r *rand.Rand, d int) SignFamily {
 	return SignFamily{S: ss}
 }
 
+// NewTabSignFamily draws d independent tabulation sign functions.
+func NewTabSignFamily(r *rand.Rand, d int) SignFamily {
+	ts := make([]*TabSign, d)
+	for i := range ts {
+		ts[i] = NewTabSign(r)
+	}
+	return SignFamily{T: ts}
+}
+
 // Depth returns the number of sign functions in the family.
-func (f SignFamily) Depth() int { return len(f.S) }
+func (f SignFamily) Depth() int {
+	if f.T != nil {
+		return len(f.T)
+	}
+	return len(f.S)
+}
+
+// SignFloat returns the row-t sign of x as a float64. Cold callers
+// only — hot paths branch on the arm once per row.
+func (f SignFamily) SignFloat(t int, x uint64) float64 {
+	if f.T != nil {
+		return f.T[t].SignFloat(x)
+	}
+	return f.S[t].SignFloat(x)
+}
+
+// SignFloatMany writes the row-t sign of xs[j] into out[j] for every
+// j — the batched sign kernel, dispatched once per row.
+//
+//sketch:hotpath
+func (f SignFamily) SignFloatMany(t int, xs []int, out []float64) {
+	if f.T != nil {
+		f.T[t].SignFloatMany(xs, out)
+		return
+	}
+	f.S[t].SignFloatMany(xs, out)
+}
+
+// Equal reports whether two sign families draw the same functions.
+func (f SignFamily) Equal(o SignFamily) bool {
+	if len(f.S) != len(o.S) || len(f.T) != len(o.T) {
+		return false
+	}
+	for i := range f.S {
+		if f.S[i] != o.S[i] {
+			return false
+		}
+	}
+	for i := range f.T {
+		if f.T[i].T != o.T[i].T {
+			return false
+		}
+	}
+	return true
+}

@@ -1,24 +1,40 @@
 package hashing
 
-import "math/rand"
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/rand"
+)
 
 // Tabulation is simple tabulation hashing (Zobrist; analyzed by
 // Pǎtraşcu–Thorup): the key is split into 8 bytes, each indexes a
 // table of random 64-bit words, and the results are XORed. It is
 // 3-wise independent and behaves like full randomness for most
 // hashing-based data structures, at the cost of 16 KiB of tables per
-// function. It is the third arm of the hashing ablation
-// (BenchmarkAblationHash): stronger than the paper's pairwise choice,
-// cheaper to evaluate than polynomial 4-wise.
+// function. Evaluation is divisionless: the XOR of table words is
+// folded into [0, Range) by the multiply-shift (fastrange) reduction
+// ⌊h·Range/2^64⌋, which replaces the pairwise family's hardware
+// modulo — the dominant cost of a Carter–Wegman evaluation — with one
+// widening multiply. That makes tabulation the cheaper-per-evaluation
+// family the hot paths select with sketch.HashTabulation; the
+// analyses' second-moment requirements hold a fortiori (3-wise ⊃
+// 2-wise independence), and the fastrange bucket bias is ≤ Range/2^64.
 type Tabulation struct {
 	T     [8][256]uint64
 	Range uint64
+	// hi0 = T[4][0]^..^T[7][0], the upper-half fold for keys below
+	// 2^32. Sketch coordinates are vector indices, so in practice
+	// every key takes this 4-lookup path; the full 8-lookup fold is
+	// kept for arbitrary 64-bit keys.
+	hi0 uint64
 }
 
 // NewTabulation draws a tabulation hash with codomain [0, rng).
-func NewTabulation(r *rand.Rand, rng int) *Tabulation {
+// A non-positive range returns an ErrRange-wrapped error.
+func NewTabulation(r *rand.Rand, rng int) (*Tabulation, error) {
 	if rng <= 0 {
-		panic("hashing: NewTabulation range must be positive")
+		return nil, fmt.Errorf("%w: NewTabulation got %d", ErrRange, rng)
 	}
 	t := &Tabulation{Range: uint64(rng)}
 	for b := 0; b < 8; b++ {
@@ -26,27 +42,139 @@ func NewTabulation(r *rand.Rand, rng int) *Tabulation {
 			t.T[b][v] = r.Uint64()
 		}
 	}
-	return t
+	t.hi0 = t.T[4][0] ^ t.T[5][0] ^ t.T[6][0] ^ t.T[7][0]
+	return t, nil
 }
 
 // Hash maps x into [0, Range).
+//
+//sketch:hotpath
 func (t *Tabulation) Hash(x uint64) int {
 	h := t.T[0][byte(x)] ^
 		t.T[1][byte(x>>8)] ^
 		t.T[2][byte(x>>16)] ^
-		t.T[3][byte(x>>24)] ^
-		t.T[4][byte(x>>32)] ^
-		t.T[5][byte(x>>40)] ^
-		t.T[6][byte(x>>48)] ^
-		t.T[7][byte(x>>56)]
-	return int(h % t.Range)
+		t.T[3][byte(x>>24)]
+	if x < 1<<32 {
+		h ^= t.hi0
+	} else {
+		h ^= t.T[4][byte(x>>32)] ^
+			t.T[5][byte(x>>40)] ^
+			t.T[6][byte(x>>48)] ^
+			t.T[7][byte(x>>56)]
+	}
+	hi, _ := bits.Mul64(h, t.Range)
+	return int(hi)
 }
 
-// Sign maps x to ±1 using one bit of the tabulated value.
-func (t *Tabulation) Sign(x uint64) float64 {
-	h := t.T[0][byte(x)] ^ t.T[7][byte(x>>56)]
-	if h&(1<<63) == 0 {
+// HashMany maps each coordinate xs[j] into [0, Range), writing the
+// result into out[j] — the batch entry point of the sketches'
+// row-major UpdateBatch and QueryBatch. The 16 KiB lookup tables load
+// into L1 once per row and then serve the whole batch, and the bounds
+// check on out is hoisted out of the loop.
+//
+//sketch:hotpath
+func (t *Tabulation) HashMany(xs []int, out []int) {
+	if len(xs) == 0 {
+		return
+	}
+	rng := t.Range
+	hi0 := t.hi0
+	out = out[:len(xs)]
+	for j, x := range xs {
+		u := uint64(x)
+		h := t.T[0][byte(u)] ^
+			t.T[1][byte(u>>8)] ^
+			t.T[2][byte(u>>16)] ^
+			t.T[3][byte(u>>24)]
+		if u < 1<<32 {
+			h ^= hi0 // one perfectly-predicted branch: keys are indices
+		} else {
+			h ^= t.T[4][byte(u>>32)] ^
+				t.T[5][byte(u>>40)] ^
+				t.T[6][byte(u>>48)] ^
+				t.T[7][byte(u>>56)]
+		}
+		hi, _ := bits.Mul64(h, rng)
+		out[j] = int(hi)
+	}
+}
+
+// TabSign is a tabulation-based random sign function r: [n] -> {-1,+1}:
+// each key byte indexes a table of random bytes and the low bit of the
+// XOR picks the sign. Every table bit is an independent fair coin, so
+// the sign inherits tabulation's 3-wise independence — more than the
+// pairwise signs the Count-Sketch analysis needs — at 2 KiB per
+// function (the sign needs one output bit, so byte tables suffice and
+// stay resident next to the 16 KiB bucket tables).
+type TabSign struct {
+	T [8][256]uint8
+	// hi0 mirrors Tabulation.hi0: the upper-half fold for keys < 2^32.
+	hi0 uint8
+}
+
+// NewTabSign draws a random tabulation sign function.
+func NewTabSign(r *rand.Rand) *TabSign {
+	s := &TabSign{}
+	for b := 0; b < 8; b++ {
+		for v := 0; v < 256; v++ {
+			s.T[b][v] = uint8(r.Uint64())
+		}
+	}
+	s.hi0 = s.T[4][0] ^ s.T[5][0] ^ s.T[6][0] ^ s.T[7][0]
+	return s
+}
+
+// Sign returns +1 or -1 for x.
+func (s *TabSign) Sign(x uint64) int {
+	if s.xor(x)&1 == 0 {
 		return 1
 	}
 	return -1
+}
+
+// SignFloat returns Sign(x) as a float64, avoiding a conversion at
+// call sites on the sketch hot path.
+//
+//sketch:hotpath
+func (s *TabSign) SignFloat(x uint64) float64 {
+	if s.xor(x)&1 == 0 {
+		return 1
+	}
+	return -1
+}
+
+// xor folds the 8 key bytes through the sign tables.
+//
+//sketch:hotpath
+func (s *TabSign) xor(x uint64) uint8 {
+	h := s.T[0][byte(x)] ^
+		s.T[1][byte(x>>8)] ^
+		s.T[2][byte(x>>16)] ^
+		s.T[3][byte(x>>24)]
+	if x < 1<<32 {
+		return h ^ s.hi0
+	}
+	return h ^ s.T[4][byte(x>>32)] ^
+		s.T[5][byte(x>>40)] ^
+		s.T[6][byte(x>>48)] ^
+		s.T[7][byte(x>>56)]
+}
+
+// SignFloatMany writes SignFloat(xs[j]) into out[j] for every j — the
+// batch companion of HashMany for the Count-Sketch rows, on both the
+// ingestion (UpdateBatch) and query (QueryBatch) sides.
+//
+//sketch:hotpath
+func (s *TabSign) SignFloatMany(xs []int, out []float64) {
+	if len(xs) == 0 {
+		return
+	}
+	out = out[:len(xs)]
+	for j, x := range xs {
+		// Branchless ±1: set the IEEE sign bit of 1.0 from the hash
+		// bit. A random sign is a coin flip, so an if/else here
+		// mispredicts half the time.
+		b := uint64(s.xor(uint64(x)) & 1)
+		out[j] = math.Float64frombits(oneBits | b<<63)
+	}
 }

@@ -51,6 +51,23 @@ var ErrNotLinear = errors.New("registry: algorithm is not linear")
 // rejections with one errors.Is target.
 var ErrBackendUnsupported = sketch.ErrBackendUnsupported
 
+// ErrHashUnsupported re-exports the sketch package's hash-capability
+// error: the requested hash family is not available for the algorithm.
+var ErrHashUnsupported = sketch.ErrHashUnsupported
+
+// Shape is the construction-time shape of a sketch: the paper's (n, s,
+// d) sizing parameters, the hash seed, and the hash family the rows
+// draw from. The zero Hash is pairwise, so shapes (and the wire
+// descriptors they come from) without an explicit family keep today's
+// exact behavior.
+type Shape struct {
+	N    int // dimension of the input vector
+	S    int // row width (buckets per row)
+	D    int // depth (independent rows)
+	Seed int64
+	Hash sketch.HashKind
+}
+
 // Entry describes one constructible algorithm.
 type Entry struct {
 	Name    string   // canonical name, e.g. "l2sr"
@@ -69,20 +86,29 @@ type Entry struct {
 	// Mmap marks algorithms whose counter plane can be served read-only
 	// straight out of a mapped checkpoint file.
 	Mmap bool
+	// Tiled marks algorithms whose counter plane can use the
+	// cache-blocked depth-major tiled layout (linear adds only — the
+	// conservative-update algorithms need in-place row views).
+	Tiled bool
+	// Tabulation marks algorithms whose rows can draw from the
+	// tabulation hash family instead of the default pairwise one (the
+	// table-based sketches; the S/R recoveries pin the paper's pairwise
+	// construction).
+	Tabulation bool
 
-	// New constructs the sketch for dimension n, row width s, depth d,
-	// hash seed, and counter-plane backend. Unusable parameters return
-	// an error (backend rejections wrap sketch.ErrBackendUnsupported);
-	// a constructor may still panic on programmer-error misuse, which
-	// SafeNew converts. The zero Backend is the dense plane.
-	New func(n, s, d int, seed int64, be sketch.Backend) (sketch.Sketch, error)
+	// New constructs the sketch for the given shape and counter-plane
+	// backend. Unusable parameters return an error (backend rejections
+	// wrap sketch.ErrBackendUnsupported); a constructor may still panic
+	// on programmer-error misuse, which SafeNew converts. The zero
+	// Backend is the dense plane.
+	New func(sh Shape, be sketch.Backend) (sketch.Sketch, error)
 }
 
 // MustNew constructs with the dense backend and panics on error — for
 // the replica factories (shards, window panes, range levels) whose
 // shape was already validated by a successful probe construction.
-func (e *Entry) MustNew(n, s, d int, seed int64) sketch.Sketch {
-	sk, err := e.New(n, s, d, seed, sketch.Backend{})
+func (e *Entry) MustNew(sh Shape) sketch.Sketch {
+	sk, err := e.New(sh, sketch.Backend{})
 	if err != nil {
 		panic(err)
 	}
@@ -154,15 +180,15 @@ func Names() []string {
 // additionally converting constructor panics (parameter combinations
 // an algorithm rejects at runtime) into errors — the entry point for
 // descriptors read off the network.
-func SafeNew(name string, n, s, d int, seed int64) (sketch.Sketch, error) {
-	return SafeNewBackend(name, n, s, d, seed, sketch.Backend{})
+func SafeNew(name string, sh Shape) (sketch.Sketch, error) {
+	return SafeNewBackend(name, sh, sketch.Backend{})
 }
 
 // SafeNewBackend is SafeNew with an explicit counter-plane backend.
-// Algorithms whose capability flags exclude the requested backend are
-// rejected with an ErrBackendUnsupported-wrapped error before the
-// constructor runs.
-func SafeNewBackend(name string, n, s, d int, seed int64, be sketch.Backend) (sk sketch.Sketch, err error) {
+// Algorithms whose capability flags exclude the requested backend or
+// hash family are rejected with an ErrBackendUnsupported- or
+// ErrHashUnsupported-wrapped error before the constructor runs.
+func SafeNewBackend(name string, sh Shape, be sketch.Backend) (sk sketch.Sketch, err error) {
 	e, ok := Lookup(name)
 	if !ok {
 		return nil, fmt.Errorf("registry: unknown algorithm %q", name)
@@ -176,13 +202,20 @@ func SafeNewBackend(name string, n, s, d int, seed int64, be sketch.Backend) (sk
 		if !e.Mmap {
 			return nil, fmt.Errorf("%w: %s cannot be served from a mapped checkpoint", ErrBackendUnsupported, e.Name)
 		}
+	case sketch.BackendTiled:
+		if !e.Tiled {
+			return nil, fmt.Errorf("%w: %s cannot use the tiled counter plane", ErrBackendUnsupported, e.Name)
+		}
+	}
+	if sh.Hash != sketch.HashPairwise && !e.Tabulation {
+		return nil, fmt.Errorf("%w: %s only supports the pairwise family, got %v", ErrHashUnsupported, e.Name, sh.Hash)
 	}
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("registry: constructing %s: %v", e.Name, r)
 		}
 	}()
-	sk, err = e.New(n, s, d, seed, be)
+	sk, err = e.New(sh, be)
 	if err != nil {
 		return nil, fmt.Errorf("registry: constructing %s: %w", e.Name, err)
 	}
@@ -243,8 +276,8 @@ func Merge(dst, src sketch.Sketch) error {
 }
 
 // baseCfg is the baselines' shape under the equal-words protocol.
-func baseCfg(n, s, d int) sketch.Config {
-	return sketch.Config{N: n, Rows: s, Depth: d + 1}
+func baseCfg(sh Shape) sketch.Config {
+	return sketch.Config{N: sh.N, Rows: sh.S, Depth: sh.D + 1, Hash: sh.Hash}
 }
 
 func kOf(s int) int {
@@ -258,79 +291,79 @@ func init() {
 	Register(Entry{
 		Name: L1SR, Legend: "l1-S/R", Aliases: []string{"l1-sr", "l1s/r"},
 		Linear: true, Bias: true,
-		New: func(n, s, d int, seed int64, _ sketch.Backend) (sketch.Sketch, error) {
+		New: func(sh Shape, _ sketch.Backend) (sketch.Sketch, error) {
 			return core.NewL1SR(core.L1Config{
-				N: n, K: kOf(s), Cs: 4, Depth: d, SampleCount: s,
-			}, rand.New(rand.NewSource(seed))), nil
+				N: sh.N, K: kOf(sh.S), Cs: 4, Depth: sh.D, SampleCount: sh.S,
+			}, rand.New(rand.NewSource(sh.Seed))), nil
 		},
 	})
 	Register(Entry{
 		Name: L2SR, Legend: "l2-S/R", Aliases: []string{"l2-sr", "l2s/r"},
 		Linear: true, Bias: true,
-		New: func(n, s, d int, seed int64, _ sketch.Backend) (sketch.Sketch, error) {
+		New: func(sh Shape, _ sketch.Backend) (sketch.Sketch, error) {
 			return core.NewL2SR(core.L2Config{
-				N: n, K: kOf(s), Cs: 4, Depth: d, UseBiasHeap: true,
-			}, rand.New(rand.NewSource(seed))), nil
+				N: sh.N, K: kOf(sh.S), Cs: 4, Depth: sh.D, UseBiasHeap: true,
+			}, rand.New(rand.NewSource(sh.Seed))), nil
 		},
 	})
 	Register(Entry{
 		Name: L1Mean, Legend: "l1-mean",
 		Linear: true, Bias: true,
-		New: func(n, s, d int, seed int64, _ sketch.Backend) (sketch.Sketch, error) {
+		New: func(sh Shape, _ sketch.Backend) (sketch.Sketch, error) {
 			return core.NewL1SR(core.L1Config{
-				N: n, K: kOf(s), Cs: 4, Depth: d, SampleCount: 1, Estimator: core.EstimatorMean,
-			}, rand.New(rand.NewSource(seed))), nil
+				N: sh.N, K: kOf(sh.S), Cs: 4, Depth: sh.D, SampleCount: 1, Estimator: core.EstimatorMean,
+			}, rand.New(rand.NewSource(sh.Seed))), nil
 		},
 	})
 	Register(Entry{
 		Name: L2Mean, Legend: "l2-mean",
 		Linear: true, Bias: true,
-		New: func(n, s, d int, seed int64, _ sketch.Backend) (sketch.Sketch, error) {
+		New: func(sh Shape, _ sketch.Backend) (sketch.Sketch, error) {
 			return core.NewL2SR(core.L2Config{
-				N: n, K: kOf(s), Cs: 4, Depth: d, Estimator: core.EstimatorMean,
-			}, rand.New(rand.NewSource(seed))), nil
+				N: sh.N, K: kOf(sh.S), Cs: 4, Depth: sh.D, Estimator: core.EstimatorMean,
+			}, rand.New(rand.NewSource(sh.Seed))), nil
 		},
 	})
 	Register(Entry{
 		Name: CountMedian, Legend: "CM", Aliases: []string{"count-median"},
-		Linear: true, Compressed: true, Mmap: true,
-		New: func(n, s, d int, seed int64, be sketch.Backend) (sketch.Sketch, error) {
-			return sketch.NewCountMedianBackend(baseCfg(n, s, d), be, rand.New(rand.NewSource(seed)))
+		Linear: true, Compressed: true, Mmap: true, Tiled: true, Tabulation: true,
+		New: func(sh Shape, be sketch.Backend) (sketch.Sketch, error) {
+			return sketch.NewCountMedianBackend(baseCfg(sh), be, rand.New(rand.NewSource(sh.Seed)))
 		},
 	})
 	Register(Entry{
 		Name: CountSketch, Legend: "CS", Aliases: []string{"count-sketch"},
-		Linear: true, Mmap: true,
-		New: func(n, s, d int, seed int64, be sketch.Backend) (sketch.Sketch, error) {
-			return sketch.NewCountSketchBackend(baseCfg(n, s, d), be, rand.New(rand.NewSource(seed)))
+		Linear: true, Mmap: true, Tiled: true, Tabulation: true,
+		New: func(sh Shape, be sketch.Backend) (sketch.Sketch, error) {
+			return sketch.NewCountSketchBackend(baseCfg(sh), be, rand.New(rand.NewSource(sh.Seed)))
 		},
 	})
 	Register(Entry{
 		Name: CountMin, Legend: "Count-Min", Aliases: []string{"count-min"},
-		Linear: true, Compressed: true, Mmap: true,
-		New: func(n, s, d int, seed int64, be sketch.Backend) (sketch.Sketch, error) {
-			return sketch.NewCountMinBackend(baseCfg(n, s, d), be, rand.New(rand.NewSource(seed)))
+		Linear: true, Compressed: true, Mmap: true, Tiled: true, Tabulation: true,
+		New: func(sh Shape, be sketch.Backend) (sketch.Sketch, error) {
+			return sketch.NewCountMinBackend(baseCfg(sh), be, rand.New(rand.NewSource(sh.Seed)))
 		},
 	})
 	Register(Entry{
 		Name: CMCU, Legend: "CM-CU",
-		Mmap: true,
-		New: func(n, s, d int, seed int64, be sketch.Backend) (sketch.Sketch, error) {
-			return sketch.NewCMCUBackend(baseCfg(n, s, d), be, rand.New(rand.NewSource(seed)))
+		Mmap: true, Tabulation: true,
+		New: func(sh Shape, be sketch.Backend) (sketch.Sketch, error) {
+			return sketch.NewCMCUBackend(baseCfg(sh), be, rand.New(rand.NewSource(sh.Seed)))
 		},
 	})
 	Register(Entry{
 		Name: CMLCU, Legend: "CML-CU",
-		Mmap: true,
-		New: func(n, s, d int, seed int64, be sketch.Backend) (sketch.Sketch, error) {
-			return sketch.NewCMLCUBackend(baseCfg(n, s, d), sketch.DefaultCMLBase, be, rand.New(rand.NewSource(seed)))
+		Mmap: true, Tabulation: true,
+		New: func(sh Shape, be sketch.Backend) (sketch.Sketch, error) {
+			return sketch.NewCMLCUBackend(baseCfg(sh), sketch.DefaultCMLBase, be, rand.New(rand.NewSource(sh.Seed)))
 		},
 	})
 	Register(Entry{
 		Name: DengRafiei, Legend: "Deng-Rafiei", Aliases: []string{"deng-rafiei"},
-		Linear: true, Compressed: true, Mmap: true,
-		New: func(n, s, d int, seed int64, be sketch.Backend) (sketch.Sketch, error) {
-			return sketch.NewDengRafieiBackend(baseCfg(n, s, d), be, rand.New(rand.NewSource(seed)))
+		Linear: true, Compressed: true, Mmap: true, Tiled: true, Tabulation: true,
+		New: func(sh Shape, be sketch.Backend) (sketch.Sketch, error) {
+			return sketch.NewDengRafieiBackend(baseCfg(sh), be, rand.New(rand.NewSource(sh.Seed)))
 		},
 	})
 	// Counter Braids (the §2 related work): sized by the dimension n
@@ -341,8 +374,8 @@ func init() {
 	Register(Entry{
 		Name: CounterBraid, Legend: "CB", Aliases: []string{"cb", "counter-braids"},
 		Linear: true,
-		New: func(n, _, _ int, seed int64, _ sketch.Backend) (sketch.Sketch, error) {
-			return sketch.NewCounterBraids(n, rand.New(rand.NewSource(seed)))
+		New: func(sh Shape, _ sketch.Backend) (sketch.Sketch, error) {
+			return sketch.NewCounterBraids(sh.N, rand.New(rand.NewSource(sh.Seed)))
 		},
 	})
 	// Exact is the ground-truth "sketch": a plain dense vector. It is
@@ -351,8 +384,8 @@ func init() {
 	Register(Entry{
 		Name: Exact, Legend: "Exact",
 		Linear: true,
-		New: func(n, _, _ int, _ int64, _ sketch.Backend) (sketch.Sketch, error) {
-			return stream.NewExact(n), nil
+		New: func(sh Shape, _ sketch.Backend) (sketch.Sketch, error) {
+			return stream.NewExact(sh.N), nil
 		},
 	})
 }

@@ -65,7 +65,7 @@ func TestNamesSortedAndComplete(t *testing.T) {
 // SafeNew converts constructor panics into errors — the contract for
 // descriptors read off the network.
 func TestSafeNewConvertsPanics(t *testing.T) {
-	if _, err := SafeNew("nope", 100, 16, 3, 1); err == nil {
+	if _, err := SafeNew("nope", Shape{N: 100, S: 16, D: 3, Seed: 1}); err == nil {
 		t.Error("unknown algorithm should error")
 	}
 	bad := map[string]struct {
@@ -78,11 +78,11 @@ func TestSafeNewConvertsPanics(t *testing.T) {
 		"dengrafiei s<2": {DengRafiei, 100, 1, 3},
 	}
 	for name, p := range bad {
-		if _, err := SafeNew(p.algo, p.n, p.s, p.d, 1); err == nil {
+		if _, err := SafeNew(p.algo, Shape{N: p.n, S: p.s, D: p.d, Seed: 1}); err == nil {
 			t.Errorf("%s: SafeNew should return an error, not panic", name)
 		}
 	}
-	sk, err := SafeNew(L2SR, 1000, 64, 5, 1)
+	sk, err := SafeNew(L2SR, Shape{N: 1000, S: 64, D: 5, Seed: 1})
 	if err != nil {
 		t.Fatalf("valid parameters: %v", err)
 	}
@@ -95,7 +95,7 @@ func TestSafeNewConvertsPanics(t *testing.T) {
 // reject the exact vector (nothing sketched to save).
 func TestStateCoversAllPaperAlgorithms(t *testing.T) {
 	for _, algo := range paperAlgos {
-		sk, err := SafeNew(algo, 5000, 64, 5, 9)
+		sk, err := SafeNew(algo, Shape{N: 5000, S: 64, D: 5, Seed: 9})
 		if err != nil {
 			t.Fatalf("%s: %v", algo, err)
 		}
@@ -109,7 +109,7 @@ func TestStateCoversAllPaperAlgorithms(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: MarshalState: %v", algo, err)
 		}
-		fresh, err := SafeNew(algo, 5000, 64, 5, 9)
+		fresh, err := SafeNew(algo, Shape{N: 5000, S: 64, D: 5, Seed: 9})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -127,7 +127,7 @@ func TestStateCoversAllPaperAlgorithms(t *testing.T) {
 			t.Errorf("%s: truncated state should fail", algo)
 		}
 	}
-	ex, err := SafeNew(Exact, 100, 0, 0, 0)
+	ex, err := SafeNew(Exact, Shape{N: 100, S: 0, D: 0, Seed: 0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +139,7 @@ func TestStateCoversAllPaperAlgorithms(t *testing.T) {
 // Every registry algorithm carries the batched ingestion capability.
 func TestEveryEntryImplementsBatchUpdater(t *testing.T) {
 	for _, name := range Names() {
-		sk, err := SafeNew(name, 1000, 64, 5, 1)
+		sk, err := SafeNew(name, Shape{N: 1000, S: 64, D: 5, Seed: 1})
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -150,8 +150,8 @@ func TestEveryEntryImplementsBatchUpdater(t *testing.T) {
 }
 
 func TestMergeDispatch(t *testing.T) {
-	a, _ := SafeNew(CountMin, 100, 16, 3, 1)
-	b, _ := SafeNew(CountMin, 100, 16, 3, 1)
+	a, _ := SafeNew(CountMin, Shape{N: 100, S: 16, D: 3, Seed: 1})
+	b, _ := SafeNew(CountMin, Shape{N: 100, S: 16, D: 3, Seed: 1})
 	b.Update(5, 4)
 	if err := Merge(a, b); err != nil {
 		t.Fatalf("Merge(countmin, countmin): %v", err)
@@ -159,12 +159,12 @@ func TestMergeDispatch(t *testing.T) {
 	if a.Query(5) != 4 {
 		t.Errorf("merge lost mass: Query(5) = %f", a.Query(5))
 	}
-	cs, _ := SafeNew(CountSketch, 100, 16, 3, 1)
+	cs, _ := SafeNew(CountSketch, Shape{N: 100, S: 16, D: 3, Seed: 1})
 	if err := Merge(a, cs); err == nil {
 		t.Error("cross-type merge should fail")
 	}
-	ex1, _ := SafeNew(Exact, 10, 0, 0, 0)
-	ex2, _ := SafeNew(Exact, 10, 0, 0, 0)
+	ex1, _ := SafeNew(Exact, Shape{N: 10, S: 0, D: 0, Seed: 0})
+	ex2, _ := SafeNew(Exact, Shape{N: 10, S: 0, D: 0, Seed: 0})
 	ex2.Update(3, 2)
 	if err := Merge(ex1, ex2); err != nil || ex1.Query(3) != 2 {
 		t.Errorf("exact merge: err=%v Query(3)=%f", err, ex1.Query(3))

@@ -331,7 +331,7 @@ func statusOf(err error) int {
 		errors.Is(err, repro.ErrInvalidOption), errors.Is(err, repro.ErrUnknownAlgorithm),
 		errors.Is(err, repro.ErrNotLinear), errors.Is(err, repro.ErrBadBatch),
 		errors.Is(err, repro.ErrInsertOnly), errors.Is(err, repro.ErrBackendUnsupported),
-		errors.Is(err, repro.ErrNoBias):
+		errors.Is(err, repro.ErrHashUnsupported), errors.Is(err, repro.ErrNoBias):
 		return http.StatusBadRequest
 	}
 	return http.StatusInternalServerError

@@ -170,6 +170,8 @@ func TestHandlerRejects(t *testing.T) {
 		{"unknown backend", "POST", "/v1/acme/sketches", `{"name":"x","kind":"plain","algo":"countmin","dim":10,"backend":"mmap"}`, 400},
 		{"backend on sharded", "POST", "/v1/acme/sketches", `{"name":"x","kind":"sharded","algo":"countmin","dim":10,"backend":"compressed"}`, 400},
 		{"compressed l2sr", "POST", "/v1/acme/sketches", `{"name":"x","kind":"plain","algo":"l2sr","dim":10,"backend":"compressed"}`, 400},
+		{"unknown hashing", "POST", "/v1/acme/sketches", `{"name":"x","kind":"plain","algo":"countmin","dim":10,"hashing":"xorshift"}`, 400},
+		{"tabulation l1sr", "POST", "/v1/acme/sketches", `{"name":"x","kind":"plain","algo":"l1sr","dim":10,"hashing":"tabulation"}`, 400},
 		{"non-linear sharded", "POST", "/v1/acme/sketches", `{"name":"x","kind":"sharded","algo":"cmcu","dim":10}`, 400},
 		{"malformed json", "POST", "/v1/acme/sketches", `{"name":`, 400},
 		{"unknown field", "POST", "/v1/acme/sketches", `{"name":"x","kind":"plain","algo":"countmin","dim":10,"zim":1}`, 400},
@@ -419,8 +421,9 @@ func TestCheckpointRestoreAllKinds(t *testing.T) {
 	mustCreate(t, ts.URL, "acme", `{"name":"dense","kind":"plain","algo":"l2sr","dim":1000,"words":256,"seed":1}`)
 	mustCreate(t, ts.URL, "acme", `{"name":"braid","kind":"plain","algo":"countmin","dim":1000,"words":2048,"depth":2,"backend":"compressed"}`)
 	mustCreate(t, ts.URL, "acme", `{"name":"win","kind":"windowed","algo":"countmin","dim":1000,"words":128,"depth":2,"panes":4,"pane_width_ms":3600000}`)
+	mustCreate(t, ts.URL, "acme", `{"name":"tab","kind":"plain","algo":"countmin","dim":1000,"words":128,"depth":2,"hashing":"tabulation"}`)
 
-	for _, name := range []string{"dense", "braid", "win"} {
+	for _, name := range []string{"dense", "braid", "win", "tab"} {
 		if resp, body := ingest(t, ts.URL+"/v1/acme/sketches/"+name+"/ingest",
 			frame(t, []int{11, 11, 12}, []float64{4, 4, 9})); resp.StatusCode != 200 {
 			t.Fatalf("%s ingest: %d (%s)", name, resp.StatusCode, body)
@@ -431,7 +434,7 @@ func TestCheckpointRestoreAllKinds(t *testing.T) {
 	}
 
 	_, ts2 := newTestServer(t, Config{DataDir: dir})
-	for _, name := range []string{"dense", "braid", "win"} {
+	for _, name := range []string{"dense", "braid", "win", "tab"} {
 		resp, body := do(t, "GET", ts2.URL+"/v1/acme/sketches/"+name+"/query?i=11", "")
 		if resp.StatusCode != 200 {
 			t.Fatalf("%s restored query: %s %s", name, resp.Status, body)

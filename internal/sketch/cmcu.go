@@ -35,6 +35,9 @@ func NewCMCUBackend(cfg Config, be Backend, r *rand.Rand) (*CMCU, error) {
 	if be.Kind == BackendCompressed {
 		return nil, fmt.Errorf("%w: cmcu's conservative raise sets buckets in place, the compressed plane only adds", ErrBackendUnsupported)
 	}
+	if be.Kind == BackendTiled {
+		return nil, fmt.Errorf("%w: cmcu's conservative raise needs in-place row views, which the tiled plane does not expose", ErrBackendUnsupported)
+	}
 	tb, err := newTable(cfg, r, be)
 	if err != nil {
 		return nil, err
@@ -64,16 +67,16 @@ func (c *CMCU) Update(i int, delta float64) {
 		panic("sketch: CMCU does not support negative updates (insert-only)")
 	}
 	cells := c.tb.writable()
-	u := uint64(i)
-	min := cells[0][c.tb.hash.H[0].Hash(u)]
-	for t := 1; t < len(cells); t++ {
-		if v := cells[t][c.tb.hash.H[t].Hash(u)]; v < min {
-			min = v
-		}
+	depth := len(cells)
+	c.growHbuf(depth)
+	hb := c.hbuf[:depth]
+	c.tb.hashPoint(uint64(i), hb)
+	m := cells[0][hb[0]]
+	for t := 1; t < depth; t++ {
+		m = min(m, cells[t][hb[t]])
 	}
-	target := min + delta
-	for t := range cells {
-		b := c.tb.hash.H[t].Hash(u)
+	target := m + delta
+	for t, b := range hb {
 		if cells[t][b] < target {
 			cells[t][b] = target
 		}
@@ -99,7 +102,7 @@ func (c *CMCU) UpdateBatch(idx []int, deltas []float64) {
 	depth := len(cells)
 	c.growHbuf(depth * m)
 	for t := 0; t < depth; t++ {
-		c.tb.hash.H[t].HashMany(idx, c.hbuf[t*m:(t+1)*m])
+		c.tb.hash.HashMany(t, idx, c.hbuf[t*m:(t+1)*m])
 	}
 	for j := 0; j < m; j++ {
 		min := cells[0][c.hbuf[j]]
@@ -134,15 +137,7 @@ func (c *CMCU) QueryBatch(idx []int, out []float64) {
 //sketch:hotpath
 func (c *CMCU) Query(i int) float64 {
 	c.tb.checkIndex(i)
-	cells := c.tb.rows()
-	u := uint64(i)
-	min := cells[0][c.tb.hash.H[0].Hash(u)]
-	for t := 1; t < len(cells); t++ {
-		if v := cells[t][c.tb.hash.H[t].Hash(u)]; v < min {
-			min = v
-		}
-	}
-	return min
+	return c.tb.minPoint(i)
 }
 
 // Dim returns the vector dimension n.

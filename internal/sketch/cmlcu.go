@@ -51,6 +51,9 @@ func NewCMLCUBackend(cfg Config, base float64, be Backend, r *rand.Rand) (*CMLCU
 	if be.Kind == BackendCompressed {
 		return nil, fmt.Errorf("%w: cmlcu's conservative raise sets buckets in place, the compressed plane only adds", ErrBackendUnsupported)
 	}
+	if be.Kind == BackendTiled {
+		return nil, fmt.Errorf("%w: cmlcu's conservative raise needs in-place row views, which the tiled plane does not expose", ErrBackendUnsupported)
+	}
 	tb, err := newTable(cfg, r, be)
 	if err != nil {
 		return nil, err
@@ -94,23 +97,23 @@ func (c *CMLCU) Update(i int, delta float64) {
 		panic("sketch: CMLCU does not support negative updates (insert-only)")
 	}
 	cells := c.tb.writable()
-	u := uint64(i)
-	min := cells[0][c.tb.hash.H[0].Hash(u)]
-	for t := 1; t < len(cells); t++ {
-		if v := cells[t][c.tb.hash.H[t].Hash(u)]; v < min {
-			min = v
-		}
+	depth := len(cells)
+	c.growHbuf(depth)
+	hb := c.hbuf[:depth]
+	c.tb.hashPoint(uint64(i), hb)
+	m := cells[0][hb[0]]
+	for t := 1; t < depth; t++ {
+		m = min(m, cells[t][hb[t]])
 	}
 	// Target counter after adding delta to the current estimate, with
 	// probabilistic rounding of the fractional part so that repeated
 	// small updates are unbiased.
-	exact := c.counter(c.value(min) + delta)
+	exact := c.counter(c.value(m) + delta)
 	target := math.Floor(exact)
 	if c.rng.Float64() < exact-target {
 		target++
 	}
-	for t := range cells {
-		b := c.tb.hash.H[t].Hash(u)
+	for t, b := range hb {
 		if cells[t][b] < target {
 			cells[t][b] = target
 		}
@@ -135,7 +138,7 @@ func (c *CMLCU) UpdateBatch(idx []int, deltas []float64) {
 	depth := len(cells)
 	c.growHbuf(depth * m)
 	for t := 0; t < depth; t++ {
-		c.tb.hash.H[t].HashMany(idx, c.hbuf[t*m:(t+1)*m])
+		c.tb.hash.HashMany(t, idx, c.hbuf[t*m:(t+1)*m])
 	}
 	for j := 0; j < m; j++ {
 		min := cells[0][c.hbuf[j]]
@@ -178,15 +181,7 @@ func (c *CMLCU) QueryBatch(idx []int, out []float64) {
 //sketch:hotpath
 func (c *CMLCU) Query(i int) float64 {
 	c.tb.checkIndex(i)
-	cells := c.tb.rows()
-	u := uint64(i)
-	min := cells[0][c.tb.hash.H[0].Hash(u)]
-	for t := 1; t < len(cells); t++ {
-		if v := cells[t][c.tb.hash.H[t].Hash(u)]; v < min {
-			min = v
-		}
-	}
-	return c.value(min)
+	return c.value(c.tb.minPoint(i))
 }
 
 // Dim returns the vector dimension n.

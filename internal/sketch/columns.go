@@ -23,7 +23,7 @@ func (c *CountMedian) ColumnCounts(t int) []float64 {
 	for r := range pis {
 		pi := make([]float64, c.tb.cfg.Rows)
 		for j := 0; j < c.tb.cfg.N; j++ {
-			pi[c.tb.hash.H[r].Hash(uint64(j))]++
+			pi[c.tb.hash.Hash(r, uint64(j))]++
 		}
 		pis[r] = pi
 	}
@@ -44,14 +44,23 @@ func (c *CountMedian) ShareColumnCounts(src *CountMedian) {
 
 // BucketIndex returns h_t(i), the bucket coordinate i occupies in row t.
 func (c *CountMedian) BucketIndex(t, i int) int {
-	return c.tb.hash.H[t].Hash(uint64(i))
+	return c.tb.hash.Hash(t, uint64(i))
 }
 
 // BucketIndexMany writes h_t(idx[j]) into out[j] for every j — the
 // batch companion of BucketIndex, loading row t's hash coefficients
 // once for the whole batch.
 func (c *CountMedian) BucketIndexMany(t int, idx []int, out []int) {
-	c.tb.hash.H[t].HashMany(idx, out)
+	c.tb.hash.HashMany(t, idx, out)
+}
+
+// BucketIndexes writes h_t(i) for every row t into out[t] — the
+// all-rows companion of BucketIndex for point queries, branching the
+// family arm once instead of once per row.
+//
+//sketch:hotpath
+func (c *CountMedian) BucketIndexes(i int, out []int) {
+	c.tb.hashPoint(uint64(i), out)
 }
 
 // Bucket returns the raw value of bucket b in row t.
@@ -79,7 +88,7 @@ func (c *CountSketch) SignedColumnSums(t int) []float64 {
 		psi := make([]float64, c.tb.cfg.Rows)
 		for j := 0; j < c.tb.cfg.N; j++ {
 			u := uint64(j)
-			psi[c.tb.hash.H[r].Hash(u)] += c.signs.S[r].SignFloat(u)
+			psi[c.tb.hash.Hash(r, u)] += c.signs.SignFloat(r, u)
 		}
 		psis[r] = psi
 	}
@@ -95,24 +104,31 @@ func (c *CountSketch) ShareSignedColumnSums(src *CountSketch) {
 	if p == nil || !c.tb.sameShape(&src.tb) {
 		return
 	}
-	for t := range c.signs.S {
-		if c.signs.S[t] != src.signs.S[t] {
-			return
-		}
+	if !c.signs.Equal(src.signs) {
+		return
 	}
 	c.psis.Store(p)
 }
 
 // BucketIndex returns h_t(i) for the Count-Sketch row t.
 func (c *CountSketch) BucketIndex(t, i int) int {
-	return c.tb.hash.H[t].Hash(uint64(i))
+	return c.tb.hash.Hash(t, uint64(i))
 }
 
 // BucketIndexMany writes h_t(idx[j]) into out[j] for every j — the
 // batch companion of BucketIndex, loading row t's hash coefficients
 // once for the whole batch.
 func (c *CountSketch) BucketIndexMany(t int, idx []int, out []int) {
-	c.tb.hash.H[t].HashMany(idx, out)
+	c.tb.hash.HashMany(t, idx, out)
+}
+
+// BucketIndexes writes h_t(i) for every row t into out[t] — the
+// all-rows companion of BucketIndex for point queries, branching the
+// family arm once instead of once per row.
+//
+//sketch:hotpath
+func (c *CountSketch) BucketIndexes(i int, out []int) {
+	c.tb.hashPoint(uint64(i), out)
 }
 
 // Bucket returns the raw (signed-sum) value of bucket b in row t.
@@ -123,13 +139,31 @@ func (c *CountSketch) Row(t int) []float64 { return c.tb.rows()[t] }
 
 // SignOf returns r_t(i) as a float64.
 func (c *CountSketch) SignOf(t, i int) float64 {
-	return c.signs.S[t].SignFloat(uint64(i))
+	return c.signs.SignFloat(t, uint64(i))
 }
 
 // SignOfMany writes r_t(idx[j]) into out[j] for every j — the batch
 // companion of SignOf.
 func (c *CountSketch) SignOfMany(t int, idx []int, out []float64) {
-	c.signs.S[t].SignFloatMany(idx, out)
+	c.signs.SignFloatMany(t, idx, out)
+}
+
+// SignsOf writes r_t(i) for every row t into out[t] — the all-rows
+// companion of SignOf for point queries, branching the family arm once
+// instead of once per row.
+//
+//sketch:hotpath
+func (c *CountSketch) SignsOf(i int, out []float64) {
+	u := uint64(i)
+	if ts := c.signs.T; ts != nil {
+		for t, s := range ts {
+			out[t] = s.SignFloat(u)
+		}
+		return
+	}
+	for t, s := range c.signs.S {
+		out[t] = s.SignFloat(u)
+	}
 }
 
 // CheckIndexBatch validates a query batch (matching lengths, in-range

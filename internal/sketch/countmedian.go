@@ -26,8 +26,8 @@ func NewCountMedian(cfg Config, r *rand.Rand) (*CountMedian, error) {
 
 // NewCountMedianBackend creates a Count-Median sketch on the chosen
 // counter plane. Updates are plain linear adds, so every backend is
-// supported: dense, compressed (insert-only integer streams), and
-// mmap (read-only).
+// supported: dense, tiled, compressed (insert-only integer streams),
+// and mmap (read-only).
 func NewCountMedianBackend(cfg Config, be Backend, r *rand.Rand) (*CountMedian, error) {
 	tb, err := newTable(cfg, r, be)
 	if err != nil {
@@ -44,13 +44,7 @@ func (c *CountMedian) Backend() BackendKind { return c.tb.backend() }
 //sketch:hotpath
 func (c *CountMedian) Update(i int, delta float64) {
 	c.tb.checkIndex(i)
-	if w := c.tb.wrows; w != nil {
-		for t := range w {
-			w[t][c.tb.hash.H[t].Hash(uint64(i))] += delta
-		}
-		return
-	}
-	c.tb.addSlow(i, delta)
+	c.tb.addPoint(i, delta)
 }
 
 // UpdateBatch applies x[idx[j]] += deltas[j] for every j, row-major:
@@ -61,16 +55,7 @@ func (c *CountMedian) Update(i int, delta float64) {
 //sketch:hotpath
 func (c *CountMedian) UpdateBatch(idx []int, deltas []float64) {
 	c.tb.checkBatch(idx, deltas)
-	if w := c.tb.wrows; w != nil {
-		for t := range w {
-			row := w[t]
-			for j, b := range c.tb.hashRow(t, idx) {
-				row[b] += deltas[j]
-			}
-		}
-		return
-	}
-	c.tb.addBatchSlow(idx, deltas)
+	c.tb.addBatch(idx, deltas)
 }
 
 // QueryBatch writes the estimate of x[idx[j]] into out[j] for every j.
@@ -84,7 +69,7 @@ func (c *CountMedian) UpdateBatch(idx []int, deltas []float64) {
 //sketch:hotpath
 func (c *CountMedian) QueryBatch(idx []int, out []float64) {
 	c.tb.checkQueryBatch(idx, out)
-	QueryBatchMedian(len(c.tb.hash.H), idx, out, 0, c)
+	QueryBatchMedian(c.tb.cfg.Depth, idx, out, 0, c)
 }
 
 // GatherRow implements BatchRecovery: row t's bucket values for the
@@ -92,12 +77,7 @@ func (c *CountMedian) QueryBatch(idx []int, out []float64) {
 //
 //sketch:hotpath
 func (c *CountMedian) GatherRow(t int, tile []int, o []float64, sc *QScratch) {
-	hb := sc.Ints[:len(tile)]
-	c.tb.hash.H[t].HashMany(tile, hb)
-	row := c.tb.rows()[t]
-	for j, b := range hb {
-		o[j] = row[b]
-	}
+	c.tb.gatherRowValues(t, tile, o, sc)
 }
 
 // Combine implements BatchRecovery: the Table 1 median.
@@ -110,10 +90,7 @@ func (c *CountMedian) Combine(vals []float64, _ *QScratch) float64 { return medi
 //sketch:hotpath
 func (c *CountMedian) Query(i int) float64 {
 	c.tb.checkIndex(i)
-	cells := c.tb.rows()
-	for t := range cells {
-		c.buf[t] = cells[t][c.tb.hash.H[t].Hash(uint64(i))]
-	}
+	c.tb.gatherPoint(i, c.buf)
 	return medianOf(c.buf)
 }
 

@@ -21,8 +21,8 @@ func NewCountMin(cfg Config, r *rand.Rand) (*CountMin, error) {
 
 // NewCountMinBackend creates a Count-Min sketch on the chosen counter
 // plane. Count-Min's updates are plain non-negative-leaning linear
-// adds, so every backend is supported: dense, compressed (insert-only
-// integer streams), and mmap (read-only).
+// adds, so every backend is supported: dense, tiled, compressed
+// (insert-only integer streams), and mmap (read-only).
 func NewCountMinBackend(cfg Config, be Backend, r *rand.Rand) (*CountMin, error) {
 	tb, err := newTable(cfg, r, be)
 	if err != nil {
@@ -39,13 +39,7 @@ func (c *CountMin) Backend() BackendKind { return c.tb.backend() }
 //sketch:hotpath
 func (c *CountMin) Update(i int, delta float64) {
 	c.tb.checkIndex(i)
-	if w := c.tb.wrows; w != nil {
-		for t := range w {
-			w[t][c.tb.hash.H[t].Hash(uint64(i))] += delta
-		}
-		return
-	}
-	c.tb.addSlow(i, delta)
+	c.tb.addPoint(i, delta)
 }
 
 // UpdateBatch applies x[idx[j]] += deltas[j] for every j, row-major:
@@ -56,16 +50,7 @@ func (c *CountMin) Update(i int, delta float64) {
 //sketch:hotpath
 func (c *CountMin) UpdateBatch(idx []int, deltas []float64) {
 	c.tb.checkBatch(idx, deltas)
-	if w := c.tb.wrows; w != nil {
-		for t := range w {
-			row := w[t]
-			for j, b := range c.tb.hashRow(t, idx) {
-				row[b] += deltas[j]
-			}
-		}
-		return
-	}
-	c.tb.addBatchSlow(idx, deltas)
+	c.tb.addBatch(idx, deltas)
 }
 
 // QueryBatch writes the estimate of x[idx[j]] into out[j] for every j,
@@ -84,14 +69,7 @@ func (c *CountMin) QueryBatch(idx []int, out []float64) {
 //sketch:hotpath
 func (c *CountMin) Query(i int) float64 {
 	c.tb.checkIndex(i)
-	cells := c.tb.rows()
-	min := cells[0][c.tb.hash.H[0].Hash(uint64(i))]
-	for t := 1; t < len(cells); t++ {
-		if v := cells[t][c.tb.hash.H[t].Hash(uint64(i))]; v < min {
-			min = v
-		}
-	}
-	return min
+	return c.tb.minPoint(i)
 }
 
 // Dim returns the vector dimension n.

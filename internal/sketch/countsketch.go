@@ -31,8 +31,13 @@ func NewCountSketch(cfg Config, r *rand.Rand) (*CountSketch, error) {
 // NewCountSketchBackend creates a Count-Sketch on the chosen counter
 // plane. The signed updates r_t(i)·delta go negative on every second
 // coordinate, which the insert-only compressed plane cannot represent —
-// BackendCompressed returns ErrBackendUnsupported. Dense and mmap
-// (read-only) are supported.
+// BackendCompressed returns ErrBackendUnsupported. Dense, tiled, and
+// mmap (read-only) are supported.
+//
+// The sign family matches the configured hash family (pairwise signs
+// with pairwise hashes, tabulation signs with tabulation hashes) and is
+// drawn from r after the table — the same order as every prior
+// release, so pairwise sketches keep their exact seeds.
 func NewCountSketchBackend(cfg Config, be Backend, r *rand.Rand) (*CountSketch, error) {
 	if be.Kind == BackendCompressed {
 		return nil, fmt.Errorf("%w: countsketch writes signed cell values, the compressed plane is insert-only", ErrBackendUnsupported)
@@ -41,9 +46,15 @@ func NewCountSketchBackend(cfg Config, be Backend, r *rand.Rand) (*CountSketch, 
 	if err != nil {
 		return nil, err
 	}
+	var signs hashing.SignFamily
+	if cfg.Hash == HashTabulation {
+		signs = hashing.NewTabSignFamily(r, cfg.Depth)
+	} else {
+		signs = hashing.NewSignFamily(r, cfg.Depth)
+	}
 	return &CountSketch{
 		tb:    tb,
-		signs: hashing.NewSignFamily(r, cfg.Depth),
+		signs: signs,
 		buf:   make([]float64, cfg.Depth),
 	}, nil
 }
@@ -56,10 +67,24 @@ func (c *CountSketch) Backend() BackendKind { return c.tb.backend() }
 //sketch:hotpath
 func (c *CountSketch) Update(i int, delta float64) {
 	c.tb.checkIndex(i)
-	cells := c.tb.writable()
 	u := uint64(i)
-	for t := range cells {
-		cells[t][c.tb.hash.H[t].Hash(u)] += c.signs.S[t].SignFloat(u) * delta
+	if tp := c.tb.tplane; tp != nil {
+		tp.dirty = true
+		buf := tp.buf
+		for t := 0; t < c.tb.cfg.Depth; t++ {
+			buf[tp.pos(t, c.tb.hash.Hash(t, u))] += c.signs.SignFloat(t, u) * delta
+		}
+		return
+	}
+	cells := c.tb.writable()
+	if ts := c.tb.hash.T; ts != nil {
+		for t, h := range ts {
+			cells[t][h.Hash(u)] += c.signs.T[t].SignFloat(u) * delta
+		}
+		return
+	}
+	for t, h := range c.tb.hash.H {
+		cells[t][h.Hash(u)] += c.signs.S[t].SignFloat(u) * delta
 	}
 }
 
@@ -79,12 +104,23 @@ func (c *CountSketch) growSbuf(n int) {
 //sketch:hotpath
 func (c *CountSketch) UpdateBatch(idx []int, deltas []float64) {
 	c.tb.checkBatch(idx, deltas)
-	cells := c.tb.writable()
 	c.growSbuf(len(idx))
 	sg := c.sbuf[:len(idx)]
+	if tp := c.tb.tplane; tp != nil {
+		tp.dirty = true
+		buf := tp.buf
+		for t := 0; t < c.tb.cfg.Depth; t++ {
+			c.signs.SignFloatMany(t, idx, sg)
+			for j, b := range c.tb.hashRow(t, idx) {
+				buf[tp.pos(t, b)] += sg[j] * deltas[j]
+			}
+		}
+		return
+	}
+	cells := c.tb.writable()
 	for t := range cells {
 		row := cells[t]
-		c.signs.S[t].SignFloatMany(idx, sg)
+		c.signs.SignFloatMany(t, idx, sg)
 		for j, b := range c.tb.hashRow(t, idx) {
 			row[b] += sg[j] * deltas[j]
 		}
@@ -102,7 +138,7 @@ func (c *CountSketch) UpdateBatch(idx []int, deltas []float64) {
 //sketch:hotpath
 func (c *CountSketch) QueryBatch(idx []int, out []float64) {
 	c.tb.checkQueryBatch(idx, out)
-	QueryBatchMedian(len(c.tb.hash.H), idx, out, 0, c)
+	QueryBatchMedian(c.tb.cfg.Depth, idx, out, 0, c)
 }
 
 // GatherRow implements BatchRecovery: row t's sign-corrected bucket
@@ -111,13 +147,11 @@ func (c *CountSketch) QueryBatch(idx []int, out []float64) {
 //
 //sketch:hotpath
 func (c *CountSketch) GatherRow(t int, tile []int, o []float64, sc *QScratch) {
-	hb := sc.Ints[:len(tile)]
+	c.tb.gatherRowValues(t, tile, o, sc)
 	sg := sc.F1[:len(tile)]
-	c.tb.hash.H[t].HashMany(tile, hb)
-	c.signs.S[t].SignFloatMany(tile, sg)
-	row := c.tb.rows()[t]
-	for j, b := range hb {
-		o[j] = sg[j] * row[b]
+	c.signs.SignFloatMany(t, tile, sg)
+	for j := range o {
+		o[j] *= sg[j]
 	}
 }
 
@@ -131,10 +165,10 @@ func (c *CountSketch) Combine(vals []float64, _ *QScratch) float64 { return medi
 //sketch:hotpath
 func (c *CountSketch) Query(i int) float64 {
 	c.tb.checkIndex(i)
-	cells := c.tb.rows()
+	c.tb.gatherPoint(i, c.buf)
 	u := uint64(i)
-	for t := range cells {
-		c.buf[t] = c.signs.S[t].SignFloat(u) * cells[t][c.tb.hash.H[t].Hash(u)]
+	for t, v := range c.buf {
+		c.buf[t] = c.signs.SignFloat(t, u) * v
 	}
 	return medianOf(c.buf)
 }
@@ -152,10 +186,8 @@ func (c *CountSketch) MergeFrom(other Linear) error {
 	if !ok || !c.tb.sameShape(&o.tb) {
 		return ErrIncompatible
 	}
-	for t := range c.signs.S {
-		if c.signs.S[t] != o.signs.S[t] {
-			return ErrIncompatible
-		}
+	if !c.signs.Equal(o.signs) {
+		return ErrIncompatible
 	}
 	return c.tb.mergeFrom(&o.tb)
 }

@@ -37,8 +37,8 @@ func NewDengRafiei(cfg Config, r *rand.Rand) (*DengRafiei, error) {
 
 // NewDengRafieiBackend creates a Deng–Rafiei sketch on the chosen
 // counter plane. Updates are plain linear adds, so every backend is
-// supported: dense, compressed (insert-only integer streams), and
-// mmap (read-only).
+// supported: dense, tiled, compressed (insert-only integer streams),
+// and mmap (read-only).
 //
 // The sketch carries one scalar of state beyond the cell matrix — the
 // running total — so a mapped backend's byte region is the Marshal
@@ -71,14 +71,7 @@ func (c *DengRafiei) Backend() BackendKind { return c.tb.backend() }
 //sketch:hotpath
 func (c *DengRafiei) Update(i int, delta float64) {
 	c.tb.checkIndex(i)
-	if w := c.tb.wrows; w != nil {
-		c.total += delta
-		for t := range w {
-			w[t][c.tb.hash.H[t].Hash(uint64(i))] += delta
-		}
-		return
-	}
-	c.tb.addSlow(i, delta)
+	c.tb.addPoint(i, delta)
 	c.total += delta
 }
 
@@ -89,19 +82,7 @@ func (c *DengRafiei) Update(i int, delta float64) {
 //sketch:hotpath
 func (c *DengRafiei) UpdateBatch(idx []int, deltas []float64) {
 	c.tb.checkBatch(idx, deltas)
-	if w := c.tb.wrows; w != nil {
-		for _, d := range deltas {
-			c.total += d
-		}
-		for t := range w {
-			row := w[t]
-			for j, b := range c.tb.hashRow(t, idx) {
-				row[b] += deltas[j]
-			}
-		}
-		return
-	}
-	c.tb.addBatchSlow(idx, deltas)
+	c.tb.addBatch(idx, deltas)
 	for _, d := range deltas {
 		c.total += d
 	}
@@ -117,7 +98,7 @@ func (c *DengRafiei) UpdateBatch(idx []int, deltas []float64) {
 //sketch:hotpath
 func (c *DengRafiei) QueryBatch(idx []int, out []float64) {
 	c.tb.checkQueryBatch(idx, out)
-	QueryBatchMedian(len(c.tb.hash.H), idx, out, 0, c)
+	QueryBatchMedian(c.tb.cfg.Depth, idx, out, 0, c)
 }
 
 // GatherRow implements BatchRecovery: row t's noise-corrected bucket
@@ -127,13 +108,10 @@ func (c *DengRafiei) QueryBatch(idx []int, out []float64) {
 //
 //sketch:hotpath
 func (c *DengRafiei) GatherRow(t int, tile []int, o []float64, sc *QScratch) {
+	c.tb.gatherRowValues(t, tile, o, sc)
 	s1 := float64(c.tb.cfg.Rows - 1)
 	total := c.total
-	hb := sc.Ints[:len(tile)]
-	c.tb.hash.H[t].HashMany(tile, hb)
-	row := c.tb.rows()[t]
-	for j, b := range hb {
-		v := row[b]
+	for j, v := range o {
 		o[j] = v - (total-v)/s1
 	}
 }
@@ -149,11 +127,10 @@ func (c *DengRafiei) Combine(vals []float64, _ *QScratch) float64 { return media
 //sketch:hotpath
 func (c *DengRafiei) Query(i int) float64 {
 	c.tb.checkIndex(i)
+	c.tb.gatherPoint(i, c.buf)
 	s1 := float64(c.tb.cfg.Rows - 1)
-	cells := c.tb.rows()
-	for t := range cells {
-		b := cells[t][c.tb.hash.H[t].Hash(uint64(i))]
-		c.buf[t] = b - (c.total-b)/s1
+	for t, v := range c.buf {
+		c.buf[t] = v - (c.total-v)/s1
 	}
 	return medianOf(c.buf)
 }

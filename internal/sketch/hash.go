@@ -1,0 +1,41 @@
+package sketch
+
+import (
+	"errors"
+	"fmt"
+)
+
+// HashKind selects the hash family a sketch's rows draw from. The zero
+// value is the paper's §4.4 Carter–Wegman pairwise family, so existing
+// configurations (and wire descriptors without a family byte) keep
+// their exact behavior.
+type HashKind uint8
+
+const (
+	// HashPairwise is the Carter–Wegman pairwise family over the
+	// Mersenne prime 2^61−1 — the paper's choice, exact 2-wise
+	// independence, O(1) words per function. The default.
+	HashPairwise HashKind = iota
+	// HashTabulation is Pǎtraşcu–Thorup simple tabulation: 3-wise
+	// independent (a fortiori satisfying every second-moment analysis in
+	// the paper), divisionless evaluation — cheaper per hash than the
+	// pairwise family's hardware modulo — at 16 KiB of tables per
+	// function (2 KiB per sign function).
+	HashTabulation
+)
+
+// String names the hash family for error messages and descriptors.
+func (k HashKind) String() string {
+	switch k {
+	case HashPairwise:
+		return "pairwise"
+	case HashTabulation:
+		return "tabulation"
+	default:
+		return fmt.Sprintf("hash(%d)", uint8(k))
+	}
+}
+
+// ErrHashUnsupported is returned when an algorithm cannot run with the
+// requested hash family.
+var ErrHashUnsupported = errors.New("sketch: hash family not supported by this algorithm")

@@ -1,0 +1,52 @@
+package sketch
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// The 0-1 principle: a comparator network sorts every input iff it
+// sorts every boolean input. 2^n cases per network is cheap for the
+// sizes we hardcode.
+func TestSortNetworksZeroOnePrinciple(t *testing.T) {
+	for n := 4; n <= 16; n++ {
+		buf := make([]float64, n)
+		for m := 0; m < 1<<n; m++ {
+			for i := range buf {
+				buf[i] = float64((m >> i) & 1)
+			}
+			if !sortSmall(buf) {
+				t.Fatalf("no network for n=%d", n)
+			}
+			for i := 1; i < n; i++ {
+				if buf[i-1] > buf[i] {
+					t.Fatalf("n=%d input %b: not sorted: %v", n, m, buf)
+				}
+			}
+		}
+	}
+}
+
+// medianOf must agree with the definitional sorted-middle median for
+// every length, network-backed or fallback.
+func TestMedianOfMatchesReference(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for n := 1; n <= 20; n++ {
+		for trial := 0; trial < 200; trial++ {
+			buf := make([]float64, n)
+			for i := range buf {
+				buf[i] = float64(r.Intn(7)) - 3 // ties are the hard case
+			}
+			ref := append([]float64(nil), buf...)
+			sort.Float64s(ref)
+			want := ref[n/2]
+			if n%2 == 0 {
+				want = (ref[n/2-1] + ref[n/2]) / 2
+			}
+			if got := medianOf(buf); got != want {
+				t.Fatalf("n=%d trial %d: medianOf=%v want %v", n, trial, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package sketch
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// tileWidth is the bucket-tile size of the tiled plane: 64 buckets ×
+// 8 bytes = 512 B per row segment, so one tile's segment spans 8 cache
+// lines and a batch element's d counters land within one tile column.
+const tileWidth = 64
+
+// tiledPlane is the cache-blocked, depth-major counter layout: buckets
+// are grouped into tiles of tileWidth, and within a tile all d rows sit
+// contiguously —
+//
+//	buf[(b/64)·(pdepth·64) + t·64 + (b mod 64)]  holds cells[t][b].
+//
+// The depth is padded to odd (pdepth) so consecutive tiles stride an
+// odd multiple of 8 cache lines: a row's per-tile segments then cycle
+// through all 64 L1 sets instead of aliasing into a quarter of them.
+// It is a pure layout transformation — every value equals the dense
+// plane's cell bit for bit — so the tiled backend changes iteration
+// cost, never answers.
+type tiledPlane struct {
+	depth, rows int
+	pdepth      int // depth padded to odd — see layout note above
+	buf         []float64
+
+	// cache is a lazily materialized row-major view for the cold
+	// readers (column caches, merges into other backends); the hot
+	// paths read buf directly through pos. dirty is set by every write
+	// — including the table's direct-buf fast paths — and cleared when
+	// the cache is rebuilt.
+	cache [][]float64
+	dirty bool
+}
+
+func newTiledPlane(depth, rows int) *tiledPlane {
+	pd := depth
+	if pd%2 == 0 {
+		pd++
+	}
+	tiles := (rows + tileWidth - 1) / tileWidth
+	return &tiledPlane{
+		depth:  depth,
+		rows:   rows,
+		pdepth: pd,
+		buf:    make([]float64, tiles*pd*tileWidth),
+		dirty:  true,
+	}
+}
+
+// pos returns the buf index of cells[t][b].
+//
+//sketch:hotpath
+func (p *tiledPlane) pos(t, b int) int {
+	return (b>>6)*(p.pdepth<<6) + (t << 6) + (b & 63)
+}
+
+func (p *tiledPlane) Kind() BackendKind { return BackendTiled }
+
+// View materializes (and caches) a row-major copy of the counters for
+// cold readers. The cache is rebuilt only after a write; hot paths
+// never come through here — they index buf via pos.
+func (p *tiledPlane) View() ([][]float64, error) {
+	if p.cache == nil {
+		backing := make([]float64, p.depth*p.rows)
+		cache := make([][]float64, p.depth)
+		for t := range cache {
+			cache[t] = backing[t*p.rows : (t+1)*p.rows]
+		}
+		p.cache = cache
+	}
+	if p.dirty {
+		for t := 0; t < p.depth; t++ {
+			row := p.cache[t]
+			for b := range row {
+				row[b] = p.buf[p.pos(t, b)]
+			}
+		}
+		p.dirty = false
+	}
+	return p.cache, nil
+}
+
+// WritableRows returns nil: the tiled layout has no row-major slices to
+// hand out, so in-place read-modify-write algorithms (conservative
+// update) reject this backend at construction and the linear hot paths
+// write buf directly through the table.
+func (p *tiledPlane) WritableRows() [][]float64 { return nil }
+
+func (p *tiledPlane) ValidateAdd(float64) error { return nil }
+
+// Bits reports the resident footprint including the odd-depth padding —
+// the honest position of the tiled layout on size-versus-accuracy
+// plots.
+func (p *tiledPlane) Bits() int { return 64 * len(p.buf) }
+
+func (p *tiledPlane) Add(t, b int, delta float64) error {
+	p.buf[p.pos(t, b)] += delta
+	p.dirty = true
+	return nil
+}
+
+// MergeFrom adds any readable plane's counters. Tiled←tiled with the
+// same shape folds the flat buffers directly (padding slots are zero on
+// both sides); any other source merges through its row-major view.
+func (p *tiledPlane) MergeFrom(o Plane) error {
+	if ot, ok := o.(*tiledPlane); ok && ot.depth == p.depth && ot.rows == p.rows {
+		for i, v := range ot.buf {
+			p.buf[i] += v
+		}
+		p.dirty = true
+		return nil
+	}
+	ov, err := o.View()
+	if err != nil {
+		return err
+	}
+	for t := 0; t < p.depth; t++ {
+		orow := ov[t]
+		for b := range orow {
+			p.buf[p.pos(t, b)] += orow[b]
+		}
+	}
+	p.dirty = true
+	return nil
+}
+
+// MarshalCells emits the shared row-major wire cell layout — the tiled
+// geometry is an in-memory concern only, so tiled checkpoints
+// interoperate with every other backend.
+func (p *tiledPlane) MarshalCells() ([]byte, error) {
+	buf := make([]byte, 8*p.depth*p.rows)
+	off := 0
+	for t := 0; t < p.depth; t++ {
+		for b := 0; b < p.rows; b++ {
+			binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(p.buf[p.pos(t, b)]))
+			off += 8
+		}
+	}
+	return buf, nil
+}
+
+func (p *tiledPlane) UnmarshalCells(buf []byte) error {
+	if err := checkCellPayload(buf, p.depth, p.rows); err != nil {
+		return err
+	}
+	off := 0
+	for t := 0; t < p.depth; t++ {
+		for b := 0; b < p.rows; b++ {
+			p.buf[p.pos(t, b)] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+			off += 8
+		}
+	}
+	p.dirty = true
+	return nil
+}

@@ -147,9 +147,10 @@ func SketchVector(s Sketch, x []float64) error {
 // per hash function; s = c_s·k in the paper), and the depth d (number
 // of independent rows; Θ(log n) in the theorems, 9–10 in §5.1).
 type Config struct {
-	N     int // dimension of the input vector
-	Rows  int // s, buckets per row
-	Depth int // d, number of rows
+	N     int      // dimension of the input vector
+	Rows  int      // s, buckets per row
+	Depth int      // d, number of rows
+	Hash  HashKind // hash family for the rows; zero value is pairwise
 }
 
 // Validate checks the configuration is usable.
@@ -163,8 +164,20 @@ func (c Config) Validate() error {
 	if c.Depth <= 0 {
 		return fmt.Errorf("sketch: Depth must be positive, got %d", c.Depth)
 	}
+	if c.Hash > HashTabulation {
+		return fmt.Errorf("sketch: unknown hash family %v", c.Hash)
+	}
 	return nil
 }
+
+// Median returns the paper's Table 1 median of buf (midpoint average
+// for even length), reordering buf in place. Exported for the recovery
+// algorithms layered on top of this package, so their per-element
+// combine step shares the sorting networks of the sketches' own median
+// queries.
+//
+//sketch:hotpath
+func Median(buf []float64) float64 { return medianOf(buf) }
 
 // medianOf returns the median of buf, reordering buf in place. It uses
 // the paper's Table 1 definition (midpoint average for even length).
@@ -175,16 +188,20 @@ func medianOf(buf []float64) float64 {
 	if n == 0 {
 		return 0
 	}
-	// Insertion sort: depth d is small (≈10), so this beats sort.Slice
-	// on the query hot path and allocates nothing.
-	for i := 1; i < n; i++ {
-		v := buf[i]
-		j := i - 1
-		for j >= 0 && buf[j] > v {
-			buf[j+1] = buf[j]
-			j--
+	// Branchless sorting network for the depths that occur in
+	// practice (see median.go); insertion sort covers the rest — depth
+	// d is small, so either beats sort.Slice on the query hot path and
+	// allocates nothing.
+	if !sortSmall(buf) {
+		for i := 1; i < n; i++ {
+			v := buf[i]
+			j := i - 1
+			for j >= 0 && buf[j] > v {
+				buf[j+1] = buf[j]
+				j--
+			}
+			buf[j+1] = v
 		}
-		buf[j+1] = v
 	}
 	if n%2 == 1 {
 		return buf[n/2]

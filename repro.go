@@ -233,12 +233,12 @@ func New(algo string, opts ...Option) (Sketch, error) {
 	if err != nil {
 		return nil, err
 	}
-	inner, err := registry.SafeNewBackend(e.Name, cfg.dim, cfg.words, cfg.depth, cfg.seed,
+	inner, err := registry.SafeNewBackend(e.Name, cfg.shape(),
 		sketch.Backend{Kind: cfg.backend})
 	if err != nil {
 		return nil, fmt.Errorf("repro: %w", err)
 	}
-	desc := codec.Desc{Algo: e.Name, N: cfg.dim, S: cfg.words, D: cfg.depth, Seed: cfg.seed, Backend: cfg.backend}
+	desc := codec.Desc{Algo: e.Name, N: cfg.dim, S: cfg.words, D: cfg.depth, Seed: cfg.seed, Hash: cfg.hash, Backend: cfg.backend}
 	return wrap(e, inner, desc), nil
 }
 

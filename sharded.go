@@ -55,7 +55,7 @@ func NewSharded(shards int, algo string, opts ...Option) (*Sharded, error) {
 	if cfg.backend != BackendDense {
 		return nil, fmt.Errorf("%w: WithBackend(%v) — sharded and windowed replicas are mutable merge targets, so they are dense-only", ErrInvalidOption, cfg.backend)
 	}
-	mk := func() sketch.Sketch { return e.MustNew(cfg.dim, cfg.words, cfg.depth, cfg.seed) }
+	mk := func() sketch.Sketch { return e.MustNew(cfg.shape()) }
 	inner, err := newShards(e.Name, shards, mk)
 	if err != nil {
 		return nil, err
@@ -63,7 +63,7 @@ func NewSharded(shards int, algo string, opts ...Option) (*Sharded, error) {
 	return &Sharded{
 		inner: inner,
 		entry: e,
-		desc:  codec.Desc{Algo: e.Name, N: cfg.dim, S: cfg.words, D: cfg.depth, Seed: cfg.seed},
+		desc:  codec.Desc{Algo: e.Name, N: cfg.dim, S: cfg.words, D: cfg.depth, Seed: cfg.seed, Hash: cfg.hash},
 	}, nil
 }
 
@@ -279,7 +279,7 @@ func (sn *Snapshot) Stale() bool { return sn.view.Stale() }
 // any shard lock (the clone merges from the immutable replica, not
 // from the live shards).
 func (sn *Snapshot) Owned() (Sketch, error) {
-	fresh, err := registry.SafeNew(sn.entry.Name, sn.desc.N, sn.desc.S, sn.desc.D, sn.desc.Seed)
+	fresh, err := registry.SafeNew(sn.entry.Name, sn.desc.Shape())
 	if err != nil {
 		return nil, fmt.Errorf("repro: %w", err)
 	}

@@ -62,10 +62,10 @@ func NewWindowed(shards int, algo string, opts ...Option) (*Windowed, error) {
 	// Probe the constructor once so a parameter combination the
 	// algorithm rejects surfaces here as an error, not as a panic from
 	// the first pane rotation.
-	if _, err := registry.SafeNew(e.Name, cfg.dim, cfg.words, cfg.depth, cfg.seed); err != nil {
+	if _, err := registry.SafeNew(e.Name, cfg.shape()); err != nil {
 		return nil, fmt.Errorf("repro: %w", err)
 	}
-	mk := func() sketch.Sketch { return e.MustNew(cfg.dim, cfg.words, cfg.depth, cfg.seed) }
+	mk := func() sketch.Sketch { return e.MustNew(cfg.shape()) }
 	inner, err := window.New(window.Config{
 		Panes:  cfg.panes,
 		Shards: shards,
@@ -78,7 +78,7 @@ func NewWindowed(shards int, algo string, opts ...Option) (*Windowed, error) {
 	return &Windowed{
 		inner: inner,
 		entry: e,
-		desc:  codec.Desc{Algo: e.Name, N: cfg.dim, S: cfg.words, D: cfg.depth, Seed: cfg.seed},
+		desc:  codec.Desc{Algo: e.Name, N: cfg.dim, S: cfg.words, D: cfg.depth, Seed: cfg.seed, Hash: cfg.hash},
 	}, nil
 }
 

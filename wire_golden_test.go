@@ -123,6 +123,69 @@ func TestGoldenWireFormatV2(t *testing.T) {
 	}
 }
 
+// tabulationGoldenAlgos are the table sketches whose tabulation-family
+// checkpoints are frozen as <algo>-tabulation.golden — the v2 vectors
+// proving the optional hash-family byte's layout never drifts.
+var tabulationGoldenAlgos = []string{"countmin", "countsketch"}
+
+// goldenTabulationSketch is goldenSketch under the tabulation family.
+func goldenTabulationSketch(t testing.TB, algo string) repro.Sketch {
+	t.Helper()
+	sk, err := repro.New(algo,
+		repro.WithDim(goldenShape.N), repro.WithWords(goldenShape.S),
+		repro.WithDepth(goldenShape.D), repro.WithSeed(goldenShape.Seed),
+		repro.WithHashing(repro.HashTabulation))
+	if err != nil {
+		t.Fatalf("%s: New: %v", algo, err)
+	}
+	for u := 0; u < 4096; u++ {
+		sk.Update((u*u+29)%512, float64(1+u%9))
+	}
+	return sk
+}
+
+// Tabulation-family v2 output is frozen too: the descriptor carries
+// the extra hash-family byte, and the counters are the tabulation
+// family's — a byte diff here means either the container layout or the
+// tabulation hash construction changed.
+func TestGoldenWireFormatV2Tabulation(t *testing.T) {
+	for _, algo := range tabulationGoldenAlgos {
+		t.Run(algo, func(t *testing.T) {
+			data, err := repro.Marshal(goldenTabulationSketch(t, algo))
+			if err != nil {
+				t.Fatalf("Marshal: %v", err)
+			}
+			checkGolden(t, filepath.Join("testdata", "wire", "v2", algo+"-tabulation.golden"), data)
+		})
+	}
+}
+
+// Tabulation golden payloads must round-trip: load, report the
+// tabulation family, and answer like a freshly built twin.
+func TestGoldenWireFormatTabulationLoads(t *testing.T) {
+	for _, algo := range tabulationGoldenAlgos {
+		t.Run(algo, func(t *testing.T) {
+			data, err := os.ReadFile(filepath.Join("testdata", "wire", "v2", algo+"-tabulation.golden"))
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update-golden to create): %v", err)
+			}
+			loaded, err := repro.Unmarshal(data)
+			if err != nil {
+				t.Fatalf("golden payload does not load: %v", err)
+			}
+			if h := repro.HashingOf(loaded); h != repro.HashTabulation {
+				t.Fatalf("loaded family = %v, want tabulation", h)
+			}
+			ref := goldenTabulationSketch(t, algo)
+			for i := 0; i < 512; i += 11 {
+				if a, b := ref.Query(i), loaded.Query(i); a != b {
+					t.Fatalf("query %d: fresh %v, golden-loaded %v", i, a, b)
+				}
+			}
+		})
+	}
+}
+
 // goldenComposites builds the three frozen checkpoint vectors.
 func goldenComposites(t testing.TB) map[string][]byte {
 	t.Helper()
@@ -310,6 +373,9 @@ func TestGoldenFilesComplete(t *testing.T) {
 		algoFiles = append(algoFiles, fmt.Sprintf("%s.golden", algo))
 	}
 	check(filepath.Join("testdata", "wire"), algoFiles)
-	check(filepath.Join("testdata", "wire", "v2"),
-		append(algoFiles, "sharded.golden", "windowed.golden", "range.golden"))
+	v2Files := append(algoFiles, "sharded.golden", "windowed.golden", "range.golden")
+	for _, algo := range tabulationGoldenAlgos {
+		v2Files = append(v2Files, fmt.Sprintf("%s-tabulation.golden", algo))
+	}
+	check(filepath.Join("testdata", "wire", "v2"), v2Files)
 }
